@@ -1,0 +1,58 @@
+(* Data-collection CLI: runs a benchmark under the instrumented engine
+   with modifier exploration and writes the binary archive(s). *)
+
+open Cmdliner
+module Suites = Tessera_workloads.Suites
+module Harness = Tessera_harness
+
+let run benchmarks out_dir quick =
+  let cfg =
+    if quick then Harness.Expconfig.quick else Harness.Expconfig.default
+  in
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let benches =
+    match benchmarks with
+    | [] -> Suites.training_set
+    | names ->
+        List.map
+          (fun n ->
+            match Suites.find n with
+            | Some b -> b
+            | None -> failwith (Printf.sprintf "unknown benchmark %S" n))
+          names
+  in
+  List.iter
+    (fun bench ->
+      let o = Harness.Collection.collect_bench ~cfg bench in
+      let name =
+        bench.Suites.profile.Tessera_workloads.Profile.name
+      in
+      let path suffix = Filename.concat out_dir (name ^ suffix ^ ".tsra") in
+      Tessera_collect.Archive.save o.Harness.Collection.randomized (path ".rand");
+      Tessera_collect.Archive.save o.Harness.Collection.progressive (path ".prog");
+      Tessera_collect.Archive.save o.Harness.Collection.merged (path "");
+      Printf.printf "%-12s: %5d records -> %s\n%!" name
+        (List.length o.Harness.Collection.merged.Tessera_collect.Archive.records)
+        (path ""))
+    benches;
+  0
+
+let benchmarks =
+  Arg.(value & pos_all string [] & info [] ~docv:"BENCHMARK"
+         ~doc:"Benchmarks to collect (default: the five trainable SPECjvm98 \
+               benchmarks).")
+
+let out_dir =
+  Arg.(value & opt string "archives" & info [ "o"; "output" ] ~docv:"DIR"
+         ~doc:"Directory for the .tsra archives.")
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Down-scaled collection for smoke runs.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tessera_collect"
+       ~doc:"Run compilation-plan data collection on synthetic benchmarks")
+    Term.(const run $ benchmarks $ out_dir $ quick)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,62 @@
+(* Full experiment pipeline: collection -> LOO training -> evaluation ->
+   Table 4 and Figures 6-13.  The same code path as bench/main.exe, with
+   CLI control over scale. *)
+
+open Cmdliner
+module Harness = Tessera_harness
+module Suites = Tessera_workloads.Suites
+
+let run quick trials spec_count dacapo_count archives =
+  let base = if quick then Harness.Expconfig.quick else Harness.Expconfig.default in
+  let cfg = { base with Harness.Expconfig.trials = max 1 trials } in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let spec = take spec_count Suites.specjvm98 in
+  let dacapo = take dacapo_count Suites.dacapo in
+  let fmt = Format.std_formatter in
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    match archives with
+    | Some dir when Harness.Persist.is_campaign_dir dir ->
+        Format.fprintf fmt "loading archives from %s@." dir;
+        Harness.Persist.load ~dir
+    | _ ->
+        let o = Harness.Collection.collect_training_set ~cfg () in
+        Option.iter (fun dir -> Harness.Persist.save ~dir o) archives;
+        o
+  in
+  Format.fprintf fmt "collection: %.1fs@." (Unix.gettimeofday () -. t0);
+  Harness.Report.collection_summary fmt outcomes;
+  let loo = Harness.Training.train_loo outcomes in
+  Harness.Report.training_summary fmt loo;
+  Harness.Report.table4 fmt loo;
+  let t1 = Unix.gettimeofday () in
+  let m = Harness.Evaluation.full_matrix ~cfg ~loo ~spec ~dacapo () in
+  Format.fprintf fmt "evaluation: %.1fs@." (Unix.gettimeofday () -. t1);
+  Harness.Report.figures_6_to_13 fmt m;
+  0
+
+let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Down-scaled smoke run.")
+
+let trials =
+  Arg.(value & opt int 1 & info [ "trials" ] ~docv:"N"
+         ~doc:"Independent simulation runs per measurement.")
+
+let spec_count =
+  Arg.(value & opt int 8 & info [ "spec" ] ~docv:"N"
+         ~doc:"Number of SPECjvm98 benchmarks to evaluate.")
+
+let dacapo_count =
+  Arg.(value & opt int 12 & info [ "dacapo" ] ~docv:"N"
+         ~doc:"Number of DaCapo benchmarks to evaluate.")
+
+let archives =
+  Arg.(value & opt (some string) None & info [ "archives" ] ~docv:"DIR"
+         ~doc:"Campaign directory: load collection archives from it when                present, otherwise collect and save them there.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tessera_report"
+       ~doc:"Reproduce Table 4 and Figures 6-13 end to end")
+    Term.(const run $ quick $ trials $ spec_count $ dacapo_count $ archives)
+
+let () = exit (Cmd.eval' cmd)

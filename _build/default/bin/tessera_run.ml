@@ -1,0 +1,84 @@
+(* Run a benchmark (or a .tir program) on the simulated JVM, optionally
+   with a learned model set steering the JIT, and print the metrics. *)
+
+open Cmdliner
+module Harness = Tessera_harness
+module Suites = Tessera_workloads.Suites
+module Engine = Tessera_jit.Engine
+module Values = Tessera_vm.Values
+
+let run target model_dir iterations tir =
+  let program =
+    if tir then Tessera_lang.Parser.load_program target
+    else
+      match Suites.find target with
+      | Some b ->
+          Tessera_workloads.Generate.program b.Suites.profile
+      | None -> failwith (Printf.sprintf "unknown benchmark %S" target)
+  in
+  let iteration_invocations =
+    if tir then 1
+    else
+      match Suites.find target with
+      | Some b -> b.Suites.iteration_invocations
+      | None -> 1
+  in
+  let callbacks =
+    match model_dir with
+    | None -> Engine.no_callbacks
+    | Some dir ->
+        let ms = Harness.Modelset.load ~name:"cli" ~dir in
+        {
+          Engine.no_callbacks with
+          Engine.choose_modifier = Some (Harness.Modelset.choose_modifier ms);
+        }
+  in
+  let engine = Engine.create ~callbacks program in
+  let traps = ref 0 in
+  for it = 0 to iterations - 1 do
+    for k = 0 to iteration_invocations - 1 do
+      match
+        Engine.invoke_entry engine
+          [| Values.Int_v (Int64.of_int ((it * 31) + k)) |]
+      with
+      | Ok _ -> ()
+      | Error _ -> incr traps
+    done
+  done;
+  Printf.printf "application cycles : %Ld (%.2f virtual ms)\n"
+    (Engine.app_cycles engine)
+    (Int64.to_float (Engine.app_cycles engine)
+    /. float_of_int Tessera_vm.Cost.cycles_per_ms);
+  Printf.printf "compilation cycles : %Ld\n" (Engine.total_compile_cycles engine);
+  Printf.printf "compilations       : %d (%d methods)\n"
+    (Engine.compile_count engine)
+    (Engine.methods_compiled engine);
+  List.iter
+    (fun (level, count) ->
+      Printf.printf "  %-10s %d\n" (Tessera_opt.Plan.level_name level) count)
+    (Engine.compiles_by_level engine);
+  if !traps > 0 then Printf.printf "uncaught exceptions: %d\n" !traps;
+  0
+
+let target =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET"
+         ~doc:"Benchmark name (e.g. compress) or path to a .tir file with --tir.")
+
+let model_dir =
+  Arg.(value & opt (some dir) None & info [ "model" ] ~docv:"DIR"
+         ~doc:"Model-set directory (from tessera_train); omit for the \
+               unmodified compiler.")
+
+let iterations =
+  Arg.(value & opt int 1 & info [ "n"; "iterations" ] ~docv:"N"
+         ~doc:"Benchmark iterations (1 = start-up run, 10 = throughput run).")
+
+let tir =
+  Arg.(value & flag & info [ "tir" ] ~doc:"Treat TARGET as a .tir program file.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tessera_run" ~doc:"Run a benchmark on the simulated JVM")
+    Term.(const run $ target $ model_dir $ iterations $ tir)
+
+let () = exit (Cmd.eval' cmd)

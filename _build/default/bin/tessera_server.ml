@@ -1,0 +1,45 @@
+(* Model server: answers Predict requests over named pipes (Section 7 of
+   the paper).  The compiler side connects with
+   [Tessera_protocol.Channel.fifo_pair]'s endpoint A semantics:
+   the server reads requests from IN_FIFO and writes responses to
+   OUT_FIFO. *)
+
+open Cmdliner
+module Harness = Tessera_harness
+
+let run model_dir in_fifo out_fifo =
+  let ms = Harness.Modelset.load ~name:"server" ~dir:model_dir in
+  List.iter
+    (fun p ->
+      (try Unix.unlink p with Unix.Unix_error _ -> ());
+      Unix.mkfifo p 0o600)
+    [ in_fifo; out_fifo ];
+  Printf.printf "serving %s: reading %s, writing %s\n%!" model_dir in_fifo
+    out_fifo;
+  (* opening blocks until the client opens the other ends *)
+  let fin = Unix.openfile in_fifo [ Unix.O_RDONLY ] 0 in
+  let fout = Unix.openfile out_fifo [ Unix.O_WRONLY ] 0 in
+  let ch = Tessera_protocol.Channel.of_fds fin fout in
+  Tessera_protocol.Server.serve ch (Harness.Modelset.server_predictor ms);
+  Printf.printf "shutdown\n";
+  0
+
+let model_dir =
+  Arg.(required & pos 0 (some dir) None & info [] ~docv:"MODEL_DIR"
+         ~doc:"Model-set directory (from tessera_train).")
+
+let in_fifo =
+  Arg.(value & opt string "/tmp/tessera.req" & info [ "in" ] ~docv:"FIFO"
+         ~doc:"Request pipe (created).")
+
+let out_fifo =
+  Arg.(value & opt string "/tmp/tessera.res" & info [ "out" ] ~docv:"FIFO"
+         ~doc:"Response pipe (created).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tessera_server"
+       ~doc:"Serve a trained model set over named pipes")
+    Term.(const run $ model_dir $ in_fifo $ out_fifo)
+
+let () = exit (Cmd.eval' cmd)

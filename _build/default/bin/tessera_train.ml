@@ -1,0 +1,82 @@
+(* Training CLI: archives -> ranked LIBLINEAR datasets -> SVM models. *)
+
+open Cmdliner
+module Harness = Tessera_harness
+module Archive = Tessera_collect.Archive
+module Plan = Tessera_opt.Plan
+
+let run archives out_dir solver_name emit_datasets explain =
+  let solver =
+    match solver_name with
+    | "ovr" -> Harness.Modelset.Ovr
+    | "cs" -> Harness.Modelset.Crammer_singer
+    | other -> failwith (Printf.sprintf "unknown solver %S (use ovr or cs)" other)
+  in
+  if archives = [] then failwith "no archives given";
+  let records =
+    List.concat_map (fun path -> (Archive.load path).Archive.records) archives
+  in
+  Printf.printf "loaded %d records from %d archives\n%!" (List.length records)
+    (List.length archives);
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  if emit_datasets then
+    List.iter
+      (fun level ->
+        let ts = Tessera_dataproc.Trainset.build ~level records in
+        let path =
+          Filename.concat out_dir
+            (Printf.sprintf "dataset_%s.liblinear" (Plan.level_name level))
+        in
+        Tessera_dataproc.Liblinear_format.save ts.Tessera_dataproc.Trainset.instances path;
+        Printf.printf "wrote %s (%d instances)\n%!" path
+          (List.length ts.Tessera_dataproc.Trainset.instances))
+      [ Plan.Cold; Plan.Warm; Plan.Hot ];
+  let ms = Harness.Modelset.train ~solver ~name:"cli" records in
+  Harness.Modelset.save ms ~dir:out_dir;
+  if explain then
+    List.iter
+      (fun (lm : Harness.Modelset.level_model) ->
+        Printf.printf "--- %s model, strongest feature weights ---\n"
+          (Plan.level_name lm.Harness.Modelset.level);
+        Tessera_svm.Explain.report
+          ~feature_name:Tessera_features.Features.component_name
+          Format.std_formatter lm.Harness.Modelset.model;
+        Format.pp_print_flush Format.std_formatter ())
+      ms.Harness.Modelset.levels;
+  List.iter
+    (fun (lm : Harness.Modelset.level_model) ->
+      Printf.printf "%s: %d classes, %d instances, trained in %.2fs\n%!"
+        (Plan.level_name lm.Harness.Modelset.level)
+        (Tessera_dataproc.Labels.size lm.Harness.Modelset.labels)
+        lm.Harness.Modelset.stats.Tessera_dataproc.Trainset.training_instances
+        lm.Harness.Modelset.train_seconds)
+    ms.Harness.Modelset.levels;
+  Printf.printf "model files written to %s\n" out_dir;
+  0
+
+let archives =
+  Arg.(value & pos_all file [] & info [] ~docv:"ARCHIVE" ~doc:"Input .tsra archives.")
+
+let out_dir =
+  Arg.(value & opt string "models" & info [ "o"; "output" ] ~docv:"DIR"
+         ~doc:"Directory for model/scaling/labels files.")
+
+let solver =
+  Arg.(value & opt string "cs" & info [ "solver" ] ~docv:"SOLVER"
+         ~doc:"SVM solver: cs (Crammer-Singer, the paper's) or ovr \
+               (one-vs-rest dual coordinate descent).")
+
+let emit_datasets =
+  Arg.(value & flag & info [ "datasets" ]
+         ~doc:"Also write the intermediate LIBLINEAR text datasets.")
+
+let explain =
+  Arg.(value & flag & info [ "explain" ]
+         ~doc:"Print the strongest feature weights per class of each model.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tessera_train" ~doc:"Train per-level SVM models from archives")
+    Term.(const run $ archives $ out_dir $ solver $ emit_datasets $ explain)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/ablate_pass.ml: Array Float Format Int64 List Sys Tessera_il Tessera_jit Tessera_modifiers Tessera_opt Tessera_vm Tessera_workloads

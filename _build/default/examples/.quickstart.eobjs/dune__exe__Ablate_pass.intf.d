@@ -1,0 +1,1 @@
+examples/ablate_pass.mli:

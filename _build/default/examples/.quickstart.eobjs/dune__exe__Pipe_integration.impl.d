@@ -1,0 +1,1 @@
+examples/pipe_integration.ml: Array Filename Format Int64 List Option Tessera_features Tessera_harness Tessera_il Tessera_jit Tessera_protocol Tessera_vm Tessera_workloads Unix

@@ -1,0 +1,1 @@
+examples/pipe_integration.mli:

@@ -1,0 +1,1 @@
+examples/train_and_predict.mli:

@@ -1,0 +1,77 @@
+(* Which transformations earn their keep on a given benchmark?
+
+   For every one of the 58 controllable transformations, compile the
+   benchmark's methods at the hot level with ONLY that transformation
+   disabled, run to steady state, and report the change in running time
+   and in compilation time — a per-pass value/cost profile of the kind a
+   compiler team would use to audit a plan (and exactly the signal the
+   machine-learned models mine from the collected data).
+
+   Run with: dune exec examples/ablate_pass.exe [benchmark] *)
+
+module Engine = Tessera_jit.Engine
+module Plan = Tessera_opt.Plan
+module Catalog = Tessera_opt.Catalog
+module Modifier = Tessera_modifiers.Modifier
+module Values = Tessera_vm.Values
+module Suites = Tessera_workloads.Suites
+
+let steady_metrics program modifier =
+  let engine =
+    Engine.create
+      ~config:
+        {
+          Engine.default_config with
+          Engine.adaptive = false;
+          async_compile = false;
+          contention = 0.0;
+        }
+      program
+  in
+  for id = 0 to Tessera_il.Program.method_count program - 1 do
+    Engine.request_compile engine ~meth_id:id ~level:Plan.Hot ~modifier ()
+  done;
+  let compile = Engine.total_compile_cycles engine in
+  let run k n =
+    let before = Engine.app_cycles engine in
+    for i = k to k + n - 1 do
+      ignore (Engine.invoke_entry engine [| Values.Int_v (Int64.of_int i) |])
+    done;
+    Int64.sub (Engine.app_cycles engine) before
+  in
+  ignore (run 0 2);
+  (Int64.to_float (run 2 4) /. 4.0, Int64.to_float compile)
+
+let () =
+  let bench_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "compress" in
+  let bench =
+    match Suites.find bench_name with
+    | Some b -> b
+    | None -> failwith ("unknown benchmark " ^ bench_name)
+  in
+  let program = Tessera_workloads.Generate.program bench.Suites.profile in
+  Format.printf "per-pass ablation on %s (hot level, steady state)@.@."
+    bench_name;
+  let base_run, base_compile = steady_metrics program Modifier.null in
+  Format.printf "%-34s %12s %12s@." "disabled transformation" "run time"
+    "compile time";
+  let interesting = ref [] in
+  Array.iter
+    (fun (e : Catalog.entry) ->
+      let run, compile =
+        steady_metrics program (Modifier.of_disabled [ e.Catalog.index ])
+      in
+      let drun = 100.0 *. ((run /. base_run) -. 1.0) in
+      let dcomp = 100.0 *. ((compile /. base_compile) -. 1.0) in
+      if Float.abs drun > 0.15 || Float.abs dcomp > 1.0 then
+        interesting := (drun, dcomp, e.Catalog.name) :: !interesting)
+    Catalog.all;
+  List.iter
+    (fun (drun, dcomp, name) ->
+      Format.printf "%-34s %+10.2f%% %+10.2f%%@." name drun dcomp)
+    (List.sort (fun (a, _, _) (b, _, _) -> compare b a) !interesting);
+  Format.printf
+    "@.(positive run time = the transformation was helping; negative \
+     compile@.time = it was costing compile cycles — the learned models \
+     look for rows@.with ~0%% run-time impact and large compile-time \
+     cost)@."

@@ -1,0 +1,75 @@
+(* End-to-end miniature of the paper's pipeline: collect experiment data
+   on two benchmarks, process it (rank, normalize, remap labels), train a
+   multiclass SVM per level, and use the learned models to steer the JIT
+   on a benchmark the models never saw.
+
+   Run with: dune exec examples/train_and_predict.exe *)
+
+module Harness = Tessera_harness
+module Suites = Tessera_workloads.Suites
+module Engine = Tessera_jit.Engine
+module Values = Tessera_vm.Values
+module Plan = Tessera_opt.Plan
+
+let () =
+  let cfg = Harness.Expconfig.quick in
+
+  (* 1. Data collection on two training benchmarks. *)
+  let training =
+    List.filter
+      (fun (b : Suites.bench) ->
+        List.mem b.Suites.tag [ "co"; "mt" ])
+      Suites.training_set
+  in
+  Format.printf "collecting on: %s@."
+    (String.concat ", "
+       (List.map
+          (fun (b : Suites.bench) ->
+            b.Suites.profile.Tessera_workloads.Profile.name)
+          training));
+  let outcomes = List.map (Harness.Collection.collect_bench ~cfg) training in
+  List.iter
+    (fun (o : Harness.Collection.outcome) ->
+      Format.printf "  %s: %d records@." o.Harness.Collection.tag
+        (List.length o.Harness.Collection.merged.Tessera_collect.Archive.records))
+    outcomes;
+
+  (* 2. Train one model per level (rank -> normalize -> remap -> SVM). *)
+  let ms = Harness.Training.train_on_all ~name:"mini" outcomes in
+  List.iter
+    (fun (lm : Harness.Modelset.level_model) ->
+      Format.printf "  model[%s]: %d classes from %d instances (%.2fs)@."
+        (Plan.level_name lm.Harness.Modelset.level)
+        (Tessera_dataproc.Labels.size lm.Harness.Modelset.labels)
+        lm.Harness.Modelset.stats.Tessera_dataproc.Trainset.training_instances
+        lm.Harness.Modelset.train_seconds)
+    ms.Harness.Modelset.levels;
+
+  (* 3. Deploy on an unseen benchmark and compare with the baseline. *)
+  let unseen = Option.get (Suites.find "jess") in
+  let run ?model () =
+    let program = Tessera_workloads.Generate.program unseen.Suites.profile in
+    let callbacks =
+      match model with
+      | None -> Engine.no_callbacks
+      | Some ms ->
+          { Engine.no_callbacks with
+            Engine.choose_modifier = Some (Harness.Modelset.choose_modifier ms) }
+    in
+    let engine = Engine.create ~callbacks program in
+    for k = 0 to unseen.Suites.iteration_invocations - 1 do
+      ignore (Engine.invoke_entry engine [| Values.Int_v (Int64.of_int k) |])
+    done;
+    (Engine.app_cycles engine, Engine.total_compile_cycles engine)
+  in
+  let base_app, base_comp = run () in
+  let model_app, model_comp = run ~model:ms () in
+  Format.printf "@.start-up on unseen benchmark %s:@."
+    unseen.Suites.profile.Tessera_workloads.Profile.name;
+  Format.printf "  baseline: %Ld app cycles, %Ld compile cycles@." base_app
+    base_comp;
+  Format.printf "  learned : %Ld app cycles, %Ld compile cycles@." model_app
+    model_comp;
+  Format.printf "  relative performance %.3f, relative compile time %.3f@."
+    (Int64.to_float base_app /. Int64.to_float model_app)
+    (Int64.to_float model_comp /. Int64.to_float base_comp)

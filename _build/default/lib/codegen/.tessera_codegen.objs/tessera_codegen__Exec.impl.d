@@ -1,0 +1,1 @@
+lib/codegen/exec.ml: Array Int64 Isa Tessera_il Tessera_vm

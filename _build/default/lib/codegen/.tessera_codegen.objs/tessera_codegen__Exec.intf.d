@@ -1,0 +1,1 @@
+lib/codegen/exec.mli: Isa Tessera_il Tessera_vm

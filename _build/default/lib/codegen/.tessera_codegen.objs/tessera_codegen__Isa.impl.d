@@ -1,0 +1,1 @@
+lib/codegen/isa.ml: Array Format Tessera_il Tessera_vm

@@ -1,0 +1,1 @@
+lib/codegen/isa.mli: Format Tessera_il Tessera_vm

@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Array Isa List Tessera_il Tessera_vm

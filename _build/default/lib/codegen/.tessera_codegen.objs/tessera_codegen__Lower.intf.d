@@ -1,0 +1,1 @@
+lib/codegen/lower.mli: Isa Tessera_il Tessera_vm

@@ -1,0 +1,139 @@
+module Types = Tessera_il.Types
+module Opcode = Tessera_il.Opcode
+module Values = Tessera_vm.Values
+module Semantics = Tessera_vm.Semantics
+module Cost = Tessera_vm.Cost
+open Values
+open Isa
+
+type context = {
+  classes : Tessera_il.Classdef.t array;
+  charge : int -> unit;
+  invoke : int -> Values.t array -> Values.t;
+  fuel : int ref;
+}
+
+exception Out_of_fuel
+
+let run ctx (c : compiled) args =
+  let locals = Array.make (Array.length c.local_types) Void_v in
+  Array.iteri
+    (fun i ty ->
+      if i < c.nargs && i < Array.length args then
+        locals.(i) <- Semantics.store_coerce ty args.(i)
+      else locals.(i) <- default ty)
+    c.local_types;
+  (* The operand stack: IL trees are shallow, 64 slots is generous. *)
+  let stack = Array.make 64 Void_v in
+  let sp = ref 0 in
+  let push v =
+    if !sp >= Array.length stack then raise (Trap Stack_overflow);
+    stack.(!sp) <- v;
+    incr sp
+  in
+  let pop () =
+    decr sp;
+    stack.(!sp)
+  in
+  let pop_n n =
+    sp := !sp - n;
+    Array.sub stack !sp n
+  in
+  if c.sync_method then
+    ctx.charge
+      (2 * Cost.op_base (Opcode.Synchronization Opcode.Monitor_enter) Types.Object_);
+  ctx.charge 5 (* frame setup *);
+  let pc = ref 0 in
+  let result = ref None in
+  let npc = Array.length c.instrs in
+  while !result = None do
+    if !pc < 0 || !pc >= npc then
+      invalid_arg (c.method_name ^ ": pc out of code range");
+    decr ctx.fuel;
+    if !(ctx.fuel) <= 0 then raise Out_of_fuel;
+    let this_pc = !pc in
+    ctx.charge c.costs.(this_pc);
+    pc := this_pc + 1;
+    try
+      match c.instrs.(this_pc) with
+      | Const (ty, bits) ->
+          if Types.is_floating ty then push (Float_v (Int64.float_of_bits bits))
+          else push (Int_v bits)
+      | Load_local i -> push locals.(i)
+      | Store_local (i, ty) -> locals.(i) <- Semantics.store_coerce ty (pop ())
+      | Inc_local (i, d, ty) ->
+          locals.(i) <- Int_v (truncate ty (Int64.add (as_int locals.(i)) d))
+      | Field_load f -> push (Semantics.field_load (pop ()) f)
+      | Field_store f ->
+          let v = pop () in
+          let o = pop () in
+          Semantics.field_store o f v
+      | Elem_load ->
+          let i = pop () in
+          let a = pop () in
+          push (Semantics.elem_load a i)
+      | Elem_store ->
+          let v = pop () in
+          let i = pop () in
+          let a = pop () in
+          Semantics.elem_store a i v
+      | Binop (op, ty) ->
+          let b = pop () in
+          let a = pop () in
+          push (Semantics.binop op ty a b)
+      | Negate ty -> push (Semantics.neg ty (pop ()))
+      | Cast_to (k, ty) -> push (Semantics.cast k ty (pop ()))
+      | Checkcast cls -> push (Semantics.checkcast ~classes:ctx.classes cls (pop ()))
+      | New_obj cls -> push (Semantics.new_obj ~classes:ctx.classes cls)
+      | New_arr ty -> push (Semantics.new_array ~elem:ty (pop ()))
+      | New_multi ty ->
+          let d2 = pop () in
+          let d1 = pop () in
+          push (Semantics.new_multiarray ~elem:ty d1 d2)
+      | Instance_of cls ->
+          push (Semantics.instanceof ~classes:ctx.classes cls (pop ()))
+      | Monitor has_obj -> if has_obj then Semantics.monitor (pop ())
+      | Invoke (callee, argc, ret) ->
+          let actuals = pop_n argc in
+          let v = ctx.invoke callee actuals in
+          if not (Types.equal ret Types.Void) then push v
+      | Mixed_op (argc, ty) ->
+          let actuals = pop_n argc in
+          let v = Semantics.mixed ty actuals in
+          if not (Types.equal ty Types.Void) then push v
+      | Bounds_chk ->
+          let i = pop () in
+          let a = pop () in
+          Semantics.bounds_check a i
+      | Arr_copy ->
+          let l = pop () in
+          let d = pop () in
+          let s = pop () in
+          let copied = Semantics.array_copy s d l in
+          ctx.charge (copied * Cost.per_element_copy)
+      | Arr_cmp ->
+          let b = pop () in
+          let a = pop () in
+          let r, inspected = Semantics.array_cmp a b in
+          ctx.charge (inspected * Cost.per_element_copy);
+          push r
+      | Arr_len -> push (Semantics.array_length (pop ()))
+      | Pop -> ignore (pop ())
+      | Jump t -> pc := t
+      | Jump_if_false t -> if not (is_truthy (pop ())) then pc := t
+      | Ret has_value ->
+          if has_value then
+            result := Some (Semantics.store_coerce c.ret (pop ()))
+          else result := Some Void_v
+      | Throw_instr -> raise (Trap User_exception)
+    with Trap k ->
+      ctx.charge Cost.exception_unwind;
+      let blk = c.block_of_pc.(this_pc) in
+      let h = c.handler_of_block.(blk) in
+      if h < 0 then raise (Trap k)
+      else begin
+        sp := 0;
+        pc := c.block_start.(h)
+      end
+  done;
+  match !result with Some v -> v | None -> assert false

@@ -1,0 +1,20 @@
+(** Native-code executor — the VM's fast path.
+
+    Runs a compiled method on the simulated CPU, charging each
+    instruction's pre-computed static cost (plus dynamic components such
+    as array-copy lengths).  Value semantics are the shared
+    [Tessera_vm.Semantics] primitives, so results are bit-identical to the
+    interpreter's. *)
+
+type context = {
+  classes : Tessera_il.Classdef.t array;
+  charge : int -> unit;
+  invoke : int -> Tessera_vm.Values.t array -> Tessera_vm.Values.t;
+  fuel : int ref;
+}
+
+exception Out_of_fuel
+
+val run : context -> Isa.compiled -> Tessera_vm.Values.t array -> Tessera_vm.Values.t
+(** Execute one invocation of a compiled method.  Raises
+    [Tessera_vm.Values.Trap] if an exception escapes. *)

@@ -1,0 +1,90 @@
+module Types = Tessera_il.Types
+module Opcode = Tessera_il.Opcode
+
+type instr =
+  | Const of Types.t * int64
+  | Load_local of int
+  | Store_local of int * Types.t
+  | Inc_local of int * int64 * Types.t
+  | Field_load of int
+  | Field_store of int
+  | Elem_load
+  | Elem_store
+  | Binop of Opcode.t * Types.t
+  | Negate of Types.t
+  | Cast_to of Opcode.cast_kind * Types.t
+  | Checkcast of int
+  | New_obj of int
+  | New_arr of Types.t
+  | New_multi of Types.t
+  | Instance_of of int
+  | Monitor of bool
+  | Invoke of int * int * Types.t
+  | Mixed_op of int * Types.t
+  | Bounds_chk
+  | Arr_copy
+  | Arr_cmp
+  | Arr_len
+  | Pop
+  | Jump of int
+  | Jump_if_false of int
+  | Ret of bool
+  | Throw_instr
+
+type compiled = {
+  method_name : string;
+  instrs : instr array;
+  costs : int array;
+  block_of_pc : int array;
+  block_start : int array;
+  handler_of_block : int array;
+  local_types : Types.t array;
+  ret : Types.t;
+  nargs : int;
+  sync_method : bool;
+  quality : Tessera_vm.Cost.codegen_quality;
+  code_size : int;
+}
+
+let pp_instr fmt = function
+  | Const (ty, v) -> Format.fprintf fmt "const.%a %Ld" Types.pp ty v
+  | Load_local i -> Format.fprintf fmt "ldloc %d" i
+  | Store_local (i, ty) -> Format.fprintf fmt "stloc.%a %d" Types.pp ty i
+  | Inc_local (i, d, _) -> Format.fprintf fmt "incloc %d, %Ld" i d
+  | Field_load i -> Format.fprintf fmt "ldfld %d" i
+  | Field_store i -> Format.fprintf fmt "stfld %d" i
+  | Elem_load -> Format.fprintf fmt "ldelem"
+  | Elem_store -> Format.fprintf fmt "stelem"
+  | Binop (op, ty) -> Format.fprintf fmt "%s.%a" (Opcode.name op) Types.pp ty
+  | Negate ty -> Format.fprintf fmt "neg.%a" Types.pp ty
+  | Cast_to (k, _) -> Format.fprintf fmt "%s" (Opcode.name (Opcode.Cast k))
+  | Checkcast c -> Format.fprintf fmt "checkcast %d" c
+  | New_obj c -> Format.fprintf fmt "new %d" c
+  | New_arr ty -> Format.fprintf fmt "newarr.%a" Types.pp ty
+  | New_multi ty -> Format.fprintf fmt "newmulti.%a" Types.pp ty
+  | Instance_of c -> Format.fprintf fmt "instanceof %d" c
+  | Monitor b -> Format.fprintf fmt "monitor%s" (if b then "" else ".none")
+  | Invoke (m, n, ty) -> Format.fprintf fmt "invoke m%d/%d -> %a" m n Types.pp ty
+  | Mixed_op (n, ty) -> Format.fprintf fmt "mixed/%d -> %a" n Types.pp ty
+  | Bounds_chk -> Format.fprintf fmt "boundschk"
+  | Arr_copy -> Format.fprintf fmt "arrcopy"
+  | Arr_cmp -> Format.fprintf fmt "arrcmp"
+  | Arr_len -> Format.fprintf fmt "arrlen"
+  | Pop -> Format.fprintf fmt "pop"
+  | Jump t -> Format.fprintf fmt "jmp %d" t
+  | Jump_if_false t -> Format.fprintf fmt "jz %d" t
+  | Ret v -> Format.fprintf fmt "ret%s" (if v then ".v" else "")
+  | Throw_instr -> Format.fprintf fmt "throw"
+
+let pp fmt c =
+  Format.fprintf fmt "@[<v 2>compiled %S (%d instrs, quality %s):"
+    c.method_name c.code_size
+    (match c.quality with
+    | Tessera_vm.Cost.Q_base -> "base"
+    | Tessera_vm.Cost.Q_regalloc -> "regalloc"
+    | Tessera_vm.Cost.Q_full -> "full");
+  Array.iteri
+    (fun pc i ->
+      Format.fprintf fmt "@,%4d: %a  ; %d cyc" pc pp_instr i c.costs.(pc))
+    c.instrs;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,188 @@
+module Types = Tessera_il.Types
+module Opcode = Tessera_il.Opcode
+module Node = Tessera_il.Node
+module Block = Tessera_il.Block
+module Meth = Tessera_il.Meth
+module Cost = Tessera_vm.Cost
+open Isa
+
+module Target = Tessera_vm.Target
+
+type emitter = {
+  mutable instrs : (instr * int * int) list;  (* instr, cost, block id; reversed *)
+  mutable pc : int;
+  mutable patches : (int * int) list;  (* instr index -> target block *)
+  quality : Cost.codegen_quality;
+  target : Target.t;
+}
+
+let emit e block instr cost =
+  e.instrs <- (instr, cost, block) :: e.instrs;
+  e.pc <- e.pc + 1
+
+let emit_patched e block instr =
+  (* Branch target patched later; the placeholder target is the block id. *)
+  e.patches <- (e.pc, match instr with Jump t | Jump_if_false t -> t | _ -> -1) :: e.patches;
+  emit e block instr 1
+
+let node_cost e (n : Node.t) =
+  max 0 (Target.op_cost e.target n.op n.ty - Target.flag_discount e.target n)
+
+let rec lower_value e (m : Meth.t) bid (n : Node.t) =
+  let c = node_cost e n in
+  match n.op with
+  | Opcode.Loadconst -> emit e bid (Const (n.ty, n.const)) c
+  | Opcode.Load -> (
+      match Array.length n.args with
+      | 0 -> emit e bid (Load_local n.sym) (e.target.Target.local_access ~codegen_quality:e.quality)
+      | 1 ->
+          lower_value e m bid n.args.(0);
+          emit e bid (Field_load n.sym) (c + 2)
+      | _ ->
+          lower_value e m bid n.args.(0);
+          lower_value e m bid n.args.(1);
+          emit e bid Elem_load (c + 4))
+  | Opcode.Store -> (
+      match Array.length n.args with
+      | 1 ->
+          lower_value e m bid n.args.(0);
+          emit e bid
+            (Store_local (n.sym, m.symbols.(n.sym).Tessera_il.Symbol.ty))
+            (e.target.Target.local_access ~codegen_quality:e.quality)
+      | 2 ->
+          lower_value e m bid n.args.(0);
+          lower_value e m bid n.args.(1);
+          emit e bid (Field_store n.sym) (c + 2)
+      | _ ->
+          lower_value e m bid n.args.(0);
+          lower_value e m bid n.args.(1);
+          lower_value e m bid n.args.(2);
+          emit e bid Elem_store (c + 4))
+  | Opcode.Inc ->
+      emit e bid
+        (Inc_local (n.sym, n.const, m.symbols.(n.sym).Tessera_il.Symbol.ty))
+        (e.target.Target.local_access ~codegen_quality:e.quality)
+  | Opcode.Neg ->
+      lower_value e m bid n.args.(0);
+      emit e bid (Negate n.ty) c
+  | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.Div | Opcode.Rem | Opcode.Or
+  | Opcode.And | Opcode.Xor | Opcode.Shift _ | Opcode.Compare _ ->
+      lower_value e m bid n.args.(0);
+      lower_value e m bid n.args.(1);
+      emit e bid (Binop (n.op, n.ty)) c
+  | Opcode.Cast Opcode.C_check ->
+      lower_value e m bid n.args.(0);
+      emit e bid (Checkcast n.sym) c
+  | Opcode.Cast k ->
+      lower_value e m bid n.args.(0);
+      emit e bid (Cast_to (k, n.ty)) c
+  | Opcode.New -> emit e bid (New_obj n.sym) c
+  | Opcode.Newarray ->
+      lower_value e m bid n.args.(0);
+      emit e bid (New_arr (Types.of_index n.sym)) c
+  | Opcode.Newmultiarray ->
+      lower_value e m bid n.args.(0);
+      lower_value e m bid n.args.(1);
+      emit e bid (New_multi (Types.of_index n.sym)) c
+  | Opcode.Instanceof ->
+      lower_value e m bid n.args.(0);
+      emit e bid (Instance_of n.sym) c
+  | Opcode.Synchronization _ ->
+      let has_obj = Array.length n.args > 0 in
+      if has_obj then lower_value e m bid n.args.(0);
+      emit e bid (Monitor has_obj) c
+  | Opcode.Throw_op ->
+      Array.iter (fun k -> lower_stmt e m bid k) n.args;
+      emit e bid (Mixed_op (0, Types.Void)) c
+  | Opcode.Branch_op -> lower_value e m bid n.args.(0)
+  | Opcode.Call ->
+      Array.iter (fun k -> lower_value e m bid k) n.args;
+      emit e bid (Invoke (n.sym, Array.length n.args, n.ty)) e.target.Target.call_overhead
+  | Opcode.Arrayop Opcode.Bounds_check ->
+      lower_value e m bid n.args.(0);
+      lower_value e m bid n.args.(1);
+      emit e bid Bounds_chk c
+  | Opcode.Arrayop Opcode.Array_copy ->
+      lower_value e m bid n.args.(0);
+      lower_value e m bid n.args.(1);
+      lower_value e m bid n.args.(2);
+      emit e bid Arr_copy c
+  | Opcode.Arrayop Opcode.Array_cmp ->
+      lower_value e m bid n.args.(0);
+      lower_value e m bid n.args.(1);
+      emit e bid Arr_cmp c
+  | Opcode.Arrayop Opcode.Array_length ->
+      lower_value e m bid n.args.(0);
+      emit e bid Arr_len c
+  | Opcode.Mixedop ->
+      Array.iter (fun k -> lower_value e m bid k) n.args;
+      emit e bid (Mixed_op (Array.length n.args, n.ty)) c
+
+and lower_stmt e m bid (n : Node.t) =
+  lower_value e m bid n;
+  if not (Types.equal n.ty Types.Void) then emit e bid Pop 0
+
+let compile ?(quality = Cost.Q_base) ?(target = Target.zircon) (m : Meth.t) =
+  let e = { instrs = []; pc = 0; patches = []; quality; target } in
+  let nblocks = Array.length m.blocks in
+  let block_start = Array.make nblocks (-1) in
+  Array.iteri
+    (fun bi (b : Block.t) ->
+      block_start.(bi) <- e.pc;
+      List.iter (fun s -> lower_stmt e m bi s) b.Block.stmts;
+      match b.Block.term with
+      | Block.Goto t ->
+          e.patches <- (e.pc, t) :: e.patches;
+          emit e bi (Jump t) (if t = bi + 1 then 0 else 1)
+      | Block.If { cond; if_true; if_false } ->
+          lower_value e m bi cond;
+          emit_patched e bi (Jump_if_false if_false);
+          emit_patched e bi (Jump if_true)
+      | Block.Return None -> emit e bi (Ret false) 2
+      | Block.Return (Some v) ->
+          lower_value e m bi v;
+          emit e bi (Ret true) 2
+      | Block.Throw v ->
+          lower_stmt e m bi v;
+          emit e bi Throw_instr (Target.op_cost e.target Opcode.Throw_op Types.Void))
+    m.blocks;
+  let n = e.pc in
+  let instrs = Array.make n Pop in
+  let costs = Array.make n 0 in
+  let block_of_pc = Array.make n 0 in
+  List.iteri
+    (fun i (instr, cost, blk) ->
+      let pc = n - 1 - i in
+      instrs.(pc) <- instr;
+      costs.(pc) <- cost;
+      block_of_pc.(pc) <- blk)
+    e.instrs;
+  List.iter
+    (fun (pc, target_block) ->
+      match instrs.(pc) with
+      | Jump _ -> instrs.(pc) <- Jump block_start.(target_block)
+      | Jump_if_false _ -> instrs.(pc) <- Jump_if_false block_start.(target_block)
+      | _ -> ())
+    e.patches;
+  let handler_of_block =
+    Array.map
+      (fun (b : Block.t) -> match b.Block.handler with Some h -> h | None -> -1)
+      m.blocks
+  in
+  {
+    method_name = m.name;
+    instrs;
+    costs;
+    block_of_pc;
+    block_start;
+    handler_of_block;
+    local_types = Array.map (fun (s : Tessera_il.Symbol.t) -> s.ty) m.symbols;
+    ret = m.ret;
+    nargs = Meth.arg_count m;
+    sync_method = m.attrs.Meth.synchronized;
+    quality;
+    code_size = n;
+  }
+
+let static_cycle_estimate (c : compiled) =
+  Array.fold_left ( + ) 0 c.costs

@@ -1,0 +1,21 @@
+(** IL-tree to native-code lowering.
+
+    Lowering is purely syntax-directed: one IL node becomes one
+    instruction (plus its operands), so every node the optimizer removes
+    is an instruction — and its cycles — removed from the compiled
+    method.  Optimization flags on nodes become cycle discounts on the
+    corresponding instructions; the code generator itself never
+    re-derives facts the optimizer proved. *)
+
+val compile :
+  ?quality:Tessera_vm.Cost.codegen_quality ->
+  ?target:Tessera_vm.Target.t ->
+  Tessera_il.Meth.t ->
+  Isa.compiled
+(** Lower a method for a back-end target (default {!Tessera_vm.Target.zircon}).
+    Raises [Invalid_argument] on IR the validator would reject (unknown
+    arities). *)
+
+val static_cycle_estimate : Isa.compiled -> int
+(** Sum of static per-instruction costs — a crude code-quality metric used
+    by diagnostics and tests (dynamic cost depends on control flow). *)

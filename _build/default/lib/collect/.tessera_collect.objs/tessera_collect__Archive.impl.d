@@ -1,0 +1,1 @@
+lib/collect/archive.ml: Buffer Dictionary Fun Int64 List Printf Record String Tessera_util

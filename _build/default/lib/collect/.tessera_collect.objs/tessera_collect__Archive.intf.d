@@ -1,0 +1,1 @@
+lib/collect/archive.mli: Dictionary Record

@@ -1,0 +1,1 @@
+lib/collect/collector.ml: Archive Array Dictionary Int64 List Rank_value Record Tessera_il Tessera_jit Tessera_modifiers Tessera_opt Tessera_util Tessera_vm

@@ -1,0 +1,1 @@
+lib/collect/collector.mli: Archive Tessera_il Tessera_modifiers Tessera_opt Tessera_vm

@@ -1,0 +1,1 @@
+lib/collect/dictionary.ml: Hashtbl List Tessera_util

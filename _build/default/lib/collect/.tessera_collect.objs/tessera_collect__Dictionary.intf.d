@@ -1,0 +1,1 @@
+lib/collect/dictionary.mli: Buffer Tessera_util

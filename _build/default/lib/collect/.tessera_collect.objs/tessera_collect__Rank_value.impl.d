@@ -1,0 +1,1 @@
+lib/collect/rank_value.ml: Int64 Record Tessera_jit

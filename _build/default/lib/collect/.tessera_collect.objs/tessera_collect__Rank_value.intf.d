@@ -1,0 +1,1 @@
+lib/collect/rank_value.mli: Record

@@ -1,0 +1,1 @@
+lib/collect/record.ml: Array Format Int64 Tessera_features Tessera_modifiers Tessera_opt Tessera_util

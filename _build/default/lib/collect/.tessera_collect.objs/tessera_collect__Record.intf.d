@@ -1,0 +1,1 @@
+lib/collect/record.mli: Buffer Format Tessera_features Tessera_modifiers Tessera_opt Tessera_util

@@ -1,0 +1,86 @@
+module Codec = Tessera_util.Codec
+module Crc32 = Tessera_util.Crc32
+
+type t = {
+  benchmark : string;
+  dictionary : Dictionary.t;
+  records : Record.t list;
+}
+
+exception Corrupt of string
+
+let magic = "TSRA"
+
+let version = 1
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Codec.write_u8 buf version;
+  Codec.write_string buf t.benchmark;
+  Dictionary.encode t.dictionary buf;
+  Codec.write_varint buf (List.length t.records);
+  List.iter (fun r -> Record.encode r buf) t.records;
+  let body = Buffer.contents buf in
+  let crc = Crc32.string body in
+  let out = Buffer.create (String.length body + 4) in
+  Buffer.add_string out body;
+  Codec.write_i64 out (Int64.of_int32 crc);
+  Buffer.contents out
+
+let of_string s =
+  if String.length s < 12 then raise (Corrupt "archive too short");
+  let body = String.sub s 0 (String.length s - 8) in
+  let tail = Codec.reader_of_string (String.sub s (String.length s - 8) 8) in
+  let stored = Codec.read_i64 ~what:"crc" tail in
+  let actual = Int64.of_int32 (Crc32.string body) in
+  if not (Int64.equal stored actual) then
+    raise (Corrupt (Printf.sprintf "crc mismatch: stored %Lx actual %Lx" stored actual));
+  if String.length body < 4 || not (String.equal (String.sub body 0 4) magic) then
+    raise (Corrupt "bad magic");
+  let rd = Codec.reader_of_string body in
+  for _ = 1 to 4 do
+    ignore (Codec.read_u8 rd) (* skip magic *)
+  done;
+  let v = Codec.read_u8 ~what:"version" rd in
+  if v <> version then raise (Corrupt (Printf.sprintf "unsupported version %d" v));
+  try
+    let benchmark = Codec.read_string ~what:"benchmark" rd in
+    let dictionary = Dictionary.decode rd in
+    let n = Codec.read_varint ~what:"record count" rd in
+    let records = List.init n (fun _ -> Record.decode rd) in
+    { benchmark; dictionary; records }
+  with Codec.Truncated what -> raise (Corrupt ("truncated: " ^ what))
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      of_string s)
+
+let merge archives =
+  let dictionary = Dictionary.create () in
+  let records = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun (r : Record.t) ->
+          let name = Dictionary.find a.dictionary r.Record.sig_id in
+          let sig_id = Dictionary.intern dictionary name in
+          records := { r with Record.sig_id } :: !records)
+        a.records)
+    archives;
+  {
+    benchmark = String.concat "+" (List.map (fun a -> a.benchmark) archives);
+    dictionary;
+    records = List.rev !records;
+  }

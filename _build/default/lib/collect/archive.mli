@@ -1,0 +1,35 @@
+(** The compact binary archive format (Section 4.2).
+
+    Layout:
+    {v
+    magic "TSRA" | version u8 | benchmark-name string
+    dictionary (varint count, strings)
+    record count varint | records
+    crc32 (le u32 over everything before it)
+    v}
+
+    Data gathered in collection mode lives in memory and is only
+    transferred to an archive after the run finishes, so no I/O perturbs
+    the measured execution. *)
+
+type t = {
+  benchmark : string;
+  dictionary : Dictionary.t;
+  records : Record.t list;
+}
+
+exception Corrupt of string
+
+val to_string : t -> string
+val of_string : string -> t
+(** Raises {!Corrupt} on bad magic, version, truncation, or CRC
+    mismatch. *)
+
+val save : t -> string -> unit
+(** [save a path] writes the archive to a file. *)
+
+val load : string -> t
+
+val merge : t list -> t
+(** Concatenate archives (re-interning dictionaries); the merged
+    benchmark name joins the inputs with ["+"]. *)

@@ -1,0 +1,203 @@
+module Plan = Tessera_opt.Plan
+module Values = Tessera_vm.Values
+module Program = Tessera_il.Program
+module Meth = Tessera_il.Meth
+module Modifier = Tessera_modifiers.Modifier
+module Queue_ctrl = Tessera_modifiers.Queue_ctrl
+module Engine = Tessera_jit.Engine
+module Compiler = Tessera_jit.Compiler
+module Prng = Tessera_util.Prng
+
+type search =
+  | Queue of Queue_ctrl.strategy
+  | Guided of Tessera_modifiers.Guided.params
+
+type config = {
+  levels : Plan.level list;
+  search : search;
+  uses_per_modifier : int;
+  seed : int64;
+  target_cycles_between_compiles : int;
+  min_threshold : int;
+  max_threshold : int;
+  max_entry_invocations : int;
+  target : Tessera_vm.Target.t;
+}
+
+let default_config =
+  {
+    levels = [ Plan.Cold; Plan.Warm; Plan.Hot ];
+    search = Queue (Queue_ctrl.Progressive { l = 2000 });
+    uses_per_modifier = 50;
+    seed = 0xC011EC7L;
+    (* The paper targets 10 ms of accumulated running time between
+       compilations with thresholds in [50, 50000]; invocation volumes in
+       this simulation are ~100x smaller, so the target scales down to
+       0.25 ms to reach an equivalent modifier-exploration rate. *)
+    target_cycles_between_compiles = Tessera_vm.Cost.cycles_per_ms / 4;
+    min_threshold = 10;
+    max_threshold = 2_000;
+    max_entry_invocations = 400;
+    target = Tessera_vm.Target.zircon;
+  }
+
+type stats = {
+  entry_invocations : int;
+  records : int;
+  discarded_samples : int;
+  compilations : int;
+}
+
+type meth_collect = {
+  mutable open_record : Record.t option;
+  mutable version_invocations : int;
+  mutable threshold : int option;
+  mutable first_samples : int64 list;  (** first 8 valid sample cycles *)
+}
+
+let run ?(config = default_config) ~program ~benchmark ~entry_args () =
+  let dictionary = Dictionary.create () in
+  let store = ref [] in
+  let discarded = ref 0 in
+  let rng = Prng.create config.seed in
+  (* one explorer per collected level *)
+  let explorers =
+    List.map
+      (fun level ->
+        let seed = Prng.next_int64 rng in
+        match config.search with
+        | Queue strategy ->
+            ( level,
+              `Queue
+                (Queue_ctrl.create ~uses_per_modifier:config.uses_per_modifier
+                   ~seed strategy) )
+        | Guided params ->
+            (level, `Guided (Tessera_modifiers.Guided.create ~params ~seed ())))
+      config.levels
+  in
+  let per_meth =
+    Array.init (Program.method_count program) (fun _ ->
+        {
+          open_record = None;
+          version_invocations = 0;
+          threshold = None;
+          first_samples = [];
+        })
+  in
+  let close_record ~meth_id mc =
+    match mc.open_record with
+    | Some r ->
+        store := r :: !store;
+        mc.open_record <- None;
+        (* guided search learns from the Eq.-2 value of the finished
+           experiment *)
+        if r.Record.invocations > 0 then
+          List.iter
+            (fun (level, e) ->
+              match e with
+              | `Guided g when level = r.Record.level ->
+                  Tessera_modifiers.Guided.feedback g ~method_key:meth_id
+                    r.Record.modifier (Rank_value.value r)
+              | _ -> ())
+            explorers
+    | None -> ()
+  in
+  let choose_modifier _engine ~meth_id ~level =
+    match List.assoc_opt level explorers with
+    | Some (`Queue q) -> Queue_ctrl.next q ~method_key:meth_id
+    | Some (`Guided g) -> Tessera_modifiers.Guided.next g ~method_key:meth_id
+    | None -> None (* levels outside the collection set are not explored *)
+  in
+  let on_compiled _engine ~meth_id (comp : Compiler.compilation) =
+    let mc = per_meth.(meth_id) in
+    close_record ~meth_id mc;
+    let name = (Program.meth program meth_id).Meth.name in
+    mc.open_record <-
+      Some
+        (Record.make
+           ~sig_id:(Dictionary.intern dictionary name)
+           ~features:comp.Compiler.features ~level:comp.Compiler.level
+           ~modifier:comp.Compiler.modifier
+           ~compile_cycles:comp.Compiler.compile_cycles);
+    mc.version_invocations <- 0
+  in
+  let on_sample _engine ~meth_id ~cycles ~valid =
+    let mc = per_meth.(meth_id) in
+    match mc.open_record with
+    | None -> () (* still interpreted: no record to charge *)
+    | Some r ->
+        mc.open_record <- Some (Record.add_sample r ~cycles ~valid);
+        if not valid then incr discarded
+        else begin
+          mc.version_invocations <- mc.version_invocations + 1;
+          if mc.threshold = None then begin
+            mc.first_samples <- cycles :: mc.first_samples;
+            if List.length mc.first_samples >= 8 then begin
+              let total =
+                List.fold_left Int64.add 0L mc.first_samples
+              in
+              let avg =
+                max 1 (Int64.to_int (Int64.div total 8L))
+              in
+              let t = config.target_cycles_between_compiles / avg in
+              mc.threshold <-
+                Some (max config.min_threshold (min config.max_threshold t))
+            end
+          end
+        end
+  in
+  let post_invoke engine ~meth_id =
+    let mc = per_meth.(meth_id) in
+    match (mc.open_record, mc.threshold) with
+    | Some r, Some threshold when mc.version_invocations >= threshold ->
+        let st = Engine.state engine meth_id in
+        if st.Engine.pending = None && not st.Engine.no_more then
+          Engine.request_compile engine ~meth_id ~level:r.Record.level ()
+    | _ -> ()
+  in
+  let engine =
+    Engine.create
+      ~config:
+        {
+          Engine.default_config with
+          Engine.instrument = true;
+          (* dwell longer at each level so cold and warm plans are
+             explored too, not just hot *)
+          trigger_scale = 8.0;
+          target = config.target;
+          clock_seed = Prng.next_int64 rng;
+        }
+      ~callbacks:
+        {
+          Engine.choose_modifier = Some choose_modifier;
+          on_compiled = Some on_compiled;
+          on_sample = Some on_sample;
+          post_invoke = Some post_invoke;
+        }
+      program
+  in
+  let invocations = ref 0 in
+  let exhausted () =
+    List.for_all
+      (fun (_, e) ->
+        match e with
+        | `Queue q -> Queue_ctrl.exhausted q
+        | `Guided _ -> false (* bounded per method, not globally *))
+      explorers
+  in
+  while !invocations < config.max_entry_invocations && not (exhausted ()) do
+    ignore (Engine.invoke_entry engine (entry_args !invocations));
+    incr invocations
+  done;
+  Array.iteri (fun meth_id mc -> close_record ~meth_id mc) per_meth;
+  let records = List.rev !store in
+  (* records with no valid invocation cannot be ranked (Eq. 2 divides by
+     I); they correspond to the paper's discarded crashed/empty sessions *)
+  let records = List.filter (fun (r : Record.t) -> r.Record.invocations > 0) records in
+  ( { Archive.benchmark; dictionary; records },
+    {
+      entry_invocations = !invocations;
+      records = List.length records;
+      discarded_samples = !discarded;
+      compilations = Engine.compile_count engine;
+    } )

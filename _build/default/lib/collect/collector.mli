@@ -1,0 +1,57 @@
+(** Data collection (Section 4): runs a benchmark under an instrumented
+    engine, exploring compilation-plan modifiers per method and producing
+    a binary archive of experiment records.
+
+    The flow mirrors Figure 2 of the paper: the VM's adaptive heuristics
+    still decide {e when} to compile and at {e which} level; the strategy
+    control draws the next pre-computed modifier for that level from the
+    queue and the JIT compiles with it.  Instrumented enter/exit samples
+    (with TSC-drift discard) accumulate into the record of the method's
+    current compiled version.  After a computed per-method invocation
+    threshold — targeting roughly 10 virtual milliseconds of accumulated
+    running time between compilations, clamped to [50, 50000] — the
+    collector requests a recompilation at the method's current level,
+    moving exploration to the next modifier.  A method whose queue is
+    exhausted is never recompiled again; when every queue is exhausted the
+    collection terminates gracefully. *)
+
+module Plan = Tessera_opt.Plan
+module Values = Tessera_vm.Values
+module Program = Tessera_il.Program
+
+(** How the modifier space is explored. *)
+type search =
+  | Queue of Tessera_modifiers.Queue_ctrl.strategy
+      (** the paper's pre-computed queues (randomized / Eq.-1 progressive) *)
+  | Guided of Tessera_modifiers.Guided.params
+      (** the paper's future work: per-method hill climbing on the Eq.-2
+          ranking value observed during collection *)
+
+type config = {
+  levels : Plan.level list;  (** levels explored (paper: cold, warm, hot) *)
+  search : search;
+  uses_per_modifier : int;
+  seed : int64;
+  target_cycles_between_compiles : int;  (** paper: 10 ms; scaled here *)
+  min_threshold : int;
+  max_threshold : int;
+  max_entry_invocations : int;  (** run budget *)
+  target : Tessera_vm.Target.t;  (** back end the data is collected on *)
+}
+
+val default_config : config
+
+type stats = {
+  entry_invocations : int;
+  records : int;
+  discarded_samples : int;
+  compilations : int;
+}
+
+val run :
+  ?config:config ->
+  program:Program.t ->
+  benchmark:string ->
+  entry_args:(int -> Values.t array) ->
+  unit ->
+  Archive.t * stats

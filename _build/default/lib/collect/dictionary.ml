@@ -1,0 +1,35 @@
+module Codec = Tessera_util.Codec
+
+type t = { by_name : (string, int) Hashtbl.t; mutable names : string list; mutable n : int }
+
+let create () = { by_name = Hashtbl.create 64; names = []; n = 0 }
+
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+      let id = t.n in
+      Hashtbl.add t.by_name name id;
+      t.names <- name :: t.names;
+      t.n <- id + 1;
+      id
+
+let find t id =
+  if id < 0 || id >= t.n then raise Not_found;
+  List.nth t.names (t.n - 1 - id)
+
+let size t = t.n
+
+let encode t buf =
+  Codec.write_varint buf t.n;
+  List.iter (fun name -> Codec.write_string buf name) (List.rev t.names)
+
+let decode r =
+  let n = Codec.read_varint ~what:"dictionary size" r in
+  let t = create () in
+  for _ = 1 to n do
+    ignore (intern t (Codec.read_string ~what:"dictionary entry" r))
+  done;
+  t
+
+let equal a b = a.n = b.n && a.names = b.names

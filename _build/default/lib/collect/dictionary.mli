@@ -1,0 +1,24 @@
+(** Dictionary of method signatures.
+
+    "The creation of a dictionary of method signatures is key for a
+    compact representation of the data collected" (Section 4.2): records
+    store a small integer id; the dictionary maps it back to the full
+    signature string once, in the archive header. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** Id of a signature, allocating on first sight.  Ids are dense,
+    starting at 0, in interning order. *)
+
+val find : t -> int -> string
+(** Raises [Not_found] for unknown ids. *)
+
+val size : t -> int
+
+val encode : t -> Buffer.t -> unit
+val decode : Tessera_util.Codec.reader -> t
+
+val equal : t -> t -> bool

@@ -1,0 +1,15 @@
+module Triggers = Tessera_jit.Triggers
+
+let amortization = 2.5
+
+let value (r : Record.t) =
+  if r.Record.invocations <= 0 then
+    invalid_arg "Rank_value.value: record with no invocations";
+  let avg_run =
+    Int64.to_float r.Record.running_cycles /. float_of_int r.Record.invocations
+  in
+  let cls = Triggers.loop_class_of_features r.Record.features in
+  let t_h =
+    float_of_int (Triggers.trigger r.Record.level cls) *. amortization
+  in
+  avg_run +. (float_of_int r.Record.compile_cycles /. t_h)

@@ -1,0 +1,19 @@
+(** The ranking function of Eq. (2):
+
+    {v V_i = R_i / I_i + C_i / T_h v}
+
+    — the average cycles of one invocation of the method under this
+    compilation plus the compilation cost amortized over the level's
+    trigger period.  Smaller is better.  It lives here (rather than in
+    the data-processing library) because the guided search uses it online
+    during collection; the offline ranking pipeline delegates to it. *)
+
+val amortization : float
+(** Compiled code outlives a single trigger period: the trigger values of
+    this simulation's adaptive controller are much smaller than
+    Testarossa's production counts, so the compilation-cost term is
+    amortized over several periods to keep the cost/quality trade at the
+    paper's operating point. *)
+
+val value : Record.t -> float
+(** Raises [Invalid_argument] on records with no valid invocations. *)

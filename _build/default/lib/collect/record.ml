@@ -1,0 +1,87 @@
+module Features = Tessera_features.Features
+module Modifier = Tessera_modifiers.Modifier
+module Plan = Tessera_opt.Plan
+module Codec = Tessera_util.Codec
+
+type t = {
+  sig_id : int;
+  features : Features.t;
+  level : Plan.level;
+  modifier : Modifier.t;
+  compile_cycles : int;
+  invocations : int;
+  running_cycles : int64;
+  discarded_samples : int;
+}
+
+let make ~sig_id ~features ~level ~modifier ~compile_cycles =
+  {
+    sig_id;
+    features;
+    level;
+    modifier;
+    compile_cycles;
+    invocations = 0;
+    running_cycles = 0L;
+    discarded_samples = 0;
+  }
+
+let add_sample t ~cycles ~valid =
+  if valid then
+    {
+      t with
+      invocations = t.invocations + 1;
+      running_cycles = Int64.add t.running_cycles cycles;
+    }
+  else { t with discarded_samples = t.discarded_samples + 1 }
+
+let encode t buf =
+  Codec.write_varint buf t.sig_id;
+  Codec.write_varint buf (Plan.level_index t.level);
+  Codec.write_i64 buf (Modifier.to_bits t.modifier);
+  Codec.write_varint buf t.compile_cycles;
+  Codec.write_varint buf t.invocations;
+  Codec.write_i64 buf t.running_cycles;
+  Codec.write_varint buf t.discarded_samples;
+  (* dense feature vector; the values are small, varints keep it compact *)
+  Array.iter (fun v -> Codec.write_varint buf v) (Features.to_array t.features)
+
+let decode r =
+  let sig_id = Codec.read_varint ~what:"sig_id" r in
+  let level = Plan.level_of_index (Codec.read_varint ~what:"level" r) in
+  let modifier = Modifier.of_bits (Codec.read_i64 ~what:"modifier" r) in
+  let compile_cycles = Codec.read_varint ~what:"compile_cycles" r in
+  let invocations = Codec.read_varint ~what:"invocations" r in
+  let running_cycles = Codec.read_i64 ~what:"running_cycles" r in
+  let discarded_samples = Codec.read_varint ~what:"discarded" r in
+  let features =
+    Features.of_array
+      (Array.init Features.dim (fun _ -> Codec.read_varint ~what:"feature" r))
+  in
+  {
+    sig_id;
+    features;
+    level;
+    modifier;
+    compile_cycles;
+    invocations;
+    running_cycles;
+    discarded_samples;
+  }
+
+let equal a b =
+  a.sig_id = b.sig_id
+  && Features.equal a.features b.features
+  && a.level = b.level
+  && Modifier.equal a.modifier b.modifier
+  && a.compile_cycles = b.compile_cycles
+  && a.invocations = b.invocations
+  && Int64.equal a.running_cycles b.running_cycles
+  && a.discarded_samples = b.discarded_samples
+
+let pp fmt t =
+  Format.fprintf fmt
+    "{sig=%d level=%s mod=%s C=%d I=%d R=%Ld discarded=%d}" t.sig_id
+    (Plan.level_name t.level)
+    (Modifier.to_string t.modifier)
+    t.compile_cycles t.invocations t.running_cycles t.discarded_samples

@@ -1,0 +1,36 @@
+(** One experiment record: the outcome of running one method, compiled at
+    one level with one plan modifier, for some number of invocations.
+    These are the data instances from which models are trained:
+    Eq. (2) ranks a record by [R/I + C/T_h]. *)
+
+module Features = Tessera_features.Features
+module Modifier = Tessera_modifiers.Modifier
+module Plan = Tessera_opt.Plan
+
+type t = {
+  sig_id : int;  (** method signature id in the archive dictionary *)
+  features : Features.t;  (** extracted before optimization *)
+  level : Plan.level;
+  modifier : Modifier.t;
+  compile_cycles : int;  (** C_i *)
+  invocations : int;  (** I_i — valid instrumented invocations *)
+  running_cycles : int64;  (** R_i — accumulated over valid samples *)
+  discarded_samples : int;  (** enter/exit pairs crossing a migration *)
+}
+
+val make :
+  sig_id:int ->
+  features:Features.t ->
+  level:Plan.level ->
+  modifier:Modifier.t ->
+  compile_cycles:int ->
+  t
+(** Fresh record with zero samples. *)
+
+val add_sample : t -> cycles:int64 -> valid:bool -> t
+
+val encode : t -> Buffer.t -> unit
+val decode : Tessera_util.Codec.reader -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

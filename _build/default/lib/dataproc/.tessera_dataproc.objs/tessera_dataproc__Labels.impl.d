@@ -1,0 +1,1 @@
+lib/dataproc/labels.ml: Fun Hashtbl List Printf String Tessera_modifiers

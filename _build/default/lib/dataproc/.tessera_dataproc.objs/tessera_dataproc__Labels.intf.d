@@ -1,0 +1,1 @@
+lib/dataproc/labels.mli: Tessera_modifiers

@@ -1,0 +1,1 @@
+lib/dataproc/liblinear_format.ml: Array Buffer Fun List Printf String Tessera_svm

@@ -1,0 +1,1 @@
+lib/dataproc/liblinear_format.mli: Tessera_svm

@@ -1,0 +1,1 @@
+lib/dataproc/normalize.ml: Array Buffer Float Fun List Printf String Tessera_svm

@@ -1,0 +1,1 @@
+lib/dataproc/normalize.mli: Tessera_svm

@@ -1,0 +1,1 @@
+lib/dataproc/rank.ml: Hashtbl List Tessera_collect Tessera_features Tessera_jit Tessera_modifiers Tessera_opt

@@ -1,0 +1,1 @@
+lib/dataproc/rank.mli: Tessera_collect Tessera_features Tessera_modifiers Tessera_opt

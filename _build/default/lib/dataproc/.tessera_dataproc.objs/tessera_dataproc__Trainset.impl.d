@@ -1,0 +1,1 @@
+lib/dataproc/trainset.ml: Array Hashtbl Labels Liblinear_format List Normalize Rank Tessera_collect Tessera_features Tessera_modifiers Tessera_opt Tessera_svm

@@ -1,0 +1,72 @@
+module Modifier = Tessera_modifiers.Modifier
+
+type t = {
+  by_mod : (int64, int) Hashtbl.t;
+  by_label : (int, Modifier.t) Hashtbl.t;
+  mutable next : int;
+}
+
+let create () =
+  { by_mod = Hashtbl.create 64; by_label = Hashtbl.create 64; next = 1 }
+
+let label_of t m =
+  let bits = Modifier.to_bits m in
+  match Hashtbl.find_opt t.by_mod bits with
+  | Some l -> l
+  | None ->
+      let l = t.next in
+      if l > 0x7FFFFFFF then failwith "Labels: label space exhausted";
+      t.next <- l + 1;
+      Hashtbl.add t.by_mod bits l;
+      Hashtbl.add t.by_label l m;
+      l
+
+let modifier_of t l = Hashtbl.find_opt t.by_label l
+
+let size t = Hashtbl.length t.by_label
+
+let to_string t =
+  let entries =
+    Hashtbl.fold (fun l m acc -> (l, m) :: acc) t.by_label []
+    |> List.sort compare
+  in
+  String.concat ""
+    (List.map
+       (fun (l, m) -> Printf.sprintf "%d %s\n" l (Modifier.to_string m))
+       entries)
+
+let of_string s =
+  let t = create () in
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.iter (fun line ->
+         match String.split_on_char ' ' (String.trim line) with
+         | [ l; bits ] ->
+             let l = int_of_string l in
+             let m = Modifier.of_string bits in
+             Hashtbl.replace t.by_mod (Modifier.to_bits m) l;
+             Hashtbl.replace t.by_label l m;
+             if l >= t.next then t.next <- l + 1
+         | _ -> failwith ("Labels.of_string: bad line " ^ line));
+  t
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let equal a b =
+  a.next = b.next
+  && Hashtbl.length a.by_label = Hashtbl.length b.by_label
+  && Hashtbl.fold
+       (fun l m acc ->
+         acc
+         && match Hashtbl.find_opt b.by_label l with
+            | Some m' -> Modifier.equal m m'
+            | None -> false)
+       a.by_label true

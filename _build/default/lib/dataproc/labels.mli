@@ -1,0 +1,28 @@
+(** Class-label remapping (Sections 6–7).
+
+    LIBLINEAR requires class labels in [1, 2^31 - 1], so the 58-bit
+    modifier space is remapped into that range: each distinct modifier
+    seen in the training data gets a small positive label, and a lookup
+    table — loaded during model initialization on the compiler side —
+    maps predicted labels back to full modifier bit patterns. *)
+
+module Modifier = Tessera_modifiers.Modifier
+
+type t
+
+val create : unit -> t
+
+val label_of : t -> Modifier.t -> int
+(** Allocates 1, 2, 3, ... on first sight. *)
+
+val modifier_of : t -> int -> Modifier.t option
+
+val size : t -> int
+
+val to_string : t -> string
+(** One line per entry: [label modifier-bit-string]. *)
+
+val of_string : string -> t
+val save : t -> string -> unit
+val load : string -> t
+val equal : t -> t -> bool

@@ -1,0 +1,17 @@
+(** The LIBLINEAR textual sparse-matrix dataset format (Figure 4):
+    one instance per line, [label idx:val idx:val ...] with 1-based
+    component indices and zero-valued components omitted. *)
+
+type instance = { label : int; x : Tessera_svm.Sparse.t }
+
+val instance_to_line : instance -> string
+
+val line_to_instance : string -> instance
+(** Raises [Failure] on malformed lines. *)
+
+val write : instance list -> string
+val parse : string -> instance list
+val save : instance list -> string -> unit
+val load : string -> instance list
+
+val to_problem : instance list -> Tessera_svm.Problem.t

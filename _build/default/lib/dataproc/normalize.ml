@@ -1,0 +1,75 @@
+type scaling = { mins : float array; maxs : float array }
+
+let fit vectors =
+  match vectors with
+  | [] -> invalid_arg "Normalize.fit: no data"
+  | first :: _ ->
+      let dim = Array.length first in
+      let mins = Array.make dim infinity in
+      let maxs = Array.make dim neg_infinity in
+      List.iter
+        (fun v ->
+          if Array.length v <> dim then invalid_arg "Normalize.fit: ragged data";
+          Array.iteri
+            (fun i x ->
+              let x = float_of_int x in
+              if x < mins.(i) then mins.(i) <- x;
+              if x > maxs.(i) then maxs.(i) <- x)
+            v)
+        vectors;
+      { mins; maxs }
+
+let apply s v =
+  Array.mapi
+    (fun i x ->
+      let x = float_of_int x in
+      let range = s.maxs.(i) -. s.mins.(i) in
+      if range <= 0.0 then 0.0
+      else Float.max 0.0 (Float.min 1.0 ((x -. s.mins.(i)) /. range)))
+    v
+
+let to_sparse s v = Tessera_svm.Sparse.of_dense (apply s v)
+
+let to_string s =
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun i mn -> Buffer.add_string buf (Printf.sprintf "%d %.17g %.17g\n" i mn s.maxs.(i)))
+    s.mins;
+  Buffer.contents buf
+
+let of_string str =
+  let lines =
+    String.split_on_char '\n' str |> List.filter (fun l -> String.trim l <> "")
+  in
+  let triples =
+    List.map
+      (fun l ->
+        match
+          String.split_on_char ' ' (String.trim l)
+          |> List.filter (fun x -> x <> "")
+        with
+        | [ i; mn; mx ] -> (int_of_string i, float_of_string mn, float_of_string mx)
+        | _ -> failwith ("Normalize.of_string: bad line " ^ l))
+      lines
+  in
+  let dim = List.length triples in
+  let mins = Array.make dim 0.0 and maxs = Array.make dim 0.0 in
+  List.iter
+    (fun (i, mn, mx) ->
+      if i < 0 || i >= dim then failwith "Normalize.of_string: bad index";
+      mins.(i) <- mn;
+      maxs.(i) <- mx)
+    triples;
+  { mins; maxs }
+
+let save s path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string s))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let equal a b = a.mins = b.mins && a.maxs = b.maxs

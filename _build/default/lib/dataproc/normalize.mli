@@ -1,0 +1,30 @@
+(** Feature normalization to [0,1] (Section 6, Eq. 3):
+    [c_norm = (c - c_min) / (c_max - c_min)] per component, eliminating
+    the dominance of large numeric ranges when the SVM is trained.
+
+    The shift/scale parameters are persisted to a {e scaling file} so the
+    compiler-side integration can renormalize feature vectors with
+    exactly the parameters used during training (Section 7). *)
+
+type scaling = { mins : float array; maxs : float array }
+
+val fit : int array list -> scaling
+(** Per-component min/max over raw (integer) feature vectors. *)
+
+val apply : scaling -> int array -> float array
+(** Eq. (3); components with a degenerate range ([max = min]) map to 0.
+    Values outside the fitted range clamp to [0,1] (unseen methods can
+    exceed the training range). *)
+
+val to_sparse : scaling -> int array -> Tessera_svm.Sparse.t
+
+(** {1 Scaling file} *)
+
+val to_string : scaling -> string
+(** Text format, one line per component: [index min max]. *)
+
+val of_string : string -> scaling
+val save : scaling -> string -> unit
+val load : string -> scaling
+
+val equal : scaling -> scaling -> bool

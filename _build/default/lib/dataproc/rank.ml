@@ -1,0 +1,86 @@
+module Record = Tessera_collect.Record
+module Features = Tessera_features.Features
+module Modifier = Tessera_modifiers.Modifier
+module Plan = Tessera_opt.Plan
+module Triggers = Tessera_jit.Triggers
+
+type ranked = {
+  features : Features.t;
+  level : Plan.level;
+  modifier : Modifier.t;
+  value : float;
+}
+
+let value = Tessera_collect.Rank_value.value
+
+let rank ?(max_per_vector = 3) ?(tolerance = 0.95) ~level records =
+  let records =
+    List.filter
+      (fun (r : Record.t) -> r.Record.level = level && r.Record.invocations > 0)
+      records
+  in
+  (* lexicographic sort by feature vector aggregates equal vectors *)
+  let sorted =
+    List.stable_sort
+      (fun (a : Record.t) (b : Record.t) ->
+        Features.compare a.Record.features b.Record.features)
+      records
+  in
+  let groups = ref [] in
+  let cur = ref [] in
+  List.iter
+    (fun (r : Record.t) ->
+      match !cur with
+      | [] -> cur := [ r ]
+      | (first : Record.t) :: _ ->
+          if Features.equal first.Record.features r.Record.features then
+            cur := r :: !cur
+          else begin
+            groups := List.rev !cur :: !groups;
+            cur := [ r ]
+          end)
+    sorted;
+  if !cur <> [] then groups := List.rev !cur :: !groups;
+  List.concat_map
+    (fun group ->
+      (* among experiments on the same feature vector keep the best value
+         per distinct modifier, then apply the 95%/top-3 rule *)
+      let by_modifier = Hashtbl.create 16 in
+      List.iter
+        (fun (r : Record.t) ->
+          let v = value r in
+          match Hashtbl.find_opt by_modifier r.Record.modifier with
+          | Some v' when v' <= v -> ()
+          | _ -> Hashtbl.replace by_modifier r.Record.modifier v)
+        group;
+      let scored =
+        Hashtbl.fold (fun m v acc -> (m, v) :: acc) by_modifier []
+        |> List.sort (fun (_, a) (_, b) -> compare a b)
+      in
+      match scored with
+      | [] -> []
+      | (_, best) :: _ ->
+          let features = (List.hd group).Record.features in
+          scored
+          |> List.filteri (fun i _ -> i < max_per_vector)
+          |> List.filter (fun (_, v) ->
+                 v <= 0.0 || best /. v >= tolerance || v = best)
+          |> List.map (fun (modifier, v) ->
+                 { features; level; modifier; value = v }))
+    (List.rev !groups)
+
+let unique_feature_vectors records =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Record.t) ->
+      Hashtbl.replace tbl (Features.to_array r.Record.features) ())
+    records;
+  Hashtbl.length tbl
+
+let unique_classes records =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Record.t) ->
+      Hashtbl.replace tbl (Modifier.to_bits r.Record.modifier) ())
+    records;
+  Hashtbl.length tbl

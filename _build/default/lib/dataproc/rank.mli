@@ -1,0 +1,40 @@
+(** Ranking of experiment records (Section 6, Eq. 2).
+
+    Records are sorted lexicographically by feature vector to aggregate
+    every experiment performed on the same (unique) feature vector, then
+    each record is scored with
+
+    {v V_i = R_i / I_i + C_i / T_h v}
+
+    — the average cycles of one invocation plus the compilation cost
+    normalized by the level's compilation trigger.  Smaller is better.
+    For each unique feature vector the best few modifiers are selected:
+    at most [max_per_vector] (3 in the paper) and only those whose
+    ranking value is within [tolerance] (95%) of the best one. *)
+
+module Record = Tessera_collect.Record
+
+type ranked = {
+  features : Tessera_features.Features.t;
+  level : Tessera_opt.Plan.level;
+  modifier : Tessera_modifiers.Modifier.t;
+  value : float;  (** V_i *)
+}
+
+val value : Record.t -> float
+(** Eq. (2) for one record (see {!Tessera_collect.Rank_value}).
+    Requires [invocations > 0]. *)
+
+val rank :
+  ?max_per_vector:int ->
+  ?tolerance:float ->
+  level:Tessera_opt.Plan.level ->
+  Record.t list ->
+  ranked list
+(** Filter to one level, aggregate by unique feature vector, select.
+    [tolerance] is the paper's 95% rule: a modifier qualifies when
+    [best /. value >= tolerance] (values are costs, smaller better). *)
+
+val unique_feature_vectors : Record.t list -> int
+val unique_classes : Record.t list -> int
+(** Distinct modifiers — the "unique classes" column of Table 4. *)

@@ -1,0 +1,75 @@
+module Record = Tessera_collect.Record
+module Plan = Tessera_opt.Plan
+module Features = Tessera_features.Features
+module Modifier = Tessera_modifiers.Modifier
+
+type level_stats = {
+  level : Plan.level;
+  data_instances : int;
+  unique_classes : int;
+  unique_feature_vectors : int;
+  training_instances : int;
+  training_classes : int;
+  training_feature_vectors : int;
+}
+
+type t = {
+  level : Plan.level;
+  scaling : Normalize.scaling;
+  labels : Labels.t;
+  instances : Liblinear_format.instance list;
+  stats : level_stats;
+}
+
+let build ?(max_per_vector = 3) ?(tolerance = 0.95) ~level records =
+  let level_records =
+    List.filter (fun (r : Record.t) -> r.Record.level = level) records
+  in
+  let ranked = Rank.rank ~max_per_vector ~tolerance ~level records in
+  let scaling =
+    Normalize.fit
+      (match level_records with
+      | [] -> [ Array.make Features.dim 0 ]
+      | rs -> List.map (fun (r : Record.t) -> Features.to_array r.Record.features) rs)
+  in
+  let labels = Labels.create () in
+  let instances =
+    List.map
+      (fun (r : Rank.ranked) ->
+        {
+          Liblinear_format.label = Labels.label_of labels r.Rank.modifier;
+          x = Normalize.to_sparse scaling (Features.to_array r.Rank.features);
+        })
+      ranked
+  in
+  let ranked_vectors = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Rank.ranked) ->
+      Hashtbl.replace ranked_vectors (Features.to_array r.Rank.features) ())
+    ranked;
+  let stats =
+    {
+      level;
+      data_instances = List.length level_records;
+      unique_classes = Rank.unique_classes level_records;
+      unique_feature_vectors = Rank.unique_feature_vectors level_records;
+      training_instances = List.length instances;
+      training_classes = Labels.size labels;
+      training_feature_vectors = Hashtbl.length ranked_vectors;
+    }
+  in
+  { level; scaling; labels; instances; stats }
+
+let problem t =
+  (* force the feature dimension so models are compatible even when some
+     trailing components were always zero *)
+  let x = Array.of_list (List.map (fun (i : Liblinear_format.instance) -> i.Liblinear_format.x) t.instances) in
+  let y = Array.of_list (List.map (fun (i : Liblinear_format.instance) -> i.Liblinear_format.label) t.instances) in
+  Tessera_svm.Problem.make ~n_features:Features.dim x y
+
+let predictor ~scaling ~labels ~model features =
+  let x = Normalize.to_sparse scaling (Features.to_array features) in
+  let label = Tessera_svm.Model.predict model x in
+  match Labels.modifier_of labels label with
+  | Some m -> m
+  | None -> Modifier.null

@@ -1,0 +1,47 @@
+(** The full training-set pipeline of Section 6: merged archives →
+    ranking → normalization → label remapping → a LIBLINEAR problem,
+    with the per-level statistics of Table 4 along the way. *)
+
+module Record = Tessera_collect.Record
+module Plan = Tessera_opt.Plan
+
+type level_stats = {
+  level : Plan.level;
+  (* merged data *)
+  data_instances : int;
+  unique_classes : int;
+  unique_feature_vectors : int;
+  (* ranked data *)
+  training_instances : int;
+  training_classes : int;
+  training_feature_vectors : int;
+}
+
+type t = {
+  level : Plan.level;
+  scaling : Normalize.scaling;
+  labels : Labels.t;
+  instances : Liblinear_format.instance list;
+  stats : level_stats;
+}
+
+val build :
+  ?max_per_vector:int ->
+  ?tolerance:float ->
+  level:Plan.level ->
+  Record.t list ->
+  t
+(** [records] is the merged data (possibly from several archives). *)
+
+val problem : t -> Tessera_svm.Problem.t
+
+val predictor :
+  scaling:Normalize.scaling ->
+  labels:Labels.t ->
+  model:Tessera_svm.Model.t ->
+  Tessera_features.Features.t ->
+  Tessera_modifiers.Modifier.t
+(** Compiler-side prediction path: renormalize a raw feature vector with
+    the training scaling, query the model, map the predicted label back
+    through the lookup table (unknown labels fall back to the null
+    modifier). *)

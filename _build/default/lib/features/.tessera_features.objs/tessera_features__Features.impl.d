@@ -1,0 +1,1 @@
+lib/features/features.ml: Array Format Hashtbl Int64 List Stdlib Tessera_il Tessera_opt

@@ -1,0 +1,1 @@
+lib/features/features.mli: Format Tessera_il

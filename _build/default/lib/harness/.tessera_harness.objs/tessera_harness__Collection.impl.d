@@ -1,0 +1,1 @@
+lib/harness/collection.ml: Expconfig Int64 List Tessera_collect Tessera_modifiers Tessera_vm Tessera_workloads

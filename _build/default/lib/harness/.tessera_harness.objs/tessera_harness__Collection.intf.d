@@ -1,0 +1,1 @@
+lib/harness/collection.mli: Expconfig Tessera_collect Tessera_vm Tessera_workloads

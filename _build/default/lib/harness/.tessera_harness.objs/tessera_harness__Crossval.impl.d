@@ -1,0 +1,1 @@
+lib/harness/crossval.ml: Collection Format List Modelset Tessera_dataproc Tessera_modifiers Tessera_opt Tessera_svm Training

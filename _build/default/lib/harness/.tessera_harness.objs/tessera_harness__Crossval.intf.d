@@ -1,0 +1,1 @@
+lib/harness/crossval.mli: Collection Format Modelset Tessera_collect Tessera_opt

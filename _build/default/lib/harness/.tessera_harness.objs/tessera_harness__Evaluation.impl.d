@@ -1,0 +1,1 @@
+lib/harness/evaluation.ml: Array Expconfig Int64 List Modelset Tessera_jit Tessera_util Tessera_vm Tessera_workloads Training

@@ -1,0 +1,1 @@
+lib/harness/evaluation.mli: Expconfig Modelset Tessera_util Tessera_vm Tessera_workloads Training

@@ -1,0 +1,1 @@
+lib/harness/modelset.ml: Array Filename List Printf Sys Tessera_dataproc Tessera_features Tessera_il Tessera_jit Tessera_modifiers Tessera_opt Tessera_svm

@@ -1,0 +1,1 @@
+lib/harness/persist.ml: Array Collection Filename List Printf Sys Tessera_collect Tessera_workloads

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Array Collection Evaluation Float Format List Modelset String Tessera_collect Tessera_dataproc Tessera_opt Tessera_util Tessera_workloads Training

@@ -1,0 +1,1 @@
+lib/harness/report.mli: Collection Evaluation Format Tessera_util Training

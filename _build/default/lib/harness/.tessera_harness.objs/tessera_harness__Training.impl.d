@@ -1,0 +1,1 @@
+lib/harness/training.ml: Collection List Modelset Printf Tessera_collect Tessera_svm

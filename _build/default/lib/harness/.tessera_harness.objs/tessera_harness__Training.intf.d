@@ -1,0 +1,1 @@
+lib/harness/training.mli: Collection Modelset Tessera_collect Tessera_svm

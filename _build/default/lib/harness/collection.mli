@@ -1,0 +1,27 @@
+(** Data collection over the training benchmarks: each benchmark runs
+    twice — once with the pure randomized search, once with the
+    progressive randomized search (Section 5) — and the two archives are
+    merged, since the paper found the merged data trains better models
+    than either strategy alone (Section 8.1). *)
+
+module Archive = Tessera_collect.Archive
+
+type outcome = {
+  tag : string;  (** two-letter benchmark tag *)
+  bench : Tessera_workloads.Suites.bench;
+  randomized : Archive.t;
+  progressive : Archive.t;
+  merged : Archive.t;
+  stats : Tessera_collect.Collector.stats list;
+}
+
+val collect_bench :
+  ?cfg:Expconfig.t ->
+  ?target:Tessera_vm.Target.t ->
+  Tessera_workloads.Suites.bench ->
+  outcome
+
+val collect_training_set :
+  ?cfg:Expconfig.t -> ?target:Tessera_vm.Target.t -> unit -> outcome list
+(** The five trainable SPECjvm98 benchmarks (optionally collected on a
+    non-default back-end target). *)

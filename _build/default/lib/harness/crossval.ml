@@ -1,0 +1,115 @@
+module Plan = Tessera_opt.Plan
+module Trainset = Tessera_dataproc.Trainset
+module Problem = Tessera_svm.Problem
+module Metrics = Tessera_svm.Metrics
+
+type level_accuracy = {
+  level : Plan.level;
+  instances : int;
+  classes : int;
+  accuracy : float;
+}
+
+let train_fn solver params =
+  match solver with
+  | Modelset.Ovr -> fun p -> Tessera_svm.Linear.train_ovr ~params p
+  | Modelset.Crammer_singer -> fun p -> Tessera_svm.Cs.train ~params p
+
+let levels = [ Plan.Cold; Plan.Warm; Plan.Hot ]
+
+let kfold_accuracy ?(k = 5) ?(solver = Modelset.Crammer_singer) records =
+  List.filter_map
+    (fun level ->
+      let ts = Trainset.build ~level records in
+      let p = Trainset.problem ts in
+      let n = Problem.n_instances p in
+      if n < 2 * k || Problem.n_classes p < 2 then None
+      else
+        Some
+          {
+            level;
+            instances = n;
+            classes = Problem.n_classes p;
+            accuracy =
+              Metrics.cross_validate ~k
+                ~train:(train_fn solver Tessera_svm.Linear.default_params)
+                p;
+          })
+    levels
+
+let loo_benchmark_accuracy ?(solver = Modelset.Crammer_singer) outcomes =
+  List.map
+    (fun (excluded : Collection.outcome) ->
+      let train_records =
+        Training.records_of
+          (List.filter
+             (fun (o : Collection.outcome) ->
+               o.Collection.tag <> excluded.Collection.tag)
+             outcomes)
+      in
+      let test_records = Training.records_of [ excluded ] in
+      let per_level =
+        List.filter_map
+          (fun level ->
+            let train_ts = Trainset.build ~level train_records in
+            let train_p = Trainset.problem train_ts in
+            if Problem.n_classes train_p < 2 then None
+            else begin
+              let model =
+                train_fn solver Tessera_svm.Linear.default_params train_p
+              in
+              (* score on the held-out benchmark's ranked instances,
+                 renormalized with the TRAINING scaling, and counting a
+                 prediction as correct when it picks any label whose
+                 modifier matches the held-out best *)
+              let ranked = Tessera_dataproc.Rank.rank ~level test_records in
+              if ranked = [] then None
+              else begin
+                let correct = ref 0 in
+                List.iter
+                  (fun (r : Tessera_dataproc.Rank.ranked) ->
+                    let predicted =
+                      Trainset.predictor
+                        ~scaling:train_ts.Trainset.scaling
+                        ~labels:train_ts.Trainset.labels ~model
+                        r.Tessera_dataproc.Rank.features
+                    in
+                    if
+                      Tessera_modifiers.Modifier.equal predicted
+                        r.Tessera_dataproc.Rank.modifier
+                    then incr correct)
+                  ranked;
+                Some
+                  {
+                    level;
+                    instances = List.length ranked;
+                    classes = Problem.n_classes train_p;
+                    accuracy =
+                      float_of_int !correct /. float_of_int (List.length ranked);
+                  }
+              end
+            end)
+          levels
+      in
+      (excluded.Collection.tag, per_level))
+    outcomes
+
+let report fmt rows =
+  Format.fprintf fmt "%-10s" "split";
+  List.iter
+    (fun l -> Format.fprintf fmt " %14s" (Plan.level_name l))
+    levels;
+  Format.fprintf fmt "@.";
+  List.iter
+    (fun (name, accs) ->
+      Format.fprintf fmt "%-10s" name;
+      List.iter
+        (fun level ->
+          match List.find_opt (fun a -> a.level = level) accs with
+          | Some a ->
+              Format.fprintf fmt " %6.1f%% (%3d)" (100.0 *. a.accuracy)
+                a.instances
+          | None -> Format.fprintf fmt " %14s" "-")
+        levels;
+      Format.fprintf fmt "@.")
+    rows

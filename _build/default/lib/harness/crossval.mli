@@ -1,0 +1,38 @@
+(** Cross-validation of the learned classifiers (Section 6: "merging of
+    intermediate data sets allows for the selective use of data sets of
+    interest to enable cross-validation and leave-one-out
+    cross-validation").
+
+    Two views:
+    - {!kfold_accuracy}: classifier accuracy under k-fold CV on one
+      level's training set — how well the SVM predicts the {e label} of
+      held-out instances;
+    - {!loo_benchmark_accuracy}: the paper's own protocol — train on four
+      benchmarks, measure label accuracy on the fifth's instances. *)
+
+module Plan = Tessera_opt.Plan
+
+type level_accuracy = {
+  level : Plan.level;
+  instances : int;
+  classes : int;
+  accuracy : float;
+}
+
+val kfold_accuracy :
+  ?k:int ->
+  ?solver:Modelset.solver ->
+  Tessera_collect.Record.t list ->
+  level_accuracy list
+(** Per-level k-fold accuracy (k defaults to 5; levels with fewer than
+    [2k] ranked instances or fewer than 2 classes are skipped). *)
+
+val loo_benchmark_accuracy :
+  ?solver:Modelset.solver ->
+  Collection.outcome list ->
+  (string (* excluded tag *) * level_accuracy list) list
+(** For every leave-one-out split: train per-level models on the other
+    benchmarks and score them on the excluded benchmark's ranked
+    instances. *)
+
+val report : Format.formatter -> (string * level_accuracy list) list -> unit

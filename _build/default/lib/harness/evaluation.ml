@@ -1,0 +1,140 @@
+module Stats = Tessera_util.Stats
+module Prng = Tessera_util.Prng
+module Suites = Tessera_workloads.Suites
+module Generate = Tessera_workloads.Generate
+module Engine = Tessera_jit.Engine
+module Values = Tessera_vm.Values
+
+type run_metrics = {
+  app_cycles : int64;
+  compile_cycles : int64;
+  compilations : int;
+  methods_compiled : int;
+}
+
+let run_once ?(cfg = Expconfig.default) ?(target = Tessera_vm.Target.zircon)
+    ?model ~bench ~iterations ~trial () =
+  let bench = Suites.scale_bench bench cfg.Expconfig.bench_scale in
+  let program = Generate.program bench.Suites.profile in
+  let callbacks =
+    match model with
+    | None -> Engine.no_callbacks
+    | Some ms ->
+        {
+          Engine.no_callbacks with
+          Engine.choose_modifier = Some (Modelset.choose_modifier ms);
+        }
+  in
+  let engine =
+    Engine.create
+      ~config:
+        {
+          Engine.default_config with
+          Engine.clock_seed = Int64.add cfg.Expconfig.seed (Int64.of_int trial);
+          target;
+        }
+      ~callbacks program
+  in
+  let arg_base = trial * 17 in
+  for it = 0 to iterations - 1 do
+    for k = 0 to bench.Suites.iteration_invocations - 1 do
+      ignore
+        (Engine.invoke_entry engine
+           [| Values.Int_v (Int64.of_int (arg_base + (it * 31) + k)) |])
+    done
+  done;
+  {
+    app_cycles = Engine.app_cycles engine;
+    compile_cycles = Engine.total_compile_cycles engine;
+    compilations = Engine.compile_count engine;
+    methods_compiled = Engine.methods_compiled engine;
+  }
+
+type cell = {
+  bench : string;
+  model : string;
+  startup_perf : Stats.summary;
+  startup_compile : Stats.summary;
+  throughput_perf : Stats.summary;
+  throughput_compile : Stats.summary;
+}
+
+(* expand per-trial cycle measurements into noisy relative samples *)
+let relative_samples ~cfg ~rng ~invert base variant =
+  let trials = Array.length base in
+  let draws_per_trial = max 1 (cfg.Expconfig.noise_draws / trials) in
+  let samples = ref [] in
+  Array.iteri
+    (fun i b ->
+      let v = variant.(i) in
+      for _ = 1 to draws_per_trial do
+        let noise () = 1.0 +. Prng.gaussian rng ~mu:0.0 ~sigma:cfg.Expconfig.noise_sd in
+        let b = Int64.to_float b *. noise () in
+        let v = Int64.to_float v *. noise () in
+        let r = if invert then v /. b else b /. v in
+        samples := r :: !samples
+      done)
+    base;
+  Stats.summarize (Array.of_list !samples)
+
+let evaluate_variant ~cfg ~bench ?model () =
+  let trials = max 1 cfg.Expconfig.trials in
+  let startup =
+    Array.init trials (fun t -> run_once ~cfg ?model ~bench ~iterations:1 ~trial:t ())
+  in
+  let throughput =
+    Array.init trials (fun t ->
+        run_once ~cfg ?model ~bench
+          ~iterations:cfg.Expconfig.throughput_iterations ~trial:t ())
+  in
+  (startup, throughput)
+
+let evaluate_bench ?(cfg = Expconfig.default) ~models bench =
+  let base_startup, base_throughput = evaluate_variant ~cfg ~bench () in
+  List.map
+    (fun (ms : Modelset.t) ->
+      let s, t = evaluate_variant ~cfg ~bench ~model:ms () in
+      let rng = Prng.create (Int64.add cfg.Expconfig.seed 0xA11CEL) in
+      let app r = Array.map (fun m -> m.app_cycles) r in
+      let comp r =
+        Array.map (fun m -> Int64.add 1L m.compile_cycles) r
+        (* +1 avoids 0/0 when nothing compiles in tiny configs *)
+      in
+      {
+        bench = bench.Suites.profile.Tessera_workloads.Profile.name;
+        model = ms.Modelset.name;
+        startup_perf =
+          relative_samples ~cfg ~rng ~invert:false (app base_startup) (app s);
+        startup_compile =
+          relative_samples ~cfg ~rng ~invert:true (comp base_startup) (comp s);
+        throughput_perf =
+          relative_samples ~cfg ~rng ~invert:false (app base_throughput) (app t);
+        throughput_compile =
+          relative_samples ~cfg ~rng ~invert:true (comp base_throughput) (comp t);
+      })
+    models
+
+type matrix = {
+  spec_cells : cell list;
+  dacapo_cells : cell list;
+}
+
+let full_matrix ?(cfg = Expconfig.default) ~loo ?(spec = Suites.specjvm98)
+    ?(dacapo = Suites.dacapo) () =
+  let all_models = List.map (fun (s : Training.loo_set) -> s.Training.modelset) loo in
+  let models_for (b : Suites.bench) =
+    if b.Suites.trainable then
+      (* leave-one-out: only the model set that excludes this benchmark *)
+      List.filter_map
+        (fun (s : Training.loo_set) ->
+          if s.Training.excluded_tag = b.Suites.tag then Some s.Training.modelset
+          else None)
+        loo
+    else all_models
+  in
+  let eval suite =
+    List.concat_map
+      (fun b -> evaluate_bench ~cfg ~models:(models_for b) b)
+      suite
+  in
+  { spec_cells = eval spec; dacapo_cells = eval dacapo }

@@ -1,0 +1,61 @@
+(** Performance evaluation (Section 8): start-up performance (a single
+    benchmark iteration per JVM invocation), throughput performance (10
+    iterations in one invocation), and compilation time, for the
+    unmodified compiler and for each learned model set.
+
+    Each measurement is repeated over [cfg.trials] independent simulated
+    runs (the benchmark input varies per trial) and expanded to
+    [cfg.noise_draws] measurement samples with a multiplicative
+    OS-scheduling-noise model; the mean and 95% confidence interval over
+    those samples mirror the paper's 30-invocation methodology. *)
+
+module Stats = Tessera_util.Stats
+module Suites = Tessera_workloads.Suites
+
+type run_metrics = {
+  app_cycles : int64;
+  compile_cycles : int64;
+  compilations : int;
+  methods_compiled : int;
+}
+
+val run_once :
+  ?cfg:Expconfig.t ->
+  ?target:Tessera_vm.Target.t ->
+  ?model:Modelset.t ->
+  bench:Suites.bench ->
+  iterations:int ->
+  trial:int ->
+  unit ->
+  run_metrics
+(** One fresh simulated JVM invocation executing [iterations] benchmark
+    iterations. *)
+
+(** Relative-to-baseline summaries for one benchmark under one model. *)
+type cell = {
+  bench : string;
+  model : string;
+  startup_perf : Stats.summary;  (** baseline time / model time; >1 wins *)
+  startup_compile : Stats.summary;  (** model compile / baseline; <1 wins *)
+  throughput_perf : Stats.summary;
+  throughput_compile : Stats.summary;
+}
+
+val evaluate_bench :
+  ?cfg:Expconfig.t -> models:Modelset.t list -> Suites.bench -> cell list
+
+type matrix = {
+  spec_cells : cell list;
+  dacapo_cells : cell list;
+}
+
+val full_matrix :
+  ?cfg:Expconfig.t ->
+  loo:Training.loo_set list ->
+  ?spec:Suites.bench list ->
+  ?dacapo:Suites.bench list ->
+  unit ->
+  matrix
+(** Benchmarks in the training set are evaluated only against the model
+    that excludes them (leave-one-out); reservation-set and DaCapo
+    benchmarks against all five model sets. *)

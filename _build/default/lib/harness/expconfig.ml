@@ -1,0 +1,53 @@
+type t = {
+  scale : float;
+  progressive_l : int;
+  randomized_count : int;
+  randomized_density : float;
+  uses_per_modifier : int;
+  collect_invocations : int;
+  trials : int;
+  noise_draws : int;
+  noise_sd : float;
+  throughput_iterations : int;
+  bench_scale : float;
+  seed : int64;
+}
+
+let default =
+  {
+    scale = 1.0;
+    progressive_l = 400;
+    randomized_count = 120;
+    randomized_density = 0.35;
+    uses_per_modifier = 12;
+    collect_invocations = 800;
+    trials = 1;
+    noise_draws = 30;
+    noise_sd = 0.008;
+    throughput_iterations = 10;
+    bench_scale = 1.0;
+    seed = 0x7E557E55L;
+  }
+
+let full = { default with trials = 3 }
+
+let quick =
+  {
+    default with
+    progressive_l = 60;
+    randomized_count = 20;
+    uses_per_modifier = 4;
+    collect_invocations = 60;
+    trials = 1;
+  }
+
+let paper_scale =
+  {
+    default with
+    progressive_l = 2000;
+    randomized_count = 2000;
+    uses_per_modifier = 50;
+    collect_invocations = 100_000;
+    trials = 30;
+    noise_draws = 30;
+  }

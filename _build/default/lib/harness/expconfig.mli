@@ -1,0 +1,36 @@
+(** Experiment scaling.
+
+    The paper's full campaign (L = 2000 progressive modifiers, 1.5-2.5M
+    data instances per level, 30 JVM invocations per measurement on a
+    16-node blade cluster) is far beyond a laptop-scale simulation run,
+    so every knob scales down coherently from a single factor.  The
+    defaults reproduce the paper's {e shapes} in minutes; [paper_scale]
+    documents the full-size values. *)
+
+type t = {
+  scale : float;  (** global volume factor *)
+  progressive_l : int;  (** Eq. 1's L (paper: 2000) *)
+  randomized_count : int;
+  randomized_density : float;
+  uses_per_modifier : int;  (** paper: 50 *)
+  collect_invocations : int;  (** entry-invocation budget per benchmark *)
+  trials : int;  (** independent simulation runs per measurement *)
+  noise_draws : int;  (** total measurement draws (paper: 30 runs) *)
+  noise_sd : float;  (** relative measurement noise (OS jitter model) *)
+  throughput_iterations : int;  (** paper: 10 *)
+  bench_scale : float;  (** workload volume factor for benchmarks *)
+  seed : int64;
+}
+
+val default : t
+(** The configuration of the recorded experiment outputs. *)
+
+val full : t
+(** [default] with more independent trials per measurement. *)
+
+val quick : t
+(** Heavily down-scaled configuration for tests and smoke runs. *)
+
+val paper_scale : t
+(** The paper's own parameters, for documentation; running it would take
+    a very long time. *)

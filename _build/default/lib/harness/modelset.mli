@@ -1,0 +1,54 @@
+(** A deployable model set: one trained model per learned optimization
+    level (cold, warm, hot — scorching keeps the original plan, Section
+    8.1), each with its scaling file and label lookup table. *)
+
+module Plan = Tessera_opt.Plan
+module Modifier = Tessera_modifiers.Modifier
+module Features = Tessera_features.Features
+
+type solver = Ovr | Crammer_singer
+
+type level_model = {
+  level : Plan.level;
+  scaling : Tessera_dataproc.Normalize.scaling;
+  labels : Tessera_dataproc.Labels.t;
+  model : Tessera_svm.Model.t;
+  stats : Tessera_dataproc.Trainset.level_stats;
+  train_seconds : float;  (** wall time spent by the solver *)
+}
+
+type t = {
+  name : string;  (** e.g. "H3" *)
+  excluded : string option;  (** LOO benchmark tag left out, if any *)
+  levels : level_model list;
+}
+
+val train :
+  ?solver:solver ->
+  ?params:Tessera_svm.Linear.params ->
+  ?levels:Plan.level list ->
+  name:string ->
+  ?excluded:string ->
+  Tessera_collect.Record.t list ->
+  t
+(** Builds per-level training sets (rank → normalize → remap) and trains
+    a model per level; levels whose training set is degenerate (fewer
+    than two classes) are skipped. *)
+
+val predict : t -> level:Plan.level -> Features.t -> Modifier.t
+(** Null modifier for levels without a model. *)
+
+val choose_modifier :
+  t -> Tessera_jit.Engine.t -> meth_id:int -> level:Plan.level -> Modifier.t option
+(** Adapter for {!Tessera_jit.Engine.callbacks.choose_modifier}: extracts
+    the method's features and predicts.  Never returns [None]. *)
+
+val server_predictor : t -> Tessera_protocol.Server.predictor
+(** Serve this model set over the wire protocol.  Incoming features are
+    expected raw (unnormalized); the server applies its own scaling. *)
+
+val save : t -> dir:string -> unit
+(** Writes [model_<level>.txt], [scaling_<level>.txt],
+    [labels_<level>.txt] under [dir]. *)
+
+val load : name:string -> dir:string -> t

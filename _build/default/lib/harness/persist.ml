@@ -1,0 +1,48 @@
+module Archive = Tessera_collect.Archive
+module Suites = Tessera_workloads.Suites
+
+let path dir name suffix = Filename.concat dir (name ^ suffix ^ ".tsra")
+
+let save ~dir outcomes =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (o : Collection.outcome) ->
+      let name =
+        o.Collection.bench.Suites.profile.Tessera_workloads.Profile.name
+      in
+      Archive.save o.Collection.randomized (path dir name ".rand");
+      Archive.save o.Collection.progressive (path dir name ".prog");
+      Archive.save o.Collection.merged (path dir name ""))
+    outcomes
+
+let merged_names dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun f ->
+         if
+           Filename.check_suffix f ".tsra"
+           && (not (Filename.check_suffix f ".rand.tsra"))
+           && not (Filename.check_suffix f ".prog.tsra")
+         then Some (Filename.chop_suffix f ".tsra")
+         else None)
+  |> List.sort compare
+
+let load ~dir =
+  List.map
+    (fun name ->
+      let bench =
+        match Suites.find name with
+        | Some b -> b
+        | None -> failwith (Printf.sprintf "Persist.load: unknown benchmark %S" name)
+      in
+      {
+        Collection.tag = bench.Suites.tag;
+        bench;
+        randomized = Archive.load (path dir name ".rand");
+        progressive = Archive.load (path dir name ".prog");
+        merged = Archive.load (path dir name "");
+        stats = [];
+      })
+    (merged_names dir)
+
+let is_campaign_dir dir =
+  Sys.file_exists dir && Sys.is_directory dir && merged_names dir <> []

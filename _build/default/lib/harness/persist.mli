@@ -1,0 +1,19 @@
+(** Persistence of whole collection campaigns.
+
+    Data collection is the expensive phase; this module saves a
+    {!Collection.outcome} list to a directory (three .tsra archives per
+    benchmark: randomized, progressive, merged) and loads it back, so
+    training and evaluation can be re-run without re-collecting — the
+    workflow the paper's "supporting tools to convert archives" serve. *)
+
+val save : dir:string -> Collection.outcome list -> unit
+(** Creates [dir] if needed; overwrites existing archives. *)
+
+val load : dir:string -> Collection.outcome list
+(** Reconstructs outcomes from the archives in [dir].  Benchmarks are
+    recognized by file name ([<name>.rand.tsra], [<name>.prog.tsra],
+    [<name>.tsra]); unknown benchmark names raise [Failure].  Collector
+    statistics are not persisted and come back empty. *)
+
+val is_campaign_dir : string -> bool
+(** The directory exists and holds at least one merged archive. *)

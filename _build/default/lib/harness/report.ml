@@ -1,0 +1,179 @@
+module Stats = Tessera_util.Stats
+module Plan = Tessera_opt.Plan
+module Trainset = Tessera_dataproc.Trainset
+
+let hr fmt = Format.fprintf fmt "%s@." (String.make 78 '-')
+
+let table4 fmt (loo : Training.loo_set list) =
+  hr fmt;
+  Format.fprintf fmt
+    "Table 4: average data set sizes used for training the machine-learned \
+     models@.";
+  hr fmt;
+  Format.fprintf fmt
+    "%-10s | %12s %9s %9s %8s | %9s %8s %9s %8s@." "Level" "Instances"
+    "Classes" "FeatVecs" "V:I" "Train" "Classes" "FeatVecs" "V:I";
+  let levels = [ Plan.Cold; Plan.Warm; Plan.Hot ] in
+  List.iter
+    (fun level ->
+      let stats =
+        List.filter_map
+          (fun (s : Training.loo_set) ->
+            List.find_opt
+              (fun (lm : Modelset.level_model) -> lm.Modelset.level = level)
+              s.Training.modelset.Modelset.levels)
+          loo
+        |> List.map (fun (lm : Modelset.level_model) -> lm.Modelset.stats)
+      in
+      match stats with
+      | [] -> Format.fprintf fmt "%-10s | (no data)@." (Plan.level_name level)
+      | _ ->
+          let avg f =
+            List.fold_left (fun acc s -> acc + f s) 0 stats / List.length stats
+          in
+          let di = avg (fun s -> s.Trainset.data_instances) in
+          let uc = avg (fun s -> s.Trainset.unique_classes) in
+          let uf = avg (fun s -> s.Trainset.unique_feature_vectors) in
+          let ti = avg (fun s -> s.Trainset.training_instances) in
+          let tc = avg (fun s -> s.Trainset.training_classes) in
+          let tf = avg (fun s -> s.Trainset.training_feature_vectors) in
+          let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+          Format.fprintf fmt
+            "%-10s | %12d %9d %9d 1:%-6.0f | %9d %8d %9d 1:%-6.2f@."
+            (Plan.level_name level) di uc uf (ratio di uf) ti tc tf (ratio ti tf))
+    levels;
+  Format.fprintf fmt "@."
+
+let gauge ~higher_better v =
+  (* center at 1.0; 0.5..1.5 maps over 20 chars *)
+  let clamped = Float.max 0.5 (Float.min 1.5 v) in
+  let pos = int_of_float ((clamped -. 0.5) /. 0.05) in
+  String.init 21 (fun i ->
+      if i = 10 then '|'
+      else if i = pos then (if (v > 1.0) = higher_better || v = 1.0 then '#' else 'x')
+      else ' ')
+
+let figure fmt ~id ~title ~higher_better ~extract (cells : Evaluation.cell list) =
+  hr fmt;
+  Format.fprintf fmt "%s: %s (%s is better; 1.00 = unmodified Testarossa)@." id
+    title
+    (if higher_better then "higher" else "lower");
+  hr fmt;
+  let benches =
+    List.fold_left
+      (fun acc (c : Evaluation.cell) ->
+        if List.mem c.Evaluation.bench acc then acc else acc @ [ c.Evaluation.bench ])
+      [] cells
+  in
+  List.iter
+    (fun bench ->
+      let rows =
+        List.filter (fun (c : Evaluation.cell) -> c.Evaluation.bench = bench) cells
+      in
+      List.iteri
+        (fun i (c : Evaluation.cell) ->
+          let s = extract c in
+          Format.fprintf fmt "%-12s %-4s %6.3f ±%5.3f  [%s]@."
+            (if i = 0 then bench else "")
+            c.Evaluation.model s.Stats.mean s.Stats.ci95
+            (gauge ~higher_better s.Stats.mean))
+        rows)
+    benches;
+  (* geometric mean over all bars, the "average improvement" the paper
+     quotes in the text *)
+  let means =
+    List.map (fun c -> (extract c).Stats.mean) cells |> Array.of_list
+  in
+  if Array.length means > 0 then
+    Format.fprintf fmt "%-12s %-4s %6.3f@." "geomean" "" (Stats.geomean means);
+  Format.fprintf fmt "@."
+
+let figures_6_to_13 fmt (m : Evaluation.matrix) =
+  figure fmt ~id:"Figure 6"
+    ~title:"start-up performance (single iteration), SPECjvm98"
+    ~higher_better:true
+    ~extract:(fun c -> c.Evaluation.startup_perf)
+    m.Evaluation.spec_cells;
+  figure fmt ~id:"Figure 7"
+    ~title:"start-up compilation time (single iteration), SPECjvm98"
+    ~higher_better:false
+    ~extract:(fun c -> c.Evaluation.startup_compile)
+    m.Evaluation.spec_cells;
+  figure fmt ~id:"Figure 8"
+    ~title:"start-up performance (single iteration), DaCapo"
+    ~higher_better:true
+    ~extract:(fun c -> c.Evaluation.startup_perf)
+    m.Evaluation.dacapo_cells;
+  figure fmt ~id:"Figure 9"
+    ~title:"start-up compilation time (single iteration), DaCapo"
+    ~higher_better:false
+    ~extract:(fun c -> c.Evaluation.startup_compile)
+    m.Evaluation.dacapo_cells;
+  figure fmt ~id:"Figure 10"
+    ~title:"throughput performance (10 iterations), SPECjvm98"
+    ~higher_better:true
+    ~extract:(fun c -> c.Evaluation.throughput_perf)
+    m.Evaluation.spec_cells;
+  figure fmt ~id:"Figure 11"
+    ~title:"throughput performance (10 iterations), DaCapo"
+    ~higher_better:true
+    ~extract:(fun c -> c.Evaluation.throughput_perf)
+    m.Evaluation.dacapo_cells;
+  figure fmt ~id:"Figure 12"
+    ~title:"relative compilation time (throughput runs), SPECjvm98"
+    ~higher_better:false
+    ~extract:(fun c -> c.Evaluation.throughput_compile)
+    m.Evaluation.spec_cells;
+  figure fmt ~id:"Figure 13"
+    ~title:"relative compilation time (throughput runs), DaCapo"
+    ~higher_better:false
+    ~extract:(fun c -> c.Evaluation.throughput_compile)
+    m.Evaluation.dacapo_cells
+
+let collection_summary fmt (outcomes : Collection.outcome list) =
+  hr fmt;
+  Format.fprintf fmt "Data collection summary@.";
+  hr fmt;
+  List.iter
+    (fun (o : Collection.outcome) ->
+      let total_records =
+        List.length o.Collection.merged.Tessera_collect.Archive.records
+      in
+      let compilations =
+        List.fold_left
+          (fun acc (s : Tessera_collect.Collector.stats) ->
+            acc + s.Tessera_collect.Collector.compilations)
+          0 o.Collection.stats
+      in
+      Format.fprintf fmt
+        "%-12s (%s): %6d records, %6d compilations, %5d discarded TSC samples@."
+        o.Collection.bench.Tessera_workloads.Suites.profile
+          .Tessera_workloads.Profile.name o.Collection.tag total_records
+        compilations
+        (List.fold_left
+           (fun acc (s : Tessera_collect.Collector.stats) ->
+             acc + s.Tessera_collect.Collector.discarded_samples)
+           0 o.Collection.stats))
+    outcomes;
+  Format.fprintf fmt "@."
+
+let training_summary fmt (loo : Training.loo_set list) =
+  hr fmt;
+  Format.fprintf fmt
+    "Trained model sets (leave-one-out; one model per level)@.";
+  hr fmt;
+  List.iter
+    (fun (s : Training.loo_set) ->
+      Format.fprintf fmt "%-4s excludes %-3s:" s.Training.name
+        s.Training.excluded_tag;
+      List.iter
+        (fun (lm : Modelset.level_model) ->
+          Format.fprintf fmt " %s[%d cls, %d inst, %.2fs]"
+            (Plan.level_name lm.Modelset.level)
+            lm.Modelset.stats.Trainset.training_classes
+            lm.Modelset.stats.Trainset.training_instances
+            lm.Modelset.train_seconds)
+        s.Training.modelset.Modelset.levels;
+      Format.fprintf fmt "@.")
+    loo;
+  Format.fprintf fmt "@."

@@ -1,0 +1,24 @@
+(** Plain-text renderings of the paper's tables and figures. *)
+
+module Stats = Tessera_util.Stats
+
+val table4 : Format.formatter -> Training.loo_set list -> unit
+(** Average data-set sizes used for training (merged vs ranked), per
+    compilation level, averaged over the five LOO sets. *)
+
+val figure :
+  Format.formatter ->
+  id:string ->
+  title:string ->
+  higher_better:bool ->
+  extract:(Evaluation.cell -> Stats.summary) ->
+  Evaluation.cell list ->
+  unit
+(** One figure: benchmarks as rows, model sets as columns, a mean ± 95%
+    CI per bar plus an ASCII gauge, and a geometric-mean summary row. *)
+
+val figures_6_to_13 : Format.formatter -> Evaluation.matrix -> unit
+
+val collection_summary : Format.formatter -> Collection.outcome list -> unit
+
+val training_summary : Format.formatter -> Training.loo_set list -> unit

@@ -1,0 +1,33 @@
+module Archive = Tessera_collect.Archive
+
+type loo_set = {
+  name : string;
+  excluded_tag : string;
+  modelset : Modelset.t;
+}
+
+let records_of outcomes =
+  List.concat_map (fun (o : Collection.outcome) -> o.Collection.merged.Archive.records) outcomes
+
+let train_loo ?(solver = Modelset.Crammer_singer)
+    ?(params = Tessera_svm.Linear.default_params) outcomes =
+  List.mapi
+    (fun i (excluded : Collection.outcome) ->
+      let name = Printf.sprintf "H%d" (i + 1) in
+      let kept =
+        List.filter
+          (fun (o : Collection.outcome) -> o.Collection.tag <> excluded.Collection.tag)
+          outcomes
+      in
+      {
+        name;
+        excluded_tag = excluded.Collection.tag;
+        modelset =
+          Modelset.train ~solver ~params ~name
+            ~excluded:excluded.Collection.tag (records_of kept);
+      })
+    outcomes
+
+let train_on_all ?(solver = Modelset.Crammer_singer)
+    ?(params = Tessera_svm.Linear.default_params) ~name outcomes =
+  Modelset.train ~solver ~params ~name (records_of outcomes)

@@ -1,0 +1,28 @@
+(** Leave-one-out training (Section 8.1): from the five training
+    benchmarks, five model sets are built, each trained on four of them;
+    each set has one model per learned level (cold/warm/hot), for 15
+    models in total.  Set H3 — the paper's notation — leaves out
+    mpegaudio. *)
+
+type loo_set = {
+  name : string;  (** H1..H5 *)
+  excluded_tag : string;
+  modelset : Modelset.t;
+}
+
+val train_loo :
+  ?solver:Modelset.solver ->
+  ?params:Tessera_svm.Linear.params ->
+  Collection.outcome list ->
+  loo_set list
+
+val train_on_all :
+  ?solver:Modelset.solver ->
+  ?params:Tessera_svm.Linear.params ->
+  name:string ->
+  Collection.outcome list ->
+  Modelset.t
+(** A set trained on every collected benchmark (used by examples and
+    ablations, not by the paper's figures). *)
+
+val records_of : Collection.outcome list -> Tessera_collect.Record.t list

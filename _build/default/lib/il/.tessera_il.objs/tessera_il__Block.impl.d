@@ -1,0 +1,1 @@
+lib/il/block.ml: Format List Node Printf

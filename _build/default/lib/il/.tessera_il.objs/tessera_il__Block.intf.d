@@ -1,0 +1,1 @@
+lib/il/block.mli: Format Node

@@ -1,0 +1,1 @@
+lib/il/classdef.mli: Types

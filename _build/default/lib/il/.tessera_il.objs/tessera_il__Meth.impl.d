@@ -1,0 +1,1 @@
+lib/il/meth.ml: Array Block Format Hashtbl List Node Printf String Symbol Types

@@ -1,0 +1,1 @@
+lib/il/meth.mli: Block Format Node Symbol Types

@@ -1,0 +1,1 @@
+lib/il/node.ml: Array Format Hashtbl Int64 Opcode Types

@@ -1,0 +1,1 @@
+lib/il/node.mli: Format Opcode Types

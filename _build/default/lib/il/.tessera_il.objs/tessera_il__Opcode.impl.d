@@ -1,0 +1,1 @@
+lib/il/opcode.ml: Array Format List String Types

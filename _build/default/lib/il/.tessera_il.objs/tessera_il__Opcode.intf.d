@@ -1,0 +1,1 @@
+lib/il/opcode.mli: Format Types

@@ -1,0 +1,1 @@
+lib/il/program.ml: Array Classdef Format Hashtbl List Meth Node Opcode Printf String

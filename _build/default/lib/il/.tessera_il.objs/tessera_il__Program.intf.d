@@ -1,0 +1,1 @@
+lib/il/program.mli: Classdef Format Meth

@@ -1,0 +1,1 @@
+lib/il/symbol.ml: Format String Types

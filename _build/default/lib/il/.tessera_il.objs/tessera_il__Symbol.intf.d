@@ -1,0 +1,1 @@
+lib/il/symbol.mli: Format Types

@@ -1,0 +1,1 @@
+lib/il/types.ml: Array Format String

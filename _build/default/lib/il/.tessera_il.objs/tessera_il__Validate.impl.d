@@ -1,0 +1,1 @@
+lib/il/validate.ml: Array Block Format List Meth Node Opcode Printf Program String Types

@@ -1,0 +1,1 @@
+lib/il/validate.mli: Classdef Format Meth Program

@@ -1,0 +1,63 @@
+type terminator =
+  | Goto of int
+  | If of { cond : Node.t; if_true : int; if_false : int }
+  | Return of Node.t option
+  | Throw of Node.t
+
+type t = {
+  id : int;
+  stmts : Node.t list;
+  term : terminator;
+  handler : int option;
+  freq : float;
+}
+
+let make ?(handler = None) ?(freq = 1.0) id stmts term =
+  { id; stmts; term; handler; freq }
+
+let with_stmts b stmts = { b with stmts }
+let with_term b term = { b with term }
+let with_freq b freq = { b with freq }
+
+let successors b =
+  match b.term with
+  | Goto t -> [ t ]
+  | If { if_true; if_false; _ } ->
+      if if_true = if_false then [ if_true ] else [ if_true; if_false ]
+  | Return _ | Throw _ -> []
+
+let terminator_nodes = function
+  | Goto _ -> []
+  | If { cond; _ } -> [ cond ]
+  | Return (Some n) -> [ n ]
+  | Return None -> []
+  | Throw n -> [ n ]
+
+let map_terminator_nodes f = function
+  | Goto t -> Goto t
+  | If { cond; if_true; if_false } -> If { cond = f cond; if_true; if_false }
+  | Return (Some n) -> Return (Some (f n))
+  | Return None -> Return None
+  | Throw n -> Throw (f n)
+
+let tree_count b =
+  let stmt_nodes = List.fold_left (fun acc n -> acc + Node.size n) 0 b.stmts in
+  List.fold_left (fun acc n -> acc + Node.size n) stmt_nodes
+    (terminator_nodes b.term)
+
+let pp_term fmt = function
+  | Goto t -> Format.fprintf fmt "goto L%d" t
+  | If { cond; if_true; if_false } ->
+      Format.fprintf fmt "if %a then L%d else L%d" Node.pp cond if_true
+        if_false
+  | Return None -> Format.fprintf fmt "return"
+  | Return (Some n) -> Format.fprintf fmt "return %a" Node.pp n
+  | Throw n -> Format.fprintf fmt "throw %a" Node.pp n
+
+let pp fmt b =
+  Format.fprintf fmt "@[<v 2>L%d%s:" b.id
+    (match b.handler with
+    | None -> ""
+    | Some h -> Printf.sprintf " [handler L%d]" h);
+  List.iter (fun s -> Format.fprintf fmt "@,%a" Node.pp s) b.stmts;
+  Format.fprintf fmt "@,%a@]" pp_term b.term

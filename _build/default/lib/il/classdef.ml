@@ -1,0 +1,11 @@
+type t = { name : string; fields : Types.t array; parent : int }
+
+let make ?(parent = -1) name fields = { name; fields; parent }
+
+let is_subclass classes sub super =
+  let rec walk c =
+    if c < 0 || c >= Array.length classes then false
+    else if c = super then true
+    else walk classes.(c).parent
+  in
+  walk sub

@@ -1,0 +1,14 @@
+(** Class descriptors, the minimum the VM needs to allocate objects and
+    answer [instanceof]/checkcast questions: a name, field types, and a
+    single-inheritance parent chain. *)
+
+type t = {
+  name : string;
+  fields : Types.t array;
+  parent : int;  (** class id of the superclass; -1 for roots *)
+}
+
+val make : ?parent:int -> string -> Types.t array -> t
+
+val is_subclass : t array -> int -> int -> bool
+(** [is_subclass classes sub super] walks the parent chain. *)

@@ -1,0 +1,127 @@
+type attrs = {
+  constructor : bool;
+  final : bool;
+  protected_ : bool;
+  public : bool;
+  static : bool;
+  synchronized : bool;
+  strictfp : bool;
+  virtual_overridden : bool;
+  uses_unsafe : bool;
+  uses_bigdecimal : bool;
+}
+
+let default_attrs =
+  {
+    constructor = false;
+    final = false;
+    protected_ = false;
+    public = true;
+    static = true;
+    synchronized = false;
+    strictfp = false;
+    virtual_overridden = false;
+    uses_unsafe = false;
+    uses_bigdecimal = false;
+  }
+
+type t = {
+  name : string;
+  attrs : attrs;
+  params : Types.t array;
+  ret : Types.t;
+  symbols : Symbol.t array;
+  blocks : Block.t array;
+}
+
+let make ?(attrs = default_attrs) ~name ~params ~ret ~symbols blocks =
+  { name; attrs; params; ret; symbols; blocks }
+
+let with_blocks m blocks = { m with blocks }
+let with_symbols m symbols = { m with symbols }
+
+let arg_count m =
+  Array.fold_left
+    (fun acc (s : Symbol.t) -> if s.kind = Symbol.Arg then acc + 1 else acc)
+    0 m.symbols
+
+let temp_count m = Array.length m.symbols - arg_count m
+
+let block m id =
+  if id < 0 || id >= Array.length m.blocks then
+    invalid_arg (Printf.sprintf "Meth.block: no block %d in %s" id m.name);
+  m.blocks.(id)
+
+let tree_count m =
+  Array.fold_left (fun acc b -> acc + Block.tree_count b) 0 m.blocks
+
+let iter_trees f m =
+  Array.iter
+    (fun (b : Block.t) ->
+      List.iter f b.stmts;
+      List.iter f (Block.terminator_nodes b.term))
+    m.blocks
+
+let fold_nodes f acc m =
+  let acc = ref acc in
+  iter_trees (fun root -> acc := Node.fold f !acc root) m;
+  !acc
+
+let map_trees f m =
+  let blocks =
+    Array.map
+      (fun (b : Block.t) ->
+        let stmts = List.map f b.stmts in
+        let term = Block.map_terminator_nodes f b.term in
+        { b with Block.stmts; term })
+      m.blocks
+  in
+  { m with blocks }
+
+let exception_handler_count m =
+  let handlers = Hashtbl.create 4 in
+  Array.iter
+    (fun (b : Block.t) ->
+      match b.handler with
+      | Some h -> Hashtbl.replace handlers h ()
+      | None -> ())
+    m.blocks;
+  Hashtbl.length handlers
+
+let has_backward_branch m =
+  Array.exists
+    (fun (b : Block.t) -> List.exists (fun s -> s <= b.id) (Block.successors b))
+    m.blocks
+
+let term_equal (a : Block.terminator) (b : Block.terminator) =
+  match (a, b) with
+  | Block.Goto x, Block.Goto y -> x = y
+  | Block.If a', Block.If b' ->
+      a'.if_true = b'.if_true && a'.if_false = b'.if_false
+      && Node.structural_equal a'.cond b'.cond
+  | Block.Return None, Block.Return None -> true
+  | Block.Return (Some x), Block.Return (Some y) -> Node.structural_equal x y
+  | Block.Throw x, Block.Throw y -> Node.structural_equal x y
+  | _ -> false
+
+let equal a b =
+  String.equal a.name b.name && a.attrs = b.attrs && a.ret = b.ret
+  && a.params = b.params
+  && Array.length a.symbols = Array.length b.symbols
+  && Array.for_all2 Symbol.equal a.symbols b.symbols
+  && Array.length a.blocks = Array.length b.blocks
+  && Array.for_all2
+       (fun (x : Block.t) (y : Block.t) ->
+         x.id = y.id && x.handler = y.handler
+         && List.length x.stmts = List.length y.stmts
+         && List.for_all2 Node.structural_equal x.stmts y.stmts
+         && term_equal x.term y.term)
+       a.blocks b.blocks
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v 2>method %S {" m.name;
+  Array.iteri
+    (fun i s -> Format.fprintf fmt "@,$%d = %a" i Symbol.pp s)
+    m.symbols;
+  Array.iter (fun b -> Format.fprintf fmt "@,%a" Block.pp b) m.blocks;
+  Format.fprintf fmt "@]@,}"

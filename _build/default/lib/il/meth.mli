@@ -1,0 +1,72 @@
+(** Method intermediate representation.
+
+    [attrs] carries exactly the binary method properties that feed the
+    scalar feature vector of Table 1; the remaining Table 1 entries
+    (counters, loop attributes) are derived from the IR itself by the
+    feature extractor. *)
+
+type attrs = {
+  constructor : bool;
+  final : bool;
+  protected_ : bool;
+  public : bool;
+  static : bool;
+  synchronized : bool;
+  strictfp : bool;
+  virtual_overridden : bool;  (** recompiled due to dynamic class loading *)
+  uses_unsafe : bool;  (** inlined something from [sun.misc.Unsafe] *)
+  uses_bigdecimal : bool;  (** touches [java.math.BigDecimal] *)
+}
+
+val default_attrs : attrs
+
+type t = {
+  name : string;  (** full signature, e.g. ["spec.db.Database.remove()V"] *)
+  attrs : attrs;
+  params : Types.t array;
+  ret : Types.t;
+  symbols : Symbol.t array;  (** arguments first, then temporaries *)
+  blocks : Block.t array;  (** [blocks.(0)] is the entry block *)
+}
+
+val make :
+  ?attrs:attrs ->
+  name:string ->
+  params:Types.t array ->
+  ret:Types.t ->
+  symbols:Symbol.t array ->
+  Block.t array ->
+  t
+
+val with_blocks : t -> Block.t array -> t
+val with_symbols : t -> Symbol.t array -> t
+
+val arg_count : t -> int
+val temp_count : t -> int
+
+val block : t -> int -> Block.t
+(** [block m id] fetches a block by id (= array index). *)
+
+val tree_count : t -> int
+(** Total IL nodes across all blocks; the "tree nodes" scalar feature. *)
+
+val iter_trees : (Node.t -> unit) -> t -> unit
+(** Visits every statement and terminator tree root. *)
+
+val fold_nodes : ('a -> Node.t -> 'a) -> 'a -> t -> 'a
+(** Folds over {e every} node of every tree in the method. *)
+
+val map_trees : (Node.t -> Node.t) -> t -> t
+(** Rewrites every tree root (statements and terminator trees). *)
+
+val exception_handler_count : t -> int
+(** Number of distinct handler blocks. *)
+
+val has_backward_branch : t -> bool
+(** "May have loops" in Table 1: any edge to a block with a smaller id. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the whole method body (uids and flags
+    ignored), plus equality of name/attrs/signature. *)
+
+val pp : Format.formatter -> t -> unit

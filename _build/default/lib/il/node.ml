@@ -1,0 +1,112 @@
+type flags = int
+
+let flag_none = 0
+let flag_stack_alloc = 1
+let flag_no_bounds_check = 2
+let flag_no_null_check = 4
+let flag_sync_elided = 8
+let flag_no_overflow = 16
+let flag_rematerialized = 32
+
+type t = {
+  uid : int;
+  op : Opcode.t;
+  ty : Types.t;
+  args : t array;
+  sym : int;
+  const : int64;
+  flags : flags;
+}
+
+let counter = ref 0
+
+let fresh_uid () =
+  incr counter;
+  !counter
+
+let mk ?(sym = -1) ?(const = 0L) ?(flags = flag_none) op ty args =
+  { uid = fresh_uid (); op; ty; args; sym; const; flags }
+
+let with_args n args = { n with uid = fresh_uid (); args }
+let with_flags n flags = { n with flags = n.flags lor flags }
+let with_type n ty = { n with uid = fresh_uid (); ty }
+let has_flag n f = n.flags land f <> 0
+
+let iconst ty v = mk ~const:v Opcode.Loadconst ty [||]
+let fconst ty v = mk ~const:(Int64.bits_of_float v) Opcode.Loadconst ty [||]
+let load_sym ty s = mk ~sym:s Opcode.Load ty [||]
+let store_sym s v = mk ~sym:s Opcode.Store Types.Void [| v |]
+let binop op ty a b = mk op ty [| a; b |]
+let call ty ~callee args = mk ~sym:callee Opcode.Call ty args
+
+let const_float n = Int64.float_of_bits n.const
+
+let rec size n = Array.fold_left (fun acc k -> acc + size k) 1 n.args
+
+let rec fold f acc n = Array.fold_left (fold f) (f acc n) n.args
+
+let rec exists p n = p n || Array.exists (exists p) n.args
+
+let rec map_bottom_up f n =
+  let changed = ref false in
+  let args =
+    Array.map
+      (fun k ->
+        let k' = map_bottom_up f k in
+        if k' != k then changed := true;
+        k')
+      n.args
+  in
+  let n = if !changed then { n with uid = fresh_uid (); args } else n in
+  f n
+
+let rec structural_equal a b =
+  Opcode.equal a.op b.op && Types.equal a.ty b.ty && a.sym = b.sym
+  && Int64.equal a.const b.const
+  && Array.length a.args = Array.length b.args
+  && Array.for_all2 structural_equal a.args b.args
+
+let rec structural_hash n =
+  let h = Hashtbl.hash (Opcode.name n.op, Types.index n.ty, n.sym, n.const) in
+  Array.fold_left (fun acc k -> (acc * 31) + structural_hash k) h n.args
+
+let is_pure n =
+  match n.op with
+  | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.Neg | Opcode.Shift _
+  | Opcode.Or | Opcode.And | Opcode.Xor | Opcode.Compare _ | Opcode.Loadconst
+  | Opcode.Instanceof | Opcode.Branch_op | Opcode.Mixedop ->
+      true
+  | Opcode.Cast k -> not (k = Opcode.C_check)
+  | Opcode.Div | Opcode.Rem ->
+      (* Integer division traps on zero; FP division does not. *)
+      Types.is_floating n.ty
+      || (Array.length n.args = 2
+         && n.args.(1).op = Opcode.Loadconst
+         && not (Int64.equal n.args.(1).const 0L))
+  | Opcode.Load -> Array.length n.args = 0 (* locals cannot trap *)
+  | Opcode.Arrayop Opcode.Array_length -> true
+  | Opcode.Arrayop _ -> false
+  | Opcode.Inc | Opcode.Store | Opcode.New | Opcode.Newarray
+  | Opcode.Newmultiarray | Opcode.Synchronization _ | Opcode.Throw_op
+  | Opcode.Call ->
+      false
+
+let rec subtree_pure n = is_pure n && Array.for_all subtree_pure n.args
+
+let rec pp fmt n =
+  if Array.length n.args = 0 then
+    match n.op with
+    | Opcode.Loadconst ->
+        if Types.is_floating n.ty then
+          Format.fprintf fmt "(%a %a %h)" Opcode.pp n.op Types.pp n.ty
+            (const_float n)
+        else
+          Format.fprintf fmt "(%a %a %Ld)" Opcode.pp n.op Types.pp n.ty n.const
+    | Opcode.Load -> Format.fprintf fmt "(load %a $%d)" Types.pp n.ty n.sym
+    | _ -> Format.fprintf fmt "(%a %a)" Opcode.pp n.op Types.pp n.ty
+  else begin
+    Format.fprintf fmt "(%a %a" Opcode.pp n.op Types.pp n.ty;
+    if n.sym >= 0 then Format.fprintf fmt " $%d" n.sym;
+    Array.iter (fun k -> Format.fprintf fmt " %a" pp k) n.args;
+    Format.fprintf fmt ")"
+  end

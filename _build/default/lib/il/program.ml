@@ -1,0 +1,57 @@
+type t = {
+  name : string;
+  methods : Meth.t array;
+  classes : Classdef.t array;
+  entry : int;
+}
+
+let make ~name ?(classes = [||]) ~entry methods =
+  if entry < 0 || entry >= Array.length methods then
+    invalid_arg "Program.make: entry method id out of range";
+  { name; methods; classes; entry }
+
+let meth p id =
+  if id < 0 || id >= Array.length p.methods then
+    invalid_arg (Printf.sprintf "Program.meth: no method %d" id);
+  p.methods.(id)
+
+let find_method p name =
+  let found = ref None in
+  Array.iteri
+    (fun i (m : Meth.t) ->
+      if !found = None && String.equal m.name name then found := Some i)
+    p.methods;
+  !found
+
+let method_count p = Array.length p.methods
+
+let with_method p id m =
+  let methods = Array.copy p.methods in
+  methods.(id) <- m;
+  { p with methods }
+
+let callees m =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  Meth.fold_nodes
+    (fun () (n : Node.t) ->
+      if n.op = Opcode.Call && n.sym >= 0 && not (Hashtbl.mem seen n.sym) then begin
+        Hashtbl.add seen n.sym ();
+        order := n.sym :: !order
+      end)
+    () m;
+  List.rev !order
+
+let total_tree_count p =
+  Array.fold_left (fun acc m -> acc + Meth.tree_count m) 0 p.methods
+
+let equal a b =
+  String.equal a.name b.name && a.entry = b.entry
+  && Array.length a.methods = Array.length b.methods
+  && Array.for_all2 Meth.equal a.methods b.methods
+  && a.classes = b.classes
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v>program %S (entry %d)@," p.name p.entry;
+  Array.iteri (fun i m -> Format.fprintf fmt "[%d] %a@," i Meth.pp m) p.methods;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,32 @@
+(** Whole-program container: the unit loaded into the VM.
+
+    Method ids are indices into [methods]; [Call] nodes refer to callees
+    by method id, [New]/[Instanceof]/checkcast nodes refer to classes by
+    class id. *)
+
+type t = {
+  name : string;
+  methods : Meth.t array;
+  classes : Classdef.t array;
+  entry : int;  (** method id executed per benchmark iteration *)
+}
+
+val make : name:string -> ?classes:Classdef.t array -> entry:int -> Meth.t array -> t
+
+val meth : t -> int -> Meth.t
+val find_method : t -> string -> int option
+(** Lookup by full signature name. *)
+
+val method_count : t -> int
+
+val with_method : t -> int -> Meth.t -> t
+(** Functional update of one method (used by whole-program transformations
+    such as inlining). *)
+
+val callees : Meth.t -> int list
+(** Distinct method ids called (statically) by a method. *)
+
+val total_tree_count : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

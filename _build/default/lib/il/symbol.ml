@@ -1,0 +1,13 @@
+type kind = Arg | Temp
+
+type t = { name : string; ty : Types.t; kind : kind }
+
+let arg name ty = { name; ty; kind = Arg }
+let temp name ty = { name; ty; kind = Temp }
+
+let equal a b =
+  String.equal a.name b.name && Types.equal a.ty b.ty && a.kind = b.kind
+
+let pp fmt s =
+  Format.fprintf fmt "%s:%a%s" s.name Types.pp s.ty
+    (match s.kind with Arg -> " (arg)" | Temp -> "")

@@ -1,0 +1,12 @@
+(** Method-local symbols.  The paper's feature vector partitions "the set
+    of all symbols referenced in the method" into arguments and
+    temporaries (Table 1); the symbol table preserves that split. *)
+
+type kind = Arg | Temp
+
+type t = { name : string; ty : Types.t; kind : kind }
+
+val arg : string -> Types.t -> t
+val temp : string -> Types.t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

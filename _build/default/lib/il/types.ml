@@ -1,0 +1,86 @@
+type t =
+  | Byte
+  | Char
+  | Short
+  | Int
+  | Long
+  | Float_
+  | Double
+  | Void
+  | Address
+  | Object_
+  | Long_double
+  | Packed_decimal
+  | Zoned_decimal
+  | Mixed
+
+let all =
+  [|
+    Byte; Char; Short; Int; Long; Float_; Double; Void; Address; Object_;
+    Long_double; Packed_decimal; Zoned_decimal; Mixed;
+  |]
+
+let count = Array.length all
+
+let index = function
+  | Byte -> 0
+  | Char -> 1
+  | Short -> 2
+  | Int -> 3
+  | Long -> 4
+  | Float_ -> 5
+  | Double -> 6
+  | Void -> 7
+  | Address -> 8
+  | Object_ -> 9
+  | Long_double -> 10
+  | Packed_decimal -> 11
+  | Zoned_decimal -> 12
+  | Mixed -> 13
+
+let of_index i =
+  if i < 0 || i >= count then invalid_arg "Types.of_index";
+  all.(i)
+
+let name = function
+  | Byte -> "byte"
+  | Char -> "char"
+  | Short -> "short"
+  | Int -> "int"
+  | Long -> "long"
+  | Float_ -> "float"
+  | Double -> "double"
+  | Void -> "void"
+  | Address -> "address"
+  | Object_ -> "object"
+  | Long_double -> "longdouble"
+  | Packed_decimal -> "packed"
+  | Zoned_decimal -> "zoned"
+  | Mixed -> "mixed"
+
+let of_name s = Array.find_opt (fun t -> String.equal (name t) s) all
+
+let equal (a : t) (b : t) = a = b
+
+let pp fmt t = Format.pp_print_string fmt (name t)
+
+let is_integral = function
+  | Byte | Char | Short | Int | Long | Packed_decimal | Zoned_decimal -> true
+  | _ -> false
+
+let is_floating = function Float_ | Double | Long_double -> true | _ -> false
+
+let is_reference = function Address | Object_ -> true | _ -> false
+
+let bit_width = function
+  | Byte -> 8
+  | Char | Short -> 16
+  | Int -> 32
+  | Long -> 64
+  | Float_ -> 32
+  | Double -> 64
+  | Void -> 0
+  | Address | Object_ -> 64
+  | Long_double -> 64 (* modelled on 64-bit significand *)
+  | Packed_decimal | Zoned_decimal -> 64
+  | Mixed -> 0

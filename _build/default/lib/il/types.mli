@@ -1,0 +1,51 @@
+(** The fourteen data types tracked by the feature extractor (Table 2 of
+    the paper): the eight Java native types, the two non-scalar types
+    (addresses and objects), Testarossa's specialised decimal/extended
+    types, and the learning-only [Mixed] bucket. *)
+
+type t =
+  | Byte
+  | Char
+  | Short
+  | Int
+  | Long
+  | Float_
+  | Double
+  | Void
+  | Address  (** arrays of one or more dimensions *)
+  | Object_  (** user-defined objects *)
+  | Long_double  (** IEEE-754 binary128 *)
+  | Packed_decimal  (** BCD fixed point *)
+  | Zoned_decimal  (** BCD zoned *)
+  | Mixed  (** learning-only: mixed/unclassifiable *)
+
+val all : t array
+(** All fourteen types, in feature-index order. *)
+
+val count : int
+(** [= Array.length all = 14]. *)
+
+val index : t -> int
+(** Position of a type in {!all}; the feature-vector slot it counts in. *)
+
+val of_index : int -> t
+
+val name : t -> string
+val of_name : string -> t option
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val is_integral : t -> bool
+(** Byte/Char/Short/Int/Long and the BCD decimals (which Tessera models as
+    fixed-point integers). *)
+
+val is_floating : t -> bool
+(** Float/Double/Long_double. *)
+
+val is_reference : t -> bool
+(** Address/Object. *)
+
+val bit_width : t -> int
+(** Storage width used when truncating on store/cast; 64 for references
+    (a handle), 0 for [Void] and [Mixed]. *)

@@ -1,0 +1,122 @@
+type error = { where : string; what : string }
+
+let pp_error fmt e = Format.fprintf fmt "%s: %s" e.where e.what
+
+let arity_ok (n : Node.t) =
+  let a = Array.length n.args in
+  match n.op with
+  | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.Div | Opcode.Rem | Opcode.Or
+  | Opcode.And | Opcode.Xor | Opcode.Shift _ | Opcode.Compare _ ->
+      a = 2
+  | Opcode.Neg -> a = 1
+  | Opcode.Inc -> a = 0 (* symbol += const payload *)
+  | Opcode.Cast _ -> a = 1
+  | Opcode.Load -> a = 0 || a = 1 || a = 2
+  | Opcode.Loadconst -> a = 0
+  | Opcode.Store -> a = 1 || a = 2 || a = 3
+  | Opcode.New -> a = 0
+  | Opcode.Newarray -> a = 1
+  | Opcode.Newmultiarray -> a = 2
+  | Opcode.Instanceof -> a = 1
+  | Opcode.Synchronization _ -> a <= 1
+  | Opcode.Throw_op -> a <= 1
+  | Opcode.Branch_op -> a = 1
+  | Opcode.Call -> true
+  | Opcode.Arrayop Opcode.Bounds_check -> a = 2
+  | Opcode.Arrayop Opcode.Array_copy -> a = 3
+  | Opcode.Arrayop Opcode.Array_cmp -> a = 2
+  | Opcode.Arrayop Opcode.Array_length -> a = 1
+  | Opcode.Mixedop -> true
+
+let needs_sym (n : Node.t) =
+  match n.op with
+  | Opcode.Load when Array.length n.args = 0 -> true
+  | Opcode.Store when Array.length n.args = 1 -> true
+  | Opcode.Inc -> true
+  | Opcode.Call -> true
+  | Opcode.New | Opcode.Instanceof | Opcode.Cast Opcode.C_check -> true
+  | _ -> false
+
+let check_method ?(classes = [||]) ?(method_count = max_int) (m : Meth.t) =
+  let errs = ref [] in
+  let err where fmt =
+    Format.kasprintf (fun what -> errs := { where; what } :: !errs) fmt
+  in
+  let nblocks = Array.length m.blocks in
+  let nsyms = Array.length m.symbols in
+  if nblocks = 0 then err m.name "method has no blocks";
+  Array.iteri
+    (fun i (b : Block.t) ->
+      let where = Printf.sprintf "%s:L%d" m.name b.id in
+      if b.id <> i then err where "block id %d at index %d" b.id i;
+      (match b.handler with
+      | Some h when h < 0 || h >= nblocks -> err where "handler L%d out of range" h
+      | Some h when h = b.id -> err where "block is its own handler"
+      | _ -> ());
+      List.iter
+        (fun t ->
+          if t < 0 || t >= nblocks then err where "branch target L%d out of range" t)
+        (Block.successors b);
+      let check_tree root =
+        Node.fold
+          (fun () (n : Node.t) ->
+            if not (arity_ok n) then
+              err where "opcode %s with arity %d" (Opcode.name n.op)
+                (Array.length n.args);
+            if needs_sym n && n.sym < 0 then
+              err where "opcode %s needs a symbol" (Opcode.name n.op);
+            (match n.op with
+            | Opcode.Load when Array.length n.args = 0 ->
+                if n.sym >= nsyms then err where "load of symbol $%d out of range" n.sym
+            | Opcode.Store when Array.length n.args = 1 ->
+                if n.sym >= nsyms then err where "store to symbol $%d out of range" n.sym
+            | Opcode.Inc ->
+                if n.sym >= nsyms then err where "inc of symbol $%d out of range" n.sym
+            | Opcode.Call ->
+                if n.sym >= method_count then
+                  err where "call to method %d out of range" n.sym
+            | Opcode.New ->
+                if Array.length classes > 0 && n.sym >= Array.length classes then
+                  err where "new of class %d out of range" n.sym
+            | Opcode.Loadconst ->
+                if n.ty = Types.Void then err where "loadconst of void"
+            | _ -> ()))
+          () root
+      in
+      List.iter check_tree b.stmts;
+      List.iter check_tree (Block.terminator_nodes b.term);
+      match b.term with
+      | Block.If { cond; _ } ->
+          if cond.Node.ty = Types.Void then err where "if condition produces void"
+      | Block.Return (Some v) ->
+          if m.ret = Types.Void then err where "value return from void method"
+          else if v.Node.ty = Types.Void then err where "return of void value"
+      | Block.Return None ->
+          if m.ret <> Types.Void then err where "missing return value"
+      | _ -> ())
+    m.blocks;
+  let nargs = Meth.arg_count m in
+  if nargs <> Array.length m.params then
+    err m.name "param count %d but %d arg symbols" (Array.length m.params) nargs;
+  List.rev !errs
+
+let check_program (p : Program.t) =
+  Array.to_list p.methods
+  |> List.concat_map (fun m ->
+         check_method ~classes:p.classes
+           ~method_count:(Array.length p.methods)
+           m)
+
+let render errs =
+  String.concat "; "
+    (List.map (fun e -> Format.asprintf "%a" pp_error e) errs)
+
+let assert_valid_method ?classes ?method_count m =
+  match check_method ?classes ?method_count m with
+  | [] -> ()
+  | errs -> invalid_arg ("invalid method: " ^ render errs)
+
+let assert_valid p =
+  match check_program p with
+  | [] -> ()
+  | errs -> invalid_arg ("invalid program: " ^ render errs)

@@ -1,0 +1,24 @@
+(** IR well-formedness checking.
+
+    The optimizer's central safety contract is: every transformation maps
+    a valid method to a valid method with the same observable semantics.
+    This module checks the static half of that contract; semantic
+    preservation is checked dynamically by differential tests. *)
+
+type error = { where : string; what : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val check_method : ?classes:Classdef.t array -> ?method_count:int -> Meth.t -> error list
+(** Static checks: block ids consistent and targets in range; entry block
+    exists; handler ids valid and not self-referential; symbol references
+    in range; node arities legal for their opcodes; [Loadconst] has no
+    children; [Store] arity 1/2/3; call/class ids in range when the
+    context is supplied; terminator conditions are value-producing. *)
+
+val check_program : Program.t -> error list
+
+val assert_valid_method : ?classes:Classdef.t array -> ?method_count:int -> Meth.t -> unit
+(** Raises [Invalid_argument] with a rendered error list if invalid. *)
+
+val assert_valid : Program.t -> unit

@@ -1,0 +1,1 @@
+lib/jit/compiler.ml: Tessera_codegen Tessera_features Tessera_il Tessera_modifiers Tessera_opt Tessera_vm

@@ -1,0 +1,1 @@
+lib/jit/compiler.mli: Tessera_codegen Tessera_features Tessera_il Tessera_modifiers Tessera_opt Tessera_vm

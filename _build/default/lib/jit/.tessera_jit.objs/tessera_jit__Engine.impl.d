@@ -1,0 +1,1 @@
+lib/jit/engine.ml: Array Compiler Int64 List Tessera_codegen Tessera_il Tessera_modifiers Tessera_opt Tessera_vm Triggers

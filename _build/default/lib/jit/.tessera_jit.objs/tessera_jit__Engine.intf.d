@@ -1,0 +1,1 @@
+lib/jit/engine.mli: Compiler Tessera_il Tessera_modifiers Tessera_opt Tessera_vm Triggers

@@ -1,0 +1,1 @@
+lib/jit/triggers.ml: Tessera_features Tessera_opt

@@ -1,0 +1,1 @@
+lib/jit/triggers.mli: Tessera_features Tessera_il Tessera_opt

@@ -1,0 +1,43 @@
+module Meth = Tessera_il.Meth
+module Program = Tessera_il.Program
+module Modifier = Tessera_modifiers.Modifier
+module Plan = Tessera_opt.Plan
+module Manager = Tessera_opt.Manager
+module Features = Tessera_features.Features
+
+type compilation = {
+  code : Tessera_codegen.Isa.compiled;
+  level : Plan.level;
+  modifier : Modifier.t;
+  features : Features.t;
+  compile_cycles : int;
+  optimized_nodes : int;
+  original_nodes : int;
+}
+
+let compile ?(modifier = Modifier.null) ?(target = Tessera_vm.Target.zircon)
+    ~program ~level (m : Meth.t) =
+  let features = Features.extract m in
+  let quality_floor =
+    match level with
+    | Plan.Cold | Plan.Warm -> Tessera_vm.Cost.Q_base
+    | Plan.Hot | Plan.Very_hot | Plan.Scorching -> Tessera_vm.Cost.Q_regalloc
+  in
+  let result =
+    Manager.optimize
+      ~enabled:(Modifier.enabled_fun modifier)
+      ~quality_floor ~program ~plan:(Plan.plan level) m
+  in
+  let code =
+    Tessera_codegen.Lower.compile ~quality:result.Manager.quality ~target
+      result.Manager.meth
+  in
+  {
+    code;
+    level;
+    modifier;
+    features;
+    compile_cycles = Manager.total_cycles result;
+    optimized_nodes = Meth.tree_count result.Manager.meth;
+    original_nodes = Meth.tree_count m;
+  }

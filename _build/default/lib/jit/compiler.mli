@@ -1,0 +1,28 @@
+(** One JIT compilation: features → plan (filtered by a modifier) →
+    optimizer → code generator. *)
+
+module Meth = Tessera_il.Meth
+module Program = Tessera_il.Program
+module Modifier = Tessera_modifiers.Modifier
+module Plan = Tessera_opt.Plan
+
+type compilation = {
+  code : Tessera_codegen.Isa.compiled;
+  level : Plan.level;
+  modifier : Modifier.t;
+  features : Tessera_features.Features.t;
+      (** extracted just prior to the optimization stage *)
+  compile_cycles : int;
+  optimized_nodes : int;
+  original_nodes : int;
+}
+
+val compile :
+  ?modifier:Modifier.t ->
+  ?target:Tessera_vm.Target.t ->
+  program:Program.t ->
+  level:Plan.level ->
+  Meth.t ->
+  compilation
+(** [modifier] defaults to the null modifier (the original Testarossa
+    plan for the level); [target] to {!Tessera_vm.Target.zircon}. *)

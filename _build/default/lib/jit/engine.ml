@@ -1,0 +1,277 @@
+module Program = Tessera_il.Program
+module Meth = Tessera_il.Meth
+module Values = Tessera_vm.Values
+module Clock = Tessera_vm.Clock
+module Interp = Tessera_vm.Interp
+module Exec = Tessera_codegen.Exec
+module Plan = Tessera_opt.Plan
+module Modifier = Tessera_modifiers.Modifier
+
+type impl = Interpreted | Compiled of Compiler.compilation
+
+type method_state = {
+  mutable impl : impl;
+  mutable pending : (Compiler.compilation * int64) option;
+  mutable invocations : int;
+  mutable acc_cycles : int64;
+  mutable compile_count : int;
+  mutable no_more : bool;
+  mutable loop_cls : Triggers.loop_class option;
+}
+
+type config = {
+  async_compile : bool;
+  instrument : bool;
+  contention : float;
+  compile_threads : int;  (** compilation-queue service rate multiplier *)
+  trigger_scale : float;  (** multiplier on adaptive level-up triggers *)
+  target : Tessera_vm.Target.t;  (** back-end the JIT generates code for *)
+  fuel_per_invocation : int;
+  clock_seed : int64;
+  adaptive : bool;
+}
+
+let default_config =
+  {
+    async_compile = true;
+    instrument = false;
+    contention = 0.02;
+    compile_threads = 2;
+    trigger_scale = 1.0;
+    target = Tessera_vm.Target.zircon;
+    fuel_per_invocation = 200_000_000;
+    clock_seed = 0xC10CL;
+    adaptive = true;
+  }
+
+type t = {
+  program : Program.t;
+  clock : Clock.t;
+  states : method_state array;
+  config : config;
+  callbacks : callbacks;
+  mutable compile_thread_free : int64;
+  mutable total_compile_cycles : int64;
+  mutable compile_count : int;
+  mutable by_level : int array;
+  fuel : int ref;
+  (* cycles consumed by direct callees of the currently-executing method,
+     for exclusive (self-time) instrumentation samples *)
+  mutable callee_acc : int64 ref;
+}
+
+and callbacks = {
+  choose_modifier : (t -> meth_id:int -> level:Plan.level -> Modifier.t option) option;
+  on_compiled : (t -> meth_id:int -> Compiler.compilation -> unit) option;
+  on_sample : (t -> meth_id:int -> cycles:int64 -> valid:bool -> unit) option;
+  post_invoke : (t -> meth_id:int -> unit) option;
+}
+
+let no_callbacks =
+  { choose_modifier = None; on_compiled = None; on_sample = None; post_invoke = None }
+
+let create ?(config = default_config) ?(callbacks = no_callbacks) program =
+  {
+    program;
+    clock = Clock.create ~seed:config.clock_seed ();
+    states =
+      Array.init (Program.method_count program) (fun _ ->
+          {
+            impl = Interpreted;
+            pending = None;
+            invocations = 0;
+            acc_cycles = 0L;
+            compile_count = 0;
+            no_more = false;
+            loop_cls = None;
+          });
+    config;
+    callbacks;
+    compile_thread_free = 0L;
+    total_compile_cycles = 0L;
+    compile_count = 0;
+    by_level = Array.make (Array.length Plan.levels) 0;
+    fuel = ref 0;
+    callee_acc = ref 0L;
+  }
+
+let program t = t.program
+let state t i = t.states.(i)
+let clock_now t = Clock.now t.clock
+
+let loop_class t meth_id =
+  let st = t.states.(meth_id) in
+  match st.loop_cls with
+  | Some c -> c
+  | None ->
+      let c = Triggers.loop_class_of (Program.meth t.program meth_id) in
+      st.loop_cls <- Some c;
+      c
+
+let install_if_ready t st =
+  match st.pending with
+  | Some (comp, at) when Int64.compare (Clock.now t.clock) at >= 0 ->
+      st.impl <- Compiled comp;
+      st.pending <- None
+  | _ -> ()
+
+let do_compile t ~meth_id ~level ~modifier =
+  let st = t.states.(meth_id) in
+  let comp =
+    Compiler.compile ~modifier ~target:t.config.target ~program:t.program
+      ~level
+      (Program.meth t.program meth_id)
+  in
+  t.total_compile_cycles <-
+    Int64.add t.total_compile_cycles (Int64.of_int comp.Compiler.compile_cycles);
+  t.compile_count <- t.compile_count + 1;
+  t.by_level.(Plan.level_index level) <- t.by_level.(Plan.level_index level) + 1;
+  st.compile_count <- st.compile_count + 1;
+  (* contention: part of the compilation steals application cycles *)
+  Clock.advance t.clock
+    (int_of_float (t.config.contention *. float_of_int comp.Compiler.compile_cycles));
+  if t.config.async_compile then begin
+    let now = Clock.now t.clock in
+    let start =
+      if Int64.compare t.compile_thread_free now > 0 then t.compile_thread_free
+      else now
+    in
+    let duration =
+      comp.Compiler.compile_cycles / max 1 t.config.compile_threads
+    in
+    let finish = Int64.add start (Int64.of_int duration) in
+    t.compile_thread_free <- finish;
+    st.pending <- Some (comp, finish)
+  end
+  else begin
+    Clock.advance t.clock comp.Compiler.compile_cycles;
+    st.impl <- Compiled comp;
+    st.pending <- None
+  end;
+  match t.callbacks.on_compiled with
+  | Some f -> f t ~meth_id comp
+  | None -> ()
+
+let request_compile t ~meth_id ~level ?modifier () =
+  let st = t.states.(meth_id) in
+  if st.pending <> None then ()
+  else
+    match modifier with
+    | Some m -> do_compile t ~meth_id ~level ~modifier:m
+    | None -> (
+        match t.callbacks.choose_modifier with
+        | None -> do_compile t ~meth_id ~level ~modifier:Modifier.null
+        | Some choose -> (
+            match choose t ~meth_id ~level with
+            | Some m -> do_compile t ~meth_id ~level ~modifier:m
+            | None -> st.no_more <- true))
+
+let next_level st =
+  match st.impl with
+  | Interpreted -> Some Plan.Cold
+  | Compiled c -> (
+      match c.Compiler.level with
+      | Plan.Cold -> Some Plan.Warm
+      | Plan.Warm -> Some Plan.Hot
+      | Plan.Hot -> Some Plan.Very_hot
+      | Plan.Very_hot -> Some Plan.Scorching
+      | Plan.Scorching -> None)
+
+let adaptive_controller t meth_id =
+  let st = t.states.(meth_id) in
+  if st.no_more || st.pending <> None then ()
+  else
+    match next_level st with
+    | None -> ()
+    | Some level ->
+        let cls = loop_class t meth_id in
+        let threshold =
+          int_of_float
+            (t.config.trigger_scale
+            *. float_of_int (Triggers.trigger level cls))
+        in
+        let promoted_by_sampling =
+          Int64.compare st.acc_cycles Triggers.sample_promote_cycles >= 0
+          && level <> Plan.Scorching
+        in
+        if st.invocations >= threshold || promoted_by_sampling then
+          request_compile t ~meth_id ~level ()
+
+let instrumentation_overhead = 35 (* cycles per TR_jitPTTMethod{Enter,Exit} *)
+
+let rec invoke t meth_id args =
+  let st = t.states.(meth_id) in
+  install_if_ready t st;
+  st.invocations <- st.invocations + 1;
+  if t.config.instrument then Clock.advance t.clock instrumentation_overhead;
+  let enter_cycles, enter_cpu = Clock.read_tsc t.clock in
+  let charge n = Clock.advance t.clock n in
+  let parent_acc = t.callee_acc in
+  let my_acc = ref 0L in
+  t.callee_acc <- my_acc;
+  let account () =
+    if t.config.instrument then Clock.advance t.clock instrumentation_overhead;
+    let exit_cycles, exit_cpu = Clock.read_tsc t.clock in
+    let delta = Int64.sub exit_cycles enter_cycles in
+    (* self time: callee cycles are reported against the callees *)
+    let exclusive = Int64.sub delta !my_acc in
+    t.callee_acc <- parent_acc;
+    parent_acc := Int64.add !parent_acc delta;
+    st.acc_cycles <- Int64.add st.acc_cycles delta;
+    (match t.callbacks.on_sample with
+    | Some f when t.config.instrument ->
+        f t ~meth_id ~cycles:exclusive ~valid:(enter_cpu = exit_cpu)
+    | _ -> ());
+    if t.config.adaptive then adaptive_controller t meth_id;
+    match t.callbacks.post_invoke with Some f -> f t ~meth_id | None -> ()
+  in
+  let result =
+    try
+      match st.impl with
+      | Interpreted ->
+          Interp.run
+            {
+              Interp.classes = t.program.Program.classes;
+              charge;
+              invoke = (fun id args -> invoke t id args);
+              fuel = t.fuel;
+            }
+            (Program.meth t.program meth_id)
+            args
+      | Compiled comp ->
+          Exec.run
+            {
+              Exec.classes = t.program.Program.classes;
+              charge;
+              invoke = (fun id args -> invoke t id args);
+              fuel = t.fuel;
+            }
+            comp.Compiler.code args
+    with e ->
+      account ();
+      raise e
+  in
+  account ();
+  result
+
+let invoke_method t meth_id args =
+  t.fuel := t.config.fuel_per_invocation;
+  match invoke t meth_id args with
+  | v -> Ok v
+  | exception Values.Trap k -> Error k
+
+let invoke_entry t args = invoke_method t t.program.Program.entry args
+
+let app_cycles t = Clock.now t.clock
+let total_compile_cycles t = t.total_compile_cycles
+let compile_count t = t.compile_count
+
+let compiles_by_level t =
+  Array.to_list
+    (Array.mapi (fun i c -> (Plan.level_of_index i, c)) t.by_level)
+  |> List.filter (fun (_, c) -> c > 0)
+
+let methods_compiled t =
+  Array.fold_left
+    (fun acc (st : method_state) -> if st.compile_count > 0 then acc + 1 else acc)
+    0 t.states

@@ -1,0 +1,99 @@
+(** The execution engine: a simulated JVM tying together the interpreter,
+    the JIT compiler, the adaptive compilation controller, and an
+    asynchronous compilation thread.
+
+    Timing model: the application runs on a virtual core whose cycles are
+    the {!Tessera_vm.Clock}.  Compilations run on a separate compilation
+    thread: a request made at time [t] starts when the thread is free,
+    takes the compilation's simulated cycles, and the new code installs at
+    completion time — until then the method keeps running in its previous
+    implementation (usually the interpreter).  A configurable contention
+    factor charges a fraction of each compilation to the application
+    thread, modelling shared pipeline/cache resources ("the compiler
+    competes with the application for the same resources"). *)
+
+module Program = Tessera_il.Program
+module Values = Tessera_vm.Values
+module Plan = Tessera_opt.Plan
+module Modifier = Tessera_modifiers.Modifier
+
+type impl = Interpreted | Compiled of Compiler.compilation
+
+type method_state = {
+  mutable impl : impl;
+  mutable pending : (Compiler.compilation * int64) option;
+      (** compiled code waiting for its install time *)
+  mutable invocations : int;
+  mutable acc_cycles : int64;  (** accumulated inclusive execution cycles *)
+  mutable compile_count : int;
+  mutable no_more : bool;  (** controller gave up on recompiling this *)
+  mutable loop_cls : Triggers.loop_class option;  (** cached *)
+}
+
+type config = {
+  async_compile : bool;
+  instrument : bool;  (** per-invocation TSC enter/exit instrumentation *)
+  contention : float;  (** fraction of compile cycles charged to the app *)
+  compile_threads : int;
+      (** parallel compilation threads: the queue drains proportionally
+          faster, while compilation-time metrics still count total
+          cycles *)
+  trigger_scale : float;
+      (** multiplier on the adaptive controller's level-up triggers; data
+          collection raises it so methods dwell at each level long enough
+          to explore modifiers there *)
+  target : Tessera_vm.Target.t;
+      (** the back-end the JIT generates code for (platform-sensitivity
+          studies deploy the same models on different targets) *)
+  fuel_per_invocation : int;
+  clock_seed : int64;
+  adaptive : bool;  (** run the built-in adaptive controller *)
+}
+
+val default_config : config
+
+type t
+
+type callbacks = {
+  choose_modifier : (t -> meth_id:int -> level:Plan.level -> Modifier.t option) option;
+      (** consulted before each compilation; [None] from the callback
+          means "do not compile now and stop recompiling this method".
+          Unset: always the null modifier. *)
+  on_compiled : (t -> meth_id:int -> Compiler.compilation -> unit) option;
+  on_sample : (t -> meth_id:int -> cycles:int64 -> valid:bool -> unit) option;
+      (** per-invocation instrumentation sample with {e exclusive} (self)
+          cycles — callee time is reported against the callees; [valid] is
+          false when the enter/exit processor ids differ (TSC-drift
+          discard) *)
+  post_invoke : (t -> meth_id:int -> unit) option;
+      (** extra controller logic (data collection uses this to trigger
+          fixed-threshold recompilations) *)
+}
+
+val no_callbacks : callbacks
+
+val create : ?config:config -> ?callbacks:callbacks -> Program.t -> t
+
+val program : t -> Program.t
+val state : t -> int -> method_state
+val clock_now : t -> int64
+
+val invoke_entry : t -> Values.t array -> (Values.t, Values.trap) result
+(** One invocation of the program's entry method, with trap capture and a
+    fresh fuel budget. *)
+
+val invoke_method : t -> int -> Values.t array -> (Values.t, Values.trap) result
+(** Invoke an arbitrary method from outside (used by tests/examples). *)
+
+val request_compile :
+  t -> meth_id:int -> level:Plan.level -> ?modifier:Modifier.t -> unit -> unit
+(** Explicit compilation request (the controller's and collector's tool).
+    Consults [choose_modifier] only when [modifier] is not given. *)
+
+(** {1 Metrics} *)
+
+val app_cycles : t -> int64
+val total_compile_cycles : t -> int64
+val compile_count : t -> int
+val compiles_by_level : t -> (Plan.level * int) list
+val methods_compiled : t -> int

@@ -1,0 +1,31 @@
+module Plan = Tessera_opt.Plan
+module Features = Tessera_features.Features
+
+type loop_class = No_loops | Has_loops | Many_iterations
+
+let loop_class_of m =
+  let f = Features.extract m in
+  if Features.get f 10 <> 0 || Features.get f 12 <> 0 then Many_iterations
+  else if Features.get f 11 <> 0 then Has_loops
+  else No_loops
+
+let loop_class_of_features f =
+  if Features.get f 10 <> 0 || Features.get f 12 <> 0 then Many_iterations
+  else if Features.get f 11 <> 0 then Has_loops
+  else No_loops
+
+let base_trigger = function
+  | Plan.Cold -> 8
+  | Plan.Warm -> 25
+  | Plan.Hot -> 80
+  | Plan.Very_hot -> 8_000
+  | Plan.Scorching -> 40_000
+
+let trigger level cls =
+  let b = base_trigger level in
+  match cls with
+  | Many_iterations -> max 1 (b / 4)
+  | Has_loops -> max 1 (b / 2)
+  | No_loops -> b
+
+let sample_promote_cycles = 600_000_000L (* 300 virtual ms *)

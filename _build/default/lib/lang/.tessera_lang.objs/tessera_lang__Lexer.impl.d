@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Buffer Int64 Printf String

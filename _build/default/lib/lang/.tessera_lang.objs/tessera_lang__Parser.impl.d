@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Format Fun Int64 Lexer List Printf Tessera_il

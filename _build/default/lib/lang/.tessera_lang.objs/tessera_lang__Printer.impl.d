@@ -1,0 +1,1 @@
+lib/lang/printer.ml: Array Format List String Tessera_il

@@ -1,0 +1,210 @@
+type token =
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Ident of string
+  | Int of int64
+  | Float of float
+  | Sym of int
+  | Str of string
+  | Eof
+
+exception Error of { line : int; col : int; message : string }
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable lookahead : token option;
+}
+
+let create src = { src; pos = 0; line = 1; col = 1; lookahead = None }
+
+let position t = (t.line, t.col)
+
+let fail t message = raise (Error { line = t.line; col = t.col; message })
+
+let peek_char t = if t.pos >= String.length t.src then None else Some t.src.[t.pos]
+
+let advance t =
+  (match peek_char t with
+  | Some '\n' ->
+      t.line <- t.line + 1;
+      t.col <- 1
+  | Some _ -> t.col <- t.col + 1
+  | None -> ());
+  t.pos <- t.pos + 1
+
+let rec skip_ws t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance t;
+      skip_ws t
+  | Some ';' ->
+      (* comment to end of line *)
+      let rec eat () =
+        match peek_char t with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance t;
+            eat ()
+      in
+      eat ();
+      skip_ws t
+  | _ -> ()
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '.' || c = '_'
+
+let is_num_char c =
+  (c >= '0' && c <= '9')
+  || (c >= 'a' && c <= 'f')
+  || (c >= 'A' && c <= 'F')
+  || c = 'x' || c = 'X' || c = '.' || c = 'p' || c = 'P' || c = '+' || c = '-'
+  || c = 'e' || c = 'E'
+
+let read_while t pred =
+  let start = t.pos in
+  while (match peek_char t with Some c -> pred c | None -> false) do
+    advance t
+  done;
+  String.sub t.src start (t.pos - start)
+
+let read_number t ~negative =
+  let body =
+    (* the sign was already consumed; numbers may be hex ints or (hex)
+       floats.  Careful scanning: '+'/'-' only valid right after p/e. *)
+    let buf = Buffer.create 16 in
+    let rec go prev =
+      match peek_char t with
+      | Some c
+        when is_num_char c
+             && ((c <> '+' && c <> '-')
+                || prev = 'p' || prev = 'P' || prev = 'e' || prev = 'E') ->
+          Buffer.add_char buf c;
+          advance t;
+          go c
+      | _ -> ()
+    in
+    go ' ';
+    Buffer.contents buf
+  in
+  let s = if negative then "-" ^ body else body in
+  let is_float =
+    String.contains body '.'
+    || ((not (String.length body > 1 && (body.[1] = 'x' || body.[1] = 'X')))
+       && (String.contains body 'e' || String.contains body 'E'))
+    || String.contains body 'p'
+    || String.contains body 'P'
+  in
+  if is_float then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail t (Printf.sprintf "bad float literal %S" s)
+  else
+    match Int64.of_string_opt s with
+    | Some v -> Int v
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail t (Printf.sprintf "bad numeric literal %S" s))
+
+let read_string t =
+  advance t (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char t with
+    | None -> fail t "unterminated string"
+    | Some '"' ->
+        advance t;
+        Buffer.contents buf
+    | Some '\\' -> (
+        advance t;
+        match peek_char t with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance t;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance t;
+            go ()
+        | Some ('"' | '\\') ->
+            Buffer.add_char buf t.src.[t.pos];
+            advance t;
+            go ()
+        | _ -> fail t "bad escape sequence")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance t;
+        go ()
+  in
+  go ()
+
+let lex t =
+  skip_ws t;
+  match peek_char t with
+  | None -> Eof
+  | Some '(' ->
+      advance t;
+      Lparen
+  | Some ')' ->
+      advance t;
+      Rparen
+  | Some '{' ->
+      advance t;
+      Lbrace
+  | Some '}' ->
+      advance t;
+      Rbrace
+  | Some '"' -> Str (read_string t)
+  | Some '$' ->
+      advance t;
+      let digits = read_while t (fun c -> c >= '0' && c <= '9') in
+      if digits = "" then fail t "expected symbol number after $"
+      else Sym (int_of_string digits)
+  | Some '-' ->
+      advance t;
+      read_number t ~negative:true
+  | Some c when c >= '0' && c <= '9' -> read_number t ~negative:false
+  | Some c when is_ident_char c -> Ident (read_while t is_ident_char)
+  | Some c -> fail t (Printf.sprintf "unexpected character %C" c)
+
+let peek t =
+  match t.lookahead with
+  | Some tok -> tok
+  | None ->
+      let tok = lex t in
+      t.lookahead <- Some tok;
+      tok
+
+let next t =
+  match t.lookahead with
+  | Some tok ->
+      t.lookahead <- None;
+      tok
+  | None -> lex t
+
+let token_name = function
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Ident s -> s
+  | Int v -> Int64.to_string v
+  | Float f -> Printf.sprintf "%h" f
+  | Sym n -> Printf.sprintf "$%d" n
+  | Str s -> Printf.sprintf "%S" s
+  | Eof -> "<eof>"
+
+let expect t tok =
+  let got = next t in
+  if got <> tok then
+    fail t
+      (Printf.sprintf "expected %s but found %s" (token_name tok)
+         (token_name got))

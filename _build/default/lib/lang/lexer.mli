@@ -1,0 +1,28 @@
+(** Tokenizer for the textual IL assembly (.tir). *)
+
+type token =
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Ident of string  (** identifiers and dotted mnemonics, e.g. [cmp.lt] *)
+  | Int of int64
+  | Float of float  (** hex floats round-trip exactly *)
+  | Sym of int  (** [$3] *)
+  | Str of string  (** double-quoted with escapes *)
+  | Eof
+
+type t
+
+exception Error of { line : int; col : int; message : string }
+
+val create : string -> t
+val peek : t -> token
+val next : t -> token
+val expect : t -> token -> unit
+(** Raises {!Error} with position info when the next token differs. *)
+
+val position : t -> int * int
+(** Current (line, column), 1-based. *)
+
+val token_name : token -> string

@@ -1,0 +1,338 @@
+module Types = Tessera_il.Types
+module Opcode = Tessera_il.Opcode
+module Node = Tessera_il.Node
+module Block = Tessera_il.Block
+module Meth = Tessera_il.Meth
+module Symbol = Tessera_il.Symbol
+module Classdef = Tessera_il.Classdef
+module Program = Tessera_il.Program
+
+exception Parse_error of { line : int; col : int; message : string }
+
+let fail lx message =
+  let line, col = Lexer.position lx in
+  raise (Parse_error { line; col; message })
+
+let wrap lx f =
+  try f () with
+  | Lexer.Error { line; col; message } -> raise (Parse_error { line; col; message })
+  | Failure m -> fail lx m
+
+let ident lx =
+  match Lexer.next lx with
+  | Lexer.Ident s -> s
+  | tok -> fail lx (Printf.sprintf "expected identifier, found %s" (Lexer.token_name tok))
+
+let keyword lx kw =
+  let s = ident lx in
+  if s <> kw then fail lx (Printf.sprintf "expected %S, found %S" kw s)
+
+let string_lit lx =
+  match Lexer.next lx with
+  | Lexer.Str s -> s
+  | tok -> fail lx (Printf.sprintf "expected string, found %s" (Lexer.token_name tok))
+
+let int_lit lx =
+  match Lexer.next lx with
+  | Lexer.Int v -> Int64.to_int v
+  | tok -> fail lx (Printf.sprintf "expected integer, found %s" (Lexer.token_name tok))
+
+let type_name lx =
+  let s = ident lx in
+  match Types.of_name s with
+  | Some t -> t
+  | None -> fail lx (Printf.sprintf "unknown type %S" s)
+
+let rec expr lx =
+  Lexer.expect lx Lexer.Lparen;
+  let opname = ident lx in
+  let op =
+    match Opcode.of_name opname with
+    | Some op -> op
+    | None -> fail lx (Printf.sprintf "unknown opcode %S" opname)
+  in
+  let ty = type_name lx in
+  let sym = ref (-1) in
+  let const = ref 0L in
+  (match op with
+  | Opcode.Loadconst -> (
+      match Lexer.next lx with
+      | Lexer.Int v ->
+          if Types.is_floating ty then const := Int64.bits_of_float (Int64.to_float v)
+          else const := v
+      | Lexer.Float f ->
+          if Types.is_floating ty then const := Int64.bits_of_float f
+          else fail lx "float literal for integral constant"
+      | Lexer.Ident ("nan" | "inf" | "infinity") when Types.is_floating ty ->
+          const := Int64.bits_of_float (float_of_string "nan")
+      | tok -> fail lx (Printf.sprintf "expected literal, found %s" (Lexer.token_name tok)))
+  | Opcode.Inc -> (
+      (match Lexer.next lx with
+      | Lexer.Sym n -> sym := n
+      | tok -> fail lx (Printf.sprintf "expected $symbol, found %s" (Lexer.token_name tok)));
+      match Lexer.next lx with
+      | Lexer.Int v -> const := v
+      | tok -> fail lx (Printf.sprintf "expected increment, found %s" (Lexer.token_name tok)))
+  | _ -> (
+      match Lexer.peek lx with
+      | Lexer.Sym n ->
+          ignore (Lexer.next lx);
+          sym := n
+      | _ -> ()));
+  let args = ref [] in
+  while Lexer.peek lx = Lexer.Lparen do
+    args := expr lx :: !args
+  done;
+  Lexer.expect lx Lexer.Rparen;
+  Node.mk ~sym:!sym ~const:!const op ty (Array.of_list (List.rev !args))
+
+let block lx =
+  keyword lx "block";
+  let id = int_lit lx in
+  let handler =
+    match Lexer.peek lx with
+    | Lexer.Ident "handler" ->
+        ignore (Lexer.next lx);
+        Some (int_lit lx)
+    | _ -> None
+  in
+  Lexer.expect lx Lexer.Lbrace;
+  (* Statements until the closing brace.  Terminators and expressions
+     share the s-expression shape, so read '(' plus the head identifier
+     and dispatch on it: goto/if/return/throw end the block. *)
+  let stmts = ref [] in
+  let term = ref None in
+  let rec loop () =
+    match Lexer.peek lx with
+    | Lexer.Rbrace -> ()
+    | _ ->
+        (* manual dispatch on the identifier after '(' *)
+        Lexer.expect lx Lexer.Lparen;
+        let head = ident lx in
+        let is_term =
+          match head with
+          | "goto" | "if" | "return" | "throw" -> true
+          | _ -> false
+        in
+        if is_term then begin
+          let t =
+            match head with
+            | "goto" -> Block.Goto (int_lit lx)
+            | "if" ->
+                let cond = expr lx in
+                let if_true = int_lit lx in
+                let if_false = int_lit lx in
+                Block.If { cond; if_true; if_false }
+            | "return" ->
+                if Lexer.peek lx = Lexer.Lparen then Block.Return (Some (expr lx))
+                else Block.Return None
+            | _ -> Block.Throw (expr lx)
+          in
+          Lexer.expect lx Lexer.Rparen;
+          term := Some t
+        end
+        else begin
+          (* re-parse as an expression whose '(' and head were consumed:
+             rebuild by handling the rest inline *)
+          let op =
+            match Opcode.of_name head with
+            | Some op -> op
+            | None -> fail lx (Printf.sprintf "unknown opcode %S" head)
+          in
+          let ty = type_name lx in
+          let sym = ref (-1) in
+          let const = ref 0L in
+          (match op with
+          | Opcode.Loadconst -> (
+              match Lexer.next lx with
+              | Lexer.Int v ->
+                  if Types.is_floating ty then
+                    const := Int64.bits_of_float (Int64.to_float v)
+                  else const := v
+              | Lexer.Float f -> const := Int64.bits_of_float f
+              | tok ->
+                  fail lx
+                    (Printf.sprintf "expected literal, found %s" (Lexer.token_name tok)))
+          | Opcode.Inc -> (
+              (match Lexer.next lx with
+              | Lexer.Sym n -> sym := n
+              | tok ->
+                  fail lx
+                    (Printf.sprintf "expected $symbol, found %s" (Lexer.token_name tok)));
+              match Lexer.next lx with
+              | Lexer.Int v -> const := v
+              | tok ->
+                  fail lx
+                    (Printf.sprintf "expected increment, found %s" (Lexer.token_name tok)))
+          | _ -> (
+              match Lexer.peek lx with
+              | Lexer.Sym n ->
+                  ignore (Lexer.next lx);
+                  sym := n
+              | _ -> ()));
+          let args = ref [] in
+          while Lexer.peek lx = Lexer.Lparen do
+            args := expr lx :: !args
+          done;
+          Lexer.expect lx Lexer.Rparen;
+          stmts :=
+            Node.mk ~sym:!sym ~const:!const op ty (Array.of_list (List.rev !args))
+            :: !stmts;
+          loop ()
+        end
+  in
+  loop ();
+  Lexer.expect lx Lexer.Rbrace;
+  match !term with
+  | None -> fail lx (Printf.sprintf "block %d has no terminator" id)
+  | Some t -> Block.make ~handler id (List.rev !stmts) t
+
+let attrs_of_names lx names =
+  List.fold_left
+    (fun (a : Meth.attrs) name ->
+      match name with
+      | "constructor" -> { a with Meth.constructor = true }
+      | "final" -> { a with Meth.final = true }
+      | "protected" -> { a with Meth.protected_ = true }
+      | "public" -> { a with Meth.public = true }
+      | "static" -> { a with Meth.static = true }
+      | "synchronized" -> { a with Meth.synchronized = true }
+      | "strictfp" -> { a with Meth.strictfp = true }
+      | "overridden" -> { a with Meth.virtual_overridden = true }
+      | "unsafe" -> { a with Meth.uses_unsafe = true }
+      | "bigdecimal" -> { a with Meth.uses_bigdecimal = true }
+      | other -> fail lx (Printf.sprintf "unknown attribute %S" other))
+    {
+      Meth.default_attrs with
+      Meth.public = false;
+      static = false;
+    }
+    names
+
+let method_ lx =
+  keyword lx "method";
+  let name = string_lit lx in
+  Lexer.expect lx Lexer.Lparen;
+  let attr_names = ref [] in
+  let rec collect () =
+    match Lexer.peek lx with
+    | Lexer.Ident _ ->
+        attr_names := ident lx :: !attr_names;
+        collect ()
+    | _ -> ()
+  in
+  collect ();
+  Lexer.expect lx Lexer.Rparen;
+  let attrs = attrs_of_names lx (List.rev !attr_names) in
+  keyword lx "returns";
+  let ret = type_name lx in
+  Lexer.expect lx Lexer.Lbrace;
+  let symbols = ref [] in
+  let rec syms () =
+    match Lexer.peek lx with
+    | Lexer.Ident "arg" ->
+        ignore (Lexer.next lx);
+        let n = string_lit lx in
+        let ty = type_name lx in
+        symbols := Symbol.arg n ty :: !symbols;
+        syms ()
+    | Lexer.Ident "temp" ->
+        ignore (Lexer.next lx);
+        let n = string_lit lx in
+        let ty = type_name lx in
+        symbols := Symbol.temp n ty :: !symbols;
+        syms ()
+    | _ -> ()
+  in
+  syms ();
+  let blocks = ref [] in
+  let rec blks () =
+    match Lexer.peek lx with
+    | Lexer.Ident "block" ->
+        blocks := block lx :: !blocks;
+        blks ()
+    | _ -> ()
+  in
+  blks ();
+  Lexer.expect lx Lexer.Rbrace;
+  let symbols = Array.of_list (List.rev !symbols) in
+  let params =
+    Array.of_list
+      (List.filter_map
+         (fun (s : Symbol.t) ->
+           if s.Symbol.kind = Symbol.Arg then Some s.Symbol.ty else None)
+         (Array.to_list symbols))
+  in
+  Meth.make ~attrs ~name ~params ~ret ~symbols
+    (Array.of_list (List.rev !blocks))
+
+let class_ lx =
+  keyword lx "class";
+  let name = string_lit lx in
+  keyword lx "parent";
+  let parent = int_lit lx in
+  Lexer.expect lx Lexer.Lbrace;
+  let fields = ref [] in
+  let rec go () =
+    match Lexer.peek lx with
+    | Lexer.Ident _ ->
+        fields := type_name lx :: !fields;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  Lexer.expect lx Lexer.Rbrace;
+  Classdef.make ~parent name (Array.of_list (List.rev !fields))
+
+let program lx =
+  keyword lx "program";
+  let name = string_lit lx in
+  keyword lx "entry";
+  let entry = int_lit lx in
+  let classes = ref [] in
+  let methods = ref [] in
+  let rec go () =
+    match Lexer.peek lx with
+    | Lexer.Ident "class" ->
+        classes := class_ lx :: !classes;
+        go ()
+    | Lexer.Ident "method" ->
+        methods := method_ lx :: !methods;
+        go ()
+    | Lexer.Eof -> ()
+    | tok -> fail lx (Printf.sprintf "unexpected %s at top level" (Lexer.token_name tok))
+  in
+  go ();
+  let p =
+    Program.make ~name
+      ~classes:(Array.of_list (List.rev !classes))
+      ~entry
+      (Array.of_list (List.rev !methods))
+  in
+  (match Tessera_il.Validate.check_program p with
+  | [] -> ()
+  | errs ->
+      fail lx
+        (Format.asprintf "invalid program: %a"
+           (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+              Tessera_il.Validate.pp_error)
+           errs));
+  p
+
+let parse_expr s =
+  let lx = Lexer.create s in
+  wrap lx (fun () -> expr lx)
+
+let parse_method s =
+  let lx = Lexer.create s in
+  wrap lx (fun () -> method_ lx)
+
+let parse_program s =
+  let lx = Lexer.create s in
+  wrap lx (fun () -> program lx)
+
+let load_program path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_program (really_input_string ic (in_channel_length ic)))

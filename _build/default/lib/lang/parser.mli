@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the .tir assembly, inverse of
+    {!Printer}. *)
+
+exception Parse_error of { line : int; col : int; message : string }
+
+val parse_expr : string -> Tessera_il.Node.t
+val parse_method : string -> Tessera_il.Meth.t
+val parse_program : string -> Tessera_il.Program.t
+(** All raise {!Parse_error} with 1-based position information on
+    malformed input.  Parsed programs are validated
+    ({!Tessera_il.Validate}); validation failures also raise
+    {!Parse_error}. *)
+
+val load_program : string -> Tessera_il.Program.t
+(** Parse a .tir file from disk. *)

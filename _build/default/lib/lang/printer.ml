@@ -1,0 +1,85 @@
+module Types = Tessera_il.Types
+module Opcode = Tessera_il.Opcode
+module Node = Tessera_il.Node
+module Block = Tessera_il.Block
+module Meth = Tessera_il.Meth
+module Symbol = Tessera_il.Symbol
+module Classdef = Tessera_il.Classdef
+module Program = Tessera_il.Program
+
+let rec pp_expr fmt (n : Node.t) =
+  Format.fprintf fmt "@[<hov 2>(%s %s" (Opcode.name n.Node.op)
+    (Types.name n.Node.ty);
+  (match n.Node.op with
+  | Opcode.Loadconst ->
+      if Types.is_floating n.Node.ty then
+        Format.fprintf fmt " %h" (Node.const_float n)
+      else Format.fprintf fmt " %Ld" n.Node.const
+  | Opcode.Inc -> Format.fprintf fmt " $%d %Ld" n.Node.sym n.Node.const
+  | _ -> if n.Node.sym >= 0 then Format.fprintf fmt " $%d" n.Node.sym);
+  Array.iter (fun k -> Format.fprintf fmt "@ %a" pp_expr k) n.Node.args;
+  Format.fprintf fmt ")@]"
+
+let attr_names (a : Meth.attrs) =
+  List.filter_map
+    (fun (set, name) -> if set then Some name else None)
+    [
+      (a.Meth.constructor, "constructor");
+      (a.Meth.final, "final");
+      (a.Meth.protected_, "protected");
+      (a.Meth.public, "public");
+      (a.Meth.static, "static");
+      (a.Meth.synchronized, "synchronized");
+      (a.Meth.strictfp, "strictfp");
+      (a.Meth.virtual_overridden, "overridden");
+      (a.Meth.uses_unsafe, "unsafe");
+      (a.Meth.uses_bigdecimal, "bigdecimal");
+    ]
+
+let pp_term fmt = function
+  | Block.Goto t -> Format.fprintf fmt "(goto %d)" t
+  | Block.If { cond; if_true; if_false } ->
+      Format.fprintf fmt "@[<hov 2>(if %a@ %d %d)@]" pp_expr cond if_true
+        if_false
+  | Block.Return None -> Format.fprintf fmt "(return)"
+  | Block.Return (Some v) ->
+      Format.fprintf fmt "@[<hov 2>(return %a)@]" pp_expr v
+  | Block.Throw v -> Format.fprintf fmt "@[<hov 2>(throw %a)@]" pp_expr v
+
+let pp_method fmt (m : Meth.t) =
+  Format.fprintf fmt "@[<v 2>method %S (%s) returns %s {" m.Meth.name
+    (String.concat " " (attr_names m.Meth.attrs))
+    (Types.name m.Meth.ret);
+  Array.iter
+    (fun (s : Symbol.t) ->
+      Format.fprintf fmt "@,%s %S %s"
+        (match s.Symbol.kind with Symbol.Arg -> "arg" | Symbol.Temp -> "temp")
+        s.Symbol.name (Types.name s.Symbol.ty))
+    m.Meth.symbols;
+  Array.iter
+    (fun (b : Block.t) ->
+      (match b.Block.handler with
+      | None -> Format.fprintf fmt "@,@[<v 2>block %d {" b.Block.id
+      | Some h -> Format.fprintf fmt "@,@[<v 2>block %d handler %d {" b.Block.id h);
+      List.iter (fun s -> Format.fprintf fmt "@,%a" pp_expr s) b.Block.stmts;
+      Format.fprintf fmt "@,%a" pp_term b.Block.term;
+      Format.fprintf fmt "@]@,}")
+    m.Meth.blocks;
+  Format.fprintf fmt "@]@,}"
+
+let pp_program fmt (p : Program.t) =
+  Format.fprintf fmt "@[<v>program %S entry %d@," p.Program.name
+    p.Program.entry;
+  Array.iter
+    (fun (c : Classdef.t) ->
+      Format.fprintf fmt "@[<h>class %S parent %d {%a }@]@," c.Classdef.name
+        c.Classdef.parent
+        (fun fmt fields ->
+          Array.iter (fun ty -> Format.fprintf fmt " %s" (Types.name ty)) fields)
+        c.Classdef.fields)
+    p.Program.classes;
+  Array.iter (fun m -> Format.fprintf fmt "%a@," pp_method m) p.Program.methods;
+  Format.fprintf fmt "@]"
+
+let method_to_string m = Format.asprintf "%a" pp_method m
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,14 @@
+(** Canonical textual rendering of IL programs (.tir).
+
+    The format is the exact inverse of {!Parser}: for any well-formed
+    program [p], [Parser.parse_program (Printer.program_to_string p)]
+    succeeds and is structurally equal to [p].  Optimization flags and
+    block frequencies are {e not} part of the surface syntax — the format
+    describes pre-optimization programs. *)
+
+val pp_expr : Format.formatter -> Tessera_il.Node.t -> unit
+val pp_method : Format.formatter -> Tessera_il.Meth.t -> unit
+val pp_program : Format.formatter -> Tessera_il.Program.t -> unit
+
+val method_to_string : Tessera_il.Meth.t -> string
+val program_to_string : Tessera_il.Program.t -> string

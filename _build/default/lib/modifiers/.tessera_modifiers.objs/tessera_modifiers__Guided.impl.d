@@ -1,0 +1,1 @@
+lib/modifiers/guided.ml: Hashtbl Modifier Option Tessera_util

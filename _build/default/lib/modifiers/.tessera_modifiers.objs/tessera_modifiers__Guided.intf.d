@@ -1,0 +1,1 @@
+lib/modifiers/guided.mli: Modifier

@@ -1,0 +1,1 @@
+lib/modifiers/modifier.ml: Format List String Tessera_opt Tessera_util

@@ -1,0 +1,1 @@
+lib/modifiers/modifier.mli: Format Tessera_util

@@ -1,0 +1,1 @@
+lib/modifiers/queue_ctrl.ml: Array Hashtbl Modifier Tessera_util

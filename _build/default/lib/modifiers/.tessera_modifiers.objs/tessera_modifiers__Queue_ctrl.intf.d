@@ -1,0 +1,1 @@
+lib/modifiers/queue_ctrl.mli: Modifier

@@ -1,0 +1,94 @@
+module Prng = Tessera_util.Prng
+module Bitset = Tessera_util.Bitset
+
+type params = {
+  mutation_rate : float;
+  restart_rate : float;
+  restart_density : float;
+  max_proposals_per_method : int;
+}
+
+let default_params =
+  {
+    mutation_rate = 0.05;
+    restart_rate = 0.1;
+    restart_density = 0.2;
+    max_proposals_per_method = 200;
+  }
+
+type meth_state = {
+  mutable best : (Modifier.t * float) option;
+  mutable calls : int;  (** total [next] calls, for the every-third-null rule *)
+  mutable proposals : int;
+  tried : (int64, unit) Hashtbl.t;
+}
+
+type t = {
+  params : params;
+  rng : Prng.t;
+  per_meth : (int, meth_state) Hashtbl.t;
+  mutable total_proposals : int;
+}
+
+let create ?(params = default_params) ~seed () =
+  { params; rng = Prng.create seed; per_meth = Hashtbl.create 64; total_proposals = 0 }
+
+let state t key =
+  match Hashtbl.find_opt t.per_meth key with
+  | Some s -> s
+  | None ->
+      let s = { best = None; calls = 0; proposals = 0; tried = Hashtbl.create 32 } in
+      Hashtbl.add t.per_meth key s;
+      s
+
+let mutate t base =
+  let m = Bitset.copy base in
+  for i = 0 to Modifier.width - 1 do
+    if Prng.bernoulli t.rng t.params.mutation_rate then
+      Bitset.set m i (not (Bitset.get m i))
+  done;
+  (* force at least one flip so the proposal differs from its parent *)
+  let i = Prng.int t.rng Modifier.width in
+  Bitset.set m i (not (Bitset.get m i));
+  Modifier.of_string (Bitset.to_string m)
+
+let propose t s =
+  let base =
+    if Prng.bernoulli t.rng t.params.restart_rate || s.best = None then
+      Modifier.random t.rng ~density:t.params.restart_density
+    else mutate t (Bitset.of_string (Modifier.to_string (fst (Option.get s.best))))
+  in
+  (* never repeat a modifier for the same method; mutate until fresh *)
+  let rec fresh m budget =
+    if budget = 0 then None
+    else if Hashtbl.mem s.tried (Modifier.to_bits m) then fresh (mutate t (Bitset.of_string (Modifier.to_string m))) (budget - 1)
+    else Some m
+  in
+  fresh base 32
+
+let next t ~method_key =
+  let s = state t method_key in
+  s.calls <- s.calls + 1;
+  if s.calls mod 3 = 0 then Some Modifier.null
+  else if s.proposals >= t.params.max_proposals_per_method then None
+  else
+    match propose t s with
+    | None -> None
+    | Some m ->
+        Hashtbl.replace s.tried (Modifier.to_bits m) ();
+        s.proposals <- s.proposals + 1;
+        t.total_proposals <- t.total_proposals + 1;
+        Some m
+
+let feedback t ~method_key m v =
+  let s = state t method_key in
+  match s.best with
+  | Some (_, best_v) when best_v <= v -> ()
+  | _ -> s.best <- Some (m, v)
+
+let best t ~method_key =
+  match Hashtbl.find_opt t.per_meth method_key with
+  | None -> None
+  | Some s -> s.best
+
+let proposals_made t = t.total_proposals

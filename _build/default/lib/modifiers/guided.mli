@@ -1,0 +1,47 @@
+(** Heuristic-guided modifier search — the future work of Section 5.
+
+    The paper's two searches (pure random, Eq.-1 progressive) are blind:
+    "a heuristic-based search that evaluates the performance for modifiers
+    during data collection may focus the search on promising regions
+    within the space of possible modifiers.  The implementation of such a
+    search is left for future work."  This module implements it as
+    per-method stochastic hill climbing:
+
+    - each method starts from the null modifier;
+    - the collector feeds back the ranking value (Eq. 2) observed for
+      every (method, modifier) experiment;
+    - the next proposal mutates the best modifier seen so far for that
+      method, flipping each bit with a small probability (plus one forced
+      flip, so proposals always differ);
+    - occasionally a fully random restart is proposed to escape local
+      minima.
+
+    Proposals never repeat for a method, matching the strategy-control
+    rule that a method is never compiled twice with the same modifier. *)
+
+type t
+
+type params = {
+  mutation_rate : float;  (** per-bit flip probability when mutating *)
+  restart_rate : float;  (** probability of a random restart proposal *)
+  restart_density : float;  (** disable density of restart proposals *)
+  max_proposals_per_method : int;  (** exploration budget per method *)
+}
+
+val default_params : params
+
+val create : ?params:params -> seed:int64 -> unit -> t
+
+val next : t -> method_key:int -> Modifier.t option
+(** Next modifier to try for the method; [None] once the per-method
+    budget is exhausted.  Every third call still yields the null modifier
+    so the original plan keeps being observed. *)
+
+val feedback : t -> method_key:int -> Modifier.t -> float -> unit
+(** [feedback t ~method_key m v] reports the Eq.-2 ranking value [v]
+    (smaller is better) measured for modifier [m] on this method. *)
+
+val best : t -> method_key:int -> (Modifier.t * float) option
+(** Best (modifier, value) observed so far for a method. *)
+
+val proposals_made : t -> int

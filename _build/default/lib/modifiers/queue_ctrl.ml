@@ -1,0 +1,75 @@
+module Prng = Tessera_util.Prng
+
+type strategy =
+  | Randomized of { count : int; density : float }
+  | Progressive of { l : int }
+
+type meth_state = { mutable compiles : int; mutable last_idx : int }
+
+type t = {
+  mods : Modifier.t array;
+  uses : int array;
+  limit : int;
+  mutable cursor : int;
+  per_meth : (int, meth_state) Hashtbl.t;
+  mutable issued : int;
+}
+
+let create ?(uses_per_modifier = 50) ~seed strategy =
+  let rng = Prng.create seed in
+  let mods =
+    match strategy with
+    | Randomized { count; density } ->
+        Array.init count (fun _ -> Modifier.random rng ~density)
+    | Progressive { l } ->
+        Array.init l (fun i -> Modifier.progressive rng ~i:(i + 1) ~l)
+  in
+  {
+    mods;
+    uses = Array.make (Array.length mods) 0;
+    limit = uses_per_modifier;
+    cursor = 0;
+    per_meth = Hashtbl.create 64;
+    issued = 0;
+  }
+
+let state t key =
+  match Hashtbl.find_opt t.per_meth key with
+  | Some s -> s
+  | None ->
+      let s = { compiles = 0; last_idx = -1 } in
+      Hashtbl.add t.per_meth key s;
+      s
+
+let retire_full t =
+  while t.cursor < Array.length t.mods && t.uses.(t.cursor) >= t.limit do
+    t.cursor <- t.cursor + 1
+  done
+
+let next t ~method_key =
+  let s = state t method_key in
+  let c = s.compiles in
+  s.compiles <- c + 1;
+  (* every third compilation re-observes the original plan *)
+  if c mod 3 = 2 then begin
+    t.issued <- t.issued + 1;
+    Some Modifier.null
+  end
+  else begin
+    retire_full t;
+    let candidate = max t.cursor (s.last_idx + 1) in
+    if candidate >= Array.length t.mods then None
+    else begin
+      s.last_idx <- candidate;
+      t.uses.(candidate) <- t.uses.(candidate) + 1;
+      t.issued <- t.issued + 1;
+      retire_full t;
+      Some t.mods.(candidate)
+    end
+  end
+
+let exhausted t =
+  retire_full t;
+  t.cursor >= Array.length t.mods
+
+let issued t = t.issued

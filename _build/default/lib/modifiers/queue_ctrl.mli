@@ -1,0 +1,34 @@
+(** The strategy-control modifier queue used during data collection
+    (Sections 4 and 5 of the paper):
+
+    - modifiers are pre-computed per optimization level;
+    - each modifier is used for a fixed number of compilations (50 in the
+      paper) and then retired;
+    - the null modifier is interleaved so every method is also observed
+      under the original compilation plan;
+    - a method is never compiled twice with the same modifier. *)
+
+type strategy =
+  | Randomized of { count : int; density : float }
+      (** [count] pre-generated modifiers, each disabling transformations
+          with probability [density] *)
+  | Progressive of { l : int }  (** Eq. (1) schedule with parameter [L] *)
+
+type t
+
+val create : ?uses_per_modifier:int -> seed:int64 -> strategy -> t
+(** [uses_per_modifier] defaults to 50. *)
+
+val next : t -> method_key:int -> Modifier.t option
+(** The modifier to use for this compilation of the method identified by
+    [method_key].  Returns [None] when the queue is exhausted for this
+    method (the method should no longer be recompiled, Section 5).  Every
+    third compilation of a method receives the null modifier, matching
+    "the third modifier used is always the null modifier". *)
+
+val exhausted : t -> bool
+(** All modifiers retired for all methods (data collection should
+    gracefully terminate). *)
+
+val issued : t -> int
+(** Total modifier assignments made so far. *)

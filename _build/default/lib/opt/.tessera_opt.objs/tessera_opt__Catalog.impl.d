@@ -1,0 +1,1 @@
+lib/opt/catalog.ml: Array Passes_block Passes_global Passes_local Passes_loop String Tessera_il

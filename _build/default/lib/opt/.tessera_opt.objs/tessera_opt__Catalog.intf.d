@@ -1,0 +1,1 @@
+lib/opt/catalog.mli: Tessera_il

@@ -1,0 +1,1 @@
+lib/opt/cfg.ml: Array List Tessera_il

@@ -1,0 +1,1 @@
+lib/opt/cfg.mli: Tessera_il

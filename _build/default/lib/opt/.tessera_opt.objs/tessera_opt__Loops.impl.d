@@ -1,0 +1,1 @@
+lib/opt/loops.ml: Array Cfg Hashtbl List Tessera_il

@@ -1,0 +1,1 @@
+lib/opt/loops.mli: Tessera_il

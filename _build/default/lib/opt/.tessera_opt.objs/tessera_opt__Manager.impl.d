@@ -1,0 +1,1 @@
+lib/opt/manager.ml: Array Catalog Format List Printf String Tessera_il Tessera_vm

@@ -1,0 +1,1 @@
+lib/opt/manager.mli: Tessera_il Tessera_vm

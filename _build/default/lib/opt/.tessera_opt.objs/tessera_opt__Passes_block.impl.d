@@ -1,0 +1,1 @@
+lib/opt/passes_block.ml: Array Cfg Fun Hashtbl List Loops Option Printf Tessera_il Tessera_vm Treeutil

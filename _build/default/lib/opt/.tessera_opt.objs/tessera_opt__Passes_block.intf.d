@@ -1,0 +1,1 @@
+lib/opt/passes_block.mli: Tessera_il

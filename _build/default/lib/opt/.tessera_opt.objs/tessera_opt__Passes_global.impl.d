@@ -1,0 +1,1 @@
+lib/opt/passes_global.ml: Array Fun Hashtbl List Tessera_il Treeutil

@@ -1,0 +1,1 @@
+lib/opt/passes_global.mli: Tessera_il

@@ -1,0 +1,1 @@
+lib/opt/passes_local.ml: Array Fun Int64 Option Tessera_il Tessera_vm Treeutil

@@ -1,0 +1,1 @@
+lib/opt/passes_local.mli: Tessera_il

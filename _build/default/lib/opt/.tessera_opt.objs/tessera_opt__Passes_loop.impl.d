@@ -1,0 +1,1 @@
+lib/opt/passes_loop.ml: Array Fun List Loops Tessera_il Treeutil

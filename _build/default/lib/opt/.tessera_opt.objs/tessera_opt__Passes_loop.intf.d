@@ -1,0 +1,1 @@
+lib/opt/passes_loop.mli: Tessera_il

@@ -1,0 +1,1 @@
+lib/opt/plan.ml: Array Format List String

@@ -1,0 +1,1 @@
+lib/opt/plan.mli: Format

@@ -1,0 +1,1 @@
+lib/opt/treeutil.ml: Array Cfg List Option Tessera_il

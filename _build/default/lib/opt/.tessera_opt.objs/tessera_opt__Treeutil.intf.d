@@ -1,0 +1,1 @@
+lib/opt/treeutil.mli: Tessera_il

@@ -1,0 +1,252 @@
+module Types = Tessera_il.Types
+module Opcode = Tessera_il.Opcode
+module Node = Tessera_il.Node
+module Meth = Tessera_il.Meth
+module Program = Tessera_il.Program
+
+type ctx = { program : Program.t }
+
+type weight = Cheap | Medium | Expensive | Very_expensive
+
+type traits = {
+  nodes : int;
+  has_loops : bool;
+  has_allocs : bool;
+  has_sync : bool;
+  has_arrays : bool;
+  has_handlers : bool;
+  has_calls : bool;
+  has_casts : bool;
+  has_decimals : bool;
+  has_longdouble : bool;
+  has_fp : bool;
+  has_objects : bool;
+  has_mixed : bool;
+  has_heap_loads : bool;
+  has_throws : bool;
+  uses_bigdecimal : bool;
+  uses_unsafe : bool;
+}
+
+let traits_of (m : Meth.t) =
+  let nodes = ref 0 in
+  let has_allocs = ref false
+  and has_sync = ref (m.Meth.attrs.Meth.synchronized)
+  and has_arrays = ref false
+  and has_calls = ref false
+  and has_casts = ref false
+  and has_decimals = ref false
+  and has_longdouble = ref false
+  and has_fp = ref false
+  and has_objects = ref false
+  and has_mixed = ref false
+  and has_heap_loads = ref false
+  and has_throws = ref false in
+  Meth.fold_nodes
+    (fun () (n : Node.t) ->
+      incr nodes;
+      (match n.Node.ty with
+      | Types.Float_ | Types.Double -> has_fp := true
+      | Types.Long_double ->
+          has_fp := true;
+          has_longdouble := true
+      | Types.Packed_decimal | Types.Zoned_decimal -> has_decimals := true
+      | Types.Object_ -> has_objects := true
+      | Types.Address -> has_arrays := true
+      | _ -> ());
+      match n.Node.op with
+      | Opcode.New | Opcode.Newarray | Opcode.Newmultiarray ->
+          has_allocs := true
+      | Opcode.Synchronization _ -> has_sync := true
+      | Opcode.Arrayop _ -> has_arrays := true
+      | Opcode.Call -> has_calls := true
+      | Opcode.Cast _ -> has_casts := true
+      | Opcode.Mixedop -> has_mixed := true
+      | Opcode.Instanceof -> has_objects := true
+      | Opcode.Throw_op -> has_throws := true
+      | Opcode.Load when Array.length n.Node.args > 0 -> has_heap_loads := true
+      | _ -> ())
+    () m;
+  Array.iter
+    (fun (b : Tessera_il.Block.t) ->
+      match b.Tessera_il.Block.term with
+      | Tessera_il.Block.Throw _ -> has_throws := true
+      | _ -> ())
+    m.Meth.blocks;
+  {
+    nodes = !nodes;
+    has_loops = Meth.has_backward_branch m;
+    has_allocs = !has_allocs;
+    has_sync = !has_sync;
+    has_arrays = !has_arrays;
+    has_handlers = Meth.exception_handler_count m > 0;
+    has_calls = !has_calls;
+    has_casts = !has_casts;
+    has_decimals = !has_decimals;
+    has_longdouble = !has_longdouble;
+    has_fp = !has_fp;
+    has_objects = !has_objects;
+    has_mixed = !has_mixed;
+    has_heap_loads = !has_heap_loads;
+    has_throws = !has_throws;
+    uses_bigdecimal = m.Meth.attrs.Meth.uses_bigdecimal;
+    uses_unsafe = m.Meth.attrs.Meth.uses_unsafe;
+  }
+
+type entry = {
+  index : int;
+  name : string;
+  weight : weight;
+  applicable : traits -> bool;
+  run : ctx -> Meth.t -> Meth.t;
+  quality_hint : int;
+}
+
+let always (_ : traits) = true
+
+let pure f = fun (_ : ctx) m -> f m
+
+let entry ?(hint = 0) index name weight applicable run =
+  { index; name; weight; applicable; run; quality_hint = hint }
+
+let identity_pass (_ : ctx) m = m
+
+let all =
+  [|
+    entry 0 "constantFolding" Cheap always (pure Passes_local.const_fold);
+    entry 1 "localConstantPropagation" Cheap always (pure Passes_block.local_const_prop);
+    entry 2 "rematerializeConstants" Cheap
+      (fun t -> not t.uses_bigdecimal)
+      (pure Passes_global.remat_constants);
+    entry 3 "globalCopyPropagation" Medium always (pure Passes_global.global_copy_prop);
+    entry 4 "localCopyPropagation" Cheap always (pure Passes_block.copy_prop);
+    entry 5 "deadTreesElimination" Cheap always (pure Passes_block.dead_tree_elim);
+    entry 6 "deadStoresElimination" Medium always (pure Passes_block.dead_store_elim);
+    entry 7 "unreachableBlockElimination" Cheap always (pure Passes_block.unreachable_elim);
+    entry 8 "blockMerging" Medium always (pure Passes_block.block_merge);
+    entry 9 "branchFolding" Cheap always (pure Passes_block.branch_fold);
+    entry 10 "branchReversal" Cheap always (pure Passes_block.branch_reversal);
+    entry 11 "jumpThreading" Cheap always (pure Passes_block.jump_threading);
+    entry 12 "blockLayout" Medium always (pure Passes_block.block_layout);
+    entry 13 "coldBlockOutlining" Medium
+      (fun t -> t.has_handlers || t.has_throws)
+      (pure Passes_block.cold_outline);
+    entry 14 "profiledBlockOrdering" Expensive always
+      (pure Passes_block.profile_block_order);
+    entry 15 "localCSE" Expensive always (pure Passes_block.local_cse);
+    entry 16 "localValueNumbering" Expensive always (pure Passes_block.local_vn);
+    entry 17 "redundantLoadElimination" Expensive
+      (fun t -> t.has_heap_loads && not t.uses_unsafe)
+      (pure Passes_block.field_load_cse);
+    entry 18 "simplifier" Cheap always (pure Passes_local.simplify);
+    entry 19 "treeSimplificationCleanup" Cheap always (pure Passes_local.simplify);
+    entry 20 "bitopSimplification" Cheap always (pure Passes_local.bitop_simplify);
+    entry 21 "strengthReduction" Cheap always (pure Passes_local.strength_reduce);
+    entry 22 "expressionReassociation" Medium always (pure Passes_local.reassociate);
+    entry 23 "signExtensionElimination" Cheap
+      (fun t -> t.has_casts)
+      (pure Passes_local.sign_ext_elim);
+    entry 24 "shiftPeephole" Cheap always (pure Passes_local.peephole_shift);
+    entry 25 "comparePeephole" Cheap always (pure Passes_local.peephole_compare);
+    entry 26 "inductionVariableSimplification" Medium
+      (fun t -> t.has_loops)
+      (pure Passes_local.induction_var);
+    entry 27 "loopInvariantCodeMotion" Expensive
+      (fun t -> t.has_loops)
+      (pure Passes_loop.licm);
+    entry 28 "loopUnrollingSmall" Expensive
+      (fun t -> t.has_loops)
+      (pure (Passes_loop.unroll ~factor:2));
+    entry 29 "loopUnrollingAggressive" Very_expensive
+      (fun t -> t.has_loops)
+      (pure (Passes_loop.unroll ~factor:4));
+    entry 30 "loopPeeling" Expensive (fun t -> t.has_loops) (pure Passes_loop.peel);
+    entry 31 "arraycopyIdiomRecognition" Medium
+      (fun t -> t.has_loops && t.has_arrays)
+      (pure Passes_loop.arraycopy_idiom);
+    entry 32 "boundsCheckElimination" Medium
+      (fun t -> t.has_arrays)
+      (pure Passes_block.bounds_check_elim);
+    entry 33 "redundantBoundsCheckRemoval" Medium
+      (fun t -> t.has_arrays)
+      (pure Passes_block.loop_bounds_flags);
+    entry 34 "nullCheckElimination" Medium
+      (fun t -> t.has_objects || t.has_arrays)
+      (pure Passes_block.null_check_elim);
+    entry 35 "compactNullChecks" Medium
+      (fun t -> t.has_objects || t.has_arrays)
+      (pure Passes_block.compact_null_checks);
+    entry 36 "escapeAnalysis" Very_expensive
+      (fun t -> t.has_allocs)
+      (pure Passes_global.escape_analysis);
+    entry 37 "monitorElision" Medium
+      (fun t -> t.has_sync && t.has_allocs)
+      (pure Passes_global.monitor_elision);
+    entry 38 "redundantMonitorElimination" Medium
+      (fun t -> t.has_sync)
+      (pure Passes_block.monitor_pair_elim);
+    entry 39 "trivialInlining" Medium
+      (fun t -> t.has_calls)
+      (fun ctx m -> Passes_global.inline_trivial ~program:ctx.program m);
+    entry 40 "generalInlining" Very_expensive
+      (fun t -> t.has_calls)
+      (fun ctx m -> Passes_global.inline_general ~program:ctx.program m);
+    entry 41 "unusedSymbolElimination" Cheap always
+      (pure Passes_block.unused_symbol_elim);
+    entry 42 "exceptionDirectedOptimization" Medium
+      (fun t -> t.has_handlers)
+      (pure Passes_block.throw_to_goto);
+    entry 43 "returnMerging" Cheap always (pure Passes_block.return_merge);
+    entry 44 "bigDecimalReduction" Medium
+      (fun t -> t.uses_bigdecimal)
+      (pure Passes_local.mixed_fold);
+    entry 45 "packedDecimalFolding" Medium
+      (fun t -> t.has_decimals)
+      (pure Passes_local.packed_fold);
+    entry 46 "zonedDecimalConversionRemoval" Medium
+      (fun t -> t.has_decimals)
+      (pure Passes_local.decimal_cast_removal);
+    entry 47 "longDoubleNarrowing" Medium
+      (fun t -> t.has_longdouble || t.has_fp)
+      (pure Passes_local.longdouble_narrow);
+    entry 48 "instanceofFolding" Cheap
+      (fun t -> t.has_objects)
+      (pure Passes_local.instanceof_fold);
+    entry 49 "checkcastReduction" Cheap
+      (fun t -> t.has_casts && t.has_objects)
+      (pure Passes_local.checkcast_reduce);
+    entry 50 "arrayLengthFolding" Cheap
+      (fun t -> t.has_arrays)
+      (pure Passes_local.arraylength_fold);
+    entry 51 "mixedIntrinsicFolding" Cheap
+      (fun t -> t.has_mixed)
+      (pure Passes_local.mixed_fold);
+    entry ~hint:1 52 "globalRegisterAllocationHint" Expensive always identity_pass;
+    entry ~hint:1 53 "instructionSchedulingHint" Expensive always identity_pass;
+    entry 54 "deadCodeCleanup" Cheap always
+      (pure (fun m -> Passes_block.dead_store_elim (Passes_block.dead_tree_elim m)));
+    entry 55 "lateConstantFolding" Cheap always (pure Passes_local.const_fold);
+    entry 56 "finalBlockCleanup" Cheap always
+      (pure (fun m -> Passes_block.unreachable_elim (Passes_block.jump_threading m)));
+    entry 57 "loopCanonicalization" Medium
+      (fun t -> t.has_loops)
+      (pure (fun m ->
+           Passes_block.unreachable_elim
+             (Passes_block.jump_threading (Passes_block.block_merge m))));
+  |]
+
+let count = Array.length all
+
+let () = assert (count = 58)
+
+let () = Array.iteri (fun i e -> assert (e.index = i)) all
+
+let by_name name = Array.find_opt (fun e -> String.equal e.name name) all
+
+let weight_cycles = function
+  | Cheap -> (1_500, 30)
+  | Medium -> (4_000, 90)
+  | Expensive -> (12_000, 250)
+  | Very_expensive -> (30_000, 600)
+
+let check_cycles = 400

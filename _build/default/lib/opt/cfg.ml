@@ -1,0 +1,85 @@
+module Block = Tessera_il.Block
+module Meth = Tessera_il.Meth
+
+type t = {
+  preds : int list array;
+  succs : int list array;
+  reachable : bool array;
+  rpo : int array;
+}
+
+let build (m : Meth.t) =
+  let n = Array.length m.blocks in
+  let succs = Array.map Block.successors m.blocks in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun b ts -> List.iter (fun t -> preds.(t) <- b :: preds.(t)) ts)
+    succs;
+  Array.iteri (fun b l -> preds.(b) <- List.rev l) preds;
+  let reachable = Array.make n false in
+  let rec visit b =
+    if not reachable.(b) then begin
+      reachable.(b) <- true;
+      List.iter visit succs.(b);
+      match m.blocks.(b).Block.handler with Some h -> visit h | None -> ()
+    end
+  in
+  if n > 0 then visit 0;
+  (* Reverse post-order over normal edges. *)
+  let seen = Array.make n false in
+  let post = ref [] in
+  let rec dfs b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter dfs succs.(b);
+      post := b :: !post
+    end
+  in
+  if n > 0 then dfs 0;
+  { preds; succs; reachable; rpo = Array.of_list !post }
+
+let single_pred t b = match t.preds.(b) with [ p ] -> Some p | _ -> None
+
+let dominators (m : Meth.t) =
+  let n = Array.length m.blocks in
+  let succs =
+    Array.map
+      (fun (b : Block.t) ->
+        match b.Block.handler with
+        | Some h -> h :: Block.successors b
+        | None -> Block.successors b)
+      m.blocks
+  in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun b ts -> List.iter (fun t -> preds.(t) <- b :: preds.(t)) ts)
+    succs;
+  (* iterative dataflow: dom(entry) = {entry};
+     dom(b) = {b} ∪ ⋂ dom(preds) *)
+  let dom = Array.init n (fun _ -> Array.make n true) in
+  if n > 0 then begin
+    for x = 0 to n - 1 do
+      dom.(0).(x) <- x = 0
+    done;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for b = 1 to n - 1 do
+        match preds.(b) with
+        | [] -> () (* unreachable: keep the all-true convention *)
+        | ps ->
+            for x = 0 to n - 1 do
+              let inter =
+                x = b || List.for_all (fun p -> dom.(p).(x)) ps
+              in
+              if dom.(b).(x) <> inter then begin
+                dom.(b).(x) <- inter;
+                changed := true
+              end
+            done
+      done
+    done
+  end;
+  dom
+
+let is_back_edge dom u v = dom.(u).(v)

@@ -1,0 +1,30 @@
+(** Control-flow graph over a method's blocks.
+
+    Exception edges (block → its handler) are included in reachability but
+    reported separately from normal successors, because layout and
+    merging decisions only consider normal flow while deletion decisions
+    must respect both. *)
+
+type t = {
+  preds : int list array;  (** normal-flow predecessors *)
+  succs : int list array;  (** normal-flow successors *)
+  reachable : bool array;  (** from entry, via normal + exception edges *)
+  rpo : int array;  (** reverse post-order of reachable blocks *)
+}
+
+val build : Tessera_il.Meth.t -> t
+
+val single_pred : t -> int -> int option
+(** The unique normal predecessor of a block, if it has exactly one. *)
+
+val dominators : Tessera_il.Meth.t -> bool array array
+(** [d.(b).(x)] iff block [x] dominates block [b].  Computed over normal
+    edges plus exception edges (block → handler), so handler blocks are
+    properly dominated rather than vacuously dominated-by-everything;
+    blocks unreachable from entry dominate nothing and are dominated by
+    everything (the standard convention). *)
+
+val is_back_edge : bool array array -> int -> int -> bool
+(** [is_back_edge dom u v]: the edge [u -> v] is a back edge, i.e. [v]
+    dominates [u].  Id-order is irrelevant — block layout may renumber
+    freely without confusing loop detection. *)

@@ -1,0 +1,36 @@
+(** The pass manager: applies a compilation plan, optionally filtered by a
+    plan modifier, charging simulated compile cycles per application. *)
+
+module Meth = Tessera_il.Meth
+module Program = Tessera_il.Program
+
+type result = {
+  meth : Meth.t;  (** optimized method IR *)
+  quality : Tessera_vm.Cost.codegen_quality;
+  opt_cycles : int;  (** cycles spent in the optimizer *)
+  front_cycles : int;  (** IL generation (charged per compilation) *)
+  back_cycles : int;  (** code generation, grows with final IR size *)
+  applied : int list;  (** catalogue indices actually executed, in order *)
+  skipped_inapplicable : int list;
+  disabled : int list;  (** applications suppressed by the modifier *)
+}
+
+val total_cycles : result -> int
+(** Front + optimizer + back cycles: the "compilation time" of the
+    paper's figures. *)
+
+val optimize :
+  ?enabled:(int -> bool) ->
+  ?validate:bool ->
+  ?quality_floor:Tessera_vm.Cost.codegen_quality ->
+  program:Program.t ->
+  plan:int list ->
+  Meth.t ->
+  result
+(** [enabled i] says whether catalogue transformation [i] is enabled (the
+    modifier bit of Section 5); defaults to all-enabled.  [validate]
+    checks IR well-formedness after every pass and raises on violation —
+    used by tests to pinpoint a faulty transformation.  [quality_floor]
+    is the minimum back-end tier regardless of which hint transformations
+    ran — the higher optimization levels ship with a stronger baseline
+    register allocator that plan modifiers cannot turn off. *)

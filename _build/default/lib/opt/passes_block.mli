@@ -1,0 +1,67 @@
+(** Block-scoped and CFG transformations.
+
+    Tree rewrites here are semantics-preserving; the *-check passes are
+    cost-only (they attach optimization flags that the back end turns into
+    cycle discounts, while the shared value semantics still performs every
+    check — a mis-flagged node can waste a discount but never change a
+    result). *)
+
+module Meth = Tessera_il.Meth
+
+(** {1 Value-reuse passes} *)
+
+val local_cse : Meth.t -> Meth.t
+(** Common subexpression elimination over register-only expressions within
+    a block. *)
+
+val local_vn : Meth.t -> Meth.t
+(** Value numbering: commutative normalization of pure integer operands
+    followed by CSE, catching [a+b] vs [b+a]. *)
+
+val field_load_cse : Meth.t -> Meth.t
+(** Redundant-load elimination for field/array loads, invalidated by any
+    potential heap write. *)
+
+val copy_prop : Meth.t -> Meth.t
+val local_const_prop : Meth.t -> Meth.t
+
+(** {1 Dead code} *)
+
+val dead_store_elim : Meth.t -> Meth.t
+(** Removes stores to temporaries that are never loaded, and stores
+    overwritten later in the same block before any read. *)
+
+val dead_tree_elim : Meth.t -> Meth.t
+val unused_symbol_elim : Meth.t -> Meth.t
+
+(** {1 Control flow} *)
+
+val branch_fold : Meth.t -> Meth.t
+val branch_reversal : Meth.t -> Meth.t
+(** [if (x != 0)] tests [x] directly, dropping the comparison. *)
+
+val jump_threading : Meth.t -> Meth.t
+val block_merge : Meth.t -> Meth.t
+val unreachable_elim : Meth.t -> Meth.t
+val block_layout : Meth.t -> Meth.t
+val cold_outline : Meth.t -> Meth.t
+val profile_block_order : Meth.t -> Meth.t
+val return_merge : Meth.t -> Meth.t
+val throw_to_goto : Meth.t -> Meth.t
+(** A throw whose handler is in the same method becomes a plain jump,
+    skipping the unwinder. *)
+
+(** {1 Check elimination (cost-only flags)} *)
+
+val bounds_check_elim : Meth.t -> Meth.t
+(** Deduplicates bounds-check statements proven by an earlier identical
+    check (tree rewrite: drops the redundant statement). *)
+
+val loop_bounds_flags : Meth.t -> Meth.t
+(** Flags array accesses covered by an earlier check in the same block. *)
+
+val null_check_elim : Meth.t -> Meth.t
+val compact_null_checks : Meth.t -> Meth.t
+val monitor_pair_elim : Meth.t -> Meth.t
+(** Drops adjacent [monitorexit obj; monitorenter obj] pairs on an object
+    already proven non-null in the block. *)

@@ -1,0 +1,30 @@
+(** Whole-method and interprocedural transformations. *)
+
+module Meth = Tessera_il.Meth
+module Program = Tessera_il.Program
+
+val remat_constants : Meth.t -> Meth.t
+(** Rematerialization of constants: a temporary defined exactly once, in
+    the entry block, by a constant, is replaced by the constant at its
+    uses — recomputing beats keeping the value live (Section 4.1.1 of the
+    paper discusses when this backfires, e.g. BigDecimal). *)
+
+val global_copy_prop : Meth.t -> Meth.t
+(** Forwards never-reassigned argument values through single-definition
+    temporaries across the whole method. *)
+
+val escape_analysis : Meth.t -> Meth.t
+(** Flags allocations whose results provably never escape the method for
+    stack allocation (cost-only flag; the allocation still happens in the
+    value model). *)
+
+val monitor_elision : Meth.t -> Meth.t
+(** Flags monitor operations on provably thread-local objects. *)
+
+val inline_trivial : program:Program.t -> Meth.t -> Meth.t
+(** Replaces calls to tiny pure single-expression callees by the callee
+    expression with arguments substituted. *)
+
+val inline_general : program:Program.t -> Meth.t -> Meth.t
+(** Inlines single-block callees at statement positions, splicing the
+    callee body with renamed symbols. *)

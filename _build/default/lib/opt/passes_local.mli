@@ -1,0 +1,68 @@
+(** Purely local tree rewrites: each transformation inspects one node (and
+    its already-rewritten children) at a time.  All of them preserve the
+    value semantics of {!Tessera_vm.Semantics} exactly — including integer
+    wrap-around, trap behaviour, and bit-exact floating point — which the
+    differential test suite checks on random programs. *)
+
+module Meth = Tessera_il.Meth
+
+val const_fold : Meth.t -> Meth.t
+(** Evaluates operations whose operands are constants of the native scalar
+    types.  Never folds an operation that could trap (integer division by
+    zero). *)
+
+val packed_fold : Meth.t -> Meth.t
+(** Constant folding for the BCD decimal types ([packed]/[zoned]) — these
+    are software-emulated and 3x as expensive, so folding them matters
+    more. *)
+
+val longdouble_narrow : Meth.t -> Meth.t
+(** Removes floating-to-floating conversions, which are exact in the
+    value model; long-double conversions are 16 cycles each. *)
+
+val simplify : Meth.t -> Meth.t
+(** Algebraic identities: [x+0], [x*1], [x*0] (pure [x]), [x/1],
+    [x lsl 0], double negation, casts to the operand's own type. *)
+
+val bitop_simplify : Meth.t -> Meth.t
+(** [x&x = x|x = x], [x^x = x-x = 0], self-comparisons, and
+    constant-chain collapsing for bitwise operators, for pure integer
+    [x]. *)
+
+val strength_reduce : Meth.t -> Meth.t
+(** Integer multiplication by a power of two becomes a shift. *)
+
+val reassociate : Meth.t -> Meth.t
+(** [(x+c1)+c2 = x+(c1+c2)] and sub/add mixtures, integer only (exact in
+    modular arithmetic). *)
+
+val sign_ext_elim : Meth.t -> Meth.t
+(** Removes idempotent narrowing casts and normalizes constants to their
+    storage width. *)
+
+val peephole_shift : Meth.t -> Meth.t
+(** Combines shift-of-shift chains where the combination is exact. *)
+
+val peephole_compare : Meth.t -> Meth.t
+(** Collapses [cmp (cmp a b) 0] patterns into a single comparison. *)
+
+val induction_var : Meth.t -> Meth.t
+(** [s <- load s + c] becomes the single-instruction [inc s, c]. *)
+
+val mixed_fold : Meth.t -> Meth.t
+(** Folds [Mixedop] intrinsics with all-constant operands. *)
+
+val decimal_cast_removal : Meth.t -> Meth.t
+(** Conversions between the two BCD representations are the identity in
+    the value model and cost 3x a hardware op; removes them. *)
+
+val checkcast_reduce : Meth.t -> Meth.t
+(** Removes checkcasts whose operand is a freshly allocated object of a
+    conforming class. *)
+
+val instanceof_fold : Meth.t -> Meth.t
+(** Folds [instanceof] applied to a fresh allocation (the allocation is
+    elided — legal because the heap is not otherwise observable). *)
+
+val arraylength_fold : Meth.t -> Meth.t
+(** [arraylength (newarray c)] becomes [c] for valid constant lengths. *)

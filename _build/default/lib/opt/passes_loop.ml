@@ -1,0 +1,315 @@
+module Types = Tessera_il.Types
+module Opcode = Tessera_il.Opcode
+module Node = Tessera_il.Node
+module Block = Tessera_il.Block
+module Meth = Tessera_il.Meth
+module Symbol = Tessera_il.Symbol
+
+let register_only root =
+  let ok (n : Node.t) =
+    match n.Node.op with
+    | Opcode.Load -> Array.length n.Node.args = 0
+    | Opcode.Loadconst | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.Neg
+    | Opcode.Shift _ | Opcode.Or | Opcode.And | Opcode.Xor | Opcode.Compare _
+      ->
+        true
+    | Opcode.Cast k -> k <> Opcode.C_check
+    | Opcode.Div | Opcode.Rem -> Types.is_floating n.Node.ty
+    | _ -> false
+  in
+  let rec go n = ok n && Array.for_all go n.Node.args in
+  go root
+
+(* ------------------------------------------------------------------ *)
+(* Loop-invariant code motion                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Where, within the method, is each symbol loaded / stored? *)
+let sym_block_map (m : Meth.t) =
+  let n = Array.length m.Meth.symbols in
+  let loads = Array.make n [] in
+  let stores = Array.make n [] in
+  Array.iteri
+    (fun bi (b : Block.t) ->
+      let visit root =
+        Node.fold
+          (fun () (k : Node.t) ->
+            match k.Node.op with
+            | Opcode.Load when Array.length k.Node.args = 0 ->
+                loads.(k.Node.sym) <- bi :: loads.(k.Node.sym)
+            | Opcode.Store when Array.length k.Node.args = 1 ->
+                stores.(k.Node.sym) <- bi :: stores.(k.Node.sym)
+            | Opcode.Inc -> stores.(k.Node.sym) <- bi :: stores.(k.Node.sym)
+            | _ -> ())
+          () root
+      in
+      List.iter visit b.Block.stmts;
+      List.iter visit (Block.terminator_nodes b.Block.term))
+    m.Meth.blocks;
+  (loads, stores)
+
+let hoist_one_loop (m : Meth.t) (l : Loops.loop) =
+  let header = l.Loops.header in
+  if header = 0 then None
+  else begin
+    let in_loop b = List.mem b l.Loops.body in
+    let has_handlers =
+      List.exists (fun b -> m.Meth.blocks.(b).Block.handler <> None) l.Loops.body
+    in
+    if has_handlers then None
+    else begin
+      let loads, stores = sym_block_map m in
+      let stored_in_loop s = List.exists in_loop stores.(s) in
+      let hb = m.Meth.blocks.(header) in
+      (* Position of each statement within the header, to check "no loads
+         of the destination before the definition". *)
+      let stmts = Array.of_list hb.Block.stmts in
+      let hoistable = ref [] in
+      Array.iteri
+        (fun idx (s : Node.t) ->
+          match s.Node.op with
+          | Opcode.Store when Array.length s.Node.args = 1 ->
+              let t = s.Node.sym in
+              let rhs = s.Node.args.(0) in
+              let rhs_syms = Treeutil.loaded_syms_of_tree rhs in
+              let ok =
+                m.Meth.symbols.(t).Symbol.kind = Symbol.Temp
+                && register_only rhs
+                && (not (List.mem t rhs_syms))
+                && (not (List.exists stored_in_loop rhs_syms))
+                && List.length (List.filter in_loop stores.(t))
+                   = List.length stores.(t)
+                (* stored nowhere outside the loop *)
+                && List.length stores.(t) = 1 (* only this definition *)
+                && List.for_all in_loop loads.(t)
+                (* no prior loads of t in the header *)
+                && (let prior = ref false in
+                    Array.iteri
+                      (fun j s' ->
+                        if j < idx && List.mem t (Treeutil.loaded_syms_of_tree s')
+                        then prior := true)
+                      stmts;
+                    not !prior)
+                &&
+                (* terminator of header must not load t before... the
+                   terminator runs after all stmts, so it is fine *)
+                true
+              in
+              if ok then hoistable := (idx, s) :: !hoistable
+          | _ -> ())
+        stmts;
+      match List.rev !hoistable with
+      | [] -> None
+      | picked ->
+          let picked_idx = List.map fst picked in
+          let new_header_stmts =
+            List.filteri (fun i _ -> not (List.mem i picked_idx)) hb.Block.stmts
+          in
+          let n = Array.length m.Meth.blocks in
+          let pre =
+            Block.make n (List.map snd picked) (Block.Goto header)
+          in
+          let blocks = Array.append m.Meth.blocks [| pre |] in
+          let blocks =
+            Array.mapi
+              (fun bi b ->
+                if bi = header then Block.with_stmts b new_header_stmts else b)
+              blocks
+          in
+          let m = Meth.with_blocks m blocks in
+          (* retarget out-of-loop edges into the header to the preheader *)
+          let m =
+            Meth.with_blocks m
+              (Array.mapi
+                 (fun bi (b : Block.t) ->
+                   if bi = n || in_loop bi then b
+                   else
+                     let f t = if t = header then n else t in
+                     let term =
+                       match b.Block.term with
+                       | Block.Goto t -> Block.Goto (f t)
+                       | Block.If { cond; if_true; if_false } ->
+                           Block.If
+                             { cond; if_true = f if_true; if_false = f if_false }
+                       | t -> t
+                     in
+                     Block.with_term b term)
+                 m.Meth.blocks)
+          in
+          (* restore the headers-before-bodies numbering convention by
+             moving the preheader just before the header *)
+          let order =
+            Array.of_list
+              (List.init header Fun.id
+              @ [ n ]
+              @ List.init (n - header) (fun i -> header + i))
+          in
+          Some (Treeutil.reorder m order)
+    end
+  end
+
+let licm (m : Meth.t) =
+  let rec go m budget =
+    if budget = 0 then m
+    else
+      let la = Loops.analyze m in
+      let rec try_loops = function
+        | [] -> m
+        | l :: rest -> (
+            match hoist_one_loop m l with
+            | Some m' -> go m' (budget - 1)
+            | None -> try_loops rest)
+      in
+      try_loops la.Loops.loops
+  in
+  go m 4
+
+(* ------------------------------------------------------------------ *)
+(* Unrolling and peeling                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type self_loop = {
+  block : int;
+  cond : Node.t;
+  body_is_true_branch : bool;
+  exit : int;
+}
+
+let find_self_loops (m : Meth.t) =
+  let la = Loops.analyze m in
+  List.filter_map
+    (fun (l : Loops.loop) ->
+      if not (Loops.is_self_loop m l) then None
+      else
+        let b = l.Loops.header in
+        if b = 0 then None
+        else
+          match m.Meth.blocks.(b).Block.term with
+          | Block.If { cond; if_true; if_false } when if_true = b && if_false <> b
+            ->
+              Some { block = b; cond; body_is_true_branch = true; exit = if_false }
+          | Block.If { cond; if_true; if_false } when if_false = b && if_true <> b
+            ->
+              Some { block = b; cond; body_is_true_branch = false; exit = if_true }
+          | _ -> None)
+    la.Loops.loops
+
+let unroll ~factor (m : Meth.t) =
+  if factor < 2 then m
+  else
+    match find_self_loops m with
+    | [] -> m
+    | sl :: _ ->
+        let b = m.Meth.blocks.(sl.block) in
+        if Block.tree_count b > 120 then m
+        else begin
+          let n = Array.length m.Meth.blocks in
+          let copy_ids = Array.init (factor - 1) (fun i -> n + i) in
+          let term_for next_body =
+            if sl.body_is_true_branch then
+              Block.If { cond = sl.cond; if_true = next_body; if_false = sl.exit }
+            else
+              Block.If { cond = sl.cond; if_true = sl.exit; if_false = next_body }
+          in
+          let copies =
+            Array.mapi
+              (fun i id ->
+                let next =
+                  if i = factor - 2 then sl.block else copy_ids.(i + 1)
+                in
+                Block.make ~handler:b.Block.handler ~freq:b.Block.freq id
+                  b.Block.stmts (term_for next))
+              copy_ids
+          in
+          let blocks = Array.append m.Meth.blocks copies in
+          (* original block now chains into the first copy *)
+          blocks.(sl.block) <- Block.with_term b (term_for copy_ids.(0));
+          Meth.with_blocks m blocks
+        end
+
+let peel (m : Meth.t) =
+  match find_self_loops m with
+  | [] -> m
+  | sl :: _ ->
+      let b = m.Meth.blocks.(sl.block) in
+      if Block.tree_count b > 120 then m
+      else begin
+        let n = Array.length m.Meth.blocks in
+        let peeled =
+          Block.make ~handler:b.Block.handler ~freq:1.0 n b.Block.stmts
+            b.Block.term
+        in
+        let blocks = Array.append m.Meth.blocks [| peeled |] in
+        let m = Meth.with_blocks m blocks in
+        (* entry edges from outside the loop go to the peeled copy *)
+        let m =
+          Meth.with_blocks m
+            (Array.mapi
+               (fun bi (blk : Block.t) ->
+                 if bi = sl.block || bi = n then blk
+                 else
+                   let f t = if t = sl.block then n else t in
+                   let term =
+                     match blk.Block.term with
+                     | Block.Goto t -> Block.Goto (f t)
+                     | Block.If { cond; if_true; if_false } ->
+                         Block.If
+                           { cond; if_true = f if_true; if_false = f if_false }
+                     | t -> t
+                   in
+                   Block.with_term blk term)
+               m.Meth.blocks)
+        in
+        (* move the peeled copy just before the loop to keep numbering *)
+        let order =
+          Array.of_list
+            (List.init sl.block Fun.id
+            @ [ n ]
+            @ List.init (n - sl.block) (fun i -> sl.block + i))
+        in
+        Treeutil.reorder m order
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Array-copy idiom                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let is_load_of sym (n : Node.t) =
+  n.Node.op = Opcode.Load && Array.length n.Node.args = 0 && n.Node.sym = sym
+
+let arraycopy_idiom (m : Meth.t) =
+  let rewrite_block (b : Block.t) self_loops =
+    if not (List.exists (fun sl -> sl.block = b.Block.id) self_loops) then b
+    else
+      match b.Block.stmts with
+      | [ (st : Node.t); (inc : Node.t) ]
+        when st.Node.op = Opcode.Store
+             && Array.length st.Node.args = 3
+             && inc.Node.op = Opcode.Inc
+             && inc.Node.const = 1L -> (
+          let i = inc.Node.sym in
+          let idx = st.Node.args.(1) in
+          let v = st.Node.args.(2) in
+          match v.Node.op with
+          | Opcode.Load
+            when Array.length v.Node.args = 2
+                 && is_load_of i idx
+                 && is_load_of i v.Node.args.(1) ->
+              (* dst[i] <- src[i]; i++ : a copy loop.  Flag both accesses
+                 as check-free. *)
+              let flags = Node.flag_no_bounds_check lor Node.flag_no_null_check in
+              let v' = Node.with_flags v flags in
+              let st' =
+                Node.with_flags
+                  (Node.with_args st [| st.Node.args.(0); idx; v' |])
+                  flags
+              in
+              Block.with_stmts b [ st'; inc ]
+          | _ -> b)
+      | _ -> b
+  in
+  let self_loops = find_self_loops m in
+  if self_loops = [] then m
+  else
+    Meth.with_blocks m
+      (Array.map (fun b -> rewrite_block b self_loops) m.Meth.blocks)

@@ -1,0 +1,23 @@
+(** Loop transformations. *)
+
+module Meth = Tessera_il.Meth
+
+val licm : Meth.t -> Meth.t
+(** Loop-invariant code motion: hoists invariant register-only definitions
+    from loop headers into freshly inserted preheaders.  Conservative —
+    the hoisted temporary must be used only inside the loop and the loop
+    must contain no exception handlers. *)
+
+val unroll : factor:int -> Meth.t -> Meth.t
+(** Unrolls single-block self-loops by chaining [factor - 1] copies, each
+    re-testing the loop condition (always safe, trades code size for
+    branch cycles). *)
+
+val peel : Meth.t -> Meth.t
+(** Peels one iteration of single-block self-loops: a copy of the body
+    runs before the loop, exposing its effects to downstream passes. *)
+
+val arraycopy_idiom : Meth.t -> Meth.t
+(** Recognizes canonical element-copy loops and flags their array accesses
+    as check-free (cost-only; stands in for Testarossa's conversion to a
+    hardware-assisted copy). *)

@@ -1,0 +1,85 @@
+type level = Cold | Warm | Hot | Very_hot | Scorching
+
+let levels = [| Cold; Warm; Hot; Very_hot; Scorching |]
+
+let level_name = function
+  | Cold -> "cold"
+  | Warm -> "warm"
+  | Hot -> "hot"
+  | Very_hot -> "veryhot"
+  | Scorching -> "scorching"
+
+let level_of_name s =
+  Array.find_opt (fun l -> String.equal (level_name l) s) levels
+
+let level_index = function
+  | Cold -> 0
+  | Warm -> 1
+  | Hot -> 2
+  | Very_hot -> 3
+  | Scorching -> 4
+
+let level_of_index i =
+  if i < 0 || i >= Array.length levels then invalid_arg "Plan.level_of_index";
+  levels.(i)
+
+(* Reusable phases.  Indices refer to Catalog.all. *)
+let local_round = [ 0; 18; 1; 4; 21; 23; 24; 25; 20; 22 ]
+let base_cleanup = [ 5; 54; 9; 11; 7; 41 ]
+let check_round = [ 32; 33; 34; 35; 50 ]
+let loop_round = [ 26; 27; 31; 57 ]
+let decimal_round = [ 44; 45; 46; 47; 51 ]
+let object_round = [ 48; 49; 36; 37; 38; 42 ]
+let cse_round = [ 15; 16; 17; 2; 3 ]
+let layout_round = [ 12; 13; 43; 56 ]
+
+let cold_plan =
+  [ 0; 18; 1; 4; 21; 24; 25; 20 ]
+  @ [ 9; 10; 11; 7; 5; 41 ]
+  @ [ 26 ]
+  @ [ 12; 43; 56; 54; 55 ]
+
+let warm_plan =
+  [ 39 ] @ local_round
+  @ [ 26; 57; 31 ]
+  @ check_round
+  @ [ 15; 2; 3; 52 ]
+  @ decimal_round
+  @ [ 48; 49; 38 ]
+  @ base_cleanup
+  @ [ 19; 55 ]
+  @ layout_round
+  @ [ 6; 8; 10 ]
+
+let hot_plan =
+  warm_plan
+  @ [ 16; 17; 27; 30; 36; 37; 35; 42; 52 ]
+  @ local_round @ check_round
+  @ [ 54; 55; 19 ]
+  @ layout_round @ cse_round @ base_cleanup
+  @ [ 14; 28; 51 ]
+
+let very_hot_plan =
+  hot_plan
+  @ [ 40; 28; 39 ]
+  @ local_round @ loop_round @ check_round @ base_cleanup
+  @ [ 19; 55 ]
+
+let scorching_plan =
+  very_hot_plan
+  @ [ 29; 53 ]
+  @ local_round @ cse_round @ check_round @ decimal_round @ object_round
+  @ layout_round @ base_cleanup
+  @ [ 27; 30; 31; 26 ]
+  @ [ 19; 55; 54 ]
+
+let plan = function
+  | Cold -> cold_plan
+  | Warm -> warm_plan
+  | Hot -> hot_plan
+  | Very_hot -> very_hot_plan
+  | Scorching -> scorching_plan
+
+let plan_length l = List.length (plan l)
+
+let pp_level fmt l = Format.pp_print_string fmt (level_name l)

@@ -1,0 +1,23 @@
+(** Optimization levels and their compilation plans.
+
+    Testarossa's five adaptive levels (Section 2 of the paper) each carry
+    an ordered list of transformation applications: roughly 20 for cold,
+    growing to more than 170 for scorching, drawn (with repeats — cleanup
+    steps reapply earlier transformations) from the 58-entry catalogue.
+    A compilation-plan modifier can remove applications but never adds or
+    reorders them. *)
+
+type level = Cold | Warm | Hot | Very_hot | Scorching
+
+val levels : level array
+val level_name : level -> string
+val level_of_name : string -> level option
+val level_index : level -> int
+val level_of_index : int -> level
+
+val plan : level -> int list
+(** Catalogue indices in application order. *)
+
+val plan_length : level -> int
+
+val pp_level : Format.formatter -> level -> unit

@@ -1,0 +1,1 @@
+lib/protocol/channel.ml: Bytes List Printf String Unix

@@ -1,0 +1,1 @@
+lib/protocol/client.ml: Channel Format Message Tessera_modifiers

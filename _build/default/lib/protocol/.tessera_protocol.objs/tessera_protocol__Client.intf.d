@@ -1,0 +1,1 @@
+lib/protocol/client.mli: Channel Tessera_modifiers Tessera_opt

@@ -1,0 +1,1 @@
+lib/protocol/message.ml: Array Buffer Channel Char Format Printf String Tessera_modifiers Tessera_opt Tessera_util

@@ -1,0 +1,1 @@
+lib/protocol/message.mli: Channel Format Tessera_modifiers Tessera_opt

@@ -1,0 +1,1 @@
+lib/protocol/server.ml: Channel Message Printexc Tessera_modifiers Tessera_opt

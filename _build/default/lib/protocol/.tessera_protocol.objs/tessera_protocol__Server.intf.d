@@ -1,0 +1,1 @@
+lib/protocol/server.mli: Channel Tessera_modifiers Tessera_opt

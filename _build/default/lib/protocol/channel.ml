@@ -1,0 +1,102 @@
+exception Closed
+
+(* one direction of an in-memory pipe *)
+type mem_stream = {
+  mutable data : string list;  (* chunks, oldest first (kept reversed) *)
+  mutable pending : int;
+  mutable closed : bool;
+}
+
+type t =
+  | Mem of { incoming : mem_stream; outgoing : mem_stream }
+  | Fd of { fin : Unix.file_descr; fout : Unix.file_descr; mutable open_ : bool }
+
+let mem_stream () = { data = []; pending = 0; closed = false }
+
+let write t s =
+  match t with
+  | Mem m ->
+      if m.outgoing.closed then raise Closed;
+      m.outgoing.data <- s :: m.outgoing.data;
+      m.outgoing.pending <- m.outgoing.pending + String.length s
+  | Fd f ->
+      if not f.open_ then raise Closed;
+      let len = String.length s in
+      let written = ref 0 in
+      while !written < len do
+        let n =
+          try Unix.write_substring f.fout s !written (len - !written)
+          with Unix.Unix_error (Unix.EPIPE, _, _) -> raise Closed
+        in
+        if n = 0 then raise Closed;
+        written := !written + n
+      done
+
+let read_exact t n =
+  match t with
+  | Mem m ->
+      if m.incoming.pending < n then
+        if m.incoming.closed then raise Closed
+        else
+          invalid_arg
+            (Printf.sprintf
+               "Channel.read_exact: in-memory channel has %d of %d bytes \
+                (lockstep violation)"
+               m.incoming.pending n)
+      else begin
+        let all = String.concat "" (List.rev m.incoming.data) in
+        let out = String.sub all 0 n in
+        let rest = String.sub all n (String.length all - n) in
+        m.incoming.data <- (if rest = "" then [] else [ rest ]);
+        m.incoming.pending <- String.length rest;
+        out
+      end
+  | Fd f ->
+      if not f.open_ then raise Closed;
+      let buf = Bytes.create n in
+      let got = ref 0 in
+      while !got < n do
+        let r = Unix.read f.fin buf !got (n - !got) in
+        if r = 0 then raise Closed;
+        got := !got + r
+      done;
+      Bytes.to_string buf
+
+let close = function
+  | Mem m ->
+      m.outgoing.closed <- true;
+      m.incoming.closed <- true
+  | Fd f ->
+      if f.open_ then begin
+        f.open_ <- false;
+        (try Unix.close f.fin with Unix.Unix_error _ -> ());
+        if f.fout <> f.fin then
+          try Unix.close f.fout with Unix.Unix_error _ -> ()
+      end
+
+let of_fds fin fout = Fd { fin; fout; open_ = true }
+
+let pipe_pair () =
+  let a_to_b = mem_stream () in
+  let b_to_a = mem_stream () in
+  ( Mem { incoming = b_to_a; outgoing = a_to_b },
+    Mem { incoming = a_to_b; outgoing = b_to_a } )
+
+let fifo_pair ~path_a ~path_b =
+  List.iter
+    (fun p ->
+      (try Unix.unlink p with Unix.Unix_error _ -> ());
+      Unix.mkfifo p 0o600)
+    [ path_a; path_b ];
+  let open_a () =
+    (* opening order matters with FIFOs: read end first, matching B *)
+    let fin = Unix.openfile path_a [ Unix.O_RDONLY ] 0 in
+    let fout = Unix.openfile path_b [ Unix.O_WRONLY ] 0 in
+    of_fds fin fout
+  in
+  let open_b () =
+    let fout = Unix.openfile path_a [ Unix.O_WRONLY ] 0 in
+    let fin = Unix.openfile path_b [ Unix.O_RDONLY ] 0 in
+    of_fds fin fout
+  in
+  (open_a, open_b)

@@ -1,0 +1,31 @@
+(** Byte channels for compiler ↔ model communication.
+
+    The paper runs the machine-learned model in a separate process and
+    talks to it over named pipes, so models can be swapped without
+    touching the compiler.  This module abstracts the transport: an
+    in-memory pipe pair for tests and in-process use, and Unix file
+    descriptors (including FIFOs created with [mkfifo]) for the real
+    two-process setup. *)
+
+type t
+
+exception Closed
+
+val write : t -> string -> unit
+val read_exact : t -> int -> string
+(** Blocks until the requested byte count is available; raises {!Closed}
+    on end of stream. *)
+
+val close : t -> unit
+
+val of_fds : Unix.file_descr -> Unix.file_descr -> t
+(** [of_fds input output]. *)
+
+val pipe_pair : unit -> t * t
+(** In-memory bidirectional pair: what one end writes the other reads. *)
+
+val fifo_pair : path_a:string -> path_b:string -> (unit -> t) * (unit -> t)
+(** Creates two FIFOs and returns openers for the two endpoints (each
+    opener blocks until the peer opens the other end, as named pipes
+    do).  Endpoint A reads [path_a] and writes [path_b]; B the
+    opposite. *)

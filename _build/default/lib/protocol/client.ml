@@ -1,0 +1,42 @@
+module Modifier = Tessera_modifiers.Modifier
+
+type t = { ch : Channel.t; lockstep : unit -> unit }
+
+let connect ?(model_name = "default") ?(lockstep = fun () -> ()) ch =
+  let c = { ch; lockstep } in
+  Message.send ch (Message.Init { model_name });
+  lockstep ();
+  (match Message.decode_from ch with
+  | Message.Init_ok -> ()
+  | other ->
+      failwith
+        (Format.asprintf "Client.connect: expected InitOk, got %a" Message.pp
+           other));
+  c
+
+let predict t ~level ~features =
+  match
+    Message.send t.ch (Message.Predict { level; features });
+    t.lockstep ();
+    Message.decode_from t.ch
+  with
+  | Message.Prediction { modifier } -> modifier
+  | Message.Error_msg _ | _ -> Modifier.null
+  | exception (Channel.Closed | Message.Malformed _) -> Modifier.null
+
+let ping t =
+  match
+    Message.send t.ch Message.Ping;
+    t.lockstep ();
+    Message.decode_from t.ch
+  with
+  | Message.Pong -> true
+  | _ -> false
+  | exception _ -> false
+
+let shutdown t =
+  (try
+     Message.send t.ch Message.Shutdown;
+     t.lockstep ()
+   with _ -> ());
+  try Channel.close t.ch with _ -> ()

@@ -1,0 +1,20 @@
+(** Compiler-side client of the model protocol. *)
+
+type t
+
+val connect : ?model_name:string -> ?lockstep:(unit -> unit) -> Channel.t -> t
+(** Sends [Init] and waits for [Init_ok].  [lockstep], when given, is run
+    between sending a request and reading the response — in-process tests
+    use it to run one {!Server.step} on the other endpoint of an
+    in-memory pipe. *)
+
+val predict :
+  t ->
+  level:Tessera_opt.Plan.level ->
+  features:float array ->
+  Tessera_modifiers.Modifier.t
+(** [Error_msg] responses and protocol violations fall back to the null
+    modifier (the compiler must never fail because the model did). *)
+
+val ping : t -> bool
+val shutdown : t -> unit

@@ -1,0 +1,106 @@
+module Plan = Tessera_opt.Plan
+module Modifier = Tessera_modifiers.Modifier
+module Codec = Tessera_util.Codec
+
+type t =
+  | Init of { model_name : string }
+  | Init_ok
+  | Predict of { level : Plan.level; features : float array }
+  | Prediction of { modifier : Modifier.t }
+  | Ping
+  | Pong
+  | Shutdown
+  | Error_msg of string
+
+exception Malformed of string
+
+let tag = function
+  | Init _ -> 1
+  | Init_ok -> 2
+  | Predict _ -> 3
+  | Prediction _ -> 4
+  | Ping -> 5
+  | Pong -> 6
+  | Shutdown -> 7
+  | Error_msg _ -> 8
+
+let payload m =
+  let buf = Buffer.create 64 in
+  (match m with
+  | Init { model_name } -> Codec.write_string buf model_name
+  | Init_ok | Ping | Pong | Shutdown -> ()
+  | Predict { level; features } ->
+      Codec.write_varint buf (Plan.level_index level);
+      Codec.write_varint buf (Array.length features);
+      Array.iter (fun f -> Codec.write_f64 buf f) features
+  | Prediction { modifier } -> Codec.write_i64 buf (Modifier.to_bits modifier)
+  | Error_msg e -> Codec.write_string buf e);
+  Buffer.contents buf
+
+let encode m =
+  let p = payload m in
+  let buf = Buffer.create (String.length p + 6) in
+  Codec.write_u8 buf (tag m);
+  Codec.write_varint buf (String.length p);
+  Buffer.add_string buf p;
+  Buffer.contents buf
+
+(* varints are read byte-by-byte from the channel to find the frame end *)
+let read_varint_from ch =
+  let rec go shift acc =
+    if shift > 62 then raise (Malformed "frame length varint too long");
+    let b = Char.code (Channel.read_exact ch 1).[0] in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let decode_from ch =
+  let tag = Char.code (Channel.read_exact ch 1).[0] in
+  let len = read_varint_from ch in
+  if len > 1 lsl 20 then raise (Malformed "oversized frame");
+  let body = Channel.read_exact ch len in
+  let r = Codec.reader_of_string body in
+  try
+    match tag with
+    | 1 -> Init { model_name = Codec.read_string ~what:"model name" r }
+    | 2 -> Init_ok
+    | 3 ->
+        let level = Plan.level_of_index (Codec.read_varint ~what:"level" r) in
+        let n = Codec.read_varint ~what:"feature count" r in
+        if n > 4096 then raise (Malformed "feature vector too long");
+        let features = Array.init n (fun _ -> Codec.read_f64 ~what:"feature" r) in
+        Predict { level; features }
+    | 4 -> Prediction { modifier = Modifier.of_bits (Codec.read_i64 ~what:"modifier" r) }
+    | 5 -> Ping
+    | 6 -> Pong
+    | 7 -> Shutdown
+    | 8 -> Error_msg (Codec.read_string ~what:"error" r)
+    | t -> raise (Malformed (Printf.sprintf "unknown tag %d" t))
+  with
+  | Codec.Truncated w -> raise (Malformed ("truncated payload: " ^ w))
+  | Invalid_argument w -> raise (Malformed w)
+
+let send ch m = Channel.write ch (encode m)
+
+let equal a b =
+  match (a, b) with
+  | Init x, Init y -> x.model_name = y.model_name
+  | Init_ok, Init_ok | Ping, Ping | Pong, Pong | Shutdown, Shutdown -> true
+  | Predict x, Predict y -> x.level = y.level && x.features = y.features
+  | Prediction x, Prediction y -> Modifier.equal x.modifier y.modifier
+  | Error_msg x, Error_msg y -> String.equal x y
+  | _ -> false
+
+let pp fmt = function
+  | Init { model_name } -> Format.fprintf fmt "Init(%s)" model_name
+  | Init_ok -> Format.fprintf fmt "InitOk"
+  | Predict { level; features } ->
+      Format.fprintf fmt "Predict(%s, %d features)" (Plan.level_name level)
+        (Array.length features)
+  | Prediction { modifier } ->
+      Format.fprintf fmt "Prediction(%s)" (Modifier.to_string modifier)
+  | Ping -> Format.fprintf fmt "Ping"
+  | Pong -> Format.fprintf fmt "Pong"
+  | Shutdown -> Format.fprintf fmt "Shutdown"
+  | Error_msg e -> Format.fprintf fmt "Error(%s)" e

@@ -1,0 +1,33 @@
+(** The lean compiler ↔ model protocol (Section 7).
+
+    Frames are length-prefixed: [u8 tag | varint payload length | payload].
+    The compiler sends raw feature vectors; the model side renormalizes
+    them with its scaling file and answers with a full 58-bit modifier
+    pattern — the label→modifier lookup and the normalization both live
+    with the model, so models can be swapped without changes to the
+    compiler. *)
+
+module Plan = Tessera_opt.Plan
+module Modifier = Tessera_modifiers.Modifier
+
+type t =
+  | Init of { model_name : string }
+  | Init_ok
+  | Predict of { level : Plan.level; features : float array }
+  | Prediction of { modifier : Modifier.t }
+  | Ping
+  | Pong
+  | Shutdown
+  | Error_msg of string
+
+exception Malformed of string
+
+val encode : t -> string
+val decode_from : Channel.t -> t
+(** Reads exactly one frame; raises {!Malformed} on unknown tags or bad
+    payloads, [Channel.Closed] at end of stream. *)
+
+val send : Channel.t -> t -> unit
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

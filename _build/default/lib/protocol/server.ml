@@ -1,0 +1,36 @@
+type predictor =
+  level:Tessera_opt.Plan.level ->
+  features:float array ->
+  Tessera_modifiers.Modifier.t
+
+let step ch predictor =
+  match Message.decode_from ch with
+  | Message.Init _ ->
+      Message.send ch Message.Init_ok;
+      true
+  | Message.Ping ->
+      Message.send ch Message.Pong;
+      true
+  | Message.Predict { level; features } ->
+      (match predictor ~level ~features with
+      | modifier -> Message.send ch (Message.Prediction { modifier })
+      | exception e ->
+          Message.send ch (Message.Error_msg (Printexc.to_string e)));
+      true
+  | Message.Shutdown -> false
+  | Message.Init_ok | Message.Pong | Message.Prediction _ | Message.Error_msg _
+    ->
+      Message.send ch (Message.Error_msg "unexpected client->server message");
+      true
+  | exception Message.Malformed w ->
+      Message.send ch (Message.Error_msg ("malformed: " ^ w));
+      true
+
+let serve ch predictor =
+  let continue = ref true in
+  (try
+     while !continue do
+       continue := step ch predictor
+     done
+   with Channel.Closed -> ());
+  try Channel.close ch with _ -> ()

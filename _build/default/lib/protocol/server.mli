@@ -1,0 +1,18 @@
+(** Model-server loop: answers [Predict] requests with modifiers.
+
+    The predictor receives the already-renormalized feature vector and
+    the optimization level; per-level models are the usual deployment
+    (the paper trains one model per level). *)
+
+type predictor =
+  level:Tessera_opt.Plan.level ->
+  features:float array ->
+  Tessera_modifiers.Modifier.t
+
+val step : Channel.t -> predictor -> bool
+(** Handle exactly one incoming message; [false] after [Shutdown].
+    Protocol errors are answered with [Error_msg] and the loop
+    continues. *)
+
+val serve : Channel.t -> predictor -> unit
+(** Run {!step} until shutdown or channel close. *)

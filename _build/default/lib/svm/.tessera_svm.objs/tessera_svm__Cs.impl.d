@@ -1,0 +1,1 @@
+lib/svm/cs.ml: Array Float Fun Linear Model Problem Sparse Tessera_util

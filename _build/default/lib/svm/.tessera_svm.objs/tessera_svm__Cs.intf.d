@@ -1,0 +1,1 @@
+lib/svm/cs.mli: Linear Model Problem

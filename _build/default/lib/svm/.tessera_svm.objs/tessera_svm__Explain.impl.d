@@ -1,0 +1,1 @@
+lib/svm/explain.ml: Array Float Format List Model

@@ -1,0 +1,1 @@
+lib/svm/explain.mli: Format Model

@@ -1,0 +1,1 @@
+lib/svm/linear.ml: Array Float Fun Int64 Model Problem Sparse Tessera_util

@@ -1,0 +1,1 @@
+lib/svm/linear.mli: Model Problem Sparse

@@ -1,0 +1,1 @@
+lib/svm/metrics.ml: Array Fun List Model Problem Tessera_util

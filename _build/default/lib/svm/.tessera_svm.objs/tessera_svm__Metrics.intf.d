@@ -1,0 +1,1 @@
+lib/svm/metrics.mli: Model Problem Sparse

@@ -1,0 +1,1 @@
+lib/svm/model.ml: Array Buffer Fun List Printf Sparse String

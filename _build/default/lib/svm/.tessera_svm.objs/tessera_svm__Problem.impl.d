@@ -1,0 +1,1 @@
+lib/svm/problem.ml: Array Hashtbl List Sparse

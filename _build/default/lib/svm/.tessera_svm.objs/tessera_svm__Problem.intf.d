@@ -1,0 +1,1 @@
+lib/svm/problem.mli: Sparse

@@ -1,0 +1,1 @@
+lib/svm/rbf.ml: Array Float Int64 List Problem Sparse Tessera_util

@@ -1,0 +1,1 @@
+lib/svm/rbf.mli: Problem Sparse

@@ -1,0 +1,1 @@
+lib/svm/sparse.ml: Array Format List

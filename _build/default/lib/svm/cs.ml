@@ -1,0 +1,75 @@
+module Prng = Tessera_util.Prng
+
+(* Crammer-Singer dual:
+     min 1/2 Σ_m ||w_m||² + Σ_i ξ_i
+     s.t. w_{y_i}·x_i - w_m·x_i >= 1 - δ(y_i,m) - ξ_i
+   Dual variables α_i^m with Σ_m α_i^m = 0 and α_i^m <= C·δ(m = y_i).
+   w_m = Σ_i α_i^m x_i.
+
+   Two-coordinate update for example i on the pair (y_i, m'): moving t
+   from class m' to class y_i changes the objective by
+     t^2 * ||x_i||^2 - t * (g_m' - g_y)
+   where g_m = w_m·x_i + 1 - δ(m, y_i).  The optimal unconstrained step is
+   t = violation / (2||x_i||²), clipped so α_i^{y_i} stays <= C. *)
+
+let train ?(params = Linear.default_params) (p : Problem.t) =
+  let n = Array.length p.Problem.x in
+  let k = Problem.n_classes p in
+  if k < 2 then invalid_arg "Cs.train: need at least two classes";
+  let nf = max 1 p.Problem.n_features in
+  let w = Array.init k (fun _ -> Array.make nf 0.0) in
+  (* only α_i^{y_i} needs tracking: the box constraint binds there *)
+  let alpha_y = Array.make n 0.0 in
+  let order = Array.init n Fun.id in
+  let rng = Prng.create params.Linear.seed in
+  let qii = Array.map Sparse.sq_norm p.Problem.x in
+  let iter = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iter < params.Linear.max_iter do
+    incr iter;
+    Prng.shuffle rng order;
+    let max_violation = ref 0.0 in
+    Array.iter
+      (fun i ->
+        if qii.(i) > 0.0 then begin
+          let xi = p.Problem.x.(i) in
+          let yi = p.Problem.y.(i) in
+          (* most violating competitor class *)
+          let best_m = ref (-1) in
+          let best_score = ref neg_infinity in
+          for m = 0 to k - 1 do
+            if m <> yi then begin
+              let s = Sparse.dot xi w.(m) in
+              if s > !best_score then begin
+                best_score := s;
+                best_m := m
+              end
+            end
+          done;
+          let s_y = Sparse.dot xi w.(yi) in
+          let violation = !best_score +. 1.0 -. s_y in
+          if violation > 0.0 || alpha_y.(i) > 0.0 then begin
+            (* optimal step, clipped to keep α_i^{y_i} within [?, C];
+               negative steps (shrinking α) are allowed down to the point
+               where α_i^{y_i} = 0 *)
+            let t_unc = violation /. (2.0 *. qii.(i)) in
+            let t =
+              Float.max (-.alpha_y.(i)) (Float.min t_unc (params.Linear.c -. alpha_y.(i)))
+            in
+            if Float.abs t > 1e-12 then begin
+              alpha_y.(i) <- alpha_y.(i) +. t;
+              Sparse.add_scaled w.(yi) xi t;
+              Sparse.add_scaled w.(!best_m) xi (-.t);
+              if violation > !max_violation then max_violation := violation
+            end
+          end
+        end)
+      order;
+    if !max_violation < params.Linear.eps then converged := true
+  done;
+  {
+    Model.solver = "MCSVM_CS";
+    labels = Array.copy p.Problem.labels;
+    n_features = p.Problem.n_features;
+    weights = w;
+  }

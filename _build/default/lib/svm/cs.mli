@@ -1,0 +1,7 @@
+(** Crammer–Singer multiclass SVM trained by a sequential dual method
+    (Keerthi et al., KDD 2008) — LIBLINEAR's [MCSVM_CS], the solver the
+    paper's models used.  Each outer pass visits examples in random order
+    and performs an exact two-coordinate update on the most violating
+    class pair of the example's dual subproblem. *)
+
+val train : ?params:Linear.params -> Problem.t -> Model.t

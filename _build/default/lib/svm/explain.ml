@@ -1,0 +1,40 @@
+type contribution = { feature : int; weight : float }
+
+let top_features ?(k = 5) (m : Model.t) ~class_index =
+  if class_index < 0 || class_index >= Array.length m.Model.weights then
+    invalid_arg "Explain.top_features: class index out of range";
+  let w = m.Model.weights.(class_index) in
+  let all =
+    Array.to_list (Array.mapi (fun feature weight -> { feature; weight }) w)
+  in
+  all
+  |> List.filter (fun c -> c.weight <> 0.0)
+  |> List.sort (fun a b -> compare (Float.abs b.weight) (Float.abs a.weight))
+  |> List.filteri (fun i _ -> i < k)
+
+let report ?(k = 5) ?(feature_name = string_of_int) fmt (m : Model.t) =
+  Format.fprintf fmt "model %s: %d classes x %d features@." m.Model.solver
+    (Array.length m.Model.weights) m.Model.n_features;
+  Array.iteri
+    (fun ci label ->
+      if ci < Array.length m.Model.weights then begin
+        Format.fprintf fmt "  label %-6d:" label;
+        List.iter
+          (fun c ->
+            Format.fprintf fmt " %s=%+.3f" (feature_name c.feature) c.weight)
+          (top_features ~k m ~class_index:ci);
+        Format.fprintf fmt "@."
+      end)
+    m.Model.labels
+
+let weight_density (m : Model.t) =
+  let nz = ref 0 and total = ref 0 in
+  Array.iter
+    (fun w ->
+      Array.iter
+        (fun x ->
+          incr total;
+          if x <> 0.0 then incr nz)
+        w)
+    m.Model.weights;
+  if !total = 0 then 0.0 else float_of_int !nz /. float_of_int !total

@@ -1,0 +1,25 @@
+(** Model introspection: which features drive each class of a linear
+    model.
+
+    The learned model is a p×L weight matrix; inspecting the largest
+    weights per class is the standard way to sanity-check what a linear
+    classifier learned (e.g. that loop-related features drive the classes
+    whose modifiers keep loop transformations). *)
+
+type contribution = { feature : int; weight : float }
+
+val top_features : ?k:int -> Model.t -> class_index:int -> contribution list
+(** The [k] features with the largest |weight| for a class, sorted by
+    |weight| descending (default k = 5). *)
+
+val report :
+  ?k:int ->
+  ?feature_name:(int -> string) ->
+  Format.formatter ->
+  Model.t ->
+  unit
+(** Per-class summary.  [feature_name] renders feature indices (pass
+    [Tessera_features.Features.component_name] for Tessera models). *)
+
+val weight_density : Model.t -> float
+(** Fraction of non-zero entries in the weight matrix. *)

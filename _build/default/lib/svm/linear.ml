@@ -1,0 +1,88 @@
+module Prng = Tessera_util.Prng
+
+type params = { c : float; eps : float; max_iter : int; seed : int64 }
+
+let default_params = { c = 10.0; eps = 1e-3; max_iter = 1000; seed = 7L }
+
+let last_iterations = ref 0
+
+let iterations_used () = !last_iterations
+
+(* Dual coordinate descent for min_w 1/2 w'w + C Σ max(0, 1 - y_i w'x_i).
+   Dual: min_α 1/2 α'Qα - e'α, 0 <= α_i <= C, Q_ij = y_i y_j x_i'x_j. *)
+let train_binary ?(params = default_params) x y =
+  let n = Array.length x in
+  if n = 0 then [||]
+  else begin
+    let n_features =
+      1 + Array.fold_left (fun acc v -> max acc (Sparse.max_index v)) (-1) x
+    in
+    let w = Array.make (max 1 n_features) 0.0 in
+    let alpha = Array.make n 0.0 in
+    let yf = Array.map (fun b -> if b then 1.0 else -1.0) y in
+    let qii = Array.map Sparse.sq_norm x in
+    let order = Array.init n Fun.id in
+    let rng = Prng.create params.seed in
+    let iter = ref 0 in
+    let converged = ref false in
+    while (not !converged) && !iter < params.max_iter do
+      incr iter;
+      Prng.shuffle rng order;
+      let max_pg = ref 0.0 in
+      Array.iter
+        (fun i ->
+          if qii.(i) > 0.0 then begin
+            let g = (yf.(i) *. Sparse.dot x.(i) w) -. 1.0 in
+            (* projected gradient for box constraints [0, C] *)
+            let pg =
+              if alpha.(i) <= 0.0 then min g 0.0
+              else if alpha.(i) >= params.c then max g 0.0
+              else g
+            in
+            if Float.abs pg > !max_pg then max_pg := Float.abs pg;
+            if Float.abs pg > 1e-12 then begin
+              let a_old = alpha.(i) in
+              let a_new = Float.max 0.0 (Float.min params.c (a_old -. (g /. qii.(i)))) in
+              if a_new <> a_old then begin
+                alpha.(i) <- a_new;
+                Sparse.add_scaled w x.(i) ((a_new -. a_old) *. yf.(i))
+              end
+            end
+          end)
+        order;
+      if !max_pg < params.eps then converged := true
+    done;
+    last_iterations := !iter;
+    w
+  end
+
+let train_ovr ?(params = default_params) (p : Problem.t) =
+  let k = Problem.n_classes p in
+  if k < 2 then invalid_arg "Linear.train_ovr: need at least two classes";
+  let weights =
+    if k = 2 then begin
+      let y = Array.map (fun c -> c = 0) p.Problem.y in
+      [| train_binary ~params p.Problem.x y |]
+    end
+    else
+      Array.init k (fun cls ->
+          let y = Array.map (fun c -> c = cls) p.Problem.y in
+          train_binary
+            ~params:{ params with seed = Int64.add params.seed (Int64.of_int cls) }
+            p.Problem.x y)
+  in
+  (* pad weight vectors to the problem's feature count *)
+  let weights =
+    Array.map
+      (fun w ->
+        if Array.length w >= p.Problem.n_features then
+          Array.sub w 0 (max 1 p.Problem.n_features)
+        else Array.append w (Array.make (p.Problem.n_features - Array.length w) 0.0))
+      weights
+  in
+  {
+    Model.solver = "L2R_L1LOSS_SVC_DUAL";
+    labels = Array.copy p.Problem.labels;
+    n_features = p.Problem.n_features;
+    weights;
+  }

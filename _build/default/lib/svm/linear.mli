@@ -1,0 +1,25 @@
+(** Linear SVM solvers in the LIBLINEAR family.
+
+    {!train_binary} is the dual coordinate descent method for
+    L2-regularized L1-loss (hinge) support vector classification
+    (Hsieh et al., ICML 2008) — LIBLINEAR's [L2R_L1LOSS_SVC_DUAL].
+    {!train_ovr} builds a multiclass model by one-vs-rest. *)
+
+type params = {
+  c : float;  (** misclassification cost; the paper uses C = 10 *)
+  eps : float;  (** stopping tolerance on projected gradients *)
+  max_iter : int;  (** outer passes over the data *)
+  seed : int64;  (** permutation seed *)
+}
+
+val default_params : params
+(** [c = 10.0], matching the paper's empirically selected value. *)
+
+val train_binary : ?params:params -> Sparse.t array -> bool array -> float array
+(** Weight vector for a +1/-1 problem ([true] = positive). *)
+
+val train_ovr : ?params:params -> Problem.t -> Model.t
+
+val iterations_used : unit -> int
+(** Outer iterations consumed by the most recent [train_binary] call
+    (diagnostics for convergence tests). *)

@@ -1,0 +1,35 @@
+module Prng = Tessera_util.Prng
+
+let accuracy ~predict xs labels =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Metrics.accuracy: empty set";
+  let correct = ref 0 in
+  Array.iteri (fun i x -> if predict x = labels.(i) then incr correct) xs;
+  float_of_int !correct /. float_of_int n
+
+let kfold ~seed ~k n =
+  if k < 2 || k > n then invalid_arg "Metrics.kfold";
+  let order = Array.init n Fun.id in
+  Prng.shuffle (Prng.create seed) order;
+  List.init k (fun fold ->
+      let test = ref [] and train = ref [] in
+      Array.iteri
+        (fun pos idx ->
+          if pos mod k = fold then test := idx :: !test else train := idx :: !train)
+        order;
+      (Array.of_list (List.rev !train), Array.of_list (List.rev !test)))
+
+let cross_validate ?(seed = 99L) ~k ~train (p : Problem.t) =
+  let folds = kfold ~seed ~k (Problem.n_instances p) in
+  let accs =
+    List.map
+      (fun (tr, te) ->
+        let model = train (Problem.subset p tr) in
+        let te_x = Array.map (fun i -> p.Problem.x.(i)) te in
+        let te_y =
+          Array.map (fun i -> Problem.label_of_class p p.Problem.y.(i)) te
+        in
+        accuracy ~predict:(Model.predict model) te_x te_y)
+      folds
+  in
+  List.fold_left ( +. ) 0.0 accs /. float_of_int (List.length accs)

@@ -1,0 +1,18 @@
+(** Evaluation utilities: accuracy and the cross-validation splits used in
+    Section 6 ("merging of intermediate data sets allows ... cross-
+    validation and leave-one-out cross-validation"). *)
+
+val accuracy : predict:(Sparse.t -> int) -> Sparse.t array -> int array -> float
+(** Fraction of instances whose predicted label matches. *)
+
+val kfold : seed:int64 -> k:int -> int -> (int array * int array) list
+(** [kfold ~seed ~k n] splits positions [0..n-1] into [k]
+    (train, test) partitions. *)
+
+val cross_validate :
+  ?seed:int64 ->
+  k:int ->
+  train:(Problem.t -> Model.t) ->
+  Problem.t ->
+  float
+(** Mean accuracy over the folds. *)

@@ -1,0 +1,104 @@
+type t = {
+  solver : string;
+  labels : int array;
+  n_features : int;
+  weights : float array array;
+}
+
+let decision_values t x = Array.map (fun w -> Sparse.dot x w) t.weights
+
+let predict t x =
+  let dv = decision_values t x in
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > dv.(!best) then best := i) dv;
+  (* binary one-vs-rest models with a single weight vector: positive
+     decision value means the first label *)
+  if Array.length t.weights = 1 && Array.length t.labels = 2 then
+    if dv.(0) >= 0.0 then t.labels.(0) else t.labels.(1)
+  else t.labels.(!best)
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "solver_type %s\n" t.solver);
+  Buffer.add_string buf (Printf.sprintf "nr_class %d\n" (Array.length t.labels));
+  Buffer.add_string buf "label";
+  Array.iter (fun l -> Buffer.add_string buf (Printf.sprintf " %d" l)) t.labels;
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf (Printf.sprintf "nr_feature %d\n" t.n_features);
+  Buffer.add_string buf "bias -1\n";
+  Buffer.add_string buf "w\n";
+  (* LIBLINEAR layout: one line per feature, one column per class *)
+  for f = 0 to t.n_features - 1 do
+    Array.iter
+      (fun w -> Buffer.add_string buf (Printf.sprintf "%.17g " w.(f)))
+      t.weights;
+    Buffer.add_string buf "\n"
+  done;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let solver = ref "" and nr_class = ref 0 and nr_feature = ref 0 in
+  let labels = ref [||] in
+  let rec header = function
+    | [] -> failwith "Model.of_string: missing w section"
+    | line :: rest -> (
+        match String.split_on_char ' ' (String.trim line) with
+        | [ "solver_type"; v ] ->
+            solver := v;
+            header rest
+        | "label" :: ls ->
+            labels := Array.of_list (List.map int_of_string (List.filter (fun x -> x <> "") ls));
+            header rest
+        | [ "nr_class"; v ] ->
+            nr_class := int_of_string v;
+            header rest
+        | [ "nr_feature"; v ] ->
+            nr_feature := int_of_string v;
+            header rest
+        | [ "bias"; _ ] -> header rest
+        | [ "w" ] | [ "w"; "" ] -> rest
+        | _ -> failwith (Printf.sprintf "Model.of_string: bad header line %S" line))
+  in
+  let body = header lines in
+  if Array.length !labels <> !nr_class then
+    failwith "Model.of_string: label count mismatch";
+  let ncols = if !nr_class = 2 then 1 else !nr_class in
+  (* binary models may store a single vector; detect from the first row *)
+  let rows =
+    body
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun l ->
+           String.split_on_char ' ' (String.trim l)
+           |> List.filter (fun x -> x <> "")
+           |> List.map float_of_string)
+  in
+  if List.length rows <> !nr_feature then
+    failwith
+      (Printf.sprintf "Model.of_string: expected %d weight rows, got %d"
+         !nr_feature (List.length rows));
+  let ncols =
+    match rows with row :: _ -> List.length row | [] -> ncols
+  in
+  let weights = Array.init ncols (fun _ -> Array.make !nr_feature 0.0) in
+  List.iteri
+    (fun f row ->
+      List.iteri (fun c v -> weights.(c).(f) <- v) row)
+    rows;
+  { solver = !solver; labels = !labels; n_features = !nr_feature; weights }
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))
+
+let equal a b =
+  a.solver = b.solver && a.labels = b.labels && a.n_features = b.n_features
+  && a.weights = b.weights

@@ -1,0 +1,27 @@
+(** Trained linear multiclass models.
+
+    A model is the paper's [p x L] real-valued weight matrix: one weight
+    vector per class over the p feature dimensions; prediction is an
+    argmax of decision values and its cost is proportional to the matrix
+    size.  Serialization follows LIBLINEAR's model text format. *)
+
+type t = {
+  solver : string;  (** e.g. "L2R_L1LOSS_SVC_DUAL" or "MCSVM_CS" *)
+  labels : int array;
+  n_features : int;
+  weights : float array array;  (** [weights.(class).(feature)] *)
+}
+
+val decision_values : t -> Sparse.t -> float array
+
+val predict : t -> Sparse.t -> int
+(** Returns the predicted {e label} (not class index). *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Raises [Failure] on malformed input. *)
+
+val save : t -> string -> unit
+val load : string -> t
+
+val equal : t -> t -> bool

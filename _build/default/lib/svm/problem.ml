@@ -1,0 +1,49 @@
+type t = {
+  x : Sparse.t array;
+  y : int array;
+  labels : int array;
+  n_features : int;
+}
+
+let make ?n_features x raw_labels =
+  if Array.length x <> Array.length raw_labels then
+    invalid_arg "Problem.make: length mismatch";
+  let table = Hashtbl.create 16 in
+  let labels = ref [] in
+  let y =
+    Array.map
+      (fun raw ->
+        match Hashtbl.find_opt table raw with
+        | Some c -> c
+        | None ->
+            let c = Hashtbl.length table in
+            Hashtbl.add table raw c;
+            labels := raw :: !labels;
+            c)
+      raw_labels
+  in
+  let n_features =
+    match n_features with
+    | Some n -> n
+    | None -> 1 + Array.fold_left (fun acc v -> max acc (Sparse.max_index v)) (-1) x
+  in
+  { x; y; labels = Array.of_list (List.rev !labels); n_features }
+
+let n_instances t = Array.length t.x
+let n_classes t = Array.length t.labels
+
+let label_of_class t c =
+  if c < 0 || c >= Array.length t.labels then invalid_arg "label_of_class";
+  t.labels.(c)
+
+let class_of_label t label =
+  let found = ref None in
+  Array.iteri (fun c l -> if l = label && !found = None then found := Some c) t.labels;
+  !found
+
+let subset t idxs =
+  {
+    t with
+    x = Array.map (fun i -> t.x.(i)) idxs;
+    y = Array.map (fun i -> t.y.(i)) idxs;
+  }

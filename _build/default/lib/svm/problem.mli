@@ -1,0 +1,25 @@
+(** A classification problem: instances, labels, and the label ↔ class
+    index mapping (labels can be any positive ints, as in LIBLINEAR's
+    [1, 2^31 - 1] class-label space). *)
+
+type t = private {
+  x : Sparse.t array;
+  y : int array;  (** class indices, 0-based, dense *)
+  labels : int array;  (** [labels.(class_index)] = original label *)
+  n_features : int;
+}
+
+val make : ?n_features:int -> Sparse.t array -> int array -> t
+(** [make x raw_labels]: class indices are assigned in first-appearance
+    order of the raw labels.  [n_features] defaults to 1 + the largest
+    feature index present. *)
+
+val n_instances : t -> int
+val n_classes : t -> int
+
+val label_of_class : t -> int -> int
+val class_of_label : t -> int -> int option
+
+val subset : t -> int array -> t
+(** Instances at the given positions (keeps the full label table so class
+    indices remain comparable across folds). *)

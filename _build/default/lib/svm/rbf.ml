@@ -1,0 +1,142 @@
+module Prng = Tessera_util.Prng
+
+type params = {
+  c : float;
+  gamma : float;
+  eps : float;
+  max_passes : int;
+  seed : int64;
+}
+
+let default_params =
+  { c = 10.0; gamma = 0.5; eps = 1e-3; max_passes = 20; seed = 11L }
+
+type model = {
+  gamma : float;
+  labels : int array;
+  machines : (Sparse.t array * float array * float) array;
+}
+
+(* Simplified SMO (Platt; simplified heuristic pair selection as in the
+   Stanford CS229 variant): optimize pairs of Lagrange multipliers until
+   no KKT violations survive a full pass. *)
+let smo ~(params : params) x (y : float array) =
+  let n = Array.length x in
+  let kmat =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            exp (-.params.gamma *. Sparse.sq_dist x.(i) x.(j))))
+  in
+  let alpha = Array.make n 0.0 in
+  let b = ref 0.0 in
+  let f i =
+    let acc = ref !b in
+    for j = 0 to n - 1 do
+      if alpha.(j) <> 0.0 then acc := !acc +. (alpha.(j) *. y.(j) *. kmat.(i).(j))
+    done;
+    !acc
+  in
+  let rng = Prng.create params.seed in
+  let passes = ref 0 in
+  while !passes < params.max_passes do
+    let changed = ref 0 in
+    for i = 0 to n - 1 do
+      let ei = f i -. y.(i) in
+      if
+        (y.(i) *. ei < -.params.eps && alpha.(i) < params.c)
+        || (y.(i) *. ei > params.eps && alpha.(i) > 0.0)
+      then begin
+        let j = (i + 1 + Prng.int rng (max 1 (n - 1))) mod n in
+        if j <> i then begin
+          let ej = f j -. y.(j) in
+          let ai_old = alpha.(i) and aj_old = alpha.(j) in
+          let lo, hi =
+            if y.(i) <> y.(j) then
+              (Float.max 0.0 (aj_old -. ai_old), Float.min params.c (params.c +. aj_old -. ai_old))
+            else
+              (Float.max 0.0 (ai_old +. aj_old -. params.c), Float.min params.c (ai_old +. aj_old))
+          in
+          if hi -. lo > 1e-12 then begin
+            let eta = (2.0 *. kmat.(i).(j)) -. kmat.(i).(i) -. kmat.(j).(j) in
+            if eta < 0.0 then begin
+              let aj = aj_old -. (y.(j) *. (ei -. ej) /. eta) in
+              let aj = Float.max lo (Float.min hi aj) in
+              if Float.abs (aj -. aj_old) > 1e-7 then begin
+                let ai = ai_old +. (y.(i) *. y.(j) *. (aj_old -. aj)) in
+                alpha.(i) <- ai;
+                alpha.(j) <- aj;
+                let b1 =
+                  !b -. ei
+                  -. (y.(i) *. (ai -. ai_old) *. kmat.(i).(i))
+                  -. (y.(j) *. (aj -. aj_old) *. kmat.(i).(j))
+                in
+                let b2 =
+                  !b -. ej
+                  -. (y.(i) *. (ai -. ai_old) *. kmat.(i).(j))
+                  -. (y.(j) *. (aj -. aj_old) *. kmat.(j).(j))
+                in
+                b :=
+                  if ai > 0.0 && ai < params.c then b1
+                  else if aj > 0.0 && aj < params.c then b2
+                  else (b1 +. b2) /. 2.0;
+                incr changed
+              end
+            end
+          end
+        end
+      end
+    done;
+    if !changed = 0 then passes := params.max_passes else incr passes
+  done;
+  (alpha, !b)
+
+let train ?(params = default_params) (p : Problem.t) =
+  let k = Problem.n_classes p in
+  let machines =
+    Array.init
+      (if k = 2 then 1 else k)
+      (fun cls ->
+        let y =
+          Array.map (fun c -> if c = cls then 1.0 else -1.0) p.Problem.y
+        in
+        let alpha, b =
+          smo
+            ~params:{ params with seed = Int64.add params.seed (Int64.of_int cls) }
+            p.Problem.x y
+        in
+        (* keep only support vectors *)
+        let svs = ref [] and coefs = ref [] in
+        Array.iteri
+          (fun i a ->
+            if a > 1e-9 then begin
+              svs := p.Problem.x.(i) :: !svs;
+              coefs := (a *. y.(i)) :: !coefs
+            end)
+          alpha;
+        (Array.of_list (List.rev !svs), Array.of_list (List.rev !coefs), b))
+      ;
+  in
+  { gamma = params.gamma; labels = Array.copy p.Problem.labels; machines }
+
+let decision_values m x =
+  Array.map
+    (fun (svs, coefs, b) ->
+      let acc = ref b in
+      Array.iteri
+        (fun i sv -> acc := !acc +. (coefs.(i) *. exp (-.m.gamma *. Sparse.sq_dist sv x)))
+        svs;
+      !acc)
+    m.machines
+
+let predict m x =
+  let dv = decision_values m x in
+  if Array.length m.machines = 1 && Array.length m.labels = 2 then
+    if dv.(0) >= 0.0 then m.labels.(0) else m.labels.(1)
+  else begin
+    let best = ref 0 in
+    Array.iteri (fun i v -> if v > dv.(!best) then best := i) dv;
+    m.labels.(!best)
+  end
+
+let support_vector_count m =
+  Array.fold_left (fun acc (svs, _, _) -> acc + Array.length svs) 0 m.machines

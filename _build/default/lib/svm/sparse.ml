@@ -1,0 +1,67 @@
+type t = (int * float) array
+
+let of_dense arr =
+  let out = ref [] in
+  Array.iteri (fun i v -> if v <> 0.0 then out := (i, v) :: !out) arr;
+  Array.of_list (List.rev !out)
+
+let to_dense n t =
+  let d = Array.make n 0.0 in
+  Array.iter (fun (i, v) -> if i < n then d.(i) <- v) t;
+  d
+
+let of_list l =
+  let arr = Array.of_list l in
+  Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+  Array.iteri
+    (fun k (i, _) ->
+      if i < 0 then invalid_arg "Sparse.of_list: negative index";
+      if k > 0 && fst arr.(k - 1) = i then
+        invalid_arg "Sparse.of_list: duplicate index")
+    arr;
+  arr
+
+let dot t w =
+  let n = Array.length w in
+  let acc = ref 0.0 in
+  Array.iter (fun (i, v) -> if i < n then acc := !acc +. (v *. w.(i))) t;
+  !acc
+
+let add_scaled w t s =
+  let n = Array.length w in
+  Array.iter (fun (i, v) -> if i < n then w.(i) <- w.(i) +. (s *. v)) t
+
+let sq_norm t = Array.fold_left (fun acc (_, v) -> acc +. (v *. v)) 0.0 t
+
+let sq_dist a b =
+  let acc = ref 0.0 in
+  let na = Array.length a and nb = Array.length b in
+  let i = ref 0 and j = ref 0 in
+  while !i < na || !j < nb do
+    if !i < na && (!j >= nb || fst a.(!i) < fst b.(!j)) then begin
+      let v = snd a.(!i) in
+      acc := !acc +. (v *. v);
+      incr i
+    end
+    else if !j < nb && (!i >= na || fst b.(!j) < fst a.(!i)) then begin
+      let v = snd b.(!j) in
+      acc := !acc +. (v *. v);
+      incr j
+    end
+    else begin
+      let v = snd a.(!i) -. snd b.(!j) in
+      acc := !acc +. (v *. v);
+      incr i;
+      incr j
+    end
+  done;
+  !acc
+
+let max_index t = Array.fold_left (fun acc (i, _) -> max acc i) (-1) t
+
+let nnz = Array.length
+
+let equal (a : t) b = a = b
+
+let pp fmt t =
+  Array.iter (fun (i, v) -> Format.fprintf fmt "%d:%g " i v) t

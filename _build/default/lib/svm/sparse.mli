@@ -1,0 +1,31 @@
+(** Sparse feature vectors: index/value pairs with strictly increasing
+    indices, the representation of LIBLINEAR's data format where
+    zero-valued components are omitted. *)
+
+type t = (int * float) array
+
+val of_dense : float array -> t
+(** Drops zero components. *)
+
+val to_dense : int -> t -> float array
+
+val of_list : (int * float) list -> t
+(** Sorts and validates (duplicate indices rejected). *)
+
+val dot : t -> float array -> float
+(** Sparse · dense; indices beyond the dense length contribute zero. *)
+
+val add_scaled : float array -> t -> float -> unit
+(** [add_scaled w x s]: [w += s * x]. *)
+
+val sq_norm : t -> float
+
+val sq_dist : t -> t -> float
+(** Squared Euclidean distance (for RBF kernels). *)
+
+val max_index : t -> int
+(** -1 for the empty vector. *)
+
+val nnz : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/bitset.ml: Bytes Char Hashtbl Int Int64 String

@@ -1,0 +1,80 @@
+type t = { nbits : int; words : Bytes.t }
+
+(* One byte per 8 bits; widths here are tiny (58 for modifiers). *)
+
+let create nbits =
+  if nbits < 0 then invalid_arg "Bitset.create: negative width";
+  { nbits; words = Bytes.make ((nbits + 7) / 8) '\000' }
+
+let width t = t.nbits
+
+let copy t = { nbits = t.nbits; words = Bytes.copy t.words }
+
+let check t i =
+  if i < 0 || i >= t.nbits then invalid_arg "Bitset: index out of bounds"
+
+let get t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i b =
+  check t i;
+  let byte = Char.code (Bytes.get t.words (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if b then byte lor mask else byte land lnot mask in
+  Bytes.set t.words (i lsr 3) (Char.chr (byte land 0xff))
+
+let popcount t =
+  let count = ref 0 in
+  for i = 0 to t.nbits - 1 do
+    if get t i then incr count
+  done;
+  !count
+
+let equal a b = a.nbits = b.nbits && Bytes.equal a.words b.words
+
+let compare a b =
+  let c = Int.compare a.nbits b.nbits in
+  if c <> 0 then c else Bytes.compare a.words b.words
+
+let hash t = Hashtbl.hash (t.nbits, Bytes.to_string t.words)
+
+let to_string t = String.init t.nbits (fun i -> if get t i then '1' else '0')
+
+let of_string s =
+  let t = create (String.length s) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '0' -> ()
+      | '1' -> set t i true
+      | _ -> invalid_arg "Bitset.of_string: expected '0' or '1'")
+    s;
+  t
+
+let to_int64_le t =
+  if t.nbits > 64 then invalid_arg "Bitset.to_int64_le: width > 64";
+  let acc = ref 0L in
+  for i = t.nbits - 1 downto 0 do
+    acc := Int64.logor (Int64.shift_left !acc 1) (if get t i then 1L else 0L)
+  done;
+  !acc
+
+let of_int64_le ~width v =
+  let t = create width in
+  for i = 0 to min width 64 - 1 do
+    set t i (Int64.logand (Int64.shift_right_logical v i) 1L = 1L)
+  done;
+  t
+
+let fold f t init =
+  let acc = ref init in
+  for i = 0 to t.nbits - 1 do
+    acc := f i (get t i) !acc
+  done;
+  !acc
+
+let iter_set f t =
+  for i = 0 to t.nbits - 1 do
+    if get t i then f i
+  done

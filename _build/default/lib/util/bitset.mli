@@ -1,0 +1,41 @@
+(** Fixed-width mutable bit sets.
+
+    Compilation-plan modifiers (Section 5 of the paper) are "a sequence of
+    bits; each bit determines whether a code transformation is enabled".
+    This module provides the underlying representation, independent of the
+    transformation catalogue. *)
+
+type t
+
+val create : int -> t
+(** [create width] is an all-zero bit set of [width] bits. *)
+
+val width : t -> int
+val copy : t -> t
+
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_string : t -> string
+(** Little-endian "0"/"1" string, bit 0 first, e.g. ["0110..."]. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; raises [Invalid_argument] on bad input. *)
+
+val to_int64_le : t -> int64
+(** Bits 0..63 packed into an int64 (width must be <= 64). *)
+
+val of_int64_le : width:int -> int64 -> t
+
+val fold : (int -> bool -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold f t init] folds over bit indices in increasing order. *)
+
+val iter_set : (int -> unit) -> t -> unit
+(** Applies the function to each set bit index, in increasing order. *)

@@ -1,0 +1,30 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc byte =
+  let table = Lazy.force table in
+  let idx = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int byte)) 0xffl) in
+  Int32.logxor table.(idx) (Int32.shift_right_logical crc 8)
+
+let run get len =
+  let crc = ref 0xFFFFFFFFl in
+  for i = 0 to len - 1 do
+    crc := update !crc (get i)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let string s = run (fun i -> Char.code s.[i]) (String.length s)
+
+let bytes_sub b pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.bytes_sub";
+  run (fun i -> Char.code (Bytes.get b (pos + i))) len

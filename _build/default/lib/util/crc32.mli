@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3 polynomial), used as the integrity checksum of the
+    binary archive format. *)
+
+val string : string -> int32
+(** Checksum of a whole string. *)
+
+val bytes_sub : Bytes.t -> int -> int -> int32
+(** [bytes_sub b pos len] checksums a slice. *)

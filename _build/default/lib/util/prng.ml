@@ -1,0 +1,75 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy g = { state = g.state }
+
+(* SplitMix64 finalizer (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let seed = next_int64 g in
+  (* Mixing with a distinct constant decorrelates the child stream. *)
+  { state = Int64.logxor seed 0xA5A5A5A5A5A5A5A5L }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* mask to 62 bits so the value fits OCaml's 63-bit native int *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+  r mod bound
+
+let int_in g lo hi =
+  if lo > hi then invalid_arg "Prng.int_in: lo > hi";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  (* 53 uniform mantissa bits. *)
+  let bits = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let bernoulli g p = float g 1.0 < p
+
+let gaussian g ~mu ~sigma =
+  let rec nonzero () =
+    let u = float g 1.0 in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float g 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let choose g arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int g (Array.length arr))
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_weighted g items =
+  if Array.length items = 0 then invalid_arg "Prng.sample_weighted: empty";
+  let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 items in
+  if total <= 0.0 then invalid_arg "Prng.sample_weighted: weights sum <= 0";
+  let target = float g total in
+  let rec go i acc =
+    if i = Array.length items - 1 then snd items.(i)
+    else
+      let w, x = items.(i) in
+      let acc = acc +. w in
+      if target < acc then x else go (i + 1) acc
+  in
+  go 0 0.0

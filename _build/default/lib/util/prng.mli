@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic behaviour in Tessera (workload synthesis, modifier
+    generation, measurement-noise modelling) flows through this module so
+    that every experiment is reproducible from a single seed.  The
+    generator is SplitMix64, which is small, fast, and splittable: child
+    generators derived with {!split} produce independent streams, letting
+    subsystems draw randomness without perturbing each other. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] duplicates the current state; the copy evolves
+    independently. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of the remainder of [g]'s stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive; requires
+    [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p]. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box–Muller normal deviate. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_weighted : t -> (float * 'a) array -> 'a
+(** [sample_weighted g items] draws proportionally to the (positive)
+    weights.  The array must be non-empty with positive total weight. *)

@@ -1,0 +1,70 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  ci95 : float;
+  min : float;
+  max : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty sample";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+
+(* Two-sided 95% critical values of Student's t distribution. *)
+let t_table =
+  [|
+    12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+    2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+    2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+  |]
+
+let t_critical_95 df =
+  if df < 1 then invalid_arg "Stats.t_critical_95: df must be >= 1";
+  if df <= 30 then t_table.(df - 1)
+  else if df <= 40 then 2.021
+  else if df <= 60 then 2.000
+  else if df <= 120 then 1.980
+  else 1.960
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  let m = mean xs in
+  let sd = stddev xs in
+  let ci = if n < 2 then 0.0 else t_critical_95 (n - 1) *. sd /. sqrt (float_of_int n) in
+  let mn = Array.fold_left min xs.(0) xs in
+  let mx = Array.fold_left max xs.(0) xs in
+  { n; mean = m; stddev = sd; ci95 = ci; min = mn; max = mx }
+
+let geomean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.geomean: empty sample";
+  let acc =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value";
+        acc +. log x)
+      0.0 xs
+  in
+  exp (acc /. float_of_int (Array.length xs))
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty sample";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)

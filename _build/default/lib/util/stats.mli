@@ -1,0 +1,31 @@
+(** Summary statistics for the experimental methodology of the paper:
+    every measurement is repeated (30 JVM invocations in the paper) and
+    reported as a mean with a 95% confidence interval. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  ci95 : float;  (** half-width of the 95% confidence interval *)
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** [summarize xs] computes the summary of a non-empty sample.  The 95%
+    CI uses Student's t critical value for [n-1] degrees of freedom. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val geomean : float array -> float
+(** Geometric mean of strictly positive values; used for the "average
+    improvement" rows of Figures 6-13. *)
+
+val t_critical_95 : int -> float
+(** [t_critical_95 df] is the two-sided 95% Student-t critical value for
+    [df] degrees of freedom (df >= 1); large [df] approaches 1.96. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100]; linear interpolation; sorts a
+    copy of the input. *)

@@ -1,0 +1,1 @@
+lib/vm/clock.ml: Cost Int64 Tessera_util

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Cost Int64 List Semantics Tessera_il Values

@@ -1,0 +1,1 @@
+lib/vm/semantics.ml: Array Float Int64 Tessera_il Values

@@ -1,0 +1,1 @@
+lib/vm/semantics.mli: Tessera_il Values

@@ -1,0 +1,1 @@
+lib/vm/target.ml: Cost List String Tessera_il

@@ -1,0 +1,1 @@
+lib/vm/target.mli: Cost Tessera_il

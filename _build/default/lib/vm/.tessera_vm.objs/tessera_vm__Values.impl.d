@@ -1,0 +1,1 @@
+lib/vm/values.ml: Array Format Int64 Tessera_il

@@ -1,0 +1,1 @@
+lib/vm/values.mli: Format Tessera_il

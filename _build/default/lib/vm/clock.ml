@@ -1,0 +1,42 @@
+module Prng = Tessera_util.Prng
+
+type t = {
+  mutable cycles : int64;
+  mutable core : int;
+  mutable next_migration : int64;
+  mutable migrations : int;
+  cores : int;
+  rng : Prng.t;
+}
+
+(* The Linux balancer can move a thread every ~200 ms; in practice it is
+   less frequent (Section 4.2).  We draw intervals in [200 ms, 5 s]. *)
+let draw_interval rng =
+  let ms = 200 + Prng.int rng 4800 in
+  Int64.of_int (ms * Cost.cycles_per_ms)
+
+let create ?(cores = 8) ?(seed = 0x7E55E7AL) () =
+  let rng = Prng.create seed in
+  {
+    cycles = 0L;
+    core = 0;
+    next_migration = draw_interval rng;
+    migrations = 0;
+    cores;
+    rng;
+  }
+
+let advance t n =
+  if n < 0 then invalid_arg "Clock.advance: negative";
+  t.cycles <- Int64.add t.cycles (Int64.of_int n);
+  while t.cycles >= t.next_migration do
+    t.core <- (t.core + 1 + Prng.int t.rng (max 1 (t.cores - 1))) mod t.cores;
+    t.migrations <- t.migrations + 1;
+    t.next_migration <- Int64.add t.next_migration (draw_interval t.rng)
+  done
+
+let now t = t.cycles
+let read_tsc t = (t.cycles, t.core)
+let core t = t.core
+let migrations t = t.migrations
+let ms t = Int64.to_float t.cycles /. float_of_int Cost.cycles_per_ms

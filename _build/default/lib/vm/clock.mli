@@ -1,0 +1,32 @@
+(** Virtual time-stamp counter.
+
+    Reproduces the measurement substrate of Section 4.2 of the paper: a
+    64-bit cycle counter read together with a processor identifier
+    ([rdtscp]).  The simulated scheduler migrates the application thread
+    between cores at pseudo-random intervals around 200 virtual
+    milliseconds, so instrumentation must discard enter/exit pairs whose
+    processor ids differ — exactly the TSC-drift discipline of the
+    paper. *)
+
+type t
+
+val create : ?cores:int -> ?seed:int64 -> unit -> t
+(** Fresh clock at cycle 0 on core 0.  [cores] defaults to 8 (the paper's
+    dual quad-core nodes). *)
+
+val advance : t -> int -> unit
+(** Charge [n >= 0] cycles. *)
+
+val now : t -> int64
+(** Current cycle count. *)
+
+val read_tsc : t -> int64 * int
+(** [(cycles, processor_id)] — the [rdtscp] pair. *)
+
+val core : t -> int
+
+val migrations : t -> int
+(** Number of thread migrations so far (observability for tests). *)
+
+val ms : t -> float
+(** Current time in virtual milliseconds. *)

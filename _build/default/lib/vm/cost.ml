@@ -1,0 +1,79 @@
+module Opcode = Tessera_il.Opcode
+module Types = Tessera_il.Types
+module Node = Tessera_il.Node
+
+let cycles_per_ms = 2_000_000
+
+let interp_dispatch = 26
+
+type codegen_quality = Q_base | Q_regalloc | Q_full
+
+let local_access = function Q_base -> 2 | Q_regalloc -> 1 | Q_full -> 1
+
+let quality_rank = function Q_base -> 0 | Q_regalloc -> 1 | Q_full -> 2
+
+(* Multiplier for types without hardware support: Testarossa's long double
+   and the BCD decimals are library/microcode sequences. *)
+let type_factor ty =
+  match ty with
+  | Types.Long_double -> 4
+  | Types.Packed_decimal | Types.Zoned_decimal -> 3
+  | _ -> 1
+
+let op_base op ty =
+  let fp = Types.is_floating ty in
+  let base =
+    match op with
+    | Opcode.Add | Opcode.Sub -> if fp then 3 else 1
+    | Opcode.Neg -> if fp then 2 else 1
+    | Opcode.Mul -> if fp then 5 else 3
+    | Opcode.Div -> if fp then 24 else 28
+    | Opcode.Rem -> if fp then 28 else 32
+    | Opcode.Shift _ | Opcode.Or | Opcode.And | Opcode.Xor -> 1
+    | Opcode.Inc -> 1
+    | Opcode.Compare _ -> 1
+    | Opcode.Cast k -> (
+        match k with
+        | Opcode.C_check -> 6
+        | Opcode.C_float | Opcode.C_double | Opcode.C_longdouble -> 4
+        | _ -> if fp then 4 else 1)
+    | Opcode.Load -> 3 (* field/element adjustments charged by engines *)
+    | Opcode.Loadconst -> 1
+    | Opcode.Store -> 3
+    | Opcode.New -> 70
+    | Opcode.Newarray -> 80
+    | Opcode.Newmultiarray -> 140
+    | Opcode.Instanceof -> 6
+    | Opcode.Synchronization _ -> 28
+    | Opcode.Throw_op -> 30
+    | Opcode.Branch_op -> 1
+    | Opcode.Call -> 0 (* overhead charged by engines via call_overhead *)
+    | Opcode.Arrayop Opcode.Bounds_check -> 5
+    | Opcode.Arrayop Opcode.Array_copy -> 12
+    | Opcode.Arrayop Opcode.Array_cmp -> 10
+    | Opcode.Arrayop Opcode.Array_length -> 2
+    | Opcode.Mixedop -> 6
+  in
+  base * type_factor ty
+
+let flag_discount (n : Node.t) =
+  let d = ref 0 in
+  if Node.has_flag n Node.flag_stack_alloc then
+    (d := !d + match n.op with Opcode.New -> 60 | Opcode.Newarray -> 70 | _ -> 0);
+  if Node.has_flag n Node.flag_no_bounds_check then
+    (d := !d + match n.op with Opcode.Arrayop Opcode.Bounds_check -> 5 | Opcode.Load | Opcode.Store -> 3 | _ -> 0);
+  if Node.has_flag n Node.flag_no_null_check then
+    (d := !d + match n.op with Opcode.Load | Opcode.Store | Opcode.Synchronization _ -> 2 | _ -> 0);
+  if Node.has_flag n Node.flag_sync_elided then
+    (d := !d + match n.op with Opcode.Synchronization _ -> 27 | _ -> 0);
+  if Node.has_flag n Node.flag_no_overflow then
+    (d := !d + match n.op with Opcode.Cast _ -> 1 | _ -> 0);
+  min !d (op_base n.op n.ty)
+
+let call_overhead = 40
+
+let interp_call_overhead = 260
+
+let per_element_copy = 2
+
+let exception_unwind = 120

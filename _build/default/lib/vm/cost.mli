@@ -1,0 +1,49 @@
+(** The cycle cost model of the simulated CPU.
+
+    Both execution engines charge from this single table so that the
+    interpreted/compiled performance gap, and the effect of every
+    optimization, come from one tunable place.  Costs are in cycles of the
+    simulated 2 GHz core (so 2_000_000 cycles = 1 ms, matching the
+    hardware in Section 8.1 of the paper). *)
+
+val cycles_per_ms : int
+(** 2_000_000 (2 GHz). *)
+
+val interp_dispatch : int
+(** Extra cycles the interpreter pays per IL node on top of the native
+    cost: bytecode fetch/decode/dispatch. *)
+
+type codegen_quality = Q_base | Q_regalloc | Q_full
+(** Back-end quality tier: [Q_base] keeps locals in memory, [Q_regalloc]
+    promotes hot locals to registers, [Q_full] adds scheduling.  Higher
+    optimization levels, and the global-register-hint transformation,
+    raise the tier. *)
+
+val local_access : codegen_quality -> int
+(** Cycles for a compiled local-variable load/store at a quality tier. *)
+
+val quality_rank : codegen_quality -> int
+(** Total order on tiers: base < regalloc < full. *)
+
+val op_base : Tessera_il.Opcode.t -> Tessera_il.Types.t -> int
+(** Native cycles of one operation, before flag discounts.  Software
+    emulated types (long double, packed/zoned decimal) are a multiple of
+    their hardware equivalents.  Dynamic components (array-copy length)
+    are charged separately by the engines. *)
+
+val flag_discount : Tessera_il.Node.t -> int
+(** Cycles saved on this node by optimization flags (elided checks,
+    stack allocation, elided monitors); never exceeds {!op_base}. *)
+
+val call_overhead : int
+(** Linkage cost charged per invocation, on top of callee body cycles. *)
+
+val interp_call_overhead : int
+(** Much larger invocation cost through the interpreter (frame setup,
+    argument marshalling through boxed slots). *)
+
+val per_element_copy : int
+(** Per-element cycles of array copy/compare. *)
+
+val exception_unwind : int
+(** Charge for dispatching one trap to a handler. *)

@@ -1,0 +1,23 @@
+(** The tree-IL interpreter — the VM's slow path.
+
+    Every node evaluation pays the native operation cost plus a dispatch
+    overhead, charged through the [charge] callback so the caller decides
+    which clock the cycles land on.  Method calls are delegated to the
+    [invoke] callback: the execution engine (in [tessera.jit]) uses it to
+    dispatch each callee to whichever implementation — interpreted or
+    compiled — is current at that moment. *)
+
+type context = {
+  classes : Tessera_il.Classdef.t array;
+  charge : int -> unit;  (** cycle accounting *)
+  invoke : int -> Values.t array -> Values.t;  (** method-call dispatch *)
+  fuel : int ref;
+      (** shared node-evaluation budget; guards against non-terminating
+          generated programs.  Raises {!Out_of_fuel} at zero. *)
+}
+
+exception Out_of_fuel
+
+val run : context -> Tessera_il.Meth.t -> Values.t array -> Values.t
+(** Execute one invocation.  Raises [Values.Trap] if an exception escapes
+    the method (after charging the unwind cost). *)

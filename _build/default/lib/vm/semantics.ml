@@ -1,0 +1,199 @@
+module Types = Tessera_il.Types
+module Opcode = Tessera_il.Opcode
+module Classdef = Tessera_il.Classdef
+open Values
+
+let store_coerce ty v =
+  match v with
+  | Int_v x when Types.is_integral ty -> Int_v (truncate ty x)
+  | Int_v x when Types.is_floating ty -> Float_v (Int64.to_float x)
+  | Float_v f when Types.is_integral ty ->
+      Int_v (truncate ty (Int64.of_float f))
+  | v -> v
+
+let fp_binop op a b =
+  match op with
+  | Opcode.Add -> a +. b
+  | Opcode.Sub -> a -. b
+  | Opcode.Mul -> a *. b
+  | Opcode.Div -> a /. b
+  | Opcode.Rem -> Float.rem a b
+  | _ -> invalid_arg "Semantics.fp_binop"
+
+let int_binop op (a : int64) (b : int64) =
+  match op with
+  | Opcode.Add -> Int64.add a b
+  | Opcode.Sub -> Int64.sub a b
+  | Opcode.Mul -> Int64.mul a b
+  | Opcode.Div ->
+      if Int64.equal b 0L then raise (Trap Div_by_zero) else Int64.div a b
+  | Opcode.Rem ->
+      if Int64.equal b 0L then raise (Trap Div_by_zero) else Int64.rem a b
+  | Opcode.Or -> Int64.logor a b
+  | Opcode.And -> Int64.logand a b
+  | Opcode.Xor -> Int64.logxor a b
+  | Opcode.Shift d -> (
+      let s = Int64.to_int (Int64.logand b 63L) in
+      match d with
+      | Opcode.Shl -> Int64.shift_left a s
+      | Opcode.Shr -> Int64.shift_right a s
+      | Opcode.Ushr -> Int64.shift_right_logical a s)
+  | _ -> invalid_arg "Semantics.int_binop"
+
+let compare_values c a b =
+  let num =
+    match (a, b) with
+    | Float_v _, _ | _, Float_v _ -> compare (as_float a) (as_float b)
+    | Obj_v x, Obj_v y -> if x == y then 0 else compare (checksum a) (checksum b)
+    | Arr_v x, Arr_v y -> if x == y then 0 else compare (checksum a) (checksum b)
+    | _ -> Int64.compare (as_int a) (as_int b)
+  in
+  let r =
+    match c with
+    | Opcode.Eq -> num = 0
+    | Opcode.Ne -> num <> 0
+    | Opcode.Lt -> num < 0
+    | Opcode.Le -> num <= 0
+    | Opcode.Gt -> num > 0
+    | Opcode.Ge -> num >= 0
+  in
+  Int_v (if r then 1L else 0L)
+
+let binop op ty a b =
+  match op with
+  | Opcode.Compare c -> compare_values c a b
+  | _ ->
+      if Types.is_floating ty then Float_v (fp_binop op (as_float a) (as_float b))
+      else Int_v (truncate ty (int_binop op (as_int a) (as_int b)))
+
+let neg ty v =
+  if Types.is_floating ty then Float_v (-.as_float v)
+  else Int_v (truncate ty (Int64.neg (as_int v)))
+
+let checkcast ~classes class_id v =
+  match v with
+  | Null_v | Arr_v _ -> v
+  | Obj_v o ->
+      if class_id < 0 || Classdef.is_subclass classes o.class_id class_id then v
+      else raise (Trap Class_cast)
+  | other -> other
+
+let cast kind ty v =
+  match kind with
+  | Opcode.C_check -> v (* engines route through [checkcast] *)
+  | Opcode.C_address | Opcode.C_object -> v
+  | _ ->
+      let target =
+        match Opcode.cast_target kind with Some t -> t | None -> ty
+      in
+      if Types.is_floating target then Float_v (as_float v)
+      else Int_v (truncate target (as_int v))
+
+let as_obj = function
+  | Obj_v o -> o
+  | Null_v -> raise (Trap Null_deref)
+  | _ -> raise (Trap Class_cast)
+
+let as_arr = function
+  | Arr_v a -> a
+  | Null_v -> raise (Trap Null_deref)
+  | _ -> raise (Trap Class_cast)
+
+let field_load objv i =
+  let o = as_obj objv in
+  if i < 0 || i >= Array.length o.fields then raise (Trap Out_of_bounds);
+  o.fields.(i)
+
+let field_store objv i v =
+  let o = as_obj objv in
+  if i < 0 || i >= Array.length o.fields then raise (Trap Out_of_bounds);
+  o.fields.(i) <- v
+
+let index_of arrv idxv =
+  let a = as_arr arrv in
+  let i = Int64.to_int (as_int idxv) in
+  if i < 0 || i >= Array.length a.data then raise (Trap Out_of_bounds);
+  (a, i)
+
+let elem_load arrv idxv =
+  let a, i = index_of arrv idxv in
+  a.data.(i)
+
+let elem_store arrv idxv v =
+  let a, i = index_of arrv idxv in
+  a.data.(i) <- store_coerce a.elem v
+
+let bounds_check arrv idxv = ignore (index_of arrv idxv)
+
+let array_copy srcv dstv lenv =
+  let src = as_arr srcv and dst = as_arr dstv in
+  let len = Int64.to_int (as_int lenv) in
+  if len < 0 || len > Array.length src.data || len > Array.length dst.data then
+    raise (Trap Out_of_bounds);
+  Array.blit src.data 0 dst.data 0 len;
+  len
+
+let array_cmp av bv =
+  let a = as_arr av and b = as_arr bv in
+  let n = min (Array.length a.data) (Array.length b.data) in
+  let rec go i =
+    if i = n then (compare (Array.length a.data) (Array.length b.data), i)
+    else
+      let c = compare (checksum a.data.(i)) (checksum b.data.(i)) in
+      if c <> 0 then (c, i + 1) else go (i + 1)
+  in
+  let c, inspected = go 0 in
+  (Int_v (Int64.of_int c), inspected)
+
+let array_length v = Int_v (Int64.of_int (Array.length (as_arr v).data))
+
+let new_obj ~classes class_id =
+  if class_id < 0 || class_id >= Array.length classes then
+    raise (Trap Class_cast);
+  let fields = Array.map default classes.(class_id).Classdef.fields in
+  Obj_v { class_id; fields }
+
+let max_array_length = 1 lsl 20
+
+let new_array ~elem lenv =
+  let len = Int64.to_int (as_int lenv) in
+  if len < 0 || len > max_array_length then raise (Trap Out_of_bounds);
+  Arr_v { elem; data = Array.make len (default elem) }
+
+let new_multiarray ~elem d1v d2v =
+  let d1 = Int64.to_int (as_int d1v) and d2 = Int64.to_int (as_int d2v) in
+  if d1 < 0 || d2 < 0 || d1 * max 1 d2 > max_array_length then
+    raise (Trap Out_of_bounds);
+  let inner () = Arr_v { elem; data = Array.make d2 (default elem) } in
+  Arr_v { elem = Types.Address; data = Array.init d1 (fun _ -> inner ()) }
+
+let instanceof ~classes class_id v =
+  let r =
+    match v with
+    | Obj_v o -> Classdef.is_subclass classes o.class_id class_id
+    | _ -> false
+  in
+  Int_v (if r then 1L else 0L)
+
+let monitor = function
+  | Null_v -> raise (Trap Null_deref)
+  | _ -> ()
+
+let shallow = function
+  | Int_v v -> v
+  | Float_v f -> Int64.bits_of_float f
+  | Null_v -> 0L
+  | Void_v -> 1L
+  | Obj_v o -> Int64.of_int ((o.class_id * 31) + Array.length o.fields)
+  | Arr_v a -> Int64.of_int (Array.length a.data)
+
+let mixed ty args =
+  let h =
+    Array.fold_left
+      (fun acc v -> Int64.(add (mul acc 0x100000001B3L) (shallow v)))
+      0xCBF29CE484222325L args
+  in
+  if Types.is_floating ty then
+    Float_v (Int64.to_float (Int64.shift_right_logical h 16) /. 1e6)
+  else if Types.equal ty Types.Void then Void_v
+  else Int_v (truncate ty h)

@@ -1,0 +1,1 @@
+lib/workloads/generate.ml: Array Int64 List Option Printf Profile Tessera_il Tessera_util

@@ -1,0 +1,1 @@
+lib/workloads/generate.mli: Profile Tessera_il Tessera_util

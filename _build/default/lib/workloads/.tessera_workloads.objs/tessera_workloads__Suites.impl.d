@@ -1,0 +1,1 @@
+lib/workloads/suites.ml: List Profile String

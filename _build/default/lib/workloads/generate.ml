@@ -1,0 +1,731 @@
+module Types = Tessera_il.Types
+module Opcode = Tessera_il.Opcode
+module Node = Tessera_il.Node
+module Block = Tessera_il.Block
+module Meth = Tessera_il.Meth
+module Symbol = Tessera_il.Symbol
+module Classdef = Tessera_il.Classdef
+module Program = Tessera_il.Program
+module Prng = Tessera_util.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Method builder                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type bblock = {
+  id : int;
+  mutable stmts_rev : Node.t list;
+  mutable term : Block.terminator option;
+  mutable handler : int option;
+}
+
+type builder = {
+  rng : Prng.t;
+  mutable symbols_rev : Symbol.t list;
+  mutable nsyms : int;
+  mutable blocks_rev : bblock list;
+  mutable nblocks : int;
+  mutable cur : bblock;
+}
+
+let new_block_raw b ?handler () =
+  let blk = { id = b.nblocks; stmts_rev = []; term = None; handler } in
+  b.nblocks <- b.nblocks + 1;
+  b.blocks_rev <- blk :: b.blocks_rev;
+  blk
+
+let builder seed =
+  let rng = Prng.create seed in
+  let b =
+    {
+      rng;
+      symbols_rev = [];
+      nsyms = 0;
+      blocks_rev = [];
+      nblocks = 0;
+      cur = { id = 0; stmts_rev = []; term = None; handler = None };
+    }
+  in
+  b.cur <- new_block_raw b ();
+  b
+
+let new_sym b name ty kind =
+  let id = b.nsyms in
+  b.nsyms <- id + 1;
+  b.symbols_rev <- { Symbol.name; ty; kind } :: b.symbols_rev;
+  id
+
+let emit b n = b.cur.stmts_rev <- n :: b.cur.stmts_rev
+
+let terminate b t = if b.cur.term = None then b.cur.term <- Some t
+
+let switch_to b blk = b.cur <- blk
+
+let finish b ~name ~attrs ~params ~ret =
+  let symbols = Array.of_list (List.rev b.symbols_rev) in
+  let blocks =
+    List.rev b.blocks_rev
+    |> List.map (fun blk ->
+           let term =
+             match blk.term with Some t -> t | None -> Block.Return None
+           in
+           Block.make ~handler:blk.handler blk.id (List.rev blk.stmts_rev) term)
+    |> Array.of_list
+  in
+  Meth.make ~attrs ~name ~params ~ret ~symbols blocks
+
+(* ------------------------------------------------------------------ *)
+(* Generation context                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type genctx = {
+  b : builder;
+  prof : Profile.t;
+  classes : Classdef.t array;
+  callees : (int * Meth.t) list;
+  res : int;  (* Int accumulator folded into the return value *)
+  mutable ints : int list;
+  mutable longs : int list;
+  mutable doubles : int list;
+  mutable arrays : (int * int) list;  (* symbol, constant length *)
+  mutable objects : (int * int) list;  (* symbol, class id *)
+  mutable packeds : int list;
+}
+
+let iload sym = Node.load_sym Types.Int sym
+let iconst v = Node.iconst Types.Int (Int64.of_int v)
+
+let pick_or rng lst default =
+  match lst with [] -> default () | l -> List.nth l (Prng.int rng (List.length l))
+
+(* ---- expressions ---- *)
+
+let rec int_expr g depth =
+  let rng = g.b.rng in
+  if depth <= 0 || Prng.bernoulli rng 0.35 then
+    if g.ints <> [] && Prng.bernoulli rng 0.7 then
+      iload (pick_or rng g.ints (fun () -> assert false))
+    else iconst (Prng.int_in rng (-64) 64)
+  else
+    let sub () = int_expr g (depth - 1) in
+    match Prng.int rng 12 with
+    | 0 -> Node.binop Opcode.Add Types.Int (sub ()) (sub ())
+    | 1 -> Node.binop Opcode.Sub Types.Int (sub ()) (sub ())
+    | 2 -> Node.binop Opcode.Mul Types.Int (sub ()) (sub ())
+    | 3 -> Node.binop Opcode.And Types.Int (sub ()) (iconst (Prng.int_in rng 1 255))
+    | 4 -> Node.binop Opcode.Or Types.Int (sub ()) (sub ())
+    | 5 -> Node.binop Opcode.Xor Types.Int (sub ()) (sub ())
+    | 6 ->
+        Node.binop (Opcode.Shift Opcode.Shl) Types.Int (sub ())
+          (iconst (Prng.int_in rng 0 5))
+    | 7 ->
+        Node.binop (Opcode.Shift Opcode.Shr) Types.Int (sub ())
+          (iconst (Prng.int_in rng 0 5))
+    | 8 ->
+        (* division made trap-free by forcing an odd denominator *)
+        Node.binop Opcode.Div Types.Int (sub ())
+          (Node.binop Opcode.Or Types.Int (sub ()) (iconst 1))
+    | 9 -> Node.mk Opcode.Neg Types.Int [| sub () |]
+    | 10 ->
+        let rel =
+          Prng.choose rng
+            [| Opcode.Eq; Opcode.Ne; Opcode.Lt; Opcode.Le; Opcode.Gt; Opcode.Ge |]
+        in
+        Node.binop (Opcode.Compare rel) Types.Int (sub ()) (sub ())
+    | _ ->
+        if g.longs <> [] && Prng.bernoulli rng 0.5 then
+          Node.mk Opcode.(Cast C_int) Types.Int
+            [| Node.load_sym Types.Long (List.hd g.longs) |]
+        else Node.binop Opcode.Add Types.Int (sub ()) (iconst 1)
+
+let rec long_expr g depth =
+  let rng = g.b.rng in
+  if depth <= 0 || Prng.bernoulli rng 0.4 then
+    if g.longs <> [] && Prng.bernoulli rng 0.6 then
+      Node.load_sym Types.Long (pick_or rng g.longs (fun () -> assert false))
+    else Node.iconst Types.Long (Int64.of_int (Prng.int_in rng (-1000) 1000))
+  else
+    let sub () = long_expr g (depth - 1) in
+    match Prng.int rng 5 with
+    | 0 -> Node.binop Opcode.Add Types.Long (sub ()) (sub ())
+    | 1 -> Node.binop Opcode.Mul Types.Long (sub ()) (sub ())
+    | 2 -> Node.binop Opcode.Xor Types.Long (sub ()) (sub ())
+    | 3 -> Node.mk Opcode.(Cast C_long) Types.Long [| int_expr g (depth - 1) |]
+    | _ ->
+        Node.binop (Opcode.Shift Opcode.Ushr) Types.Long (sub ())
+          (Node.iconst Types.Long (Int64.of_int (Prng.int_in rng 0 7)))
+
+let rec double_expr g depth =
+  let rng = g.b.rng in
+  if depth <= 0 || Prng.bernoulli rng 0.4 then
+    if g.doubles <> [] && Prng.bernoulli rng 0.6 then
+      Node.load_sym Types.Double (pick_or rng g.doubles (fun () -> assert false))
+    else Node.fconst Types.Double (Prng.float rng 8.0 -. 4.0)
+  else
+    let sub () = double_expr g (depth - 1) in
+    match Prng.int rng 6 with
+    | 0 -> Node.binop Opcode.Add Types.Double (sub ()) (sub ())
+    | 1 -> Node.binop Opcode.Sub Types.Double (sub ()) (sub ())
+    | 2 -> Node.binop Opcode.Mul Types.Double (sub ()) (sub ())
+    | 3 -> Node.binop Opcode.Div Types.Double (sub ()) (sub ())
+    | 4 -> Node.mk Opcode.(Cast C_double) Types.Double [| int_expr g (depth - 1) |]
+    | _ -> Node.mk Opcode.Neg Types.Double [| sub () |]
+
+(* fold a value into the running result (or discard it as dead code) *)
+let fold_int g ?(dead = false) expr =
+  if dead then begin
+    let junk = new_sym g.b "junk" Types.Int Symbol.Temp in
+    emit g.b (Node.store_sym junk expr)
+  end
+  else
+    emit g.b
+      (Node.store_sym g.res
+         (Node.binop Opcode.Xor Types.Int (iload g.res) expr))
+
+let to_int g (e : Node.t) =
+  match e.Node.ty with
+  | Types.Int -> e
+  | Types.Double | Types.Float_ | Types.Long_double ->
+      Node.mk Opcode.(Cast C_int) Types.Int [| e |]
+  | _ -> Node.mk Opcode.(Cast C_int) Types.Int [| e |]
+  [@@warning "-27"]
+
+(* ---- fragments ---- *)
+
+let def_int g name =
+  let s = new_sym g.b name Types.Int Symbol.Temp in
+  emit g.b (Node.store_sym s (int_expr g 2));
+  g.ints <- s :: g.ints;
+  s
+
+let arith_fragment g =
+  let rng = g.b.rng in
+  let k = Prng.int_in rng 2 5 in
+  for _ = 1 to k do
+    ignore (def_int g "t")
+  done;
+  (* repeat a common subexpression across two statements: CSE food *)
+  if Prng.bernoulli rng 0.5 then begin
+    let shared = int_expr g 2 in
+    let t1 = new_sym g.b "s1" Types.Int Symbol.Temp in
+    let t2 = new_sym g.b "s2" Types.Int Symbol.Temp in
+    emit g.b
+      (Node.store_sym t1 (Node.binop Opcode.Add Types.Int shared (int_expr g 1)));
+    emit g.b
+      (Node.store_sym t2 (Node.binop Opcode.Xor Types.Int shared (iload t1)));
+    g.ints <- t1 :: t2 :: g.ints
+  end;
+  fold_int g ~dead:(Prng.bernoulli rng g.prof.Profile.dead_bias) (int_expr g 3)
+
+let fp_fragment g =
+  let rng = g.b.rng in
+  let d = new_sym g.b "d" Types.Double Symbol.Temp in
+  emit g.b (Node.store_sym d (double_expr g 3));
+  g.doubles <- d :: g.doubles;
+  let d2 = new_sym g.b "d2" Types.Double Symbol.Temp in
+  emit g.b (Node.store_sym d2 (double_expr g 3));
+  g.doubles <- d2 :: g.doubles;
+  fold_int g
+    ~dead:(Prng.bernoulli rng g.prof.Profile.dead_bias)
+    (to_int g (double_expr g 2))
+
+let long_fragment g =
+  let l = new_sym g.b "l" Types.Long Symbol.Temp in
+  emit g.b (Node.store_sym l (long_expr g 3));
+  g.longs <- l :: g.longs;
+  fold_int g (to_int g (long_expr g 2))
+
+(* counted loop; body built by [body].  Single-block self-loop shape when
+   [self] is true, multi-block otherwise. *)
+let loop_fragment g ?(self = true) ~trips ~body () =
+  let b = g.b in
+  let i = new_sym b "i" Types.Int Symbol.Temp in
+  emit b (Node.store_sym i (iconst 0));
+  g.ints <- i :: g.ints;
+  if self then begin
+    let l = new_block_raw b () in
+    terminate b (Block.Goto l.id);
+    switch_to b l;
+    body i;
+    emit b (Node.mk ~sym:i ~const:1L Opcode.Inc Types.Void [||]);
+    let exit = new_block_raw b () in
+    terminate b
+      (Block.If
+         {
+           cond = Node.binop (Opcode.Compare Opcode.Lt) Types.Int (iload i) (iconst trips);
+           if_true = l.id;
+           if_false = exit.id;
+         });
+    switch_to b exit
+  end
+  else begin
+    let header = new_block_raw b () in
+    terminate b (Block.Goto header.id);
+    let bodyb = new_block_raw b () in
+    switch_to b bodyb;
+    body i;
+    let latch = new_block_raw b () in
+    terminate b (Block.Goto latch.id);
+    switch_to b latch;
+    emit b (Node.mk ~sym:i ~const:1L Opcode.Inc Types.Void [||]);
+    terminate b (Block.Goto header.id);
+    let exit = new_block_raw b () in
+    switch_to b header;
+    terminate b
+      (Block.If
+         {
+           cond = Node.binop (Opcode.Compare Opcode.Lt) Types.Int (iload i) (iconst trips);
+           if_true = bodyb.id;
+           if_false = exit.id;
+         });
+    switch_to b exit
+  end;
+  (* remove the counter from the expression pool: the loop owns it *)
+  g.ints <- List.filter (fun s -> s <> i) g.ints
+
+let simple_loop_fragment g =
+  let rng = g.b.rng in
+  let trips =
+    max 2
+      (int_of_float (float_of_int (Prng.int_in rng 4 48) *. g.prof.Profile.trip_scale))
+  in
+  let nested = Prng.bernoulli rng g.prof.Profile.nest_bias in
+  let self = Prng.bernoulli rng 0.6 in
+  loop_fragment g ~self ~trips ()
+    ~body:(fun i ->
+      (* keep an invariant computation inside the loop: LICM food *)
+      let inv = new_sym g.b "inv" Types.Int Symbol.Temp in
+      let invariant =
+        Node.binop Opcode.Xor Types.Int
+          (Node.binop Opcode.Mul Types.Int (int_expr g 2) (iconst 7))
+          (Node.binop Opcode.Mul Types.Int
+             (Node.binop Opcode.Add Types.Int (int_expr g 2) (iconst 13))
+             (Node.binop Opcode.Or Types.Int (int_expr g 1) (iconst 1)))
+      in
+      emit g.b (Node.store_sym inv invariant);
+      fold_int g
+        (Node.binop Opcode.Add Types.Int (iload i)
+           (Node.binop Opcode.Add Types.Int (iload inv) (int_expr g 2)));
+      if nested then
+        loop_fragment g ~self:true
+          ~trips:(max 2 (Prng.int_in rng 2 8))
+          ~body:(fun j ->
+            fold_int g (Node.binop Opcode.Xor Types.Int (iload j) (iload i)))
+          ())
+
+let array_fragment g =
+  let rng = g.b.rng in
+  let len = Prng.int_in rng 8 40 in
+  let arr = new_sym g.b "arr" Types.Address Symbol.Temp in
+  emit g.b
+    (Node.store_sym arr
+       (Node.mk ~sym:(Types.index Types.Int) Opcode.Newarray Types.Address
+          [| iconst len |]));
+  g.arrays <- (arr, len) :: g.arrays;
+  let aload i =
+    Node.mk Opcode.Load Types.Int [| Node.load_sym Types.Address arr; iload i |]
+  in
+  (* fill *)
+  loop_fragment g ~self:true ~trips:len ()
+    ~body:(fun i ->
+      emit g.b
+        (Node.mk Opcode.(Arrayop Bounds_check) Types.Void
+           [| Node.load_sym Types.Address arr; iload i |]);
+      emit g.b
+        (Node.mk Opcode.Store Types.Void
+           [|
+             Node.load_sym Types.Address arr;
+             iload i;
+             Node.binop Opcode.Add Types.Int (iload i) (int_expr g 1);
+           |]));
+  (* sum, with a redundant bounds check: BCE food *)
+  loop_fragment g ~self:true ~trips:len ()
+    ~body:(fun i ->
+      emit g.b
+        (Node.mk Opcode.(Arrayop Bounds_check) Types.Void
+           [| Node.load_sym Types.Address arr; iload i |]);
+      fold_int g (aload i));
+  if Prng.bernoulli rng 0.4 then begin
+    (* canonical copy loop: arraycopy-idiom food *)
+    let dst = new_sym g.b "dst" Types.Address Symbol.Temp in
+    emit g.b
+      (Node.store_sym dst
+         (Node.mk ~sym:(Types.index Types.Int) Opcode.Newarray Types.Address
+            [| iconst len |]));
+    g.arrays <- (dst, len) :: g.arrays;
+    loop_fragment g ~self:true ~trips:len ()
+      ~body:(fun i ->
+        emit g.b
+          (Node.mk Opcode.Store Types.Void
+             [|
+               Node.load_sym Types.Address dst;
+               iload i;
+               Node.mk Opcode.Load Types.Int
+                 [| Node.load_sym Types.Address arr; iload i |];
+             |]));
+    fold_int g
+      (Node.mk Opcode.(Arrayop Array_cmp) Types.Int
+         [| Node.load_sym Types.Address arr; Node.load_sym Types.Address dst |])
+  end;
+  fold_int g
+    (Node.mk Opcode.(Arrayop Array_length) Types.Int
+       [| Node.load_sym Types.Address arr |])
+
+let object_fragment g =
+  let rng = g.b.rng in
+  if Array.length g.classes = 0 then arith_fragment g
+  else begin
+    let cid = Prng.int rng (Array.length g.classes) in
+    let cls = g.classes.(cid) in
+    let o = new_sym g.b "o" Types.Object_ Symbol.Temp in
+    emit g.b (Node.store_sym o (Node.mk ~sym:cid Opcode.New Types.Object_ [||]));
+    g.objects <- (o, cid) :: g.objects;
+    let oload () = Node.load_sym Types.Object_ o in
+    Array.iteri
+      (fun fi fty ->
+        let v =
+          match fty with
+          | t when Types.is_floating t ->
+              Node.mk Opcode.(Cast C_double) Types.Double [| int_expr g 1 |]
+          | Types.Long -> long_expr g 1
+          | _ -> int_expr g 2
+        in
+        emit g.b (Node.mk ~sym:fi Opcode.Store Types.Void [| oload (); v |]))
+      cls.Classdef.fields;
+    let monitored = Prng.bernoulli rng g.prof.Profile.sync_bias in
+    if monitored then
+      emit g.b
+        (Node.mk Opcode.(Synchronization Monitor_enter) Types.Void [| oload () |]);
+    (* repeated field loads: redundant-load-elimination food *)
+    if Array.length cls.Classdef.fields > 0 then begin
+      let fi = Prng.int rng (Array.length cls.Classdef.fields) in
+      let fty = cls.Classdef.fields.(fi) in
+      let fload () = Node.mk ~sym:fi Opcode.Load fty [| oload () |] in
+      fold_int g (to_int g (Node.binop Opcode.Add fty (fload ()) (fload ())))
+    end;
+    fold_int g
+      (Node.mk ~sym:cid Opcode.Instanceof Types.Int [| oload () |]);
+    if monitored then
+      emit g.b
+        (Node.mk Opcode.(Synchronization Monitor_exit) Types.Void [| oload () |])
+  end
+
+let call_fragment g =
+  let rng = g.b.rng in
+  match g.callees with
+  | [] -> arith_fragment g
+  | cs ->
+      let id, (callee : Meth.t) = List.nth cs (Prng.int rng (List.length cs)) in
+      let args =
+        Array.map
+          (fun pty ->
+            match pty with
+            | Types.Double -> double_expr g 2
+            | Types.Long -> long_expr g 2
+            | _ -> int_expr g 2)
+          callee.Meth.params
+      in
+      let call = Node.call callee.Meth.ret ~callee:id args in
+      if Types.equal callee.Meth.ret Types.Void then emit g.b call
+      else fold_int g ~dead:(Prng.bernoulli rng g.prof.Profile.dead_bias) (to_int g call)
+
+let exception_fragment g =
+  let b = g.b in
+  let rng = b.rng in
+  let handler = new_block_raw b () in
+  let protected_ = new_block_raw b ~handler:handler.id () in
+  terminate b (Block.Goto protected_.id);
+  let cont = new_block_raw b () in
+  (* handler: recover and continue *)
+  switch_to b handler;
+  emit b (Node.store_sym g.res (Node.binop Opcode.Add Types.Int (iload g.res) (iconst 7)));
+  terminate b (Block.Goto cont.id);
+  (* protected block: an integer division that can genuinely trap *)
+  switch_to b protected_;
+  let risky =
+    Node.binop Opcode.Div Types.Int (int_expr g 2)
+      (Node.binop Opcode.And Types.Int (int_expr g 2) (iconst 3))
+  in
+  fold_int g risky;
+  if Prng.bernoulli rng 0.3 then
+    terminate b (Block.Throw (Node.mk Opcode.Throw_op Types.Void [||]))
+  else terminate b (Block.Goto cont.id);
+  switch_to b cont
+
+let decimal_fragment g =
+  let p = new_sym g.b "p" Types.Packed_decimal Symbol.Temp in
+  emit g.b
+    (Node.store_sym p
+       (Node.mk Opcode.(Cast C_packed) Types.Packed_decimal [| int_expr g 2 |]));
+  g.packeds <- p :: g.packeds;
+  let pe = Node.load_sym Types.Packed_decimal p in
+  let sum =
+    Node.binop Opcode.Add Types.Packed_decimal pe
+      (Node.mk Opcode.(Cast C_packed) Types.Packed_decimal
+         [| Node.mk Opcode.(Cast C_zoned) Types.Zoned_decimal [| pe |] |])
+  in
+  fold_int g (Node.mk Opcode.(Cast C_int) Types.Int [| sum |])
+
+let longdouble_fragment g =
+  let e =
+    Node.binop Opcode.Mul Types.Long_double
+      (Node.mk Opcode.(Cast C_longdouble) Types.Long_double [| double_expr g 2 |])
+      (Node.mk Opcode.(Cast C_longdouble) Types.Long_double [| double_expr g 1 |])
+  in
+  fold_int g
+    (Node.mk Opcode.(Cast C_int) Types.Int
+       [| Node.mk Opcode.(Cast C_double) Types.Double [| e |] |])
+
+let mixed_fragment g ~bigdecimal =
+  let ty = if bigdecimal then Types.Packed_decimal else Types.Mixed in
+  let e =
+    Node.mk Opcode.Mixedop ty [| int_expr g 2; int_expr g 1; long_expr g 1 |]
+  in
+  fold_int g (Node.mk Opcode.(Cast C_int) Types.Int [| e |])
+
+let branchy_fragment g =
+  (* an if/else diamond: branch folding / layout food *)
+  let b = g.b in
+  let then_b = new_block_raw b () in
+  let else_b = new_block_raw b () in
+  terminate b
+    (Block.If
+       {
+         cond =
+           Node.binop (Opcode.Compare Opcode.Gt) Types.Int (int_expr g 2) (iconst 0);
+         if_true = then_b.id;
+         if_false = else_b.id;
+       });
+  let cont = new_block_raw b () in
+  switch_to b then_b;
+  fold_int g (int_expr g 2);
+  terminate b (Block.Goto cont.id);
+  switch_to b else_b;
+  fold_int g (Node.binop Opcode.Sub Types.Int (iconst 0) (int_expr g 2));
+  terminate b (Block.Goto cont.id);
+  switch_to b cont
+
+(* ------------------------------------------------------------------ *)
+(* Whole methods                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let gen_attrs rng ~uses_bigdecimal =
+  {
+    Meth.constructor = Prng.bernoulli rng 0.08;
+    final = Prng.bernoulli rng 0.2;
+    protected_ = Prng.bernoulli rng 0.1;
+    public = Prng.bernoulli rng 0.7;
+    static = Prng.bernoulli rng 0.5;
+    synchronized = Prng.bernoulli rng 0.06;
+    strictfp = Prng.bernoulli rng 0.05;
+    virtual_overridden = Prng.bernoulli rng 0.04;
+    uses_unsafe = Prng.bernoulli rng 0.03;
+    uses_bigdecimal;
+  }
+
+let method_body (prof : Profile.t) b ~callees ~classes ~params ~ret =
+  let g =
+    {
+      b;
+      prof;
+      classes;
+      callees;
+      res = new_sym b "res" Types.Int Symbol.Temp;
+      ints = [];
+      longs = [];
+      doubles = [];
+      arrays = [];
+      objects = [];
+      packeds = [];
+    }
+  in
+  emit b (Node.store_sym g.res (iconst 1));
+  (* seed the pools from the arguments *)
+  List.iteri
+    (fun i pty ->
+      match pty with
+      | Types.Int -> g.ints <- i :: g.ints
+      | Types.Long -> g.longs <- i :: g.longs
+      | Types.Double -> g.doubles <- i :: g.doubles
+      | _ -> ())
+    (Array.to_list params);
+  let rng = b.rng in
+  let used_bigdecimal = ref false in
+  let nfrag =
+    max 1
+      (int_of_float
+         (prof.Profile.fragments_mean *. (0.5 +. Prng.float rng 1.0)))
+  in
+  for _ = 1 to nfrag do
+    let p = Prng.float rng 1.0 in
+    let pr = prof in
+    if p < pr.Profile.loop_bias then simple_loop_fragment g
+    else if p < pr.Profile.loop_bias +. pr.Profile.array_bias *. 0.5 then
+      array_fragment g
+    else if p < pr.Profile.loop_bias +. pr.Profile.array_bias then
+      branchy_fragment g
+    else if
+      p < pr.Profile.loop_bias +. pr.Profile.array_bias +. pr.Profile.object_bias
+    then object_fragment g
+    else if Prng.bernoulli rng pr.Profile.call_bias then call_fragment g
+    else if Prng.bernoulli rng pr.Profile.exception_bias then exception_fragment g
+    else if Prng.bernoulli rng pr.Profile.fp_bias then fp_fragment g
+    else if Prng.bernoulli rng pr.Profile.decimal_bias then decimal_fragment g
+    else if Prng.bernoulli rng pr.Profile.longdouble_bias then longdouble_fragment g
+    else if Prng.bernoulli rng pr.Profile.mixed_bias then begin
+      let bd = Prng.bernoulli rng 0.5 in
+      if bd then used_bigdecimal := true;
+      mixed_fragment g ~bigdecimal:bd
+    end
+    else if Prng.bernoulli rng 0.3 then long_fragment g
+    else arith_fragment g
+  done;
+  let ret_expr =
+    match ret with
+    | Types.Void -> None
+    | Types.Int -> Some (iload g.res)
+    | Types.Long -> Some (Node.mk Opcode.(Cast C_long) Types.Long [| iload g.res |])
+    | Types.Double ->
+        Some (Node.mk Opcode.(Cast C_double) Types.Double [| iload g.res |])
+    | t -> Some (Node.mk Opcode.(Cast C_int) Types.Int [| iload g.res |] |> fun e ->
+                 ignore t; e)
+  in
+  terminate b (Block.Return ret_expr);
+  !used_bigdecimal
+
+let param_types rng =
+  Array.init (Prng.int rng 4) (fun _ ->
+      Prng.choose rng [| Types.Int; Types.Int; Types.Long; Types.Double |])
+
+let ret_type rng =
+  Prng.choose rng [| Types.Int; Types.Int; Types.Int; Types.Long; Types.Double; Types.Void |]
+
+let random_method ?rng (prof : Profile.t) ~name ~callees ~classes =
+  let seed = match rng with Some r -> Prng.next_int64 r | None -> prof.Profile.seed in
+  let b = builder seed in
+  let rng = b.rng in
+  let params = param_types rng in
+  let ret = ret_type rng in
+  Array.iteri
+    (fun i pty -> ignore (new_sym b (Printf.sprintf "a%d" i) pty Symbol.Arg) |> fun () -> ignore i)
+    params;
+  let used_bd = method_body prof b ~callees ~classes ~params ~ret in
+  let attrs = gen_attrs rng ~uses_bigdecimal:used_bd in
+  finish b ~name ~attrs ~params ~ret
+
+(* ---- entry driver ---- *)
+
+let entry_driver (prof : Profile.t) ~methods ~classes seed =
+  let b = builder seed in
+  let rng = b.rng in
+  let params = [| Types.Int |] in
+  ignore (new_sym b "iter" Types.Int Symbol.Arg);
+  let g =
+    {
+      b;
+      prof;
+      classes;
+      callees = methods;
+      res = new_sym b "res" Types.Int Symbol.Temp;
+      ints = [ 0 ];
+      longs = [];
+      doubles = [];
+      arrays = [];
+      objects = [];
+      packeds = [];
+    }
+  in
+  emit b (Node.store_sym g.res (iload 0));
+  let n = List.length methods in
+  let hot =
+    List.filteri (fun i _ -> i < min prof.Profile.hot_methods n) methods
+  in
+  let cold = List.filteri (fun i _ -> i >= min prof.Profile.hot_methods n) methods in
+  (* hot methods run inside the driver loop, with arguments that vary by
+     loop counter so callees see different inputs *)
+  loop_fragment g ~self:false ~trips:prof.Profile.driver_trips ()
+    ~body:(fun i ->
+      List.iter
+        (fun (id, (callee : Meth.t)) ->
+          let args =
+            Array.mapi
+              (fun k pty ->
+                match pty with
+                | Types.Double ->
+                    Node.mk Opcode.(Cast C_double) Types.Double
+                      [| Node.binop Opcode.Add Types.Int (iload i) (iconst k) |]
+                | Types.Long ->
+                    Node.mk Opcode.(Cast C_long) Types.Long
+                      [| Node.binop Opcode.Xor Types.Int (iload i) (iconst (17 * (k + 1))) |]
+                | _ -> Node.binop Opcode.Add Types.Int (iload i) (iconst (3 * k)))
+              callee.Meth.params
+          in
+          let call = Node.call callee.Meth.ret ~callee:id args in
+          if Types.equal callee.Meth.ret Types.Void then emit b call
+          else fold_int g (to_int g call))
+        hot);
+  (* cold methods run once per driver invocation *)
+  List.iter
+    (fun (id, (callee : Meth.t)) ->
+      let args =
+        Array.mapi
+          (fun k pty ->
+            match pty with
+            | Types.Double -> Node.fconst Types.Double (float_of_int k +. 0.5)
+            | Types.Long -> Node.iconst Types.Long (Int64.of_int (k + 11))
+            | _ -> iconst (k + Prng.int rng 5))
+          callee.Meth.params
+      in
+      let call = Node.call callee.Meth.ret ~callee:id args in
+      if Types.equal callee.Meth.ret Types.Void then emit b call
+      else fold_int g (to_int g call))
+    cold;
+  terminate b (Block.Return (Some (iload g.res)));
+  finish b
+    ~name:(prof.Profile.name ^ ".Main.run(I)I")
+    ~attrs:Meth.default_attrs ~params ~ret:Types.Int
+
+(* ---- classes ---- *)
+
+let gen_classes (prof : Profile.t) rng =
+  Array.init (max 1 prof.Profile.classes) (fun i ->
+      let nf = Prng.int_in rng 2 6 in
+      let fields =
+        Array.init nf (fun _ ->
+            Prng.choose rng [| Types.Int; Types.Int; Types.Long; Types.Double |])
+      in
+      let parent = if i > 0 && Prng.bernoulli rng 0.3 then Prng.int rng i else -1 in
+      Classdef.make ~parent (Printf.sprintf "%s.C%d" prof.Profile.name i) fields)
+
+let program (prof : Profile.t) =
+  let rng = Prng.create prof.Profile.seed in
+  let classes = gen_classes prof rng in
+  let n = max 1 prof.Profile.methods in
+  (* methods generated leaf-first: method ids n..1; method i calls ids > i *)
+  let methods = Array.make (n + 1) None in
+  for id = n downto 1 do
+    let callees = ref [] in
+    for j = id + 1 to n do
+      match methods.(j) with
+      | Some m when Prng.bernoulli rng 0.35 -> callees := (j, m) :: !callees
+      | _ -> ()
+    done;
+    let name =
+      Printf.sprintf "%s.C%d.m%d" prof.Profile.name (Prng.int rng (Array.length classes)) id
+    in
+    let m =
+      random_method ~rng prof ~name
+        ~callees:(List.filteri (fun i _ -> i < 6) !callees)
+        ~classes
+    in
+    methods.(id) <- Some m
+  done;
+  let all_callable =
+    List.init n (fun i ->
+        let id = i + 1 in
+        (id, Option.get methods.(id)))
+  in
+  let entry = entry_driver prof ~methods:all_callable ~classes (Prng.next_int64 rng) in
+  methods.(0) <- Some entry;
+  let methods = Array.map Option.get methods in
+  Program.make ~name:prof.Profile.name ~classes ~entry:0 methods

@@ -1,0 +1,25 @@
+(** Seeded synthetic program generation.
+
+    [program p] is deterministic in [p] (same profile, same program) and
+    always yields a valid ({!Tessera_il.Validate}), terminating program:
+    loops are counted with constant bounds and dedicated counters, calls
+    form a DAG (method [i] only calls [j > i]; method 0 is the entry
+    driver), and integer divisions either use non-zero denominators or sit
+    under an exception handler on purpose.
+
+    The generator deliberately leaves optimization opportunities in the
+    code — repeated subexpressions, dead fragments, redundant checks,
+    invariant computations inside loops — because the whole study depends
+    on compilation plans having method-dependent costs and benefits. *)
+
+val program : Profile.t -> Tessera_il.Program.t
+
+val random_method :
+  ?rng:Tessera_util.Prng.t ->
+  Profile.t ->
+  name:string ->
+  callees:(int * Tessera_il.Meth.t) list ->
+  classes:Tessera_il.Classdef.t array ->
+  Tessera_il.Meth.t
+(** One method in isolation (used heavily by property-based tests).
+    [callees] supplies methods this one may call, by id. *)

@@ -1,0 +1,53 @@
+type t = {
+  name : string;
+  seed : int64;
+  methods : int;
+  classes : int;
+  fragments_mean : float;
+  loop_bias : float;
+  nest_bias : float;
+  fp_bias : float;
+  array_bias : float;
+  object_bias : float;
+  sync_bias : float;
+  exception_bias : float;
+  call_bias : float;
+  decimal_bias : float;
+  longdouble_bias : float;
+  mixed_bias : float;
+  dead_bias : float;
+  trip_scale : float;
+  hot_methods : int;
+  driver_trips : int;
+}
+
+let default =
+  {
+    name = "default";
+    seed = 42L;
+    methods = 40;
+    classes = 5;
+    fragments_mean = 4.0;
+    loop_bias = 0.35;
+    nest_bias = 0.2;
+    fp_bias = 0.25;
+    array_bias = 0.3;
+    object_bias = 0.3;
+    sync_bias = 0.1;
+    exception_bias = 0.12;
+    call_bias = 0.35;
+    decimal_bias = 0.05;
+    longdouble_bias = 0.03;
+    mixed_bias = 0.08;
+    dead_bias = 0.25;
+    trip_scale = 1.0;
+    hot_methods = 8;
+    driver_trips = 12;
+  }
+
+let scale p f =
+  {
+    p with
+    trip_scale = p.trip_scale *. f;
+    driver_trips = max 1 (int_of_float (float_of_int p.driver_trips *. f));
+  }

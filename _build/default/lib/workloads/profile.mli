@@ -1,0 +1,38 @@
+(** Workload profiles: the knobs that differentiate synthetic benchmarks.
+
+    Each benchmark of the evaluation (the SPECjvm98-like and DaCapo-like
+    suites) is a profile — a seed plus biases along exactly the feature
+    axes the learned models observe: loop structure, floating point,
+    arrays, objects and allocation, synchronization, exceptions, calls,
+    decimal arithmetic.  Two benchmarks differ in their method mix, not in
+    hand-written code, which is what makes the suites regenerable. *)
+
+type t = {
+  name : string;
+  seed : int64;
+  methods : int;  (** generated methods, excluding the entry driver *)
+  classes : int;
+  fragments_mean : float;  (** average fragments per method body *)
+  loop_bias : float;  (** P(fragment is a counted loop) *)
+  nest_bias : float;  (** P(a loop contains a nested loop) *)
+  fp_bias : float;  (** P(arithmetic is floating point) *)
+  array_bias : float;
+  object_bias : float;
+  sync_bias : float;
+  exception_bias : float;
+  call_bias : float;
+  decimal_bias : float;
+  longdouble_bias : float;
+  mixed_bias : float;  (** P(intrinsic Mixedop fragment) *)
+  dead_bias : float;  (** P(fragment result is discarded — optimizer food) *)
+  trip_scale : float;  (** multiplier on loop trip counts *)
+  hot_methods : int;  (** methods the entry driver calls inside its loop *)
+  driver_trips : int;  (** entry-driver loop iterations per invocation *)
+}
+
+val default : t
+(** A balanced mid-size profile. *)
+
+val scale : t -> float -> t
+(** [scale p f] multiplies workload volume (trip counts, driver trips) by
+    [f], keeping structure; used to downscale experiments. *)

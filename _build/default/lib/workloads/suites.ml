@@ -1,0 +1,321 @@
+type bench = {
+  profile : Profile.t;
+  tag : string;
+  suite : [ `Specjvm98 | `Dacapo ];
+  trainable : bool;
+  iteration_invocations : int;
+}
+
+let mk ?(trainable = false) ?(iters = 4) suite tag name seed p =
+  {
+    profile = { p with Profile.name; seed };
+    tag;
+    suite;
+    trainable;
+    iteration_invocations = iters;
+  }
+
+let d = Profile.default
+
+let specjvm98 =
+  [
+    (* _201_compress: tight integer loops over byte arrays, few objects *)
+    mk `Specjvm98 "co" "compress" 201L ~trainable:true ~iters:5
+      {
+        d with
+        Profile.methods = 18;
+        loop_bias = 0.55;
+        nest_bias = 0.35;
+        array_bias = 0.5;
+        fp_bias = 0.02;
+        object_bias = 0.08;
+        sync_bias = 0.02;
+        exception_bias = 0.04;
+        call_bias = 0.25;
+        decimal_bias = 0.0;
+        longdouble_bias = 0.0;
+        mixed_bias = 0.02;
+        trip_scale = 1.6;
+        hot_methods = 6;
+        driver_trips = 29;
+      };
+    (* _209_db: in-memory database, object- and sync-heavy, string ops *)
+    mk `Specjvm98 "db" "db" 209L ~trainable:true ~iters:4
+      {
+        d with
+        Profile.methods = 23;
+        loop_bias = 0.3;
+        array_bias = 0.35;
+        fp_bias = 0.03;
+        object_bias = 0.5;
+        sync_bias = 0.25;
+        exception_bias = 0.1;
+        call_bias = 0.45;
+        mixed_bias = 0.12;
+        hot_methods = 9;
+        driver_trips = 21;
+      };
+    (* _228_jack: parser generator, exception-heavy, branchy *)
+    mk `Specjvm98 "ja" "jack" 228L ~iters:4
+      {
+        d with
+        Profile.methods = 26;
+        loop_bias = 0.28;
+        array_bias = 0.25;
+        object_bias = 0.35;
+        exception_bias = 0.35;
+        call_bias = 0.5;
+        mixed_bias = 0.1;
+        hot_methods = 10;
+        driver_trips = 20;
+      };
+    (* _213_javac: compiler, many small methods, calls and branches *)
+    mk `Specjvm98 "jc" "javac" 213L ~iters:4
+      {
+        d with
+        Profile.methods = 36;
+        fragments_mean = 3.2;
+        loop_bias = 0.22;
+        array_bias = 0.3;
+        object_bias = 0.42;
+        exception_bias = 0.18;
+        call_bias = 0.6;
+        mixed_bias = 0.08;
+        hot_methods = 14;
+        driver_trips = 17;
+      };
+    (* _202_jess: expert system, object allocation churn *)
+    mk `Specjvm98 "je" "jess" 202L ~iters:4
+      {
+        d with
+        Profile.methods = 29;
+        loop_bias = 0.3;
+        object_bias = 0.55;
+        array_bias = 0.25;
+        exception_bias = 0.08;
+        call_bias = 0.5;
+        sync_bias = 0.08;
+        hot_methods = 11;
+        driver_trips = 21;
+      };
+    (* _222_mpegaudio: floating-point kernels *)
+    mk `Specjvm98 "mp" "mpegaudio" 222L ~trainable:true ~iters:5
+      {
+        d with
+        Profile.methods = 20;
+        loop_bias = 0.5;
+        nest_bias = 0.3;
+        fp_bias = 0.6;
+        array_bias = 0.45;
+        object_bias = 0.1;
+        exception_bias = 0.03;
+        call_bias = 0.3;
+        longdouble_bias = 0.08;
+        trip_scale = 1.4;
+        hot_methods = 7;
+        driver_trips = 28;
+      };
+    (* _227_mtrt: multithreaded ray tracer: fp + objects + sync *)
+    mk `Specjvm98 "mt" "mtrt" 227L ~trainable:true ~iters:4
+      {
+        d with
+        Profile.methods = 22;
+        loop_bias = 0.4;
+        fp_bias = 0.5;
+        object_bias = 0.4;
+        array_bias = 0.3;
+        sync_bias = 0.2;
+        call_bias = 0.45;
+        hot_methods = 9;
+        driver_trips = 22;
+      };
+    (* _205_raytrace: single-threaded variant of mtrt *)
+    mk `Specjvm98 "rt" "raytrace" 205L ~trainable:true ~iters:4
+      {
+        d with
+        Profile.methods = 21;
+        loop_bias = 0.42;
+        fp_bias = 0.52;
+        object_bias = 0.38;
+        array_bias = 0.3;
+        sync_bias = 0.04;
+        call_bias = 0.45;
+        hot_methods = 9;
+        driver_trips = 22;
+      };
+  ]
+
+let dacapo =
+  [
+    mk `Dacapo "avrora" "avrora" 901L ~iters:3
+      {
+        d with
+        Profile.methods = 31;
+        loop_bias = 0.38;
+        array_bias = 0.35;
+        object_bias = 0.3;
+        sync_bias = 0.3;
+        exception_bias = 0.08;
+        call_bias = 0.45;
+        hot_methods = 12;
+        driver_trips = 34;
+      };
+    mk `Dacapo "batik" "batik" 902L ~iters:3
+      {
+        d with
+        Profile.methods = 34;
+        fp_bias = 0.45;
+        loop_bias = 0.3;
+        array_bias = 0.35;
+        object_bias = 0.4;
+        call_bias = 0.5;
+        hot_methods = 12;
+        driver_trips = 29;
+      };
+    mk `Dacapo "eclipse" "eclipse" 903L ~iters:3
+      {
+        d with
+        Profile.methods = 46;
+        fragments_mean = 3.0;
+        loop_bias = 0.2;
+        object_bias = 0.45;
+        exception_bias = 0.2;
+        call_bias = 0.65;
+        sync_bias = 0.15;
+        mixed_bias = 0.12;
+        hot_methods = 16;
+        driver_trips = 24;
+      };
+    mk `Dacapo "fop" "fop" 904L ~iters:3
+      {
+        d with
+        Profile.methods = 32;
+        loop_bias = 0.25;
+        object_bias = 0.45;
+        array_bias = 0.3;
+        exception_bias = 0.12;
+        call_bias = 0.55;
+        hot_methods = 12;
+        driver_trips = 29;
+      };
+    mk `Dacapo "h2" "h2" 905L ~iters:3
+      {
+        d with
+        Profile.methods = 38;
+        loop_bias = 0.3;
+        object_bias = 0.5;
+        sync_bias = 0.35;
+        exception_bias = 0.18;
+        call_bias = 0.55;
+        decimal_bias = 0.2;
+        mixed_bias = 0.15;
+        hot_methods = 14;
+        driver_trips = 29;
+      };
+    mk `Dacapo "jython" "jython" 906L ~iters:3
+      {
+        d with
+        Profile.methods = 42;
+        fragments_mean = 3.4;
+        loop_bias = 0.25;
+        object_bias = 0.5;
+        exception_bias = 0.22;
+        call_bias = 0.65;
+        mixed_bias = 0.14;
+        hot_methods = 15;
+        driver_trips = 24;
+      };
+    mk `Dacapo "luindex" "luindex" 907L ~iters:4
+      {
+        d with
+        Profile.methods = 25;
+        loop_bias = 0.45;
+        nest_bias = 0.3;
+        array_bias = 0.5;
+        object_bias = 0.25;
+        call_bias = 0.4;
+        mixed_bias = 0.1;
+        trip_scale = 1.4;
+        hot_methods = 9;
+        driver_trips = 37;
+      };
+    mk `Dacapo "lusearch" "lusearch" 908L ~iters:4
+      {
+        d with
+        Profile.methods = 26;
+        loop_bias = 0.42;
+        array_bias = 0.45;
+        object_bias = 0.28;
+        sync_bias = 0.25;
+        call_bias = 0.42;
+        trip_scale = 1.3;
+        hot_methods = 10;
+        driver_trips = 36;
+      };
+    mk `Dacapo "pmd" "pmd" 909L ~iters:3
+      {
+        d with
+        Profile.methods = 35;
+        loop_bias = 0.24;
+        object_bias = 0.45;
+        exception_bias = 0.15;
+        call_bias = 0.6;
+        hot_methods = 13;
+        driver_trips = 29;
+      };
+    mk `Dacapo "sunflow" "sunflow" 910L ~iters:4
+      {
+        d with
+        Profile.methods = 27;
+        loop_bias = 0.45;
+        fp_bias = 0.6;
+        array_bias = 0.35;
+        object_bias = 0.3;
+        sync_bias = 0.15;
+        call_bias = 0.4;
+        trip_scale = 1.3;
+        hot_methods = 10;
+        driver_trips = 37;
+      };
+    mk `Dacapo "tomcat" "tomcat" 911L ~iters:3
+      {
+        d with
+        Profile.methods = 39;
+        loop_bias = 0.25;
+        object_bias = 0.45;
+        sync_bias = 0.3;
+        exception_bias = 0.2;
+        call_bias = 0.6;
+        mixed_bias = 0.12;
+        hot_methods = 14;
+        driver_trips = 29;
+      };
+    mk `Dacapo "xalan" "xalan" 912L ~iters:3
+      {
+        d with
+        Profile.methods = 36;
+        loop_bias = 0.32;
+        array_bias = 0.4;
+        object_bias = 0.4;
+        sync_bias = 0.25;
+        call_bias = 0.55;
+        hot_methods = 13;
+        driver_trips = 34;
+      };
+  ]
+
+let training_set = List.filter (fun b -> b.trainable) specjvm98
+
+let all = specjvm98 @ dacapo
+
+let find name =
+  List.find_opt
+    (fun b -> String.equal b.profile.Profile.name name || String.equal b.tag name)
+    all
+
+let scale_bench b f =
+  {
+    b with
+    profile = Profile.scale b.profile f;
+    iteration_invocations = max 1 (int_of_float (float_of_int b.iteration_invocations *. f));
+  }

@@ -1,0 +1,38 @@
+(** The benchmark suites of the evaluation (Section 8).
+
+    Every benchmark is a {!Profile.t} whose biases caricature the real
+    program's behaviour: [compress] is tight integer loops over arrays,
+    [db] is object-heavy with synchronization, [mpegaudio] is
+    floating-point dominated, [javac] is call- and branch-heavy with
+    exceptions, and so on.  The five training benchmarks carry the same
+    two-letter tags the paper uses in its figures (co, db, mp, mt, rt). *)
+
+type bench = {
+  profile : Profile.t;
+  tag : string;  (** two-letter tag for training benchmarks, else name *)
+  suite : [ `Specjvm98 | `Dacapo ];
+  trainable : bool;
+      (** one of the five benchmarks data collection supports *)
+  iteration_invocations : int;
+      (** entry-method invocations that constitute one benchmark
+          iteration *)
+}
+
+val specjvm98 : bench list
+(** compress, db, jack, javac, jess, mpegaudio, mtrt, raytrace. *)
+
+val dacapo : bench list
+(** avrora, batik, eclipse, fop, h2, jython, luindex, lusearch, pmd,
+    sunflow, tomcat, xalan (tradebeans and tradesoap excluded, as in the
+    paper). *)
+
+val training_set : bench list
+(** The five SPECjvm98 benchmarks used for data collection:
+    compress (co), db (db), mpegaudio (mp), mtrt (mt), raytrace (rt). *)
+
+val all : bench list
+
+val find : string -> bench option
+
+val scale_bench : bench -> float -> bench
+(** Scale workload volume (for quick runs). *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Format Int64 List Printf Tessera_codegen Tessera_il Tessera_modifiers Tessera_opt Tessera_util Tessera_vm Tessera_workloads

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Int64 List Tessera_codegen Tessera_il Tessera_vm

@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Array Helpers Int64 List Modifier Printf Prng Tessera_codegen Tessera_il Tessera_jit Tessera_opt Tessera_vm

@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Array Hashtbl List Tessera_features Tessera_il Tessera_jit Tessera_opt

@@ -1,0 +1,1 @@
+test/test_il.ml: Alcotest Array Format Fun List Printf Tessera_il Tessera_workloads

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Buffer Helpers Printf Tessera_il Tessera_lang Tessera_vm

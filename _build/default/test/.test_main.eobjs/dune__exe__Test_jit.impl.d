@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Array Format Fun Helpers Int64 List Printf Tessera_features Tessera_il Tessera_jit Tessera_lang Tessera_modifiers Tessera_opt Tessera_vm

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Format Helpers List Printf String Tessera_il Tessera_lang Tessera_vm

@@ -1,0 +1,1 @@
+test/test_modifiers.ml: Alcotest Fun Hashtbl Int64 List Printf Tessera_collect Tessera_modifiers Tessera_util Tessera_vm Tessera_workloads

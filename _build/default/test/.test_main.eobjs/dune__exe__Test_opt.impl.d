@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Hashtbl Int64 List Tessera_il Tessera_opt Tessera_vm

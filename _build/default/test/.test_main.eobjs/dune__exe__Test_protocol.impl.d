@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Filename Format Fun Int64 List Printf QCheck QCheck_alcotest Sys Tessera_modifiers Tessera_opt Tessera_protocol Tessera_util Unix

@@ -1,0 +1,1 @@
+test/test_svm.ml: Alcotest Array Buffer Float Format Fun Gen List Printf QCheck QCheck_alcotest Tessera_svm Tessera_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Fun Gen List Printf QCheck QCheck_alcotest Tessera_util

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Int64 List Option Printf Tessera_codegen Tessera_il Tessera_vm Tessera_workloads

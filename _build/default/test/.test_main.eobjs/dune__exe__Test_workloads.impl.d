@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Format Hashtbl Helpers List Option Printf Tessera_features Tessera_il Tessera_util Tessera_vm Tessera_workloads

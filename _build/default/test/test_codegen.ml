@@ -1,0 +1,175 @@
+module Types = Tessera_il.Types
+module Opcode = Tessera_il.Opcode
+module Node = Tessera_il.Node
+module Block = Tessera_il.Block
+module Meth = Tessera_il.Meth
+module Symbol = Tessera_il.Symbol
+module Isa = Tessera_codegen.Isa
+module Lower = Tessera_codegen.Lower
+module Exec = Tessera_codegen.Exec
+module Values = Tessera_vm.Values
+module Cost = Tessera_vm.Cost
+
+let ic v = Node.iconst Types.Int (Int64.of_int v)
+
+let exec ?(classes = [||]) compiled args =
+  let cycles = ref 0 in
+  Exec.run
+    {
+      Exec.classes;
+      charge = (fun n -> cycles := !cycles + n);
+      invoke = (fun _ _ -> Alcotest.fail "unexpected call");
+      fuel = ref 1_000_000;
+    }
+    compiled args
+  |> fun v -> (v, !cycles)
+
+let simple ret_expr =
+  Meth.make ~name:"C.c()I" ~params:[||] ~ret:Types.Int ~symbols:[||]
+    [| Block.make 0 [] (Block.Return (Some ret_expr)) |]
+
+let test_lowering_shape () =
+  (* return 2+3: const, const, add, ret = 4 instructions *)
+  let c = Lower.compile (simple (Node.binop Opcode.Add Types.Int (ic 2) (ic 3))) in
+  Alcotest.(check int) "instruction count" 4 c.Isa.code_size;
+  let v, _ = exec c [||] in
+  Alcotest.(check bool) "value" true (Values.equal v (Values.Int_v 5L))
+
+let test_jump_patching () =
+  (* if (1) return 10 else return 20, with blocks out of fallthrough order *)
+  let m =
+    Meth.make ~name:"J.j()I" ~params:[||] ~ret:Types.Int ~symbols:[||]
+      [|
+        Block.make 0 [] (Block.If { cond = ic 0; if_true = 2; if_false = 1 });
+        Block.make 1 [] (Block.Return (Some (ic 20)));
+        Block.make 2 [] (Block.Return (Some (ic 10)));
+      |]
+  in
+  let c = Lower.compile m in
+  let v, _ = exec c [||] in
+  Alcotest.(check bool) "took else branch" true (Values.equal v (Values.Int_v 20L));
+  (* every jump target lands inside the code *)
+  Array.iter
+    (function
+      | Isa.Jump t | Isa.Jump_if_false t ->
+          Alcotest.(check bool) "target in range" true (t >= 0 && t < c.Isa.code_size)
+      | _ -> ())
+    c.Isa.instrs
+
+let test_regalloc_quality_costs () =
+  let m =
+    Meth.make ~name:"Q.q()I" ~params:[||] ~ret:Types.Int
+      ~symbols:[| Symbol.temp "t" Types.Int |]
+      [|
+        Block.make 0
+          [ Node.store_sym 0 (ic 7) ]
+          (Block.Return (Some (Node.load_sym Types.Int 0)));
+      |]
+  in
+  let base = Lower.compile ~quality:Cost.Q_base m in
+  let fast = Lower.compile ~quality:Cost.Q_regalloc m in
+  Alcotest.(check bool) "register allocation lowers static cost" true
+    (Lower.static_cycle_estimate fast < Lower.static_cycle_estimate base);
+  let _, cb = exec base [||] in
+  let _, cf = exec fast [||] in
+  Alcotest.(check bool) "and dynamic cost" true (cf < cb)
+
+let test_flag_discount_in_code () =
+  let alloc = Node.mk ~sym:(Types.index Types.Int) Opcode.Newarray Types.Address [| ic 4 |] in
+  let flagged = Node.with_flags alloc Node.flag_stack_alloc in
+  let plain = Lower.compile (simple (Node.mk Opcode.(Arrayop Array_length) Types.Int [| alloc |])) in
+  let cheap = Lower.compile (simple (Node.mk Opcode.(Arrayop Array_length) Types.Int [| flagged |])) in
+  Alcotest.(check bool) "stack-allocation flag discounts cycles" true
+    (Lower.static_cycle_estimate cheap < Lower.static_cycle_estimate plain);
+  (* semantics identical *)
+  let va, _ = exec plain [||] and vb, _ = exec cheap [||] in
+  Alcotest.(check bool) "same value" true (Values.equal va vb)
+
+let test_handler_dispatch_in_native_code () =
+  (* div by zero in block 0 jumps to handler block 1 *)
+  let m =
+    Meth.make ~name:"H.h()I" ~params:[||] ~ret:Types.Int
+      ~symbols:[| Symbol.temp "r" Types.Int |]
+      [|
+        Block.make ~handler:(Some 1) 0
+          [ Node.store_sym 0 (Node.binop Opcode.Div Types.Int (ic 1) (ic 0)) ]
+          (Block.Return (Some (ic 111)));
+        Block.make 1 [] (Block.Return (Some (ic 222)));
+      |]
+  in
+  let c = Lower.compile m in
+  let v, _ = exec c [||] in
+  Alcotest.(check bool) "handler caught the trap" true
+    (Values.equal v (Values.Int_v 222L));
+  (* without a handler, the trap escapes *)
+  let m2 =
+    Meth.make ~name:"H.h2()I" ~params:[||] ~ret:Types.Int
+      ~symbols:[| Symbol.temp "r" Types.Int |]
+      [|
+        Block.make 0
+          [ Node.store_sym 0 (Node.binop Opcode.Div Types.Int (ic 1) (ic 0)) ]
+          (Block.Return (Some (ic 111)));
+      |]
+  in
+  Alcotest.check_raises "escapes" (Values.Trap Values.Div_by_zero) (fun () ->
+      ignore (exec (Lower.compile m2) [||]))
+
+let test_return_coercion () =
+  (* method declared byte-returning must truncate *)
+  let m =
+    Meth.make ~name:"B.b()B" ~params:[||] ~ret:Types.Byte ~symbols:[||]
+      [| Block.make 0 [] (Block.Return (Some (Node.iconst Types.Byte 0x1FFL))) |]
+  in
+  let v, _ = exec (Lower.compile m) [||] in
+  Alcotest.(check bool) "byte truncation on return" true
+    (Values.equal v (Values.Int_v (-1L)))
+
+let test_argument_coercion () =
+  let m =
+    Meth.make ~name:"A.a(B)I" ~params:[| Types.Byte |] ~ret:Types.Int
+      ~symbols:[| Symbol.arg "x" Types.Byte |]
+      [|
+        Block.make 0 []
+          (Block.Return
+             (Some (Node.mk Opcode.(Cast C_int) Types.Int
+                      [| Node.load_sym Types.Byte 0 |])));
+      |]
+  in
+  let v, _ = exec (Lower.compile m) [| Values.Int_v 300L |] in
+  (* 300 truncated into a byte is 44 *)
+  Alcotest.(check bool) "argument truncated at entry" true
+    (Values.equal v (Values.Int_v 44L))
+
+let test_fallthrough_gotos_cost_nothing () =
+  let m =
+    Meth.make ~name:"F.f()I" ~params:[||] ~ret:Types.Int ~symbols:[||]
+      [|
+        Block.make 0 [] (Block.Goto 1);
+        Block.make 1 [] (Block.Return (Some (ic 1)));
+      |]
+  in
+  let c = Lower.compile m in
+  let fallthrough_jump_costs =
+    Array.to_list
+      (Array.mapi
+         (fun pc instr ->
+           match instr with Isa.Jump t when t = pc + 1 -> c.Isa.costs.(pc) | _ -> -1)
+         c.Isa.instrs)
+    |> List.filter (fun x -> x >= 0)
+  in
+  Alcotest.(check (list int)) "fallthrough jump is free" [ 0 ] fallthrough_jump_costs
+
+let suite =
+  [
+    Alcotest.test_case "lowering shape" `Quick test_lowering_shape;
+    Alcotest.test_case "jump patching" `Quick test_jump_patching;
+    Alcotest.test_case "regalloc quality costs" `Quick test_regalloc_quality_costs;
+    Alcotest.test_case "flag discounts reach the code" `Quick
+      test_flag_discount_in_code;
+    Alcotest.test_case "native handler dispatch" `Quick
+      test_handler_dispatch_in_native_code;
+    Alcotest.test_case "return coercion" `Quick test_return_coercion;
+    Alcotest.test_case "argument coercion" `Quick test_argument_coercion;
+    Alcotest.test_case "fallthrough gotos are free" `Quick
+      test_fallthrough_gotos_cost_nothing;
+  ]

@@ -1,0 +1,233 @@
+(* Integration tests of the full experiment pipeline at a tiny scale. *)
+
+module Harness = Tessera_harness
+module Suites = Tessera_workloads.Suites
+module Plan = Tessera_opt.Plan
+module Stats = Tessera_util.Stats
+
+let tiny_cfg =
+  {
+    Harness.Expconfig.quick with
+    Harness.Expconfig.collect_invocations = 40;
+    progressive_l = 40;
+    randomized_count = 15;
+    uses_per_modifier = 3;
+    trials = 1;
+    noise_draws = 10;
+    bench_scale = 0.5;
+  }
+
+(* collection + training are expensive; do them once for the module *)
+let outcomes =
+  lazy
+    (List.map
+       (Harness.Collection.collect_bench ~cfg:tiny_cfg)
+       (List.filteri (fun i _ -> i < 2) Suites.training_set))
+
+let test_collection () =
+  let outcomes = Lazy.force outcomes in
+  Alcotest.(check int) "two benchmarks" 2 (List.length outcomes);
+  List.iter
+    (fun (o : Harness.Collection.outcome) ->
+      Alcotest.(check bool) "randomized has records" true
+        (o.Harness.Collection.randomized.Tessera_collect.Archive.records <> []);
+      Alcotest.(check bool) "progressive has records" true
+        (o.Harness.Collection.progressive.Tessera_collect.Archive.records <> []);
+      Alcotest.(check int) "merged is the union"
+        (List.length o.Harness.Collection.randomized.Tessera_collect.Archive.records
+        + List.length o.Harness.Collection.progressive.Tessera_collect.Archive.records)
+        (List.length o.Harness.Collection.merged.Tessera_collect.Archive.records))
+    outcomes
+
+let test_modelset_training () =
+  let outcomes = Lazy.force outcomes in
+  let ms = Harness.Training.train_on_all ~name:"tiny" outcomes in
+  Alcotest.(check bool) "trained at least one level" true
+    (ms.Harness.Modelset.levels <> []);
+  List.iter
+    (fun (lm : Harness.Modelset.level_model) ->
+      Alcotest.(check bool) "learned levels only" true
+        (List.mem lm.Harness.Modelset.level [ Plan.Cold; Plan.Warm; Plan.Hot ]);
+      Alcotest.(check bool) "classes >= 2" true
+        (Tessera_dataproc.Labels.size lm.Harness.Modelset.labels >= 2))
+    ms.Harness.Modelset.levels;
+  (* scorching predictions are the null modifier (paper: no model there) *)
+  let f = Tessera_features.Features.of_array (Array.make 71 1) in
+  Alcotest.(check bool) "scorching predicts null" true
+    (Tessera_modifiers.Modifier.is_null
+       (Harness.Modelset.predict ms ~level:Plan.Scorching f))
+
+let test_modelset_save_load () =
+  let outcomes = Lazy.force outcomes in
+  let ms = Harness.Training.train_on_all ~name:"tiny" outcomes in
+  let dir = Filename.temp_file "tessera" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      Harness.Modelset.save ms ~dir;
+      let ms' = Harness.Modelset.load ~name:"tiny" ~dir in
+      Alcotest.(check int) "same level count"
+        (List.length ms.Harness.Modelset.levels)
+        (List.length ms'.Harness.Modelset.levels);
+      (* loaded models predict identically *)
+      let f =
+        Tessera_features.Features.of_array
+          (Array.init 71 (fun i -> i mod 3))
+      in
+      List.iter
+        (fun (lm : Harness.Modelset.level_model) ->
+          let level = lm.Harness.Modelset.level in
+          Alcotest.(check bool)
+            (Plan.level_name level ^ " same prediction")
+            true
+            (Tessera_modifiers.Modifier.equal
+               (Harness.Modelset.predict ms ~level f)
+               (Harness.Modelset.predict ms' ~level f)))
+        ms.Harness.Modelset.levels)
+
+let test_loo_structure () =
+  let outcomes = Lazy.force outcomes in
+  let loo = Harness.Training.train_loo outcomes in
+  Alcotest.(check int) "one set per benchmark" 2 (List.length loo);
+  List.iteri
+    (fun i (s : Harness.Training.loo_set) ->
+      Alcotest.(check string) "H-names" (Printf.sprintf "H%d" (i + 1)) s.Harness.Training.name;
+      Alcotest.(check bool) "excluded tag recorded" true
+        (s.Harness.Training.excluded_tag <> ""))
+    loo
+
+let test_evaluation_cells () =
+  let outcomes = Lazy.force outcomes in
+  let ms = Harness.Training.train_on_all ~name:"tiny" outcomes in
+  let bench = Suites.scale_bench (Option.get (Suites.find "jack")) 0.4 in
+  let cells = Harness.Evaluation.evaluate_bench ~cfg:tiny_cfg ~models:[ ms ] bench in
+  Alcotest.(check int) "one cell" 1 (List.length cells);
+  let c = List.hd cells in
+  List.iter
+    (fun (what, (s : Stats.summary)) ->
+      Alcotest.(check bool) (what ^ " positive") true (s.Stats.mean > 0.0);
+      Alcotest.(check bool) (what ^ " ci nonnegative") true (s.Stats.ci95 >= 0.0);
+      Alcotest.(check int) (what ^ " draws") tiny_cfg.Harness.Expconfig.noise_draws
+        s.Stats.n)
+    [
+      ("startup perf", c.Harness.Evaluation.startup_perf);
+      ("startup compile", c.Harness.Evaluation.startup_compile);
+      ("throughput perf", c.Harness.Evaluation.throughput_perf);
+      ("throughput compile", c.Harness.Evaluation.throughput_compile);
+    ];
+  (* the learned model must reduce compilation time on this substrate *)
+  Alcotest.(check bool) "compile time reduced" true
+    (c.Harness.Evaluation.startup_compile.Stats.mean < 1.0)
+
+let test_report_printers () =
+  let outcomes = Lazy.force outcomes in
+  let loo = Harness.Training.train_loo outcomes in
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  Harness.Report.collection_summary fmt outcomes;
+  Harness.Report.training_summary fmt loo;
+  Harness.Report.table4 fmt loo;
+  Format.pp_print_flush fmt ();
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "mentions Table 4" true
+    (String.length out > 200);
+  (* one cell matrix renders as a figure *)
+  let bench = Suites.scale_bench (Option.get (Suites.find "jack")) 0.4 in
+  let ms = Harness.Training.train_on_all ~name:"tiny" outcomes in
+  let cells = Harness.Evaluation.evaluate_bench ~cfg:tiny_cfg ~models:[ ms ] bench in
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Harness.Report.figure fmt ~id:"Figure X" ~title:"test" ~higher_better:true
+    ~extract:(fun c -> c.Harness.Evaluation.startup_perf)
+    cells;
+  Format.pp_print_flush fmt ();
+  Alcotest.(check bool) "figure rendered with geomean" true
+    (String.length (Buffer.contents buf) > 100)
+
+let suite =
+  [
+    Alcotest.test_case "collection" `Slow test_collection;
+    Alcotest.test_case "model-set training" `Slow test_modelset_training;
+    Alcotest.test_case "model-set save/load" `Slow test_modelset_save_load;
+    Alcotest.test_case "leave-one-out structure" `Slow test_loo_structure;
+    Alcotest.test_case "evaluation cells" `Slow test_evaluation_cells;
+    Alcotest.test_case "report printers" `Slow test_report_printers;
+  ]
+
+let test_crossval () =
+  let outcomes = Lazy.force outcomes in
+  let records = Harness.Training.records_of outcomes in
+  let accs = Harness.Crossval.kfold_accuracy ~k:3 records in
+  List.iter
+    (fun (a : Harness.Crossval.level_accuracy) ->
+      Alcotest.(check bool) "accuracy in [0,1]" true
+        (a.Harness.Crossval.accuracy >= 0.0 && a.Harness.Crossval.accuracy <= 1.0);
+      Alcotest.(check bool) "instances positive" true
+        (a.Harness.Crossval.instances > 0))
+    accs;
+  let loo = Harness.Crossval.loo_benchmark_accuracy outcomes in
+  Alcotest.(check int) "one row per benchmark" 2 (List.length loo);
+  let buf = Buffer.create 512 in
+  let fmt = Format.formatter_of_buffer buf in
+  Harness.Crossval.report fmt loo;
+  Format.pp_print_flush fmt ();
+  Alcotest.(check bool) "report renders" true (Buffer.length buf > 40)
+
+let test_platform_targets_evaluable () =
+  (* the same benchmark runs on both back-end targets with different
+     cycle outcomes but equal compilation counts *)
+  let bench = Suites.scale_bench (Option.get (Suites.find "jack")) 0.4 in
+  let z =
+    Harness.Evaluation.run_once ~cfg:tiny_cfg ~target:Tessera_vm.Target.zircon
+      ~bench ~iterations:1 ~trial:0 ()
+  in
+  let o =
+    Harness.Evaluation.run_once ~cfg:tiny_cfg ~target:Tessera_vm.Target.obsidian
+      ~bench ~iterations:1 ~trial:0 ()
+  in
+  Alcotest.(check int) "same compilation count" z.Harness.Evaluation.compilations
+    o.Harness.Evaluation.compilations;
+  Alcotest.(check bool) "different app cycles" true
+    (z.Harness.Evaluation.app_cycles <> o.Harness.Evaluation.app_cycles)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "cross-validation" `Slow test_crossval;
+      Alcotest.test_case "platform targets evaluable" `Slow
+        test_platform_targets_evaluable;
+    ]
+
+let test_persist_roundtrip () =
+  let outcomes = Lazy.force outcomes in
+  let dir = Filename.temp_file "tessera_campaign" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      Alcotest.(check bool) "not a campaign dir yet" false
+        (Harness.Persist.is_campaign_dir dir);
+      Harness.Persist.save ~dir outcomes;
+      Alcotest.(check bool) "campaign dir" true (Harness.Persist.is_campaign_dir dir);
+      let loaded = Harness.Persist.load ~dir in
+      Alcotest.(check int) "same benchmark count" (List.length outcomes)
+        (List.length loaded);
+      List.iter2
+        (fun (a : Harness.Collection.outcome) (b : Harness.Collection.outcome) ->
+          Alcotest.(check string) "tag" a.Harness.Collection.tag b.Harness.Collection.tag;
+          Alcotest.(check int) "merged records"
+            (List.length a.Harness.Collection.merged.Tessera_collect.Archive.records)
+            (List.length b.Harness.Collection.merged.Tessera_collect.Archive.records))
+        (List.sort compare outcomes |> List.map Fun.id)
+        loaded)
+
+let suite =
+  suite @ [ Alcotest.test_case "campaign persistence" `Slow test_persist_roundtrip ]

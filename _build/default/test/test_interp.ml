@@ -1,0 +1,253 @@
+(* Interpreter edge cases, written directly in the textual IL so the
+   scenarios are explicit. *)
+
+module Parser = Tessera_lang.Parser
+module Values = Tessera_vm.Values
+module Interp = Tessera_vm.Interp
+module Program = Tessera_il.Program
+
+let run_with ?(fuel = 1_000_000) src args =
+  let p = Parser.parse_program src in
+  let cycles = ref 0 in
+  let fuel_ref = ref fuel in
+  let rec invoke id args =
+    Interp.run
+      {
+        Interp.classes = p.Program.classes;
+        charge = (fun n -> cycles := !cycles + n);
+        invoke;
+        fuel = fuel_ref;
+      }
+      (Program.meth p id) args
+  in
+  match invoke p.Program.entry args with
+  | v -> (Ok v, !cycles)
+  | exception Values.Trap k -> (Error k, !cycles)
+
+let check_result ?fuel src args expected =
+  let got, _ = run_with ?fuel src args in
+  Alcotest.check Helpers.outcome_testable "result" expected got
+
+let test_handler_chain () =
+  (* a trap in the protected block reaches its handler; a second trap in
+     the handler reaches the handler's handler *)
+  check_result
+    {|
+program "h" entry 0
+method "H.m()I" () returns int {
+  temp "t" int
+  block 0 handler 1 {
+    (store void $0 (div int (loadconst int 1) (loadconst int 0)))
+    (return (loadconst int 1))
+  }
+  block 1 handler 2 {
+    (store void $0 (div int (loadconst int 2) (loadconst int 0)))
+    (return (loadconst int 2))
+  }
+  block 2 {
+    (return (loadconst int 3))
+  }
+}
+|}
+    [||]
+    (Ok (Values.Int_v 3L))
+
+let test_trap_escapes_without_handler () =
+  check_result
+    {|
+program "e" entry 0
+method "E.m()I" () returns int {
+  block 0 {
+    (return (div int (loadconst int 5) (loadconst int 0)))
+  }
+}
+|}
+    [||]
+    (Error Values.Div_by_zero)
+
+let test_trap_propagates_through_calls () =
+  (* callee traps; caller's handler catches *)
+  check_result
+    {|
+program "p" entry 0
+method "P.caller()I" () returns int {
+  block 0 handler 1 {
+    (return (call int $1))
+  }
+  block 1 {
+    (return (loadconst int 42))
+  }
+}
+method "P.callee()I" () returns int {
+  block 0 {
+    (return (rem int (loadconst int 1) (loadconst int 0)))
+  }
+}
+|}
+    [||]
+    (Ok (Values.Int_v 42L))
+
+let test_fuel_exhaustion () =
+  (* an infinite loop must hit the fuel guard, not hang *)
+  let src =
+    {|
+program "inf" entry 0
+method "I.loop()V" () returns void {
+  block 0 {
+    (goto 0)
+  }
+}
+|}
+  in
+  match run_with ~fuel:10_000 src [||] with
+  | _ -> Alcotest.fail "expected Out_of_fuel"
+  | exception Interp.Out_of_fuel -> ()
+
+let test_synchronized_method_charges () =
+  let plain =
+    {|
+program "s" entry 0
+method "S.m()I" () returns int {
+  block 0 { (return (loadconst int 1)) }
+}
+|}
+  in
+  let sync =
+    {|
+program "s" entry 0
+method "S.m()I" (synchronized) returns int {
+  block 0 { (return (loadconst int 1)) }
+}
+|}
+  in
+  let _, c1 = run_with plain [||] in
+  let _, c2 = run_with sync [||] in
+  Alcotest.(check bool) "synchronized entry/exit costs cycles" true (c2 > c1)
+
+let test_multiarray () =
+  check_result
+    {|
+program "ma" entry 0
+method "M.m()I" () returns int {
+  temp "grid" address
+  block 0 {
+    (store void $0 (newmultiarray address $3 (loadconst int 3) (loadconst int 4)))
+    (store void (load address $0) (loadconst int 1)
+      (loadconst int 77))
+    (return
+      (add int
+        (arraylength int (load address $0))
+        (arraylength int (cast.address address (load address (load address $0) (loadconst int 2))))))
+  }
+}
+|}
+    [||]
+    (* outer length 3 + inner length 4; the write at index 1 replaced an
+       inner array with the int 77?  No: store at arity 3 writes an
+       element of the outer array; index 2 still holds an inner array *)
+    (Ok (Values.Int_v 7L))
+
+let test_packed_decimal_arithmetic () =
+  check_result
+    {|
+program "pd" entry 0
+method "D.m(I)I" () returns int {
+  arg "n" int
+  temp "p" packed
+  block 0 {
+    (store void $1
+      (mul packed (cast.packed packed (load int $0))
+                  (cast.packed packed (loadconst int 3))))
+    (return (cast.int int (load packed $1)))
+  }
+}
+|}
+    [| Values.Int_v 14L |]
+    (Ok (Values.Int_v 42L))
+
+let test_char_zero_extension () =
+  check_result
+    {|
+program "cz" entry 0
+method "C.m()I" () returns int {
+  temp "c" char
+  block 0 {
+    (store void $0 (loadconst int -1))
+    (return (load char $0))
+  }
+}
+|}
+    [||]
+    (Ok (Values.Int_v 65535L))
+
+let test_deep_call_chain () =
+  (* 30 methods deep: each calls the next and adds 1 *)
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "program \"deep\" entry 0\n";
+  for i = 0 to 29 do
+    if i < 29 then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "method \"D.m%d()I\" () returns int {\nblock 0 {\n(return (add int \
+            (loadconst int 1) (call int $%d)))\n}\n}\n"
+           i (i + 1))
+    else
+      Buffer.add_string buf
+        (Printf.sprintf
+           "method \"D.m%d()I\" () returns int {\nblock 0 {\n(return \
+            (loadconst int 1))\n}\n}\n"
+           i)
+  done;
+  check_result (Buffer.contents buf) [||] (Ok (Values.Int_v 30L))
+
+let test_instanceof_and_checkcast_flow () =
+  check_result
+    {|
+program "io" entry 0
+class "Base" parent -1 { int }
+class "Derived" parent 0 { int }
+method "O.m()I" () returns int {
+  temp "o" object
+  temp "r" int
+  block 0 handler 2 {
+    (store void $0 (new object $1))
+    (store void $1 (instanceof int $0 (load object $0)))
+    (store void $0 (cast.check object $0 (load object $0)))
+    (if (instanceof int $1 (load object $0)) 1 3)
+  }
+  block 1 handler 2 {
+    (store void $0 (new object $0))
+    (store void $0 (cast.check object $1 (load object $0)))
+    (return (loadconst int -1))
+  }
+  block 2 {
+    (return (add int (load int $1) (loadconst int 100)))
+  }
+  block 3 {
+    (return (loadconst int -2))
+  }
+}
+|}
+    [||]
+    (* Derived is an instance of Base ($1=1 after instanceof of class 0);
+       casting a Base instance to Derived traps into block 2: 1 + 100 *)
+    (Ok (Values.Int_v 101L))
+
+let suite =
+  [
+    Alcotest.test_case "handler chain" `Quick test_handler_chain;
+    Alcotest.test_case "unhandled trap escapes" `Quick
+      test_trap_escapes_without_handler;
+    Alcotest.test_case "traps propagate through calls" `Quick
+      test_trap_propagates_through_calls;
+    Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+    Alcotest.test_case "synchronized method cost" `Quick
+      test_synchronized_method_charges;
+    Alcotest.test_case "multi-dimensional arrays" `Quick test_multiarray;
+    Alcotest.test_case "packed decimal arithmetic" `Quick
+      test_packed_decimal_arithmetic;
+    Alcotest.test_case "char zero extension" `Quick test_char_zero_extension;
+    Alcotest.test_case "deep call chain" `Quick test_deep_call_chain;
+    Alcotest.test_case "instanceof/checkcast flow" `Quick
+      test_instanceof_and_checkcast_flow;
+  ]

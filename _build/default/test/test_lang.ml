@@ -1,0 +1,126 @@
+module Parser = Tessera_lang.Parser
+module Printer = Tessera_lang.Printer
+module Program = Tessera_il.Program
+module Meth = Tessera_il.Meth
+module Node = Tessera_il.Node
+
+let test_expr_roundtrip () =
+  let exprs =
+    [
+      "(loadconst int 42)";
+      "(loadconst double 0x1.8p1)";
+      "(add int (load int $0) (loadconst int -3))";
+      "(inc void $2 -1)";
+      "(call int $3 (loadconst int 1) (loadconst int 2))";
+      "(cast.check object $1 (new object $0))";
+      "(arraycopy void (load address $0) (load address $1) (loadconst int 8))";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let e = Parser.parse_expr src in
+      let printed = Format.asprintf "%a" Printer.pp_expr e in
+      let e' = Parser.parse_expr printed in
+      Alcotest.(check bool) (src ^ " roundtrip") true (Node.structural_equal e e'))
+    exprs
+
+let test_program_roundtrip_generated () =
+  List.iter
+    (fun seed ->
+      let p = Helpers.gen_program seed in
+      let text = Printer.program_to_string p in
+      let p' = Parser.parse_program text in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %Ld program roundtrip" seed)
+        true (Program.equal p p'))
+    (Helpers.seeds 8 900)
+
+let test_roundtrip_preserves_semantics () =
+  List.iter
+    (fun seed ->
+      let p = Helpers.gen_program seed in
+      let p' = Parser.parse_program (Printer.program_to_string p) in
+      let a, _ = Helpers.run_program p (Helpers.entry_args 5) in
+      let b, _ = Helpers.run_program p' (Helpers.entry_args 5) in
+      Alcotest.check Helpers.outcome_testable "same behaviour" a b)
+    (Helpers.seeds 4 1500)
+
+let expect_parse_error src expect_line =
+  match Parser.parse_program src with
+  | _ -> Alcotest.fail "expected a parse error"
+  | exception Parser.Parse_error { line; _ } ->
+      Alcotest.(check int) "error line" expect_line line
+
+let test_error_positions () =
+  expect_parse_error "program \"x\" entry 0\nmethod oops" 2;
+  expect_parse_error
+    "program \"x\" entry 0\nmethod \"m\" () returns int {\nblock 0 {\n(bogus int)\n(return (loadconst int 1))\n}\n}"
+    4
+
+let test_missing_terminator () =
+  match
+    Parser.parse_method
+      "method \"m\" () returns int {\nblock 0 {\n}\n}"
+  with
+  | _ -> Alcotest.fail "expected error"
+  | exception Parser.Parse_error { message; _ } ->
+      Alcotest.(check bool) "mentions terminator" true
+        (String.length message > 0)
+
+let test_comments_and_whitespace () =
+  let src =
+    {|
+; a comment
+program "c" entry 0  ; trailing comment
+method "M.m()I" (static) returns int {
+  temp "t" int
+  block 0 {
+    ; inside a block
+    (store void $0 (loadconst int 3))
+    (return (load int $0))
+  }
+}
+|}
+  in
+  let p = Parser.parse_program src in
+  Alcotest.(check int) "parsed" 1 (Program.method_count p);
+  let r, _ = Helpers.run_program p [||] in
+  Alcotest.check Helpers.outcome_testable "runs"
+    (Ok (Tessera_vm.Values.Int_v 3L)) r
+
+let test_invalid_rejected () =
+  (* parser runs the validator: a branch to a missing block must fail *)
+  match
+    Parser.parse_program
+      "program \"x\" entry 0\nmethod \"m()V\" () returns void {\nblock 0 {\n(goto 9)\n}\n}"
+  with
+  | _ -> Alcotest.fail "expected validation error"
+  | exception Parser.Parse_error { message; _ } ->
+      Alcotest.(check bool) "mentions invalid" true
+        (String.length message > 0)
+
+let test_attrs_roundtrip () =
+  let src =
+    "method \"A.a()V\" (synchronized strictfp bigdecimal) returns void {\nblock 0 {\n(return)\n}\n}"
+  in
+  let m = Parser.parse_method src in
+  Alcotest.(check bool) "synchronized" true m.Meth.attrs.Meth.synchronized;
+  Alcotest.(check bool) "strictfp" true m.Meth.attrs.Meth.strictfp;
+  Alcotest.(check bool) "bigdecimal" true m.Meth.attrs.Meth.uses_bigdecimal;
+  Alcotest.(check bool) "not public" false m.Meth.attrs.Meth.public;
+  let m' = Parser.parse_method (Printer.method_to_string m) in
+  Alcotest.(check bool) "method roundtrip" true (Meth.equal m m')
+
+let suite =
+  [
+    Alcotest.test_case "expression roundtrip" `Quick test_expr_roundtrip;
+    Alcotest.test_case "generated program roundtrip" `Slow
+      test_program_roundtrip_generated;
+    Alcotest.test_case "roundtrip preserves semantics" `Slow
+      test_roundtrip_preserves_semantics;
+    Alcotest.test_case "error positions" `Quick test_error_positions;
+    Alcotest.test_case "missing terminator" `Quick test_missing_terminator;
+    Alcotest.test_case "comments and whitespace" `Quick test_comments_and_whitespace;
+    Alcotest.test_case "validation on parse" `Quick test_invalid_rejected;
+    Alcotest.test_case "attributes roundtrip" `Quick test_attrs_roundtrip;
+  ]

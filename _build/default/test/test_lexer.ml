@@ -1,0 +1,77 @@
+module Lexer = Tessera_lang.Lexer
+
+let tokens_of src =
+  let lx = Lexer.create src in
+  let rec go acc =
+    match Lexer.next lx with
+    | Lexer.Eof -> List.rev acc
+    | tok -> go (tok :: acc)
+  in
+  go []
+
+let tok = Alcotest.testable (fun fmt t -> Format.pp_print_string fmt (Lexer.token_name t)) ( = )
+
+let test_basic_tokens () =
+  Alcotest.(check (list tok)) "mixed stream"
+    [
+      Lexer.Lparen; Lexer.Ident "add"; Lexer.Ident "int"; Lexer.Sym 3;
+      Lexer.Int 42L; Lexer.Rparen; Lexer.Lbrace; Lexer.Rbrace;
+    ]
+    (tokens_of "(add int $3 42) { }")
+
+let test_numbers () =
+  Alcotest.(check (list tok)) "negative int" [ Lexer.Int (-7L) ] (tokens_of "-7");
+  Alcotest.(check (list tok)) "float" [ Lexer.Float 1.5 ] (tokens_of "1.5");
+  Alcotest.(check (list tok)) "hex float" [ Lexer.Float 3.0 ] (tokens_of "0x1.8p1");
+  Alcotest.(check (list tok)) "negative hex float" [ Lexer.Float (-3.0) ]
+    (tokens_of "-0x1.8p1");
+  Alcotest.(check (list tok)) "exponent" [ Lexer.Float 250.0 ] (tokens_of "2.5e2");
+  Alcotest.(check (list tok)) "hex int" [ Lexer.Int 255L ] (tokens_of "0xff")
+
+let test_strings () =
+  Alcotest.(check (list tok)) "escapes"
+    [ Lexer.Str "a\"b\\c\nd" ]
+    (tokens_of {|"a\"b\\c\nd"|});
+  match tokens_of "\"unterminated" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Lexer.Error _ -> ()
+
+let test_comments () =
+  Alcotest.(check (list tok)) "comment to eol"
+    [ Lexer.Int 1L; Lexer.Int 2L ]
+    (tokens_of "1 ; ignored ( } \" \n2")
+
+let test_positions () =
+  let lx = Lexer.create "a\n  b" in
+  ignore (Lexer.next lx);
+  ignore (Lexer.next lx);
+  let line, col = Lexer.position lx in
+  Alcotest.(check int) "line" 2 line;
+  Alcotest.(check bool) "column advanced" true (col > 1)
+
+let test_bad_char () =
+  match tokens_of "@" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Lexer.Error { line; col; _ } ->
+      Alcotest.(check int) "line 1" 1 line;
+      Alcotest.(check int) "col 1" 1 col
+
+let test_expect () =
+  let lx = Lexer.create "( foo" in
+  Lexer.expect lx Lexer.Lparen;
+  match Lexer.expect lx Lexer.Rparen with
+  | _ -> Alcotest.fail "expected mismatch error"
+  | exception Lexer.Error { message; _ } ->
+      Alcotest.(check bool) "mentions both tokens" true
+        (String.length message > 5)
+
+let suite =
+  [
+    Alcotest.test_case "basic tokens" `Quick test_basic_tokens;
+    Alcotest.test_case "numbers" `Quick test_numbers;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "positions" `Quick test_positions;
+    Alcotest.test_case "bad character" `Quick test_bad_char;
+    Alcotest.test_case "expect" `Quick test_expect;
+  ]

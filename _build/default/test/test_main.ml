@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "tessera"
+    [
+      ("util", Test_util.suite);
+      ("il", Test_il.suite);
+      ("vm", Test_vm.suite);
+      ("codegen", Test_codegen.suite);
+      ("interp", Test_interp.suite);
+      ("lang", Test_lang.suite);
+      ("lexer", Test_lexer.suite);
+      ("opt", Test_opt.suite);
+      ("features", Test_features.suite);
+      ("modifiers", Test_modifiers.suite);
+      ("collect", Test_collect.suite);
+      ("dataproc", Test_dataproc.suite);
+      ("svm", Test_svm.suite);
+      ("protocol", Test_protocol.suite);
+      ("jit", Test_jit.suite);
+      ("workloads", Test_workloads.suite);
+      ("engines", Test_engines.suite);
+      ("properties", Test_properties.suite);
+      ("harness", Test_harness.suite);
+    ]

@@ -1,0 +1,272 @@
+module Modifier = Tessera_modifiers.Modifier
+module Queue_ctrl = Tessera_modifiers.Queue_ctrl
+module Prng = Tessera_util.Prng
+
+let test_null () =
+  Alcotest.(check bool) "null is null" true (Modifier.is_null Modifier.null);
+  Alcotest.(check int) "width 58" 58 Modifier.width;
+  for i = 0 to Modifier.width - 1 do
+    Alcotest.(check bool) "null disables nothing" false
+      (Modifier.disables Modifier.null i);
+    Alcotest.(check bool) "enabled_fun true" true
+      (Modifier.enabled_fun Modifier.null i)
+  done
+
+let test_of_disabled () =
+  let m = Modifier.of_disabled [ 3; 17; 52 ] in
+  Alcotest.(check int) "count" 3 (Modifier.disabled_count m);
+  Alcotest.(check (list int)) "indices" [ 3; 17; 52 ] (Modifier.disabled_indices m);
+  Alcotest.(check bool) "disables 17" true (Modifier.disables m 17);
+  Alcotest.(check bool) "not 16" false (Modifier.disables m 16)
+
+let test_roundtrips () =
+  let rng = Prng.create 8L in
+  for _ = 1 to 100 do
+    let m = Modifier.random rng ~density:0.3 in
+    Alcotest.(check bool) "string roundtrip" true
+      (Modifier.equal m (Modifier.of_string (Modifier.to_string m)));
+    Alcotest.(check bool) "bits roundtrip" true
+      (Modifier.equal m (Modifier.of_bits (Modifier.to_bits m)))
+  done
+
+let test_eq1_schedule () =
+  (* D_i = i * 0.25 / L (Eq. 1) *)
+  Alcotest.(check (float 1e-12)) "D_0" 0.0
+    (Modifier.progressive_probability ~i:0 ~l:2000);
+  Alcotest.(check (float 1e-12)) "D_L" 0.25
+    (Modifier.progressive_probability ~i:2000 ~l:2000);
+  Alcotest.(check (float 1e-12)) "increase rate 0.000125"
+    0.000125
+    (Modifier.progressive_probability ~i:1 ~l:2000);
+  (* monotone *)
+  let prev = ref (-1.0) in
+  for i = 0 to 100 do
+    let p = Modifier.progressive_probability ~i ~l:100 in
+    Alcotest.(check bool) "monotone" true (p >= !prev);
+    prev := p
+  done
+
+let test_progressive_density_empirical () =
+  let rng = Prng.create 77L in
+  (* at i = L the empirical disable rate should be near 0.25 *)
+  let total = ref 0 in
+  let n = 300 in
+  for _ = 1 to n do
+    total := !total + Modifier.disabled_count (Modifier.progressive rng ~i:2000 ~l:2000)
+  done;
+  let rate = float_of_int !total /. float_of_int (n * Modifier.width) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.3f near 0.25" rate)
+    true
+    (rate > 0.22 && rate < 0.28)
+
+let test_queue_every_third_null () =
+  let q = Queue_ctrl.create ~uses_per_modifier:5 ~seed:1L (Queue_ctrl.Progressive { l = 50 }) in
+  (* compilations 1,2 get queue modifiers; the 3rd is always null *)
+  let m1 = Queue_ctrl.next q ~method_key:7 in
+  let m2 = Queue_ctrl.next q ~method_key:7 in
+  let m3 = Queue_ctrl.next q ~method_key:7 in
+  Alcotest.(check bool) "first not none" true (m1 <> None);
+  Alcotest.(check bool) "second not none" true (m2 <> None);
+  (match m3 with
+  | Some m -> Alcotest.(check bool) "third is null" true (Modifier.is_null m)
+  | None -> Alcotest.fail "third missing")
+
+let test_queue_no_repeat_per_method () =
+  let q =
+    Queue_ctrl.create ~uses_per_modifier:100 ~seed:2L
+      (Queue_ctrl.Randomized { count = 30; density = 0.4 })
+  in
+  let seen = Hashtbl.create 32 in
+  let rec go n =
+    if n = 0 then ()
+    else
+      match Queue_ctrl.next q ~method_key:1 with
+      | None -> ()
+      | Some m when Modifier.is_null m -> go (n - 1)
+      | Some m ->
+          let key = Modifier.to_bits m in
+          Alcotest.(check bool) "modifier not repeated for method" false
+            (Hashtbl.mem seen key);
+          Hashtbl.add seen key ();
+          go (n - 1)
+  in
+  go 60
+
+let test_queue_retirement () =
+  (* with 2 uses per modifier and 3 modifiers, 2 methods sharing the queue
+     retire modifiers quickly and then exhaust *)
+  let q =
+    Queue_ctrl.create ~uses_per_modifier:2 ~seed:3L
+      (Queue_ctrl.Randomized { count = 3; density = 0.5 })
+  in
+  let served = ref 0 in
+  for round = 1 to 12 do
+    List.iter
+      (fun key ->
+        match Queue_ctrl.next q ~method_key:key with
+        | Some m when not (Modifier.is_null m) -> incr served
+        | _ -> ())
+      [ 100; 200 ];
+    ignore round
+  done;
+  (* 3 modifiers x 2 uses = at most 6 non-null issues *)
+  Alcotest.(check bool)
+    (Printf.sprintf "served %d <= 6" !served)
+    true (!served <= 6);
+  Alcotest.(check bool) "exhausted" true (Queue_ctrl.exhausted q)
+
+let test_queue_exhaustion_stops_method () =
+  let q =
+    Queue_ctrl.create ~uses_per_modifier:1000 ~seed:4L
+      (Queue_ctrl.Randomized { count = 4; density = 0.5 })
+  in
+  (* a single method walks through all 4 modifiers (with nulls in
+     between) and then gets None *)
+  let nones = ref 0 and gets = ref 0 in
+  for _ = 1 to 20 do
+    match Queue_ctrl.next q ~method_key:5 with
+    | None -> incr nones
+    | Some _ -> incr gets
+  done;
+  Alcotest.(check bool) "eventually none" true (!nones > 0);
+  Alcotest.(check bool) "got some first" true (!gets >= 4)
+
+let suite =
+  [
+    Alcotest.test_case "null modifier" `Quick test_null;
+    Alcotest.test_case "of_disabled" `Quick test_of_disabled;
+    Alcotest.test_case "roundtrips" `Quick test_roundtrips;
+    Alcotest.test_case "Eq.1 schedule" `Quick test_eq1_schedule;
+    Alcotest.test_case "progressive density" `Quick test_progressive_density_empirical;
+    Alcotest.test_case "every third compilation is null" `Quick
+      test_queue_every_third_null;
+    Alcotest.test_case "no modifier repeats per method" `Quick
+      test_queue_no_repeat_per_method;
+    Alcotest.test_case "retirement after N uses" `Quick test_queue_retirement;
+    Alcotest.test_case "exhaustion stops recompilation" `Quick
+      test_queue_exhaustion_stops_method;
+  ]
+
+(* ---- guided search (the paper's future work, Section 5) ---- *)
+
+module Guided = Tessera_modifiers.Guided
+
+let test_guided_every_third_null () =
+  let g = Guided.create ~seed:1L () in
+  let m1 = Guided.next g ~method_key:1 in
+  let m2 = Guided.next g ~method_key:1 in
+  let m3 = Guided.next g ~method_key:1 in
+  Alcotest.(check bool) "proposals exist" true (m1 <> None && m2 <> None);
+  match m3 with
+  | Some m -> Alcotest.(check bool) "third is null" true (Modifier.is_null m)
+  | None -> Alcotest.fail "third proposal missing"
+
+let test_guided_no_repeats () =
+  let g = Guided.create ~seed:2L () in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 90 do
+    match Guided.next g ~method_key:9 with
+    | Some m when not (Modifier.is_null m) ->
+        let key = Modifier.to_bits m in
+        Alcotest.(check bool) "no repeat" false (Hashtbl.mem seen key);
+        Hashtbl.add seen key ()
+    | _ -> ()
+  done
+
+let test_guided_budget () =
+  let g =
+    Guided.create
+      ~params:{ Guided.default_params with Guided.max_proposals_per_method = 5 }
+      ~seed:3L ()
+  in
+  let nones = ref 0 in
+  for _ = 1 to 30 do
+    if Guided.next g ~method_key:4 = None then incr nones
+  done;
+  Alcotest.(check bool) "budget exhausts" true (!nones > 0);
+  Alcotest.(check int) "proposal count" 5 (Guided.proposals_made g)
+
+let test_guided_feedback_tracks_best () =
+  let g = Guided.create ~seed:4L () in
+  let a = Modifier.of_disabled [ 1 ] and b = Modifier.of_disabled [ 2 ] in
+  Guided.feedback g ~method_key:7 a 100.0;
+  Guided.feedback g ~method_key:7 b 50.0;
+  Guided.feedback g ~method_key:7 a 80.0;
+  (match Guided.best g ~method_key:7 with
+  | Some (m, v) ->
+      Alcotest.(check bool) "best is b" true (Modifier.equal m b);
+      Alcotest.(check (float 1e-9)) "best value" 50.0 v
+  | None -> Alcotest.fail "no best");
+  Alcotest.(check bool) "unknown method has no best" true
+    (Guided.best g ~method_key:8 = None)
+
+let test_guided_proposals_cluster_near_best () =
+  (* after feedback, proposals should mostly be small mutations of the
+     best modifier rather than uniform noise *)
+  let g =
+    Guided.create
+      ~params:{ Guided.default_params with Guided.restart_rate = 0.0 }
+      ~seed:5L ()
+  in
+  let target = Modifier.of_disabled [ 10; 20; 30; 40; 50 ] in
+  Guided.feedback g ~method_key:1 target 1.0;
+  let total_distance = ref 0 and n = ref 0 in
+  for _ = 1 to 60 do
+    match Guided.next g ~method_key:1 with
+    | Some m when not (Modifier.is_null m) ->
+        let d =
+          List.length
+            (List.filter
+               (fun i -> Modifier.disables m i <> Modifier.disables target i)
+               (List.init Modifier.width Fun.id))
+        in
+        total_distance := !total_distance + d;
+        incr n
+    | _ -> ()
+  done;
+  let avg = float_of_int !total_distance /. float_of_int !n in
+  Alcotest.(check bool)
+    (Printf.sprintf "avg hamming distance %.1f stays small" avg)
+    true (avg < 10.0)
+
+let test_guided_collector_integration () =
+  let profile =
+    { Tessera_workloads.Profile.default with
+      Tessera_workloads.Profile.name = "guided-test"; seed = 14L; methods = 4 }
+  in
+  let program = Tessera_workloads.Generate.program profile in
+  let module Collector = Tessera_collect.Collector in
+  let archive, stats =
+    Collector.run
+      ~config:
+        {
+          Collector.default_config with
+          Collector.search = Collector.Guided Guided.default_params;
+          max_entry_invocations = 40;
+        }
+      ~program ~benchmark:"guided-test"
+      ~entry_args:(fun k -> [| Tessera_vm.Values.Int_v (Int64.of_int k) |])
+      ()
+  in
+  Alcotest.(check bool) "guided collection produces records" true
+    (archive.Tessera_collect.Archive.records <> []);
+  Alcotest.(check bool) "guided collection compiles" true
+    (stats.Collector.compilations > 0)
+
+let guided_suite =
+  [
+    Alcotest.test_case "guided: every third is null" `Quick
+      test_guided_every_third_null;
+    Alcotest.test_case "guided: no repeats per method" `Quick
+      test_guided_no_repeats;
+    Alcotest.test_case "guided: per-method budget" `Quick test_guided_budget;
+    Alcotest.test_case "guided: feedback tracks best" `Quick
+      test_guided_feedback_tracks_best;
+    Alcotest.test_case "guided: proposals cluster near best" `Quick
+      test_guided_proposals_cluster_near_best;
+    Alcotest.test_case "guided: collector integration" `Slow
+      test_guided_collector_integration;
+  ]
+
+let suite = suite @ guided_suite

@@ -1,0 +1,447 @@
+module Types = Tessera_il.Types
+module Opcode = Tessera_il.Opcode
+module Node = Tessera_il.Node
+module Block = Tessera_il.Block
+module Meth = Tessera_il.Meth
+module Symbol = Tessera_il.Symbol
+module PL = Tessera_opt.Passes_local
+module PB = Tessera_opt.Passes_block
+module PLoop = Tessera_opt.Passes_loop
+module PG = Tessera_opt.Passes_global
+module Catalog = Tessera_opt.Catalog
+module Plan = Tessera_opt.Plan
+module Manager = Tessera_opt.Manager
+
+let ic v = Node.iconst Types.Int (Int64.of_int v)
+let ld s = Node.load_sym Types.Int s
+let add a b = Node.binop Opcode.Add Types.Int a b
+let mul a b = Node.binop Opcode.Mul Types.Int a b
+
+let mk_method ?(symbols = [| Symbol.temp "t0" Types.Int; Symbol.temp "t1" Types.Int |])
+    blocks =
+  let m = Meth.make ~name:"T.t()I" ~params:[||] ~ret:Types.Int ~symbols blocks in
+  Tessera_il.Validate.assert_valid_method m;
+  m
+
+let one_block ?symbols stmts ret =
+  mk_method ?symbols [| Block.make 0 stmts (Block.Return (Some ret)) |]
+
+let count_op m op =
+  Meth.fold_nodes
+    (fun acc (n : Node.t) -> if n.Node.op = op then acc + 1 else acc)
+    0 m
+
+let test_const_fold () =
+  let m = one_block [] (add (ic 2) (mul (ic 3) (ic 4))) in
+  let m' = PL.const_fold m in
+  Alcotest.(check int) "folded to one const" 1 (Meth.tree_count m');
+  Alcotest.(check int) "no adds left" 0 (count_op m' Opcode.Add);
+  (* trapping division must not fold *)
+  let m =
+    one_block []
+      (Node.binop Opcode.Div Types.Int (ic 1) (ic 0))
+  in
+  let m' = PL.const_fold m in
+  Alcotest.(check int) "div by zero kept" 1 (count_op m' Opcode.Div)
+
+let test_simplify_identities () =
+  let x = ld 0 in
+  let m = one_block [] (add x (ic 0)) in
+  Alcotest.(check int) "x+0 = x" 1 (Meth.tree_count (PL.simplify m));
+  let m = one_block [] (mul x (ic 1)) in
+  Alcotest.(check int) "x*1 = x" 1 (Meth.tree_count (PL.simplify m));
+  let m = one_block [] (mul x (ic 0)) in
+  Alcotest.(check int) "x*0 = 0 (pure x)" 1 (Meth.tree_count (PL.simplify m));
+  let m = one_block [] (Node.mk Opcode.Neg Types.Int [| Node.mk Opcode.Neg Types.Int [| x |] |]) in
+  Alcotest.(check int) "neg neg x = x" 1 (Meth.tree_count (PL.simplify m));
+  (* impure operand blocks x*0 *)
+  let call = Node.call Types.Int ~callee:0 [||] in
+  let m =
+    mk_method
+      [| Block.make 0 [] (Block.Return (Some (mul call (ic 0)))) |]
+  in
+  Alcotest.(check int) "impure x*0 kept" 1 (count_op (PL.simplify m) Opcode.Mul)
+
+let test_strength_reduce () =
+  let m = one_block [] (mul (ld 0) (ic 8)) in
+  let m' = PL.strength_reduce m in
+  Alcotest.(check int) "mul by 8 -> shift" 0 (count_op m' Opcode.Mul);
+  Alcotest.(check int) "shift introduced" 1 (count_op m' (Opcode.Shift Opcode.Shl));
+  let m = one_block [] (mul (ld 0) (ic 6)) in
+  Alcotest.(check int) "mul by 6 kept" 1 (count_op (PL.strength_reduce m) Opcode.Mul)
+
+let test_reassociate () =
+  let m = one_block [] (add (add (ld 0) (ic 3)) (ic 4)) in
+  let m' = PL.const_fold (PL.reassociate m) in
+  (* (x+3)+4 -> x+7 *)
+  Alcotest.(check int) "one add left" 1 (count_op m' Opcode.Add);
+  Alcotest.(check int) "three nodes" 3 (Meth.tree_count m')
+
+let test_induction_var () =
+  let m =
+    one_block
+      [ Node.store_sym 0 (add (ld 0) (ic 1)) ]
+      (ld 0)
+  in
+  let m' = PL.induction_var m in
+  Alcotest.(check int) "store became inc" 1 (count_op m' Opcode.Inc);
+  Alcotest.(check int) "store gone" 0 (count_op m' Opcode.Store)
+
+let test_dead_code () =
+  let m =
+    one_block
+      [
+        ld 1 (* pure statement: dead tree *);
+        Node.store_sym 1 (ic 7) (* t1 never loaded after: dead store *);
+      ]
+      (ld 0)
+  in
+  let m' = PB.dead_tree_elim m in
+  Alcotest.(check int) "pure stmt dropped" 1
+    (List.length m'.Meth.blocks.(0).Block.stmts);
+  let m'' = PB.dead_store_elim m' in
+  Alcotest.(check int) "dead store dropped" 0
+    (List.length m''.Meth.blocks.(0).Block.stmts)
+
+let test_local_cse () =
+  let shared () = mul (ld 0) (add (ld 0) (ic 3)) in
+  let m =
+    mk_method
+      ~symbols:[| Symbol.temp "a" Types.Int; Symbol.temp "b" Types.Int; Symbol.temp "c" Types.Int |]
+      [|
+        Block.make 0
+          [
+            Node.store_sym 1 (add (shared ()) (ic 1));
+            Node.store_sym 2 (add (shared ()) (ic 2));
+          ]
+          (Block.Return (Some (add (ld 1) (ld 2))));
+      |]
+  in
+  let m' = PB.local_cse m in
+  Alcotest.(check bool) "introduced a cse temp" true
+    (Array.length m'.Meth.symbols > Array.length m.Meth.symbols);
+  Alcotest.(check bool) "fewer multiplies" true
+    (count_op m' Opcode.Mul < count_op m Opcode.Mul)
+
+let test_cse_respects_kills () =
+  (* the shared expression reads t0, which is stored between uses *)
+  let shared () = mul (ld 0) (ic 5) in
+  let m =
+    mk_method
+      ~symbols:[| Symbol.temp "a" Types.Int; Symbol.temp "b" Types.Int; Symbol.temp "c" Types.Int |]
+      [|
+        Block.make 0
+          [
+            Node.store_sym 1 (add (shared ()) (ic 1));
+            Node.store_sym 0 (ic 9);
+            Node.store_sym 2 (add (shared ()) (ic 2));
+          ]
+          (Block.Return (Some (add (ld 1) (ld 2))));
+      |]
+  in
+  let m' = PB.local_cse m in
+  Alcotest.(check int) "both multiplies kept" 2 (count_op m' Opcode.Mul)
+
+let test_copy_and_const_prop () =
+  let m =
+    one_block
+      [ Node.store_sym 1 (ic 5); Node.store_sym 0 (add (ld 1) (ld 1)) ]
+      (ld 0)
+  in
+  let m' = PL.const_fold (PB.local_const_prop m) in
+  (* t1=5; t0 = 5+5 -> 10 *)
+  let has_ten =
+    Meth.fold_nodes
+      (fun acc (n : Node.t) ->
+        acc || (n.Node.op = Opcode.Loadconst && n.Node.const = 10L))
+      false m'
+  in
+  Alcotest.(check bool) "const propagated and folded" true has_ten
+
+let test_branch_fold () =
+  let m =
+    mk_method
+      [|
+        Block.make 0 [] (Block.If { cond = ic 1; if_true = 1; if_false = 2 });
+        Block.make 1 [] (Block.Return (Some (ic 10)));
+        Block.make 2 [] (Block.Return (Some (ic 20)));
+      |]
+  in
+  let m' = PB.unreachable_elim (PB.branch_fold m) in
+  Alcotest.(check int) "one path left" 2 (Array.length m'.Meth.blocks)
+
+let test_block_merge () =
+  let m =
+    mk_method
+      [|
+        Block.make 0 [ Node.store_sym 0 (ic 1) ] (Block.Goto 1);
+        Block.make 1 [ Node.store_sym 1 (ic 2) ] (Block.Return (Some (ld 0)));
+      |]
+  in
+  let m' = PB.block_merge m in
+  Alcotest.(check int) "merged to one block" 1 (Array.length m'.Meth.blocks);
+  Alcotest.(check int) "both stmts kept" 2
+    (List.length m'.Meth.blocks.(0).Block.stmts)
+
+let test_throw_to_goto () =
+  let m =
+    mk_method
+      [|
+        Block.make 0 [] (Block.Goto 1);
+        Block.make ~handler:(Some 2) 1 []
+          (Block.Throw (Node.mk Opcode.Throw_op Types.Void [||]));
+        Block.make 2 [] (Block.Return (Some (ic 7)));
+      |]
+  in
+  let m' = PB.throw_to_goto m in
+  (match m'.Meth.blocks.(1).Block.term with
+  | Block.Goto 2 -> ()
+  | _ -> Alcotest.fail "throw not rewritten to goto handler");
+  (* without a handler the throw must stay *)
+  let m2 =
+    mk_method
+      [|
+        Block.make 0 []
+          (Block.Throw (Node.mk Opcode.Throw_op Types.Void [||]));
+      |]
+  in
+  match (PB.throw_to_goto m2).Meth.blocks.(0).Block.term with
+  | Block.Throw _ -> ()
+  | _ -> Alcotest.fail "handler-less throw must be preserved"
+
+let counted_loop ?(ret_sym = 1) ~body_stmts () =
+  (* i = 0; do { body; i++ } while (i < 10) *)
+  mk_method
+    ~symbols:
+      [| Symbol.temp "i" Types.Int; Symbol.temp "acc" Types.Int;
+         Symbol.temp "x" Types.Int; Symbol.temp "out" Types.Int |]
+    [|
+      Block.make 0 [ Node.store_sym 0 (ic 0); Node.store_sym 2 (ic 3) ] (Block.Goto 1);
+      Block.make 1
+        (body_stmts @ [ Node.mk ~sym:0 ~const:1L Opcode.Inc Types.Void [||] ])
+        (Block.If
+           {
+             cond = Node.binop (Opcode.Compare Opcode.Lt) Types.Int (ld 0) (ic 10);
+             if_true = 1;
+             if_false = 2;
+           });
+      Block.make 2 [] (Block.Return (Some (ld ret_sym)));
+    |]
+
+let test_licm_hoists () =
+  (* acc is loop-local (loaded only inside the loop), defined from the
+     loop-invariant x; the loop's visible result accumulates into out *)
+  let m =
+    counted_loop ~ret_sym:3
+      ~body_stmts:
+        [
+          Node.store_sym 1 (mul (ld 2) (ic 7));
+          Node.store_sym 3 (add (ld 3) (ld 1));
+        ]
+      ()
+  in
+  let m' = PLoop.licm m in
+  Alcotest.(check bool) "a block was added (preheader)" true
+    (Array.length m'.Meth.blocks > Array.length m.Meth.blocks);
+  (* the multiply no longer sits in a loop block *)
+  let la = Tessera_opt.Loops.analyze m' in
+  let in_loop = List.concat_map (fun l -> l.Tessera_opt.Loops.body) la.Tessera_opt.Loops.loops in
+  let mul_in_loop =
+    Array.exists
+      (fun (b : Block.t) ->
+        List.mem b.Block.id in_loop
+        && List.exists
+             (fun s -> Node.exists (fun n -> n.Node.op = Opcode.Mul) s)
+             b.Block.stmts)
+      m'.Meth.blocks
+  in
+  Alcotest.(check bool) "invariant hoisted out of loop" false mul_in_loop
+
+let test_licm_respects_variance () =
+  (* body multiplies by i, which the loop stores: must NOT hoist *)
+  let m = counted_loop ~body_stmts:[ Node.store_sym 1 (mul (ld 0) (ic 7)) ] () in
+  let m' = PLoop.licm m in
+  Alcotest.(check int) "no preheader added" (Array.length m.Meth.blocks)
+    (Array.length m'.Meth.blocks)
+
+let test_unroll () =
+  let m = counted_loop ~body_stmts:[ Node.store_sym 1 (add (ld 1) (ld 0)) ] () in
+  let m' = PLoop.unroll ~factor:2 m in
+  Alcotest.(check int) "one copy appended"
+    (Array.length m.Meth.blocks + 1)
+    (Array.length m'.Meth.blocks)
+
+let test_catalog_shape () =
+  Alcotest.(check int) "58 transformations" 58 Catalog.count;
+  let names = Hashtbl.create 64 in
+  Array.iter
+    (fun (e : Catalog.entry) ->
+      Alcotest.(check bool)
+        (e.Catalog.name ^ " unique")
+        false
+        (Hashtbl.mem names e.Catalog.name);
+      Hashtbl.add names e.Catalog.name ();
+      Alcotest.(check bool) "by_name finds it" true
+        (Catalog.by_name e.Catalog.name <> None))
+    Catalog.all
+
+let test_plan_sizes () =
+  Alcotest.(check int) "cold has ~20 applications" 20 (Plan.plan_length Plan.Cold);
+  Alcotest.(check bool) "scorching has > 170" true
+    (Plan.plan_length Plan.Scorching > 170);
+  (* monotone growth *)
+  let sizes = Array.map Plan.plan_length Plan.levels in
+  Array.iteri
+    (fun i s -> if i > 0 then Alcotest.(check bool) "monotone" true (s > sizes.(i - 1)))
+    sizes;
+  (* every plan index is a valid catalogue index *)
+  Array.iter
+    (fun level ->
+      List.iter
+        (fun i ->
+          Alcotest.(check bool) "index valid" true (i >= 0 && i < Catalog.count))
+        (Plan.plan level))
+    Plan.levels
+
+let test_manager_accounting () =
+  let m = counted_loop ~body_stmts:[ Node.store_sym 1 (add (ld 1) (ld 0)) ] () in
+  let program = Tessera_il.Program.make ~name:"p" ~entry:0 [| m |] in
+  let full = Manager.optimize ~program ~plan:(Plan.plan Plan.Hot) m in
+  Alcotest.(check bool) "cycles positive" true (Manager.total_cycles full > 0);
+  Alcotest.(check int) "nothing disabled" 0 (List.length full.Manager.disabled);
+  (* disabling everything must cost less and run nothing *)
+  let none =
+    Manager.optimize ~enabled:(fun _ -> false) ~program ~plan:(Plan.plan Plan.Hot) m
+  in
+  Alcotest.(check int) "all disabled" (Plan.plan_length Plan.Hot)
+    (List.length none.Manager.disabled);
+  Alcotest.(check (list int)) "none applied" [] none.Manager.applied;
+  Alcotest.(check bool) "cheaper" true
+    (Manager.total_cycles none < Manager.total_cycles full);
+  Alcotest.(check bool) "method untouched" true (Meth.equal m none.Manager.meth);
+  (* applicability: a loop-free method skips loop passes *)
+  let flat = one_block [] (ld 0) in
+  let program = Tessera_il.Program.make ~name:"p" ~entry:0 [| flat |] in
+  let r = Manager.optimize ~program ~plan:[ 27; 28; 29; 30 ] flat in
+  Alcotest.(check int) "loop passes skipped" 4
+    (List.length r.Manager.skipped_inapplicable)
+
+let test_quality_floor () =
+  let m = one_block [] (ld 0) in
+  let program = Tessera_il.Program.make ~name:"p" ~entry:0 [| m |] in
+  let r =
+    Manager.optimize ~quality_floor:Tessera_vm.Cost.Q_regalloc ~program
+      ~plan:[ 0 ] m
+  in
+  Alcotest.(check bool) "floor respected" true
+    (Tessera_vm.Cost.quality_rank r.Manager.quality
+    >= Tessera_vm.Cost.quality_rank Tessera_vm.Cost.Q_regalloc)
+
+let test_dominators () =
+  (* diamond: 0 -> 1,2 -> 3; no back edges *)
+  let m =
+    mk_method
+      [|
+        Block.make 0 [] (Block.If { cond = ld 0; if_true = 1; if_false = 2 });
+        Block.make 1 [] (Block.Goto 3);
+        Block.make 2 [] (Block.Goto 3);
+        Block.make 3 [] (Block.Return (Some (ld 0)));
+      |]
+  in
+  let dom = Tessera_opt.Cfg.dominators m in
+  Alcotest.(check bool) "entry dominates all" true (dom.(3).(0));
+  Alcotest.(check bool) "1 does not dominate 3" false (dom.(3).(1));
+  Alcotest.(check bool) "no back edge 1->3" false (Tessera_opt.Cfg.is_back_edge dom 1 3);
+  (* renumbered join: edge from higher id to lower id is NOT a back edge *)
+  let m2 =
+    mk_method
+      [|
+        Block.make 0 [] (Block.If { cond = ld 0; if_true = 1; if_false = 3 });
+        Block.make 1 [] (Block.Goto 2);
+        Block.make 2 [] (Block.Return (Some (ld 0)));
+        Block.make 3 [] (Block.Goto 2);
+      |]
+  in
+  let dom2 = Tessera_opt.Cfg.dominators m2 in
+  Alcotest.(check bool) "3 -> 2 is not a back edge" false
+    (Tessera_opt.Cfg.is_back_edge dom2 3 2);
+  let la = Tessera_opt.Loops.analyze m2 in
+  Alcotest.(check int) "no loops found" 0 (Tessera_opt.Loops.loop_count la)
+
+let test_loop_analysis () =
+  let m = counted_loop ~body_stmts:[] () in
+  let la = Tessera_opt.Loops.analyze m in
+  Alcotest.(check int) "one loop" 1 (Tessera_opt.Loops.loop_count la);
+  Alcotest.(check int) "depth 1" 1 (Tessera_opt.Loops.max_depth la);
+  let l = List.hd la.Tessera_opt.Loops.loops in
+  Alcotest.(check int) "header is block 1" 1 l.Tessera_opt.Loops.header;
+  Alcotest.(check bool) "self loop" true (Tessera_opt.Loops.is_self_loop m l)
+
+let suite =
+  [
+    Alcotest.test_case "const fold" `Quick test_const_fold;
+    Alcotest.test_case "simplify identities" `Quick test_simplify_identities;
+    Alcotest.test_case "strength reduction" `Quick test_strength_reduce;
+    Alcotest.test_case "reassociation" `Quick test_reassociate;
+    Alcotest.test_case "induction variables" `Quick test_induction_var;
+    Alcotest.test_case "dead code" `Quick test_dead_code;
+    Alcotest.test_case "local CSE" `Quick test_local_cse;
+    Alcotest.test_case "CSE kill sets" `Quick test_cse_respects_kills;
+    Alcotest.test_case "const propagation" `Quick test_copy_and_const_prop;
+    Alcotest.test_case "branch folding" `Quick test_branch_fold;
+    Alcotest.test_case "block merging" `Quick test_block_merge;
+    Alcotest.test_case "throw to goto" `Quick test_throw_to_goto;
+    Alcotest.test_case "LICM hoists invariants" `Quick test_licm_hoists;
+    Alcotest.test_case "LICM respects variance" `Quick test_licm_respects_variance;
+    Alcotest.test_case "unrolling" `Quick test_unroll;
+    Alcotest.test_case "catalogue shape" `Quick test_catalog_shape;
+    Alcotest.test_case "plan sizes" `Quick test_plan_sizes;
+    Alcotest.test_case "manager accounting" `Quick test_manager_accounting;
+    Alcotest.test_case "quality floor" `Quick test_quality_floor;
+    Alcotest.test_case "dominators" `Quick test_dominators;
+    Alcotest.test_case "loop analysis" `Quick test_loop_analysis;
+  ]
+
+let test_overwritten_store_elim () =
+  (* t0 <- expensive; t0 <- cheap; return t0  => first store dies *)
+  let m =
+    one_block
+      [
+        Node.store_sym 0 (mul (ic 3) (ic 4));
+        Node.store_sym 0 (ic 7);
+      ]
+      (ld 0)
+  in
+  let m' = PB.dead_store_elim m in
+  Alcotest.(check int) "one store left" 1 (count_op m' Opcode.Store);
+  (* a read between the stores keeps both *)
+  let m2 =
+    one_block
+      [
+        Node.store_sym 0 (ic 1);
+        Node.store_sym 1 (ld 0);
+        Node.store_sym 0 (ic 2);
+      ]
+      (add (ld 0) (ld 1))
+  in
+  Alcotest.(check int) "read preserves both" 3
+    (count_op (PB.dead_store_elim m2) Opcode.Store);
+  (* an Inc reads its symbol: the prior store stays *)
+  let m3 =
+    one_block
+      [
+        Node.store_sym 0 (ic 1);
+        Node.mk ~sym:0 ~const:1L Opcode.Inc Types.Void [||];
+        Node.store_sym 0 (ic 2);
+      ]
+      (ld 0)
+  in
+  Alcotest.(check int) "inc counts as a read" 2
+    (count_op (PB.dead_store_elim m3) Opcode.Store)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "overwritten-store elimination" `Quick
+        test_overwritten_store_elim;
+    ]

@@ -1,0 +1,126 @@
+module Channel = Tessera_protocol.Channel
+module Message = Tessera_protocol.Message
+module Server = Tessera_protocol.Server
+module Client = Tessera_protocol.Client
+module Modifier = Tessera_modifiers.Modifier
+module Plan = Tessera_opt.Plan
+module Prng = Tessera_util.Prng
+
+let msg_testable = Alcotest.testable Message.pp Message.equal
+
+let roundtrip m =
+  let a, b = Channel.pipe_pair () in
+  Message.send a m;
+  Message.decode_from b
+
+let test_message_roundtrips () =
+  List.iter
+    (fun m -> Alcotest.check msg_testable "roundtrip" m (roundtrip m))
+    [
+      Message.Init { model_name = "H3" };
+      Message.Init_ok;
+      Message.Predict { level = Plan.Warm; features = [| 0.0; 0.5; 1.0 |] };
+      Message.Predict { level = Plan.Cold; features = [||] };
+      Message.Prediction { modifier = Modifier.of_disabled [ 0; 17; 57 ] };
+      Message.Ping;
+      Message.Pong;
+      Message.Shutdown;
+      Message.Error_msg "boom";
+    ]
+
+let test_message_random_roundtrips () =
+  QCheck.Test.make ~count:100 ~name:"random predict frames roundtrip"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int seed) in
+      let m =
+        Message.Predict
+          {
+            level = Prng.choose rng Plan.levels;
+            features = Array.init (Prng.int rng 71) (fun _ -> Prng.float rng 1.0);
+          }
+      in
+      Message.equal m (roundtrip m))
+
+let test_malformed_detected () =
+  let a, b = Channel.pipe_pair () in
+  (* unknown tag *)
+  Channel.write a "\x2a\x00";
+  (match Message.decode_from b with
+  | _ -> Alcotest.fail "unknown tag accepted"
+  | exception Message.Malformed _ -> ());
+  (* truncated payload: predict frame claiming features it lacks *)
+  Channel.write a "\x03\x03\x00\x02\x01";
+  match Message.decode_from b with
+  | _ -> Alcotest.fail "truncated accepted"
+  | exception Message.Malformed _ -> ()
+
+let test_server_client_session () =
+  let server_ch, client_ch = Channel.pipe_pair () in
+  let served = ref 0 in
+  let predictor ~level ~features =
+    incr served;
+    ignore level;
+    Modifier.of_disabled [ Array.length features mod 58 ]
+  in
+  let lockstep () = ignore (Server.step server_ch predictor) in
+  let client = Client.connect ~model_name:"test" ~lockstep client_ch in
+  Alcotest.(check bool) "ping" true (Client.ping client);
+  let m = Client.predict client ~level:Plan.Hot ~features:(Array.make 5 0.1) in
+  Alcotest.(check (list int)) "predicted modifier" [ 5 ]
+    (Modifier.disabled_indices m);
+  Alcotest.(check int) "served one predict" 1 !served;
+  (* a predictor exception becomes Error_msg and the client falls back *)
+  let failing ~level:_ ~features:_ = failwith "model exploded" in
+  let lockstep_fail () = ignore (Server.step server_ch failing) in
+  Message.send client_ch (Message.Predict { level = Plan.Hot; features = [||] });
+  lockstep_fail ();
+  (match Message.decode_from client_ch with
+  | Message.Error_msg _ -> ()
+  | other -> Alcotest.fail (Format.asprintf "expected error, got %a" Message.pp other));
+  (* shutdown stops the loop *)
+  Message.send client_ch Message.Shutdown;
+  Alcotest.(check bool) "step returns false on shutdown" false
+    (Server.step server_ch predictor)
+
+let test_fifo_two_process () =
+  let dir = Filename.get_temp_dir_name () in
+  let path_a = Filename.concat dir (Printf.sprintf "tsr_test_%d.a" (Unix.getpid ())) in
+  let path_b = Filename.concat dir (Printf.sprintf "tsr_test_%d.b" (Unix.getpid ())) in
+  let open_a, open_b = Channel.fifo_pair ~path_a ~path_b in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with _ -> ()) [ path_a; path_b ])
+    (fun () ->
+      match Unix.fork () with
+      | 0 ->
+          (* child: echo server over real named pipes *)
+          let ch = open_a () in
+          Server.serve ch (fun ~level:_ ~features ->
+              Modifier.of_disabled [ Array.length features ]);
+          Unix._exit 0
+      | pid ->
+          let ch = open_b () in
+          let client = Client.connect ~model_name:"fifo" ch in
+          let m = Client.predict client ~level:Plan.Cold ~features:(Array.make 7 0.0) in
+          Alcotest.(check (list int)) "fifo prediction" [ 7 ]
+            (Modifier.disabled_indices m);
+          Client.shutdown client;
+          let _, status = Unix.waitpid [] pid in
+          Alcotest.(check bool) "server exited" true (status = Unix.WEXITED 0))
+
+let test_channel_close () =
+  let a, b = Channel.pipe_pair () in
+  Channel.close a;
+  Alcotest.check_raises "read after close" Channel.Closed (fun () ->
+      ignore (Channel.read_exact b 1))
+
+let suite =
+  [
+    Alcotest.test_case "message roundtrips" `Quick test_message_roundtrips;
+    QCheck_alcotest.to_alcotest (test_message_random_roundtrips ());
+    Alcotest.test_case "malformed frames detected" `Quick test_malformed_detected;
+    Alcotest.test_case "server/client session" `Quick test_server_client_session;
+    Alcotest.test_case "two-process FIFO" `Quick test_fifo_two_process;
+    Alcotest.test_case "channel close" `Quick test_channel_close;
+  ]

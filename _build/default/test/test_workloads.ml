@@ -1,0 +1,167 @@
+module Suites = Tessera_workloads.Suites
+module Generate = Tessera_workloads.Generate
+module Profile = Tessera_workloads.Profile
+module Program = Tessera_il.Program
+module Values = Tessera_vm.Values
+open Helpers
+
+let test_determinism () =
+  let b = List.hd Suites.specjvm98 in
+  let p1 = Generate.program b.Suites.profile in
+  let p2 = Generate.program b.Suites.profile in
+  Alcotest.(check bool) "same profile same program" true (Program.equal p1 p2);
+  let p3 =
+    Generate.program { b.Suites.profile with Profile.seed = 999L }
+  in
+  Alcotest.(check bool) "different seed differs" false (Program.equal p1 p3)
+
+let test_suite_composition () =
+  Alcotest.(check int) "8 SPECjvm98-like benchmarks" 8 (List.length Suites.specjvm98);
+  Alcotest.(check int) "12 DaCapo-like benchmarks" 12 (List.length Suites.dacapo);
+  Alcotest.(check int) "5 training benchmarks" 5 (List.length Suites.training_set);
+  let tags = List.map (fun (b : Suites.bench) -> b.Suites.tag) Suites.training_set in
+  Alcotest.(check (list string)) "paper's two-letter tags"
+    [ "co"; "db"; "mp"; "mt"; "rt" ] tags;
+  Alcotest.(check bool) "find by tag" true (Suites.find "mp" <> None);
+  Alcotest.(check bool) "find by name" true (Suites.find "luindex" <> None);
+  Alcotest.(check bool) "tradebeans excluded as in the paper" true
+    (Suites.find "tradebeans" = None)
+
+let test_benchmarks_distinct () =
+  (* distinct benchmarks must behave distinctly *)
+  let results =
+    List.map
+      (fun (b : Suites.bench) ->
+        let p = Generate.program b.Suites.profile in
+        fst (run_program p (entry_args 3)))
+      (List.filteri (fun i _ -> i < 5) Suites.all)
+  in
+  let rec pairwise = function
+    | [] | [ _ ] -> ()
+    | a :: rest ->
+        List.iter
+          (fun b ->
+            Alcotest.(check bool) "behaviours differ" false (outcome_equal a b))
+          rest;
+        pairwise rest
+  in
+  pairwise results
+
+let test_entry_terminates_cleanly () =
+  List.iter
+    (fun (b : Suites.bench) ->
+      let p = Generate.program (Profile.scale b.Suites.profile 0.5) in
+      for k = 0 to 2 do
+        let outcome, cycles = run_program p (entry_args k) in
+        Alcotest.(check bool)
+          (b.Suites.profile.Profile.name ^ " entry returns normally")
+          true
+          (match outcome with Ok _ -> true | Error _ -> false);
+        Alcotest.(check bool) "does work" true (cycles > 1000)
+      done)
+    (List.filteri (fun i _ -> i < 6) Suites.all)
+
+let test_profiles_shape_features () =
+  (* feature axes respond to profile knobs: mpegaudio is FP-heavy,
+     compress is not *)
+  let fp_share name =
+    let b = Option.get (Suites.find name) in
+    let p = Generate.program b.Suites.profile in
+    let fp = ref 0 and total = ref 0 in
+    Array.iter
+      (fun m ->
+        incr total;
+        let f = Tessera_features.Features.extract m in
+        if Tessera_features.Features.get f 18 <> 0 then incr fp)
+      p.Program.methods;
+    float_of_int !fp /. float_of_int !total
+  in
+  Alcotest.(check bool) "mpegaudio more FP than compress" true
+    (fp_share "mpegaudio" > fp_share "compress")
+
+let test_scale_bench () =
+  let b = List.hd Suites.specjvm98 in
+  let scaled = Suites.scale_bench b 0.5 in
+  Alcotest.(check bool) "fewer driver trips" true
+    (scaled.Suites.profile.Profile.driver_trips
+    < b.Suites.profile.Profile.driver_trips);
+  Alcotest.(check bool) "iterations scale" true
+    (scaled.Suites.iteration_invocations <= b.Suites.iteration_invocations)
+
+let test_unique_feature_vector_diversity () =
+  (* the learning substrate needs many distinct feature vectors *)
+  let tbl = Hashtbl.create 128 in
+  List.iter
+    (fun (b : Suites.bench) ->
+      let p = Generate.program b.Suites.profile in
+      Array.iter
+        (fun m ->
+          Hashtbl.replace tbl
+            (Tessera_features.Features.to_array
+               (Tessera_features.Features.extract m))
+            ())
+        p.Program.methods)
+    Suites.training_set;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d unique feature vectors" (Hashtbl.length tbl))
+    true
+    (Hashtbl.length tbl > 60)
+
+let suite =
+  [
+    Alcotest.test_case "generation is deterministic" `Quick test_determinism;
+    Alcotest.test_case "suite composition" `Quick test_suite_composition;
+    Alcotest.test_case "benchmarks behave distinctly" `Slow test_benchmarks_distinct;
+    Alcotest.test_case "entries terminate cleanly" `Slow test_entry_terminates_cleanly;
+    Alcotest.test_case "profiles shape features" `Quick test_profiles_shape_features;
+    Alcotest.test_case "benchmark scaling" `Quick test_scale_bench;
+    Alcotest.test_case "feature vector diversity" `Slow
+      test_unique_feature_vector_diversity;
+  ]
+
+let test_random_methods_valid () =
+  let rng = Tessera_util.Prng.create 99L in
+  for i = 0 to 40 do
+    let m =
+      Generate.random_method ~rng Profile.default
+        ~name:(Printf.sprintf "V.m%d" i) ~callees:[] ~classes:[||]
+    in
+    Alcotest.(check (list string))
+      (Printf.sprintf "method %d valid" i)
+      []
+      (List.map
+         (fun e -> Format.asprintf "%a" Tessera_il.Validate.pp_error e)
+         (Tessera_il.Validate.check_method m))
+  done
+
+let test_profile_axes_move_features () =
+  (* turning a bias up must increase the prevalence of that feature *)
+  let count_feature profile idx =
+    let p = Generate.program { profile with Profile.name = "axis"; seed = 5L } in
+    Array.fold_left
+      (fun acc m ->
+        acc
+        + Tessera_features.Features.get (Tessera_features.Features.extract m) idx)
+      0 p.Program.methods
+  in
+  let base = Profile.default in
+  (* feature 13 = allocatesDynamicMemory *)
+  let low = count_feature { base with Profile.object_bias = 0.02; array_bias = 0.02 } 13 in
+  let high = count_feature { base with Profile.object_bias = 0.7 } 13 in
+  Alcotest.(check bool)
+    (Printf.sprintf "allocation axis responds (%d -> %d)" low high)
+    true (high > low);
+  (* feature 0 = exceptionHandlers *)
+  let lowx = count_feature { base with Profile.exception_bias = 0.0 } 0 in
+  let highx = count_feature { base with Profile.exception_bias = 0.6 } 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "exception axis responds (%d -> %d)" lowx highx)
+    true (highx > lowx)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "random methods validate" `Quick test_random_methods_valid;
+      Alcotest.test_case "profile axes move features" `Slow
+        test_profile_axes_move_features;
+    ]
