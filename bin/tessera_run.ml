@@ -1,13 +1,45 @@
 (* Run a benchmark (or a .tir program) on the simulated JVM, optionally
-   with a learned model set steering the JIT, and print the metrics. *)
+   with a learned model set steering the JIT, and print the metrics.
+
+   With --fault-spec the model is consulted over the real wire protocol
+   (an in-memory pipe pair) through the resilient client, with a
+   deterministic fault injector perturbing both directions — the
+   permanent regression harness for the failure model. *)
 
 open Cmdliner
 module Harness = Tessera_harness
 module Suites = Tessera_workloads.Suites
 module Engine = Tessera_jit.Engine
 module Values = Tessera_vm.Values
+module Channel = Tessera_protocol.Channel
+module Server = Tessera_protocol.Server
+module Client = Tessera_protocol.Client
+module Spec = Tessera_faults.Spec
+module Injector = Tessera_faults.Injector
+module Features = Tessera_features.Features
+module Program = Tessera_il.Program
+module Modifier = Tessera_modifiers.Modifier
 
-let run target model_dir iterations tir =
+(* In-process deployment of the paper's two-process setup: engine →
+   resilient client → faulty in-memory pipes → protocol server →
+   predictor, advanced in lockstep. *)
+let faulty_pipeline ~spec ~seed ~predictor =
+  let server_raw, client_raw = Channel.pipe_pair () in
+  let server_inj = Injector.create ~spec ~seed () in
+  let client_inj =
+    Injector.create ~spec:(Spec.no_crash spec) ~seed:(Int64.add seed 1L) ()
+  in
+  let jit_inj = Injector.create ~spec ~seed:(Int64.add seed 2L) () in
+  let server_ch = Injector.wrap_channel server_inj server_raw in
+  let client_ch = Injector.wrap_channel client_inj client_raw in
+  let lockstep () =
+    try ignore (Server.step server_ch predictor)
+    with Channel.Closed | Channel.Timeout -> ()
+  in
+  let client = Client.connect ~model_name:"faulty" ~lockstep client_ch in
+  (client, server_inj, client_inj, jit_inj)
+
+let run target model_dir iterations tir fault_spec fault_seed compile_budget =
   let program =
     if tir then Tessera_lang.Parser.load_program target
     else
@@ -23,17 +55,79 @@ let run target model_dir iterations tir =
       | Some b -> b.Suites.iteration_invocations
       | None -> 1
   in
-  let callbacks =
-    match model_dir with
-    | None -> Engine.no_callbacks
-    | Some dir ->
-        let ms = Harness.Modelset.load ~name:"cli" ~dir in
-        {
-          Engine.no_callbacks with
-          Engine.choose_modifier = Some (Harness.Modelset.choose_modifier ms);
-        }
+  let spec = fault_spec in
+  let modelset =
+    Option.map (fun dir -> Harness.Modelset.load ~name:"cli" ~dir) model_dir
   in
-  let engine = Engine.create ~callbacks program in
+  let callbacks, report_faults =
+    match spec with
+    | None ->
+        let callbacks =
+          match modelset with
+          | None -> Engine.no_callbacks
+          | Some ms ->
+              {
+                Engine.no_callbacks with
+                Engine.choose_modifier =
+                  Some (Harness.Modelset.choose_modifier ms);
+              }
+        in
+        (callbacks, fun _engine -> ())
+    | Some spec ->
+        let predictor =
+          match modelset with
+          | Some ms -> Harness.Modelset.server_predictor ms
+          | None -> fun ~level:_ ~features:_ -> Modifier.null
+        in
+        let seed = Int64.of_int fault_seed in
+        let client, server_inj, client_inj, jit_inj =
+          faulty_pipeline ~spec ~seed ~predictor
+        in
+        let choose engine ~meth_id ~level =
+          let m = Program.meth (Engine.program engine) meth_id in
+          let features =
+            Array.map float_of_int (Features.to_array (Features.extract m))
+          in
+          Some (Client.predict client ~level ~features)
+        in
+        let pre_compile =
+          if spec.Spec.compile_fail > 0.0 then
+            Some (fun _ ~meth_id ~level:_ -> Injector.compile_fault jit_inj ~meth_id)
+          else None
+        in
+        let callbacks =
+          {
+            Engine.no_callbacks with
+            Engine.choose_modifier = Some choose;
+            pre_compile;
+          }
+        in
+        let report engine =
+          Printf.printf "fault spec         : %s (seed %d)\n"
+            (Spec.to_string spec) fault_seed;
+          Format.printf "  server injector  : %a@." Injector.pp_stats
+            (Injector.stats server_inj);
+          Format.printf "  client injector  : %a@." Injector.pp_stats
+            (Injector.stats client_inj);
+          Format.printf "  client counters  : %a@." Client.pp_counters
+            (Client.counters client);
+          Printf.printf "  breaker state    : %s\n"
+            (Client.breaker_name (Client.breaker_state client));
+          Printf.printf
+            "  jit degradation  : compile_failures=%d budget_rejections=%d \
+             degraded=%d quarantined=%d modifier_fallbacks=%d\n"
+            (Engine.compile_failures engine)
+            (Engine.budget_rejections engine)
+            (Engine.degraded_compiles engine)
+            (Engine.quarantined_methods engine)
+            (Engine.modifier_fallbacks engine)
+        in
+        (callbacks, report)
+  in
+  let config =
+    { Engine.default_config with Engine.compile_cycle_budget = compile_budget }
+  in
+  let engine = Engine.create ~config ~callbacks program in
   let traps = ref 0 in
   for it = 0 to iterations - 1 do
     for k = 0 to iteration_invocations - 1 do
@@ -57,6 +151,7 @@ let run target model_dir iterations tir =
     (fun (level, count) ->
       Printf.printf "  %-10s %d\n" (Tessera_opt.Plan.level_name level) count)
     (Engine.compiles_by_level engine);
+  report_faults engine;
   if !traps > 0 then Printf.printf "uncaught exceptions: %d\n" !traps;
   0
 
@@ -76,9 +171,32 @@ let iterations =
 let tir =
   Arg.(value & flag & info [ "tir" ] ~doc:"Treat TARGET as a .tir program file.")
 
+let spec_conv =
+  Arg.conv
+    ( (fun s ->
+        match Spec.parse s with Ok v -> Ok v | Error e -> Error (`Msg e)),
+      fun fmt s -> Format.pp_print_string fmt (Spec.to_string s) )
+
+let fault_spec =
+  Arg.(value & opt (some spec_conv) None & info [ "fault-spec" ] ~docv:"SPEC"
+         ~doc:"Route predictions through the wire protocol with injected \
+               faults, e.g. drop:0.01,corrupt:0.005,crash_after:200. See \
+               tessera.faults for the full syntax.")
+
+let fault_seed =
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N"
+         ~doc:"PRNG seed of the fault injectors.")
+
+let compile_budget =
+  Arg.(value & opt (some int) None & info [ "compile-budget" ] ~docv:"CYCLES"
+         ~doc:"Per-compilation cycle budget; compilations over budget are \
+               degraded to lower plan levels (and ultimately the \
+               interpreter).")
+
 let cmd =
   Cmd.v
     (Cmd.info "tessera_run" ~doc:"Run a benchmark on the simulated JVM")
-    Term.(const run $ target $ model_dir $ iterations $ tir)
+    Term.(const run $ target $ model_dir $ iterations $ tir $ fault_spec
+          $ fault_seed $ compile_budget)
 
 let () = exit (Cmd.eval' cmd)

@@ -2,12 +2,22 @@
    the paper).  The compiler side connects with
    [Tessera_protocol.Channel.fifo_pair]'s endpoint A semantics:
    the server reads requests from IN_FIFO and writes responses to
-   OUT_FIFO. *)
+   OUT_FIFO.
+
+   --fault-spec wraps the channel in a deterministic fault injector, so
+   the resilience of real (separate-process) clients can be exercised:
+   dropped/corrupted responses, delays, and a simulated crash. *)
 
 open Cmdliner
 module Harness = Tessera_harness
+module Channel = Tessera_protocol.Channel
+module Spec = Tessera_faults.Spec
+module Injector = Tessera_faults.Injector
 
-let run model_dir in_fifo out_fifo =
+let run model_dir in_fifo out_fifo fault_spec fault_seed =
+  (* a client that vanishes mid-write must surface as Channel.Closed
+     (EPIPE), not kill the process *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let ms = Harness.Modelset.load ~name:"server" ~dir:model_dir in
   List.iter
     (fun p ->
@@ -19,10 +29,37 @@ let run model_dir in_fifo out_fifo =
   (* opening blocks until the client opens the other ends *)
   let fin = Unix.openfile in_fifo [ Unix.O_RDONLY ] 0 in
   let fout = Unix.openfile out_fifo [ Unix.O_WRONLY ] 0 in
-  let ch = Tessera_protocol.Channel.of_fds fin fout in
-  Tessera_protocol.Server.serve ch (Harness.Modelset.server_predictor ms);
-  Printf.printf "shutdown\n";
-  0
+  let raw = Channel.of_fds fin fout in
+  let injector =
+    match fault_spec with
+    | None -> None
+    | Some spec ->
+        let inj =
+          Injector.create ~sleep:Unix.sleepf ~spec
+            ~seed:(Int64.of_int fault_seed) ()
+        in
+        Printf.printf "injecting faults: %s (seed %d)\n%!"
+          (Spec.to_string spec) fault_seed;
+        Some inj
+  in
+  let ch =
+    match injector with
+    | None -> raw
+    | Some inj -> Injector.wrap_channel inj raw
+  in
+  (try Tessera_protocol.Server.serve ch (Harness.Modelset.server_predictor ms)
+   with Channel.Closed -> ());
+  match injector with
+  | Some inj when (Injector.stats inj).Injector.crashes > 0 ->
+      Format.printf "simulated crash: %a@." Injector.pp_stats
+        (Injector.stats inj);
+      1
+  | Some inj ->
+      Format.printf "shutdown: %a@." Injector.pp_stats (Injector.stats inj);
+      0
+  | None ->
+      Printf.printf "shutdown\n";
+      0
 
 let model_dir =
   Arg.(required & pos 0 (some dir) None & info [] ~docv:"MODEL_DIR"
@@ -36,10 +73,25 @@ let out_fifo =
   Arg.(value & opt string "/tmp/tessera.res" & info [ "out" ] ~docv:"FIFO"
          ~doc:"Response pipe (created).")
 
+let spec_conv =
+  Arg.conv
+    ( (fun s ->
+        match Spec.parse s with Ok v -> Ok v | Error e -> Error (`Msg e)),
+      fun fmt s -> Format.pp_print_string fmt (Spec.to_string s) )
+
+let fault_spec =
+  Arg.(value & opt (some spec_conv) None & info [ "fault-spec" ] ~docv:"SPEC"
+         ~doc:"Inject faults into the served channel, e.g. \
+               drop:0.02,corrupt:0.01,crash_after:500.")
+
+let fault_seed =
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N"
+         ~doc:"PRNG seed of the fault injector.")
+
 let cmd =
   Cmd.v
     (Cmd.info "tessera_server"
        ~doc:"Serve a trained model set over named pipes")
-    Term.(const run $ model_dir $ in_fifo $ out_fifo)
+    Term.(const run $ model_dir $ in_fifo $ out_fifo $ fault_spec $ fault_seed)
 
 let () = exit (Cmd.eval' cmd)

@@ -169,6 +169,7 @@ let run ?(config = default_config) ~program ~benchmark ~entry_args () =
         }
       ~callbacks:
         {
+          Engine.no_callbacks with
           Engine.choose_modifier = Some choose_modifier;
           on_compiled = Some on_compiled;
           on_sample = Some on_sample;

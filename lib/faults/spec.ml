@@ -1,0 +1,85 @@
+type t = {
+  drop : float;
+  corrupt : float;
+  dup : float;
+  garbage : float;
+  delay_ms : int;
+  crash_after : int option;
+  revive_after : int option;
+  compile_fail : float;
+}
+
+let default =
+  {
+    drop = 0.0;
+    corrupt = 0.0;
+    dup = 0.0;
+    garbage = 0.0;
+    delay_ms = 0;
+    crash_after = None;
+    revive_after = None;
+    compile_fail = 0.0;
+  }
+
+let is_null s = s = default
+
+let no_crash s = { s with crash_after = None; revive_after = None }
+
+exception Bad of string
+
+let probability what v =
+  if v < 0.0 || v > 1.0 then
+    raise (Bad (Printf.sprintf "%s: probability %g outside [0,1]" what v));
+  v
+
+let non_negative what v =
+  if v < 0 then raise (Bad (Printf.sprintf "%s: negative count %d" what v));
+  v
+
+let parse str =
+  let field acc kv =
+    let kv = String.trim kv in
+    if kv = "" then acc
+    else
+      match String.index_opt kv ':' with
+      | None -> raise (Bad (Printf.sprintf "%S: expected key:value" kv))
+      | Some i ->
+          let k = String.trim (String.sub kv 0 i) in
+          let v = String.trim (String.sub kv (i + 1) (String.length kv - i - 1)) in
+          let fl () =
+            match float_of_string_opt v with
+            | Some f -> probability k f
+            | None -> raise (Bad (Printf.sprintf "%s: bad number %S" k v))
+          in
+          let it () =
+            match int_of_string_opt v with
+            | Some n -> non_negative k n
+            | None -> raise (Bad (Printf.sprintf "%s: bad count %S" k v))
+          in
+          (match k with
+          | "drop" -> { acc with drop = fl () }
+          | "corrupt" -> { acc with corrupt = fl () }
+          | "dup" | "duplicate" -> { acc with dup = fl () }
+          | "garbage" -> { acc with garbage = fl () }
+          | "delay" -> { acc with delay_ms = it () }
+          | "crash_after" -> { acc with crash_after = Some (it ()) }
+          | "revive_after" -> { acc with revive_after = Some (it ()) }
+          | "compile_fail" -> { acc with compile_fail = fl () }
+          | _ -> raise (Bad (Printf.sprintf "unknown fault key %S" k)))
+  in
+  match List.fold_left field default (String.split_on_char ',' str) with
+  | spec -> Ok spec
+  | exception Bad msg -> Error msg
+
+let to_string s =
+  let parts = ref [] in
+  let add fmt = Printf.ksprintf (fun p -> parts := p :: !parts) fmt in
+  if s.compile_fail > 0.0 then add "compile_fail:%g" s.compile_fail;
+  (match s.revive_after with Some n -> add "revive_after:%d" n | None -> ());
+  (match s.crash_after with Some n -> add "crash_after:%d" n | None -> ());
+  if s.delay_ms > 0 then add "delay:%d" s.delay_ms;
+  if s.garbage > 0.0 then add "garbage:%g" s.garbage;
+  if s.dup > 0.0 then add "dup:%g" s.dup;
+  if s.corrupt > 0.0 then add "corrupt:%g" s.corrupt;
+  if s.drop > 0.0 then add "drop:%g" s.drop;
+  if !parts = [] then "none" else String.concat "," !parts

@@ -1,0 +1,45 @@
+(** Fault-specification language for the deterministic fault injector.
+
+    A spec is a comma-separated list of [key:value] fields, e.g.
+    ["drop:0.01,corrupt:0.005,delay:50,crash_after:200"]:
+
+    - [drop:P] — each written frame is silently discarded with
+      probability [P]
+    - [corrupt:P] — one random bit of the frame is flipped with
+      probability [P]
+    - [dup:P] (alias [duplicate]) — the frame is written twice
+    - [garbage:P] — 1–8 random bytes are injected before the frame
+    - [delay:MS] — every delivered frame is delayed by [MS] milliseconds
+      (via the injector's sleep hook; a no-op in lockstep simulations)
+    - [crash_after:N] — the wrapped endpoint "crashes" after its [N]-th
+      written frame: subsequent operations raise
+      [Tessera_protocol.Channel.Closed]
+    - [revive_after:M] — the crashed endpoint comes back after [M]
+      further attempted operations (simulating an operator restart)
+    - [compile_fail:P] — each JIT compilation raises with probability
+      [P] (exercises the engine's degradation paths) *)
+
+type t = {
+  drop : float;
+  corrupt : float;
+  dup : float;
+  garbage : float;
+  delay_ms : int;
+  crash_after : int option;
+  revive_after : int option;
+  compile_fail : float;
+}
+
+val default : t
+(** All faults off. *)
+
+val is_null : t -> bool
+
+val no_crash : t -> t
+(** The same spec with crash/revive removed — used for the client-side
+    injector, which faults frames but never "crashes". *)
+
+val parse : string -> (t, string) result
+(** Empty string parses to {!default}. *)
+
+val to_string : t -> string

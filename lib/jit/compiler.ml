@@ -15,8 +15,17 @@ type compilation = {
   original_nodes : int;
 }
 
-let compile ?(modifier = Modifier.null) ?(target = Tessera_vm.Target.zircon)
-    ~program ~level (m : Meth.t) =
+exception Error of { meth : string; level : Plan.level; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Error { meth; level; reason } ->
+        Some
+          (Printf.sprintf "Compiler.Error(%s at %s: %s)" meth
+             (Plan.level_name level) reason)
+    | _ -> None)
+
+let compile_exn ~modifier ~target ~program ~level (m : Meth.t) =
   let features = Features.extract m in
   let quality_floor =
     match level with
@@ -41,3 +50,11 @@ let compile ?(modifier = Modifier.null) ?(target = Tessera_vm.Target.zircon)
     optimized_nodes = Meth.tree_count result.Manager.meth;
     original_nodes = Meth.tree_count m;
   }
+
+let compile ?(modifier = Modifier.null) ?(target = Tessera_vm.Target.zircon)
+    ~program ~level (m : Meth.t) =
+  try compile_exn ~modifier ~target ~program ~level m
+  with
+  | Error _ as e -> raise e
+  | e ->
+      raise (Error { meth = m.Meth.name; level; reason = Printexc.to_string e })

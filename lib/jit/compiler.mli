@@ -17,6 +17,11 @@ type compilation = {
   original_nodes : int;
 }
 
+exception Error of { meth : string; level : Plan.level; reason : string }
+(** An internal optimizer/code-generator failure, wrapped with the
+    method and level for telemetry; the engine's degradation layer
+    catches this (and anything else) and falls back. *)
+
 val compile :
   ?modifier:Modifier.t ->
   ?target:Tessera_vm.Target.t ->
@@ -25,4 +30,5 @@ val compile :
   Meth.t ->
   compilation
 (** [modifier] defaults to the null modifier (the original Testarossa
-    plan for the level); [target] to {!Tessera_vm.Target.zircon}. *)
+    plan for the level); [target] to {!Tessera_vm.Target.zircon}.
+    Internal failures are re-raised as {!Error}. *)

@@ -15,6 +15,7 @@ type method_state = {
   mutable invocations : int;
   mutable acc_cycles : int64;
   mutable compile_count : int;
+  mutable failed_attempts : int;
   mutable no_more : bool;
   mutable loop_cls : Triggers.loop_class option;
 }
@@ -29,6 +30,8 @@ type config = {
   fuel_per_invocation : int;
   clock_seed : int64;
   adaptive : bool;
+  max_compile_attempts : int;
+  compile_cycle_budget : int option;
 }
 
 let default_config =
@@ -42,6 +45,8 @@ let default_config =
     fuel_per_invocation = 200_000_000;
     clock_seed = 0xC10CL;
     adaptive = true;
+    max_compile_attempts = 2;
+    compile_cycle_budget = None;
   }
 
 type t = {
@@ -53,6 +58,11 @@ type t = {
   mutable compile_thread_free : int64;
   mutable total_compile_cycles : int64;
   mutable compile_count : int;
+  mutable compile_failures : int;
+  mutable budget_rejections : int;
+  mutable degraded_compiles : int;
+  mutable quarantined : int;
+  mutable modifier_fallbacks : int;
   mutable by_level : int array;
   fuel : int ref;
   (* cycles consumed by direct callees of the currently-executing method,
@@ -65,10 +75,17 @@ and callbacks = {
   on_compiled : (t -> meth_id:int -> Compiler.compilation -> unit) option;
   on_sample : (t -> meth_id:int -> cycles:int64 -> valid:bool -> unit) option;
   post_invoke : (t -> meth_id:int -> unit) option;
+  pre_compile : (t -> meth_id:int -> level:Plan.level -> unit) option;
 }
 
 let no_callbacks =
-  { choose_modifier = None; on_compiled = None; on_sample = None; post_invoke = None }
+  {
+    choose_modifier = None;
+    on_compiled = None;
+    on_sample = None;
+    post_invoke = None;
+    pre_compile = None;
+  }
 
 let create ?(config = default_config) ?(callbacks = no_callbacks) program =
   {
@@ -82,6 +99,7 @@ let create ?(config = default_config) ?(callbacks = no_callbacks) program =
             invocations = 0;
             acc_cycles = 0L;
             compile_count = 0;
+            failed_attempts = 0;
             no_more = false;
             loop_cls = None;
           });
@@ -90,6 +108,11 @@ let create ?(config = default_config) ?(callbacks = no_callbacks) program =
     compile_thread_free = 0L;
     total_compile_cycles = 0L;
     compile_count = 0;
+    compile_failures = 0;
+    budget_rejections = 0;
+    degraded_compiles = 0;
+    quarantined = 0;
+    modifier_fallbacks = 0;
     by_level = Array.make (Array.length Plan.levels) 0;
     fuel = ref 0;
     callee_acc = ref 0L;
@@ -115,21 +138,24 @@ let install_if_ready t st =
       st.pending <- None
   | _ -> ()
 
-let do_compile t ~meth_id ~level ~modifier =
-  let st = t.states.(meth_id) in
-  let comp =
-    Compiler.compile ~modifier ~target:t.config.target ~program:t.program
-      ~level
-      (Program.meth t.program meth_id)
-  in
-  t.total_compile_cycles <-
-    Int64.add t.total_compile_cycles (Int64.of_int comp.Compiler.compile_cycles);
+let lower_level = function
+  | Plan.Scorching -> Some Plan.Very_hot
+  | Plan.Very_hot -> Some Plan.Hot
+  | Plan.Hot -> Some Plan.Warm
+  | Plan.Warm -> Some Plan.Cold
+  | Plan.Cold -> None
+
+let quarantine t st =
+  if not st.no_more then begin
+    st.no_more <- true;
+    t.quarantined <- t.quarantined + 1
+  end
+
+let install t ~meth_id ~level (st : method_state) comp =
   t.compile_count <- t.compile_count + 1;
   t.by_level.(Plan.level_index level) <- t.by_level.(Plan.level_index level) + 1;
   st.compile_count <- st.compile_count + 1;
-  (* contention: part of the compilation steals application cycles *)
-  Clock.advance t.clock
-    (int_of_float (t.config.contention *. float_of_int comp.Compiler.compile_cycles));
+  st.failed_attempts <- 0;
   if t.config.async_compile then begin
     let now = Clock.now t.clock in
     let start =
@@ -152,6 +178,62 @@ let do_compile t ~meth_id ~level ~modifier =
   | Some f -> f t ~meth_id comp
   | None -> ()
 
+(* A compilation that raises never takes the engine down: the method
+   keeps its current implementation (usually the interpreter), the
+   failure is counted, and after [max_compile_attempts] failures the
+   method is quarantined ([no_more]).  A compilation that exceeds the
+   cycle budget degrades down the plan ladder
+   (scorching → … → cold → interpreter). *)
+let rec do_compile t ~meth_id ~level ~modifier =
+  let st = t.states.(meth_id) in
+  match
+    (match t.callbacks.pre_compile with
+    | Some f -> f t ~meth_id ~level
+    | None -> ());
+    Compiler.compile ~modifier ~target:t.config.target ~program:t.program
+      ~level
+      (Program.meth t.program meth_id)
+  with
+  | exception _ ->
+      t.compile_failures <- t.compile_failures + 1;
+      st.failed_attempts <- st.failed_attempts + 1;
+      if st.failed_attempts >= t.config.max_compile_attempts then
+        quarantine t st
+  | comp -> (
+      (* the compiler ran either way: its cycles are spent and part of
+         them steal application cycles *)
+      t.total_compile_cycles <-
+        Int64.add t.total_compile_cycles
+          (Int64.of_int comp.Compiler.compile_cycles);
+      Clock.advance t.clock
+        (int_of_float
+           (t.config.contention *. float_of_int comp.Compiler.compile_cycles));
+      match t.config.compile_cycle_budget with
+      | Some budget when comp.Compiler.compile_cycles > budget -> (
+          t.budget_rejections <- t.budget_rejections + 1;
+          let current_level_index =
+            match st.impl with
+            | Compiled c -> Some (Plan.level_index c.Compiler.level)
+            | Interpreted -> None
+          in
+          match lower_level level with
+          | Some l
+            when current_level_index = None
+                 || Option.get current_level_index < Plan.level_index l ->
+              t.degraded_compiles <- t.degraded_compiles + 1;
+              do_compile t ~meth_id ~level:l ~modifier
+          | Some _ ->
+              (* the ladder only leads to levels the method already runs
+                 at: re-promotion can't beat the budget, so back off and
+                 eventually stop trying *)
+              st.failed_attempts <- st.failed_attempts + 1;
+              if st.failed_attempts >= t.config.max_compile_attempts then
+                quarantine t st
+          | None ->
+              (* even the cold plan blows the budget: stay interpreted *)
+              quarantine t st)
+      | _ -> install t ~meth_id ~level st comp)
+
 let request_compile t ~meth_id ~level ?modifier () =
   let st = t.states.(meth_id) in
   if st.pending <> None then ()
@@ -164,7 +246,12 @@ let request_compile t ~meth_id ~level ?modifier () =
         | Some choose -> (
             match choose t ~meth_id ~level with
             | Some m -> do_compile t ~meth_id ~level ~modifier:m
-            | None -> st.no_more <- true))
+            | None -> st.no_more <- true
+            | exception _ ->
+                (* a failing predictor must not stop compilation: fall
+                   back to the paper's default plan *)
+                t.modifier_fallbacks <- t.modifier_fallbacks + 1;
+                do_compile t ~meth_id ~level ~modifier:Modifier.null))
 
 let next_level st =
   match st.impl with
@@ -189,6 +276,7 @@ let adaptive_controller t meth_id =
           int_of_float
             (t.config.trigger_scale
             *. float_of_int (Triggers.trigger level cls))
+          * Triggers.failure_backoff st.failed_attempts
         in
         let promoted_by_sampling =
           Int64.compare st.acc_cycles Triggers.sample_promote_cycles >= 0
@@ -265,6 +353,11 @@ let invoke_entry t args = invoke_method t t.program.Program.entry args
 let app_cycles t = Clock.now t.clock
 let total_compile_cycles t = t.total_compile_cycles
 let compile_count t = t.compile_count
+let compile_failures t = t.compile_failures
+let budget_rejections t = t.budget_rejections
+let degraded_compiles t = t.degraded_compiles
+let quarantined_methods t = t.quarantined
+let modifier_fallbacks t = t.modifier_fallbacks
 
 let compiles_by_level t =
   Array.to_list

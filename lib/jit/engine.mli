@@ -26,7 +26,11 @@ type method_state = {
   mutable invocations : int;
   mutable acc_cycles : int64;  (** accumulated inclusive execution cycles *)
   mutable compile_count : int;
-  mutable no_more : bool;  (** controller gave up on recompiling this *)
+  mutable failed_attempts : int;
+      (** consecutive failed compilation attempts; reset on success *)
+  mutable no_more : bool;
+      (** controller gave up on recompiling this (including quarantine
+          after repeated compilation failures) *)
   mutable loop_cls : Triggers.loop_class option;  (** cached *)
 }
 
@@ -48,6 +52,13 @@ type config = {
   fuel_per_invocation : int;
   clock_seed : int64;
   adaptive : bool;  (** run the built-in adaptive controller *)
+  max_compile_attempts : int;
+      (** failed compilation attempts tolerated per method before it is
+          quarantined to its current implementation *)
+  compile_cycle_budget : int option;
+      (** when set, a compilation whose simulated cycles exceed the
+          budget is not installed; the engine degrades the method to the
+          next-lower plan level (and ultimately the interpreter) *)
 }
 
 val default_config : config
@@ -68,6 +79,10 @@ type callbacks = {
   post_invoke : (t -> meth_id:int -> unit) option;
       (** extra controller logic (data collection uses this to trigger
           fixed-threshold recompilations) *)
+  pre_compile : (t -> meth_id:int -> level:Plan.level -> unit) option;
+      (** run just before each compilation; raising aborts that
+          compilation and exercises the failure/quarantine paths (the
+          fault injector hooks in here) *)
 }
 
 val no_callbacks : callbacks
@@ -88,7 +103,13 @@ val invoke_method : t -> int -> Values.t array -> (Values.t, Values.trap) result
 val request_compile :
   t -> meth_id:int -> level:Plan.level -> ?modifier:Modifier.t -> unit -> unit
 (** Explicit compilation request (the controller's and collector's tool).
-    Consults [choose_modifier] only when [modifier] is not given. *)
+    Consults [choose_modifier] only when [modifier] is not given; a
+    [choose_modifier] that raises falls back to the default (null
+    modifier) plan.  A compilation that raises leaves the method on its
+    current implementation, counts a failure, and quarantines the method
+    after [max_compile_attempts] consecutive failures; one that exceeds
+    [compile_cycle_budget] is degraded level by level toward the
+    interpreter.  Never raises. *)
 
 (** {1 Metrics} *)
 
@@ -97,3 +118,22 @@ val total_compile_cycles : t -> int64
 val compile_count : t -> int
 val compiles_by_level : t -> (Plan.level * int) list
 val methods_compiled : t -> int
+
+(** {1 Degradation metrics} *)
+
+val compile_failures : t -> int
+(** Compilations that raised (including injected faults). *)
+
+val budget_rejections : t -> int
+(** Compilations rejected for exceeding [compile_cycle_budget]. *)
+
+val degraded_compiles : t -> int
+(** Budget rejections that retried at a lower plan level. *)
+
+val quarantined_methods : t -> int
+(** Methods pinned to their current implementation after repeated
+    failures (or an unaffordable cold plan). *)
+
+val modifier_fallbacks : t -> int
+(** Compilations that used the default plan because [choose_modifier]
+    raised. *)

@@ -29,3 +29,6 @@ let trigger level cls =
   | No_loops -> b
 
 let sample_promote_cycles = 600_000_000L (* 300 virtual ms *)
+
+let failure_backoff attempts =
+  if attempts <= 0 then 1 else 1 lsl min attempts 6

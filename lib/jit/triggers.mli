@@ -22,3 +22,9 @@ val sample_promote_cycles : int64
 (** Accumulated-execution-cycle threshold at which the sampling mechanism
     promotes a method regardless of its invocation count (methods that
     "spend a significant amount of time during fewer invocations"). *)
+
+val failure_backoff : int -> int
+(** [failure_backoff attempts] multiplies a method's compilation trigger
+    after [attempts] consecutive failed compilations ([2^attempts],
+    capped at 64): a method whose compilations keep failing is retried
+    ever more reluctantly until quarantine. *)

@@ -1,24 +1,37 @@
 exception Closed
+exception Timeout
 
-(* one direction of an in-memory pipe *)
+(* one direction of an in-memory pipe: a queue of chunks plus an offset
+   cursor into the front chunk, so reads cost O(bytes read) instead of
+   rebuilding the whole buffered string on every call *)
 type mem_stream = {
-  mutable data : string list;  (* chunks, oldest first (kept reversed) *)
-  mutable pending : int;
+  chunks : string Queue.t;
+  mutable offset : int;  (* consumed bytes of the front chunk *)
+  mutable pending : int;  (* total unread bytes across all chunks *)
   mutable closed : bool;
 }
 
 type t =
   | Mem of { incoming : mem_stream; outgoing : mem_stream }
   | Fd of { fin : Unix.file_descr; fout : Unix.file_descr; mutable open_ : bool }
+  | Wrapped of {
+      base : t;
+      on_write : t -> string -> unit;
+      on_read : t -> deadline:float option -> int -> string;
+      on_close : t -> unit;
+    }
 
-let mem_stream () = { data = []; pending = 0; closed = false }
+let mem_stream () =
+  { chunks = Queue.create (); offset = 0; pending = 0; closed = false }
 
 let write t s =
   match t with
   | Mem m ->
       if m.outgoing.closed then raise Closed;
-      m.outgoing.data <- s :: m.outgoing.data;
-      m.outgoing.pending <- m.outgoing.pending + String.length s
+      if String.length s > 0 then begin
+        Queue.add s m.outgoing.chunks;
+        m.outgoing.pending <- m.outgoing.pending + String.length s
+      end
   | Fd f ->
       if not f.open_ then raise Closed;
       let len = String.length s in
@@ -31,36 +44,89 @@ let write t s =
         if n = 0 then raise Closed;
         written := !written + n
       done
+  | Wrapped w -> w.on_write w.base s
 
-let read_exact t n =
+let mem_take m buf n =
+  (* precondition: m.pending >= n *)
+  let need = ref n in
+  while !need > 0 do
+    let front = Queue.peek m.chunks in
+    let avail = String.length front - m.offset in
+    let take = min avail !need in
+    Buffer.add_substring buf front m.offset take;
+    m.offset <- m.offset + take;
+    if m.offset = String.length front then begin
+      ignore (Queue.pop m.chunks);
+      m.offset <- 0
+    end;
+    m.pending <- m.pending - take;
+    need := !need - take
+  done
+
+let read_exact ?deadline t n =
   match t with
   | Mem m ->
       if m.incoming.pending < n then
-        if m.incoming.closed then raise Closed
-        else
-          invalid_arg
-            (Printf.sprintf
-               "Channel.read_exact: in-memory channel has %d of %d bytes \
-                (lockstep violation)"
-               m.incoming.pending n)
+        (* data in an in-memory pair only arrives between calls, so a
+           short buffer will never fill while we wait: closed means end
+           of stream, otherwise the request has effectively timed out *)
+        if m.incoming.closed then raise Closed else raise Timeout
       else begin
-        let all = String.concat "" (List.rev m.incoming.data) in
-        let out = String.sub all 0 n in
-        let rest = String.sub all n (String.length all - n) in
-        m.incoming.data <- (if rest = "" then [] else [ rest ]);
-        m.incoming.pending <- String.length rest;
-        out
+        let buf = Buffer.create n in
+        mem_take m.incoming buf n;
+        Buffer.contents buf
       end
   | Fd f ->
       if not f.open_ then raise Closed;
       let buf = Bytes.create n in
       let got = ref 0 in
       while !got < n do
+        (match deadline with
+        | None -> ()
+        | Some d ->
+            let remaining = d -. Unix.gettimeofday () in
+            if remaining <= 0.0 then raise Timeout
+            else
+              let readable, _, _ = Unix.select [ f.fin ] [] [] remaining in
+              if readable = [] then raise Timeout);
         let r = Unix.read f.fin buf !got (n - !got) in
         if r = 0 then raise Closed;
         got := !got + r
       done;
       Bytes.to_string buf
+  | Wrapped w -> w.on_read w.base ~deadline n
+
+let rec drain t =
+  match t with
+  | Mem m ->
+      let n = m.incoming.pending in
+      Queue.clear m.incoming.chunks;
+      m.incoming.offset <- 0;
+      m.incoming.pending <- 0;
+      n
+  | Fd f ->
+      if not f.open_ then 0
+      else begin
+        let buf = Bytes.create 4096 in
+        let total = ref 0 in
+        let continue = ref true in
+        Unix.set_nonblock f.fin;
+        (try
+           while !continue do
+             match Unix.read f.fin buf 0 (Bytes.length buf) with
+             | 0 -> continue := false
+             | r -> total := !total + r
+             | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+               ->
+                 continue := false
+           done
+         with e ->
+           (try Unix.clear_nonblock f.fin with Unix.Unix_error _ -> ());
+           raise e);
+        (try Unix.clear_nonblock f.fin with Unix.Unix_error _ -> ());
+        !total
+      end
+  | Wrapped w -> drain w.base
 
 let close = function
   | Mem m ->
@@ -73,6 +139,19 @@ let close = function
         if f.fout <> f.fin then
           try Unix.close f.fout with Unix.Unix_error _ -> ()
       end
+  | Wrapped w -> w.on_close w.base
+
+let wrap ?on_write ?on_read ?on_close base =
+  Wrapped
+    {
+      base;
+      on_write = (match on_write with Some f -> f | None -> write);
+      on_read =
+        (match on_read with
+        | Some f -> f
+        | None -> fun b ~deadline n -> read_exact ?deadline b n);
+      on_close = (match on_close with Some f -> f | None -> close);
+    }
 
 let of_fds fin fout = Fd { fin; fout; open_ = true }
 

@@ -5,21 +5,47 @@
     touching the compiler.  This module abstracts the transport: an
     in-memory pipe pair for tests and in-process use, and Unix file
     descriptors (including FIFOs created with [mkfifo]) for the real
-    two-process setup. *)
+    two-process setup.  Channels can also be {!wrap}ped with read/write
+    interceptors; the fault-injection subsystem uses this to corrupt,
+    drop, and delay frames deterministically. *)
 
 type t
 
 exception Closed
+exception Timeout
+(** A read did not complete before its deadline.  In-memory channels
+    raise this whenever a read requests more bytes than are buffered
+    (data only ever arrives between calls, so waiting cannot help). *)
 
 val write : t -> string -> unit
-val read_exact : t -> int -> string
+
+val read_exact : ?deadline:float -> t -> int -> string
 (** Blocks until the requested byte count is available; raises {!Closed}
-    on end of stream. *)
+    at end of stream.  [deadline] is an absolute [Unix.gettimeofday]
+    time; when given, a descriptor-backed read that cannot complete in
+    time raises {!Timeout} instead of blocking forever. *)
+
+val drain : t -> int
+(** Discards whatever input is currently buffered without blocking and
+    returns the number of bytes thrown away.  The resilient client uses
+    this to restore frame synchronization after a malformed or
+    half-delivered response. *)
 
 val close : t -> unit
 
 val of_fds : Unix.file_descr -> Unix.file_descr -> t
 (** [of_fds input output]. *)
+
+val wrap :
+  ?on_write:(t -> string -> unit) ->
+  ?on_read:(t -> deadline:float option -> int -> string) ->
+  ?on_close:(t -> unit) ->
+  t ->
+  t
+(** [wrap base] is a channel that forwards to [base] through the given
+    interceptors (each defaults to the plain operation).  Interceptors
+    receive [base] and may drop, alter, duplicate, or fail the
+    operation. *)
 
 val pipe_pair : unit -> t * t
 (** In-memory bidirectional pair: what one end writes the other reads. *)

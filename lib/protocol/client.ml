@@ -1,38 +1,293 @@
 module Modifier = Tessera_modifiers.Modifier
+module Prng = Tessera_util.Prng
 
-type t = { ch : Channel.t; lockstep : unit -> unit }
+type failure = Timeout | Malformed | Closed | Server_error | Unexpected_reply
 
-let connect ?(model_name = "default") ?(lockstep = fun () -> ()) ch =
-  let c = { ch; lockstep } in
-  Message.send ch (Message.Init { model_name });
-  lockstep ();
-  (match Message.decode_from ch with
-  | Message.Init_ok -> ()
-  | other ->
-      failwith
-        (Format.asprintf "Client.connect: expected InitOk, got %a" Message.pp
-           other));
-  c
+let failure_name = function
+  | Timeout -> "timeout"
+  | Malformed -> "malformed response"
+  | Closed -> "channel closed"
+  | Server_error -> "server error reply"
+  | Unexpected_reply -> "unexpected reply"
+
+type outcome =
+  | Predicted of Modifier.t
+  | Fallback of failure
+  | Breaker_skip
+
+type breaker = Breaker_closed | Breaker_open | Breaker_half_open
+
+let breaker_name = function
+  | Breaker_closed -> "closed"
+  | Breaker_open -> "open"
+  | Breaker_half_open -> "half-open"
+
+type config = {
+  deadline_ms : int;
+  max_retries : int;
+  backoff_base_ms : float;
+  backoff_max_ms : float;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+  jitter_seed : int64;
+  sleep : float -> unit;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    deadline_ms = 200;
+    max_retries = 2;
+    backoff_base_ms = 4.0;
+    backoff_max_ms = 250.0;
+    breaker_threshold = 5;
+    breaker_cooldown = 16;
+    jitter_seed = 0x5EEDL;
+    sleep = (fun _ -> ());
+    log = prerr_endline;
+  }
+
+type counters = {
+  mutable requests : int;
+  mutable predicted : int;
+  mutable fallbacks : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable malformed : int;
+  mutable closed : int;
+  mutable server_errors : int;
+  mutable unexpected : int;
+  mutable breaker_skips : int;
+  mutable breaker_trips : int;
+  mutable breaker_half_opens : int;
+  mutable breaker_recoveries : int;
+}
+
+let fresh_counters () =
+  {
+    requests = 0;
+    predicted = 0;
+    fallbacks = 0;
+    retries = 0;
+    timeouts = 0;
+    malformed = 0;
+    closed = 0;
+    server_errors = 0;
+    unexpected = 0;
+    breaker_skips = 0;
+    breaker_trips = 0;
+    breaker_half_opens = 0;
+    breaker_recoveries = 0;
+  }
+
+type t = {
+  ch : Channel.t;
+  lockstep : unit -> unit;
+  config : config;
+  rng : Prng.t;
+  counters : counters;
+  logged : (failure, unit) Hashtbl.t;
+  mutable breaker : breaker;
+  mutable consecutive_failures : int;
+  mutable open_skips : int;
+}
+
+let counters t = t.counters
+let breaker_state t = t.breaker
+
+let pp_counters fmt c =
+  Format.fprintf fmt
+    "requests=%d predicted=%d fallbacks=%d retries=%d timeouts=%d \
+     malformed=%d closed=%d server_errors=%d unexpected=%d breaker_skips=%d \
+     trips=%d half_opens=%d recoveries=%d"
+    c.requests c.predicted c.fallbacks c.retries c.timeouts c.malformed
+    c.closed c.server_errors c.unexpected c.breaker_skips c.breaker_trips
+    c.breaker_half_opens c.breaker_recoveries
+
+let record_failure t f =
+  let c = t.counters in
+  (match f with
+  | Timeout -> c.timeouts <- c.timeouts + 1
+  | Malformed -> c.malformed <- c.malformed + 1
+  | Closed -> c.closed <- c.closed + 1
+  | Server_error -> c.server_errors <- c.server_errors + 1
+  | Unexpected_reply -> c.unexpected <- c.unexpected + 1);
+  if not (Hashtbl.mem t.logged f) then begin
+    Hashtbl.add t.logged f ();
+    t.config.log
+      (Printf.sprintf
+         "tessera-client: model %s; falling back to the default plan \
+          (further occurrences counted, not logged)"
+         (failure_name f))
+  end
+
+(* one request/response exchange; never raises *)
+let round_trip t msg =
+  let deadline =
+    Unix.gettimeofday () +. (float_of_int t.config.deadline_ms /. 1000.0)
+  in
+  match
+    Message.send t.ch msg;
+    t.lockstep ();
+    Message.decode_from ~deadline t.ch
+  with
+  | reply -> Ok reply
+  | exception Channel.Timeout ->
+      (* a late or half-delivered response must not poison the next
+         exchange: flush whatever is buffered *)
+      (try ignore (Channel.drain t.ch) with _ -> ());
+      Error Timeout
+  | exception Channel.Closed -> Error Closed
+  | exception Message.Malformed _ ->
+      (try ignore (Channel.drain t.ch) with _ -> ());
+      Error Malformed
+  | exception _ -> Error Unexpected_reply
+
+let backoff_delay t attempt =
+  let capped =
+    Float.min
+      (t.config.backoff_base_ms *. (2.0 ** float_of_int attempt))
+      t.config.backoff_max_ms
+  in
+  (* full-jitter: uniform in [capped, 1.5 * capped) *)
+  (capped +. Prng.float t.rng ((capped /. 2.0) +. 1e-9)) /. 1000.0
+
+let trip t =
+  if t.breaker <> Breaker_open then begin
+    if t.counters.breaker_trips = 0 then
+      t.config.log
+        (Printf.sprintf
+           "tessera-client: circuit breaker open after %d consecutive \
+            failures; predictions fall back to the default plan"
+           t.consecutive_failures);
+    t.breaker <- Breaker_open;
+    t.open_skips <- 0;
+    t.counters.breaker_trips <- t.counters.breaker_trips + 1
+  end
+
+let note_success t =
+  t.consecutive_failures <- 0
+
+let note_failure t =
+  t.consecutive_failures <- t.consecutive_failures + 1;
+  if
+    t.breaker = Breaker_closed
+    && t.consecutive_failures >= t.config.breaker_threshold
+  then trip t
+
+let ping_once t =
+  match round_trip t Message.Ping with Ok Message.Pong -> true | _ -> false
+
+(* breaker is open and the cooldown has elapsed: probe the server with a
+   ping; recover on Pong, re-open otherwise *)
+let half_open_probe t =
+  t.breaker <- Breaker_half_open;
+  t.counters.breaker_half_opens <- t.counters.breaker_half_opens + 1;
+  if ping_once t then begin
+    t.breaker <- Breaker_closed;
+    t.consecutive_failures <- 0;
+    t.counters.breaker_recoveries <- t.counters.breaker_recoveries + 1;
+    t.config.log "tessera-client: circuit breaker closed (server recovered)";
+    true
+  end
+  else begin
+    t.breaker <- Breaker_open;
+    t.open_skips <- 0;
+    false
+  end
+
+let predict_result t ~level ~features =
+  let c = t.counters in
+  c.requests <- c.requests + 1;
+  let proceed =
+    match t.breaker with
+    | Breaker_closed | Breaker_half_open -> true
+    | Breaker_open ->
+        t.open_skips <- t.open_skips + 1;
+        t.open_skips >= t.config.breaker_cooldown && half_open_probe t
+  in
+  if not proceed then begin
+    c.breaker_skips <- c.breaker_skips + 1;
+    Breaker_skip
+  end
+  else
+    let rec go attempt =
+      match round_trip t (Message.Predict { level; features }) with
+      | Ok (Message.Prediction { modifier }) ->
+          note_success t;
+          c.predicted <- c.predicted + 1;
+          Predicted modifier
+      | Ok (Message.Error_msg _) ->
+          record_failure t Server_error;
+          note_failure t;
+          c.fallbacks <- c.fallbacks + 1;
+          Fallback Server_error
+      | Ok _ ->
+          record_failure t Unexpected_reply;
+          note_failure t;
+          c.fallbacks <- c.fallbacks + 1;
+          Fallback Unexpected_reply
+      | Error f ->
+          record_failure t f;
+          let retryable = match f with Timeout | Malformed -> true | _ -> false in
+          if retryable && attempt < t.config.max_retries then begin
+            c.retries <- c.retries + 1;
+            t.config.sleep (backoff_delay t attempt);
+            go (attempt + 1)
+          end
+          else begin
+            note_failure t;
+            c.fallbacks <- c.fallbacks + 1;
+            Fallback f
+          end
+    in
+    go 0
 
 let predict t ~level ~features =
-  match
-    Message.send t.ch (Message.Predict { level; features });
-    t.lockstep ();
-    Message.decode_from t.ch
-  with
-  | Message.Prediction { modifier } -> modifier
-  | Message.Error_msg _ | _ -> Modifier.null
-  | exception (Channel.Closed | Message.Malformed _) -> Modifier.null
+  match predict_result t ~level ~features with
+  | Predicted m -> m
+  | Fallback _ | Breaker_skip -> Modifier.null
 
-let ping t =
-  match
-    Message.send t.ch Message.Ping;
-    t.lockstep ();
-    Message.decode_from t.ch
-  with
-  | Message.Pong -> true
-  | _ -> false
-  | exception _ -> false
+let ping t = ping_once t
+
+let connect ?(model_name = "default") ?(lockstep = fun () -> ())
+    ?(config = default_config) ch =
+  (* a peer that dies mid-session must surface as EPIPE → Closed → a
+     counted fallback, not a SIGPIPE kill of the whole compiler *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let t =
+    {
+      ch;
+      lockstep;
+      config;
+      rng = Prng.create config.jitter_seed;
+      counters = fresh_counters ();
+      logged = Hashtbl.create 8;
+      breaker = Breaker_closed;
+      consecutive_failures = 0;
+      open_skips = 0;
+    }
+  in
+  let rec go attempt =
+    match round_trip t (Message.Init { model_name }) with
+    | Ok Message.Init_ok -> true
+    | Ok _ | Error _ ->
+        if attempt < config.max_retries then begin
+          t.counters.retries <- t.counters.retries + 1;
+          config.sleep (backoff_delay t attempt);
+          go (attempt + 1)
+        end
+        else false
+  in
+  if not (go 0) then begin
+    config.log
+      "tessera-client: connect failed; starting with the circuit breaker \
+       open (every prediction falls back to the default plan until the \
+       server answers a ping)";
+    trip t
+  end;
+  t
 
 let shutdown t =
   (try

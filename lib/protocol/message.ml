@@ -1,6 +1,7 @@
 module Plan = Tessera_opt.Plan
 module Modifier = Tessera_modifiers.Modifier
 module Codec = Tessera_util.Codec
+module Crc32 = Tessera_util.Crc32
 
 type t =
   | Init of { model_name : string }
@@ -37,29 +38,52 @@ let payload m =
   | Error_msg e -> Codec.write_string buf e);
   Buffer.contents buf
 
+let magic = '\xa7'
+
+let crc_bytes crc =
+  String.init 4 (fun i ->
+      Char.chr
+        (Int32.to_int
+           (Int32.logand (Int32.shift_right_logical crc (8 * i)) 0xFFl)))
+
 let encode m =
   let p = payload m in
-  let buf = Buffer.create (String.length p + 6) in
-  Codec.write_u8 buf (tag m);
-  Codec.write_varint buf (String.length p);
-  Buffer.add_string buf p;
+  let hdr = Buffer.create (String.length p + 6) in
+  Codec.write_u8 hdr (tag m);
+  Codec.write_varint hdr (String.length p);
+  Buffer.add_string hdr p;
+  let body = Buffer.contents hdr in
+  let buf = Buffer.create (String.length body + 5) in
+  Buffer.add_char buf magic;
+  Buffer.add_string buf body;
+  Buffer.add_string buf (crc_bytes (Crc32.string body));
   Buffer.contents buf
 
-(* varints are read byte-by-byte from the channel to find the frame end *)
-let read_varint_from ch =
+(* varints are read byte-by-byte from the channel to find the frame end;
+   [raw] accumulates the exact wire bytes for checksum verification *)
+let read_varint_from ?deadline ~raw ch =
   let rec go shift acc =
     if shift > 62 then raise (Malformed "frame length varint too long");
-    let b = Char.code (Channel.read_exact ch 1).[0] in
+    let s = Channel.read_exact ?deadline ch 1 in
+    Buffer.add_string raw s;
+    let b = Char.code s.[0] in
     let acc = acc lor ((b land 0x7f) lsl shift) in
     if b land 0x80 = 0 then acc else go (shift + 7) acc
   in
   go 0 0
 
-let decode_from ch =
-  let tag = Char.code (Channel.read_exact ch 1).[0] in
-  let len = read_varint_from ch in
+let decode_after_magic ?deadline ch =
+  let raw = Buffer.create 32 in
+  let tag_s = Channel.read_exact ?deadline ch 1 in
+  Buffer.add_string raw tag_s;
+  let tag = Char.code tag_s.[0] in
+  let len = read_varint_from ?deadline ~raw ch in
   if len > 1 lsl 20 then raise (Malformed "oversized frame");
-  let body = Channel.read_exact ch len in
+  let body = Channel.read_exact ?deadline ch len in
+  Buffer.add_string raw body;
+  let crc = Channel.read_exact ?deadline ch 4 in
+  if not (String.equal crc (crc_bytes (Crc32.string (Buffer.contents raw))))
+  then raise (Malformed "frame checksum mismatch");
   let r = Codec.reader_of_string body in
   try
     match tag with
@@ -80,6 +104,31 @@ let decode_from ch =
   with
   | Codec.Truncated w -> raise (Malformed ("truncated payload: " ^ w))
   | Invalid_argument w -> raise (Malformed w)
+
+let decode_from ?deadline ch =
+  let m = Channel.read_exact ?deadline ch 1 in
+  if m.[0] <> magic then
+    raise (Malformed (Printf.sprintf "bad frame magic 0x%02x" (Char.code m.[0])));
+  decode_after_magic ?deadline ch
+
+let recv ?deadline ?(resync_budget = 4096) ch =
+  try decode_from ?deadline ch
+  with Malformed first ->
+    (* scan forward for the next magic byte and try to pick the stream
+       back up there; payload bytes can alias the magic, so decoding may
+       fail again and the scan continues on a bounded budget *)
+    let rec scan remaining =
+      if remaining <= 0 then
+        raise (Malformed ("resync budget exhausted after: " ^ first))
+      else
+        let b = Channel.read_exact ?deadline ch 1 in
+        if b.[0] = magic then
+          match decode_after_magic ?deadline ch with
+          | m -> m
+          | exception Malformed _ -> scan (remaining - 1)
+        else scan (remaining - 1)
+    in
+    scan resync_budget
 
 let send ch m = Channel.write ch (encode m)
 

@@ -1,6 +1,10 @@
 (** The lean compiler ↔ model protocol (Section 7).
 
-    Frames are length-prefixed: [u8 tag | varint payload length | payload].
+    Frames are length-prefixed and integrity-checked:
+    [magic 0xA7 | u8 tag | varint payload length | payload | crc32].
+    The checksum covers tag, length, and payload, so a corrupted frame is
+    rejected instead of silently yielding a wrong prediction, and the
+    magic byte lets a receiver resynchronize after garbage on the wire.
     The compiler sends raw feature vectors; the model side renormalizes
     them with its scaling file and answers with a full 58-bit modifier
     pattern — the label→modifier lookup and the normalization both live
@@ -22,10 +26,22 @@ type t =
 
 exception Malformed of string
 
+val magic : char
+(** First byte of every frame. *)
+
 val encode : t -> string
-val decode_from : Channel.t -> t
-(** Reads exactly one frame; raises {!Malformed} on unknown tags or bad
-    payloads, [Channel.Closed] at end of stream. *)
+
+val decode_from : ?deadline:float -> Channel.t -> t
+(** Reads exactly one frame; raises {!Malformed} on a bad magic byte,
+    checksum mismatch, unknown tag, or bad payload, [Channel.Closed] at
+    end of stream, and [Channel.Timeout] past the optional deadline. *)
+
+val recv : ?deadline:float -> ?resync_budget:int -> Channel.t -> t
+(** Like {!decode_from}, but on a malformed frame scans forward for the
+    next magic byte and retries, consuming at most [resync_budget]
+    (default 4096) scan positions before giving up with {!Malformed}.
+    This is what keeps one corrupted frame from permanently desyncing a
+    stream. *)
 
 val send : Channel.t -> t -> unit
 

@@ -3,8 +3,8 @@ type predictor =
   features:float array ->
   Tessera_modifiers.Modifier.t
 
-let step ch predictor =
-  match Message.decode_from ch with
+let step ?(resync_budget = 4096) ch predictor =
+  match Message.recv ~resync_budget ch with
   | Message.Init _ ->
       Message.send ch Message.Init_ok;
       true
@@ -23,14 +23,24 @@ let step ch predictor =
       Message.send ch (Message.Error_msg "unexpected client->server message");
       true
   | exception Message.Malformed w ->
-      Message.send ch (Message.Error_msg ("malformed: " ^ w));
-      true
+      (* recv already tried to resynchronize; if it could not find a
+         valid frame within its budget the stream is unsalvageable —
+         close rather than serve from a desynced position *)
+      (try Message.send ch (Message.Error_msg ("unrecoverable framing: " ^ w))
+       with _ -> ());
+      (try Channel.close ch with _ -> ());
+      false
 
 let serve ch predictor =
   let continue = ref true in
   (try
      while !continue do
-       continue := step ch predictor
+       match step ch predictor with
+       | c -> continue := c
+       | exception Channel.Timeout ->
+           (* nothing buffered and no way to block for more (in-memory
+              peer): retrying cannot make progress, so stop serving *)
+           continue := false
      done
    with Channel.Closed -> ());
   try Channel.close ch with _ -> ()

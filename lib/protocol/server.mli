@@ -9,10 +9,14 @@ type predictor =
   features:float array ->
   Tessera_modifiers.Modifier.t
 
-val step : Channel.t -> predictor -> bool
+val step : ?resync_budget:int -> Channel.t -> predictor -> bool
 (** Handle exactly one incoming message; [false] after [Shutdown].
-    Protocol errors are answered with [Error_msg] and the loop
-    continues. *)
+    Malformed input is resynchronized via {!Message.recv}; if no valid
+    frame can be found within [resync_budget] the channel is closed and
+    [false] is returned (resync-or-close — the loop never continues from
+    a desynced stream).  [Channel.Timeout] propagates to the caller
+    (lockstep harnesses treat it as "no request pending"). *)
 
 val serve : Channel.t -> predictor -> unit
-(** Run {!step} until shutdown or channel close. *)
+(** Run {!step} until shutdown, channel close, or a timeout (which, with
+    no way to block for more input, means no progress is possible). *)

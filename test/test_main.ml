@@ -15,6 +15,7 @@ let () =
       ("dataproc", Test_dataproc.suite);
       ("svm", Test_svm.suite);
       ("protocol", Test_protocol.suite);
+      ("faults", Test_faults.suite);
       ("jit", Test_jit.suite);
       ("workloads", Test_workloads.suite);
       ("engines", Test_engines.suite);

@@ -187,6 +187,68 @@ let test_manager_partitions_plan () =
            (fun i -> not (Tessera_modifiers.Modifier.disables modifier i))
            r.Tessera_opt.Manager.applied)
 
+(* Under ANY fault spec — arbitrary drop/corrupt/dup/garbage rates and
+   crash points — every prediction request terminates with a valid
+   prediction, a default-plan fallback, or a breaker skip; the client
+   never raises and its counters stay consistent. *)
+let test_client_total_under_faults () =
+  QCheck.Test.make ~count:40 ~name:"client is total under any fault spec"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let module Channel = Tessera_protocol.Channel in
+      let module Server = Tessera_protocol.Server in
+      let module Client = Tessera_protocol.Client in
+      let module Spec = Tessera_faults.Spec in
+      let module Injector = Tessera_faults.Injector in
+      let rng = Prng.create (Int64.of_int (seed + 13)) in
+      let spec =
+        {
+          Spec.default with
+          Spec.drop = Prng.float rng 0.4;
+          corrupt = Prng.float rng 0.4;
+          dup = Prng.float rng 0.3;
+          garbage = Prng.float rng 0.3;
+          crash_after =
+            (if Prng.bernoulli rng 0.5 then Some (1 + Prng.int rng 12) else None);
+          revive_after =
+            (if Prng.bernoulli rng 0.5 then Some (1 + Prng.int rng 20) else None);
+        }
+      in
+      let inj_seed = Prng.next_int64 rng in
+      let server_raw, client_raw = Channel.pipe_pair () in
+      let server_inj = Injector.create ~spec ~seed:inj_seed () in
+      let client_inj =
+        Injector.create ~spec:(Spec.no_crash spec)
+          ~seed:(Int64.add inj_seed 1L) ()
+      in
+      let server_ch = Injector.wrap_channel server_inj server_raw in
+      let client_ch = Injector.wrap_channel client_inj client_raw in
+      let predictor ~level:_ ~features =
+        Tessera_modifiers.Modifier.of_disabled [ Array.length features mod 58 ]
+      in
+      let lockstep () =
+        try ignore (Server.step server_ch predictor)
+        with Channel.Closed | Channel.Timeout -> ()
+      in
+      let config = { Client.default_config with Client.log = ignore } in
+      let client =
+        Client.connect ~model_name:"prop" ~lockstep ~config client_ch
+      in
+      let resolved = ref 0 in
+      for i = 0 to 19 do
+        match
+          Client.predict_result client
+            ~level:(Prng.choose rng Tessera_opt.Plan.levels)
+            ~features:(Array.make (1 + (i mod 5)) 0.5)
+        with
+        | Client.Predicted _ | Client.Fallback _ | Client.Breaker_skip ->
+            incr resolved
+      done;
+      let k = Client.counters client in
+      !resolved = 20
+      && k.Client.predicted + k.Client.fallbacks + k.Client.breaker_skips
+         = k.Client.requests)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -196,4 +258,5 @@ let suite =
       test_single_method_differential ();
       test_engine_determinism ();
       test_manager_partitions_plan ();
+      test_client_total_under_faults ();
     ]
