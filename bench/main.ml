@@ -8,6 +8,7 @@
      dune exec bench/main.exe kernels    -- linear vs RBF study
      dune exec bench/main.exe pipe       -- named-pipe overhead
      dune exec bench/main.exe ablations  -- design-choice ablations
+     dune exec bench/main.exe cache      -- warm vs cold start-up (BENCH_cache.json)
      dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
      dune exec bench/main.exe quick      -- down-scaled smoke of everything *)
 
@@ -465,6 +466,109 @@ let run_platform cfg =
      compiler-engineering effort)@.@."
 
 (* ------------------------------------------------------------------ *)
+(* Warm-start vs cold-start (persistent code cache)                     *)
+(* ------------------------------------------------------------------ *)
+
+module Codecache = Tessera_cache.Codecache
+
+(* Start-up cost is exactly what a persistent code cache attacks: run
+   the same workload cold (empty cache), warm (second run over the same
+   cache dir), and warm read-only, and emit BENCH_cache.json with
+   time-to-steady-state (app cycles at the end of iteration 1) and the
+   total compile bill of each mode. *)
+let run_cache cfg =
+  section "Warm-start vs cold-start (persistent code cache)";
+  let bench =
+    Suites.scale_bench
+      (Option.get (Suites.find "compress"))
+      cfg.Harness.Expconfig.bench_scale
+  in
+  let iterations = 3 in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tessera_bench_cache_%d" (Unix.getpid ()))
+  in
+  let clear () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  let run ~readonly () =
+    let cache = Codecache.create ~dir ~capacity_mb:64 ~readonly () in
+    let program = Tessera_workloads.Generate.program bench.Suites.profile in
+    let engine =
+      Engine.create
+        ~config:{ Engine.default_config with Engine.code_cache = Some cache }
+        program
+    in
+    let marks =
+      Array.init iterations (fun it ->
+          for j = 0 to bench.Suites.iteration_invocations - 1 do
+            ignore
+              (Engine.invoke_entry engine
+                 [| Values.Int_v (Int64.of_int ((it * 31) + j)) |])
+          done;
+          Engine.app_cycles engine)
+    in
+    Codecache.close cache;
+    ( marks,
+      Engine.total_compile_cycles engine,
+      Engine.compile_count engine,
+      Engine.cache_hits engine )
+  in
+  clear ();
+  (* let-sequenced: list elements would evaluate right-to-left *)
+  let cold = run ~readonly:false () in
+  let warm = run ~readonly:false () in
+  let warm_readonly = run ~readonly:true () in
+  let runs =
+    [ ("cold", cold); ("warm", warm); ("warm_readonly", warm_readonly) ]
+  in
+  List.iter
+    (fun (name, (marks, compile_cycles, compilations, aot_loads)) ->
+      Format.fprintf fmt
+        "%-14s time-to-steady %8.2fM cycles, total %8.2fM, compile %8.2fM \
+         (%d compilations, %d AOT loads)@."
+        name
+        (Int64.to_float marks.(0) /. 1e6)
+        (Int64.to_float marks.(iterations - 1) /. 1e6)
+        (Int64.to_float compile_cycles /. 1e6)
+        compilations aot_loads)
+    runs;
+  let json =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"benchmark\": %S,\n  \"iterations\": %d,\n"
+         bench.Suites.profile.Tessera_workloads.Profile.name iterations);
+    Buffer.add_string buf "  \"runs\": {\n";
+    List.iteri
+      (fun i (name, (marks, compile_cycles, compilations, aot_loads)) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    %S: {\"time_to_steady_state_cycles\": %Ld, \
+              \"total_app_cycles\": %Ld, \"compile_cycles\": %Ld, \
+              \"compilations\": %d, \"aot_loads\": %d}%s\n"
+             name marks.(0)
+             marks.(iterations - 1)
+             compile_cycles compilations aot_loads
+             (if i < List.length runs - 1 then "," else "")))
+      runs;
+    Buffer.add_string buf "  },\n";
+    let tts name = (fun (m, _, _, _) -> m.(0)) (List.assoc name runs) in
+    Buffer.add_string buf
+      (Printf.sprintf "  \"warm_tts_speedup\": %.4f\n"
+         (Int64.to_float (tts "cold") /. Int64.to_float (tts "warm")));
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+  in
+  Tessera_util.Fileio.atomic_write ~path:"BENCH_cache.json" json;
+  Format.fprintf fmt "[wrote BENCH_cache.json]@.@.";
+  clear ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -548,6 +652,7 @@ let () =
   | "pipe" -> run_pipe_overhead cfg
   | "crossover" -> run_crossover cfg
   | "platform" -> run_platform cfg
+  | "cache" -> run_cache cfg
   | _ ->
       run_figures cfg;
       run_kernels cfg;
@@ -555,5 +660,6 @@ let () =
       run_crossover cfg;
       run_ablations cfg;
       run_platform cfg;
+      run_cache cfg;
       run_micro cfg);
   Format.fprintf fmt "[total bench time %.1fs]@." (Unix.gettimeofday () -. t0)

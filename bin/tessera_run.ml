@@ -19,6 +19,7 @@ module Injector = Tessera_faults.Injector
 module Features = Tessera_features.Features
 module Program = Tessera_il.Program
 module Modifier = Tessera_modifiers.Modifier
+module Codecache = Tessera_cache.Codecache
 
 (* In-process deployment of the paper's two-process setup: engine →
    resilient client → faulty in-memory pipes → protocol server →
@@ -39,7 +40,8 @@ let faulty_pipeline ~spec ~seed ~predictor =
   let client = Client.connect ~model_name:"faulty" ~lockstep client_ch in
   (client, server_inj, client_inj, jit_inj)
 
-let run target model_dir iterations tir fault_spec fault_seed compile_budget =
+let run target model_dir iterations tir fault_spec fault_seed compile_budget
+    code_cache_dir code_cache_mb code_cache_readonly =
   let program =
     if tir then Tessera_lang.Parser.load_program target
     else
@@ -124,8 +126,19 @@ let run target model_dir iterations tir fault_spec fault_seed compile_budget =
         in
         (callbacks, report)
   in
+  let cache =
+    Option.map
+      (fun dir ->
+        Codecache.create ~dir ~capacity_mb:code_cache_mb
+          ~readonly:code_cache_readonly ())
+      code_cache_dir
+  in
   let config =
-    { Engine.default_config with Engine.compile_cycle_budget = compile_budget }
+    {
+      Engine.default_config with
+      Engine.compile_cycle_budget = compile_budget;
+      code_cache = cache;
+    }
   in
   let engine = Engine.create ~config ~callbacks program in
   let traps = ref 0 in
@@ -151,6 +164,15 @@ let run target model_dir iterations tir fault_spec fault_seed compile_budget =
     (fun (level, count) ->
       Printf.printf "  %-10s %d\n" (Tessera_opt.Plan.level_name level) count)
     (Engine.compiles_by_level engine);
+  (match cache with
+  | Some c ->
+      Printf.printf "aot cache loads    : %d\n" (Engine.cache_hits engine);
+      Format.printf "code cache         : %a (%d entries, %d bytes%s)@."
+        Codecache.pp_counters (Codecache.counters c) (Codecache.entry_count c)
+        (Codecache.byte_size c)
+        (if Codecache.readonly c then ", readonly" else "");
+      Codecache.close c
+  | None -> ());
   report_faults engine;
   if !traps > 0 then Printf.printf "uncaught exceptions: %d\n" !traps;
   0
@@ -193,10 +215,28 @@ let compile_budget =
                degraded to lower plan levels (and ultimately the \
                interpreter).")
 
+let code_cache_dir =
+  Arg.(value & opt (some string) None & info [ "code-cache" ] ~docv:"DIR"
+         ~doc:"Persistent compiled-code cache directory (created if \
+               missing): compilations are looked up before compiling and \
+               written back after, so a second run of the same workload \
+               warm-starts with AOT loads instead of JIT compilations.")
+
+let code_cache_mb =
+  Arg.(value & opt int 64 & info [ "code-cache-mb" ] ~docv:"MB"
+         ~doc:"Code-cache capacity; least-recently-used entries are \
+               evicted beyond it.")
+
+let code_cache_readonly =
+  Arg.(value & flag & info [ "code-cache-readonly" ]
+         ~doc:"Consume the code cache without writing back (shared or \
+               immutable cache deployments).")
+
 let cmd =
   Cmd.v
     (Cmd.info "tessera_run" ~doc:"Run a benchmark on the simulated JVM")
     Term.(const run $ target $ model_dir $ iterations $ tir $ fault_spec
-          $ fault_seed $ compile_budget)
+          $ fault_seed $ compile_budget $ code_cache_dir $ code_cache_mb
+          $ code_cache_readonly)
 
 let () = exit (Cmd.eval' cmd)

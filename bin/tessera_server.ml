@@ -13,11 +13,28 @@ module Harness = Tessera_harness
 module Channel = Tessera_protocol.Channel
 module Spec = Tessera_faults.Spec
 module Injector = Tessera_faults.Injector
+module Codecache = Tessera_cache.Codecache
 
-let run model_dir in_fifo out_fifo fault_spec fault_seed =
+(* The serving deployment owns the shared code-cache directory: verify
+   it at startup (every frame is CRC-checked on open) and, unless
+   read-only, compact away any damage or garbage found, so compiler
+   clients warm-start from a scrubbed store. *)
+let scrub_code_cache dir capacity_mb readonly =
+  let c = Codecache.create ~dir ~capacity_mb ~readonly () in
+  Format.printf "code cache %s: %d entries, %d bytes, %a%s@." dir
+    (Codecache.entry_count c) (Codecache.byte_size c) Codecache.pp_counters
+    (Codecache.counters c)
+    (if readonly then " (readonly)" else "");
+  Codecache.close c
+
+let run model_dir in_fifo out_fifo fault_spec fault_seed code_cache_dir
+    code_cache_mb code_cache_readonly =
   (* a client that vanishes mid-write must surface as Channel.Closed
      (EPIPE), not kill the process *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Option.iter
+    (fun dir -> scrub_code_cache dir code_cache_mb code_cache_readonly)
+    code_cache_dir;
   let ms = Harness.Modelset.load ~name:"server" ~dir:model_dir in
   List.iter
     (fun p ->
@@ -88,10 +105,24 @@ let fault_seed =
   Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N"
          ~doc:"PRNG seed of the fault injector.")
 
+let code_cache_dir =
+  Arg.(value & opt (some string) None & info [ "code-cache" ] ~docv:"DIR"
+         ~doc:"Verify (and unless read-only, compact) the shared \
+               compiled-code cache at startup before serving.")
+
+let code_cache_mb =
+  Arg.(value & opt int 64 & info [ "code-cache-mb" ] ~docv:"MB"
+         ~doc:"Capacity enforced while scrubbing the code cache.")
+
+let code_cache_readonly =
+  Arg.(value & flag & info [ "code-cache-readonly" ]
+         ~doc:"Verify the code cache without rewriting it.")
+
 let cmd =
   Cmd.v
     (Cmd.info "tessera_server"
        ~doc:"Serve a trained model set over named pipes")
-    Term.(const run $ model_dir $ in_fifo $ out_fifo $ fault_spec $ fault_seed)
+    Term.(const run $ model_dir $ in_fifo $ out_fifo $ fault_spec $ fault_seed
+          $ code_cache_dir $ code_cache_mb $ code_cache_readonly)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,80 @@
+(** The persistent compiled-code cache: warm-start for the simulated JIT.
+
+    Entries are whole compilation results — the {!Tessera_codegen.Isa}
+    body plus the level/modifier/features/cycle metadata the engine
+    tracks per installed compilation — keyed by a content fingerprint of
+    (method IL hash, target, level, modifier, cache-format version).
+    Anything that could change the generated code changes the key, so
+    invalidation is structural: there is nothing to flush when a method,
+    plan, or target changes, the old entries simply stop being found and
+    age out of the LRU.
+
+    A cache hit must be {e exactly} as trustworthy as a fresh
+    compilation: a decoded entry whose payload is damaged (CRC, framing,
+    codec errors) or whose metadata disagrees with the request
+    (fingerprint collision) is dropped, counted, and the caller
+    recompiles — cache trouble can never change program behaviour. *)
+
+module Isa = Tessera_codegen.Isa
+module Meth = Tessera_il.Meth
+module Plan = Tessera_opt.Plan
+module Modifier = Tessera_modifiers.Modifier
+module Features = Tessera_features.Features
+module Target = Tessera_vm.Target
+
+type entry = {
+  code : Isa.compiled;
+  level : Plan.level;
+  modifier : Modifier.t;
+  features : Features.t;
+  compile_cycles : int;
+      (** what the original compilation cost — what a warm start saves *)
+  optimized_nodes : int;
+  original_nodes : int;
+}
+(** Mirrors [Tessera_jit.Compiler.compilation] field for field; the JIT
+    converts at the boundary (the cache cannot depend on the JIT). *)
+
+type t
+
+val format_version : int
+(** Bump on any codec or fingerprint change; old files then read as
+    stale (version byte) or simply never hit (fingerprint salt). *)
+
+val file_name : string
+(** Name of the store file inside the cache directory. *)
+
+val create : dir:string -> ?capacity_mb:int -> ?readonly:bool -> unit -> t
+(** Opens (creating [dir] if needed and not read-only) the store at
+    [dir/]{!file_name}.  [capacity_mb] defaults to 64. *)
+
+val fingerprint :
+  target:Target.t ->
+  level:Plan.level ->
+  modifier:Modifier.t ->
+  Meth.t ->
+  int64
+(** Stable across processes; includes {!format_version}. *)
+
+val lookup :
+  t -> key:int64 -> level:Plan.level -> modifier:Modifier.t -> entry option
+(** Decode-and-verify: corrupt payloads and metadata mismatches return
+    [None] (dropped and counted); never raises. *)
+
+val store : t -> key:int64 -> entry -> unit
+(** Write-back after a successful compilation; no-op when read-only. *)
+
+val entry_count : t -> int
+val byte_size : t -> int
+val readonly : t -> bool
+val counters : t -> Store.counters
+val pp_counters : Format.formatter -> Store.counters -> unit
+
+val close : t -> unit
+(** Compacts and persists; idempotent. *)
+
+(** {1 Entry codec} (exposed for the qcheck round-trip properties) *)
+
+val encode_entry : entry -> string
+val decode_entry : string -> entry
+(** Raises on malformed input (the exceptions {!lookup} absorbs). *)

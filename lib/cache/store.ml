@@ -1,0 +1,272 @@
+module Codec = Tessera_util.Codec
+module Crc32 = Tessera_util.Crc32
+module Fileio = Tessera_util.Fileio
+
+type counters = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable inserts : int;
+  mutable evictions : int;
+  mutable corrupt_entries : int;
+  mutable stale_entries : int;
+}
+
+type slot = { mutable value : string; mutable tick : int; mutable bytes : int }
+
+type t = {
+  path : string;
+  capacity : int;
+  ro : bool;
+  tbl : (int64, slot) Hashtbl.t;
+  cnt : counters;
+  mutable tick : int;
+  mutable live_bytes : int;
+  mutable dirty : bool;  (** file holds superseded/evicted/damaged frames *)
+  mutable out : out_channel option;
+  mutable closed : bool;
+}
+
+let magic = "TSCC"
+let version = 1
+let frame_magic = 0xE5
+
+let frame_of key value =
+  let payload = Buffer.create (String.length value + 8) in
+  Codec.write_i64 payload key;
+  Buffer.add_string payload value;
+  let p = Buffer.contents payload in
+  let buf = Buffer.create (String.length p + 16) in
+  Codec.write_u8 buf frame_magic;
+  Codec.write_varint buf (String.length p);
+  Buffer.add_string buf p;
+  Codec.write_i64 buf (Int64.of_int32 (Crc32.string p));
+  Buffer.contents buf
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let insert t key value bytes =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some old ->
+      t.live_bytes <- t.live_bytes - old.bytes + bytes;
+      t.dirty <- true;
+      old.value <- value;
+      old.bytes <- bytes;
+      old.tick <- next_tick t
+  | None ->
+      t.live_bytes <- t.live_bytes + bytes;
+      Hashtbl.replace t.tbl key { value; tick = next_tick t; bytes });
+  ()
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some s ->
+      t.live_bytes <- t.live_bytes - s.bytes;
+      t.dirty <- true;
+      Hashtbl.remove t.tbl key
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key (s : slot) acc ->
+        match acc with
+        | Some (_, (best : slot)) when best.tick <= s.tick -> acc
+        | _ -> Some (key, s))
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+      remove t key;
+      t.cnt.evictions <- t.cnt.evictions + 1
+
+let enforce_capacity t =
+  while t.live_bytes > t.capacity && Hashtbl.length t.tbl > 0 do
+    evict_lru t
+  done
+
+(* Hand-rolled scan over the raw file image: unlike {!Codec.reader} it
+   must survive arbitrary garbage at any offset and resume at the next
+   frame boundary when the frame length is still trustworthy. *)
+let load t s =
+  let len = String.length s in
+  if len = 0 then ()
+  else if len < 5 || not (String.equal (String.sub s 0 4) magic) then begin
+    t.cnt.corrupt_entries <- t.cnt.corrupt_entries + 1;
+    t.dirty <- true
+  end
+  else if Char.code s.[4] <> version then begin
+    t.cnt.stale_entries <- t.cnt.stale_entries + 1;
+    t.dirty <- true
+  end
+  else begin
+    let corrupt () =
+      t.cnt.corrupt_entries <- t.cnt.corrupt_entries + 1;
+      t.dirty <- true
+    in
+    (* returns (value, pos') or raises Exit on malformed/oversized input *)
+    let read_varint pos =
+      let rec go pos shift acc =
+        if pos >= len || shift > 62 then raise Exit
+        else
+          let b = Char.code s.[pos] in
+          let acc = acc lor ((b land 0x7f) lsl shift) in
+          if b land 0x80 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+      in
+      go pos 0 0
+    in
+    let read_i64 pos =
+      let acc = ref 0L in
+      for i = 7 downto 0 do
+        acc :=
+          Int64.logor
+            (Int64.shift_left !acc 8)
+            (Int64.of_int (Char.code s.[pos + i]))
+      done;
+      !acc
+    in
+    let pos = ref 5 in
+    (try
+       while !pos < len do
+         if Char.code s.[!pos] <> frame_magic then begin
+           (* unknown framing: the rest of the file is untrustworthy *)
+           corrupt ();
+           raise Exit
+         end;
+         let plen, p = read_varint (!pos + 1) in
+         if p + plen + 8 > len then begin
+           (* torn tail (e.g. crash mid-append) *)
+           corrupt ();
+           raise Exit
+         end;
+         let payload = String.sub s p plen in
+         let stored = read_i64 (p + plen) in
+         if
+           plen >= 8
+           && Int64.equal stored (Int64.of_int32 (Crc32.string payload))
+         then begin
+           let key = read_i64 p in
+           let value = String.sub payload 8 (plen - 8) in
+           insert t key value (p + plen + 8 - !pos)
+         end
+         else corrupt ();
+         (* the frame length was covered by the scan either way: resume
+            at the next frame boundary *)
+         pos := p + plen + 8
+       done
+     with Exit -> ())
+  end
+
+let open_ ~path ~capacity_bytes ~readonly =
+  let t =
+    {
+      path;
+      capacity = capacity_bytes;
+      ro = readonly;
+      tbl = Hashtbl.create 64;
+      cnt =
+        {
+          hits = 0;
+          misses = 0;
+          inserts = 0;
+          evictions = 0;
+          corrupt_entries = 0;
+          stale_entries = 0;
+        };
+      tick = 0;
+      live_bytes = 0;
+      dirty = false;
+      out = None;
+      closed = false;
+    }
+  in
+  (if Sys.file_exists path then
+     let ic = open_in_bin path in
+     Fun.protect
+       ~finally:(fun () -> close_in ic)
+       (fun () ->
+         load t (really_input_string ic (in_channel_length ic))));
+  enforce_capacity t;
+  t
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some s ->
+      t.cnt.hits <- t.cnt.hits + 1;
+      s.tick <- next_tick t;
+      Some s.value
+  | None ->
+      t.cnt.misses <- t.cnt.misses + 1;
+      None
+
+let out_channel t =
+  match t.out with
+  | Some oc -> oc
+  | None ->
+      let fresh = not (Sys.file_exists t.path) in
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.path
+      in
+      if fresh then begin
+        output_string oc magic;
+        output_char oc (Char.chr version)
+      end;
+      t.out <- Some oc;
+      oc
+
+let add t key value =
+  if t.ro || t.closed then ()
+  else begin
+    let frame = frame_of key value in
+    insert t key value (String.length frame);
+    t.cnt.inserts <- t.cnt.inserts + 1;
+    let oc = out_channel t in
+    output_string oc frame;
+    flush oc;
+    enforce_capacity t
+  end
+
+let drop_corrupt t key =
+  remove t key;
+  t.cnt.corrupt_entries <- t.cnt.corrupt_entries + 1
+
+let drop_stale t key =
+  remove t key;
+  t.cnt.stale_entries <- t.cnt.stale_entries + 1
+
+let entry_count t = Hashtbl.length t.tbl
+let byte_size t = t.live_bytes
+let counters t = t.cnt
+let readonly t = t.ro
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (match t.out with
+    | Some oc ->
+        close_out oc;
+        t.out <- None
+    | None -> ());
+    if (not t.ro) && t.dirty then begin
+      let entries =
+        Hashtbl.fold (fun key s acc -> (key, s) :: acc) t.tbl []
+        |> List.sort (fun (_, (a : slot)) (_, (b : slot)) ->
+               compare a.tick b.tick)
+      in
+      let buf = Buffer.create (t.live_bytes + 16) in
+      Buffer.add_string buf magic;
+      Codec.write_u8 buf version;
+      List.iter
+        (fun (key, s) -> Buffer.add_string buf (frame_of key s.value))
+        entries;
+      Fileio.atomic_write ~path:t.path (Buffer.contents buf);
+      t.dirty <- false
+    end
+  end
+
+let pp_counters fmt c =
+  Format.fprintf fmt
+    "hits=%d misses=%d inserts=%d evictions=%d stale=%d corrupt=%d" c.hits
+    c.misses c.inserts c.evictions c.stale_entries c.corrupt_entries

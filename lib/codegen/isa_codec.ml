@@ -1,0 +1,267 @@
+module Codec = Tessera_util.Codec
+module Types = Tessera_il.Types
+module Opcode = Tessera_il.Opcode
+
+exception Malformed of string
+
+let fail what = raise (Malformed what)
+
+(* -- field helpers ------------------------------------------------- *)
+
+let write_ty buf ty = Codec.write_u8 buf (Types.index ty)
+
+let read_ty ?(what = "type") r =
+  let i = Codec.read_u8 ~what r in
+  if i >= Types.count then fail (what ^ ": bad type index");
+  Types.of_index i
+
+let write_bool buf b = Codec.write_u8 buf (if b then 1 else 0)
+
+let read_bool ?(what = "bool") r =
+  match Codec.read_u8 ~what r with
+  | 0 -> false
+  | 1 -> true
+  | _ -> fail (what ^ ": bad bool")
+
+let cast_tag = function
+  | Opcode.C_byte -> 0
+  | Opcode.C_char -> 1
+  | Opcode.C_short -> 2
+  | Opcode.C_int -> 3
+  | Opcode.C_long -> 4
+  | Opcode.C_float -> 5
+  | Opcode.C_double -> 6
+  | Opcode.C_longdouble -> 7
+  | Opcode.C_address -> 8
+  | Opcode.C_object -> 9
+  | Opcode.C_packed -> 10
+  | Opcode.C_zoned -> 11
+  | Opcode.C_check -> 12
+
+let cast_of_tag = function
+  | 0 -> Opcode.C_byte
+  | 1 -> Opcode.C_char
+  | 2 -> Opcode.C_short
+  | 3 -> Opcode.C_int
+  | 4 -> Opcode.C_long
+  | 5 -> Opcode.C_float
+  | 6 -> Opcode.C_double
+  | 7 -> Opcode.C_longdouble
+  | 8 -> Opcode.C_address
+  | 9 -> Opcode.C_object
+  | 10 -> Opcode.C_packed
+  | 11 -> Opcode.C_zoned
+  | 12 -> Opcode.C_check
+  | _ -> fail "cast kind"
+
+let quality_tag = function
+  | Tessera_vm.Cost.Q_base -> 0
+  | Tessera_vm.Cost.Q_regalloc -> 1
+  | Tessera_vm.Cost.Q_full -> 2
+
+let quality_of_tag = function
+  | 0 -> Tessera_vm.Cost.Q_base
+  | 1 -> Tessera_vm.Cost.Q_regalloc
+  | 2 -> Tessera_vm.Cost.Q_full
+  | _ -> fail "quality"
+
+(* -- instructions -------------------------------------------------- *)
+
+let write_instr buf (i : Isa.instr) =
+  let tag t = Codec.write_u8 buf t in
+  match i with
+  | Isa.Const (ty, v) ->
+      tag 0;
+      write_ty buf ty;
+      Codec.write_i64 buf v
+  | Isa.Load_local n ->
+      tag 1;
+      Codec.write_varint buf n
+  | Isa.Store_local (n, ty) ->
+      tag 2;
+      Codec.write_varint buf n;
+      write_ty buf ty
+  | Isa.Inc_local (n, d, ty) ->
+      tag 3;
+      Codec.write_varint buf n;
+      Codec.write_i64 buf d;
+      write_ty buf ty
+  | Isa.Field_load n ->
+      tag 4;
+      Codec.write_varint buf n
+  | Isa.Field_store n ->
+      tag 5;
+      Codec.write_varint buf n
+  | Isa.Elem_load -> tag 6
+  | Isa.Elem_store -> tag 7
+  | Isa.Binop (op, ty) ->
+      tag 8;
+      Codec.write_string buf (Opcode.name op);
+      write_ty buf ty
+  | Isa.Negate ty ->
+      tag 9;
+      write_ty buf ty
+  | Isa.Cast_to (k, ty) ->
+      tag 10;
+      Codec.write_u8 buf (cast_tag k);
+      write_ty buf ty
+  | Isa.Checkcast c ->
+      tag 11;
+      Codec.write_varint buf c
+  | Isa.New_obj c ->
+      tag 12;
+      Codec.write_varint buf c
+  | Isa.New_arr ty ->
+      tag 13;
+      write_ty buf ty
+  | Isa.New_multi ty ->
+      tag 14;
+      write_ty buf ty
+  | Isa.Instance_of c ->
+      tag 15;
+      Codec.write_varint buf c
+  | Isa.Monitor b ->
+      tag 16;
+      write_bool buf b
+  | Isa.Invoke (m, n, ty) ->
+      tag 17;
+      Codec.write_varint buf m;
+      Codec.write_varint buf n;
+      write_ty buf ty
+  | Isa.Mixed_op (n, ty) ->
+      tag 18;
+      Codec.write_varint buf n;
+      write_ty buf ty
+  | Isa.Bounds_chk -> tag 19
+  | Isa.Arr_copy -> tag 20
+  | Isa.Arr_cmp -> tag 21
+  | Isa.Arr_len -> tag 22
+  | Isa.Pop -> tag 23
+  | Isa.Jump t ->
+      tag 24;
+      Codec.write_varint buf t
+  | Isa.Jump_if_false t ->
+      tag 25;
+      Codec.write_varint buf t
+  | Isa.Ret v ->
+      tag 26;
+      write_bool buf v
+  | Isa.Throw_instr -> tag 27
+
+let read_instr r : Isa.instr =
+  match Codec.read_u8 ~what:"instr tag" r with
+  | 0 ->
+      let ty = read_ty r in
+      Isa.Const (ty, Codec.read_i64 ~what:"const" r)
+  | 1 -> Isa.Load_local (Codec.read_varint ~what:"ldloc" r)
+  | 2 ->
+      let n = Codec.read_varint ~what:"stloc" r in
+      Isa.Store_local (n, read_ty r)
+  | 3 ->
+      let n = Codec.read_varint ~what:"incloc" r in
+      let d = Codec.read_i64 ~what:"incloc delta" r in
+      Isa.Inc_local (n, d, read_ty r)
+  | 4 -> Isa.Field_load (Codec.read_varint ~what:"ldfld" r)
+  | 5 -> Isa.Field_store (Codec.read_varint ~what:"stfld" r)
+  | 6 -> Isa.Elem_load
+  | 7 -> Isa.Elem_store
+  | 8 -> (
+      let name = Codec.read_string ~what:"binop" r in
+      match Opcode.of_name name with
+      | Some op -> Isa.Binop (op, read_ty r)
+      | None -> fail ("binop: unknown opcode " ^ name))
+  | 9 -> Isa.Negate (read_ty r)
+  | 10 ->
+      let k = cast_of_tag (Codec.read_u8 ~what:"cast" r) in
+      Isa.Cast_to (k, read_ty r)
+  | 11 -> Isa.Checkcast (Codec.read_varint ~what:"checkcast" r)
+  | 12 -> Isa.New_obj (Codec.read_varint ~what:"new" r)
+  | 13 -> Isa.New_arr (read_ty r)
+  | 14 -> Isa.New_multi (read_ty r)
+  | 15 -> Isa.Instance_of (Codec.read_varint ~what:"instanceof" r)
+  | 16 -> Isa.Monitor (read_bool ~what:"monitor" r)
+  | 17 ->
+      let m = Codec.read_varint ~what:"invoke callee" r in
+      let n = Codec.read_varint ~what:"invoke arity" r in
+      Isa.Invoke (m, n, read_ty r)
+  | 18 ->
+      let n = Codec.read_varint ~what:"mixed arity" r in
+      Isa.Mixed_op (n, read_ty r)
+  | 19 -> Isa.Bounds_chk
+  | 20 -> Isa.Arr_copy
+  | 21 -> Isa.Arr_cmp
+  | 22 -> Isa.Arr_len
+  | 23 -> Isa.Pop
+  | 24 -> Isa.Jump (Codec.read_varint ~what:"jmp" r)
+  | 25 -> Isa.Jump_if_false (Codec.read_varint ~what:"jz" r)
+  | 26 -> Isa.Ret (read_bool ~what:"ret" r)
+  | 27 -> Isa.Throw_instr
+  | t -> fail (Printf.sprintf "unknown instr tag %d" t)
+
+(* -- whole bodies -------------------------------------------------- *)
+
+let write_int_array buf a =
+  Codec.write_varint buf (Array.length a);
+  Array.iter (fun v -> Codec.write_varint buf v) a
+
+let read_int_array ?(what = "int array") r =
+  let n = Codec.read_varint ~what r in
+  Array.init n (fun _ -> Codec.read_varint ~what r)
+
+let encode buf (c : Isa.compiled) =
+  Codec.write_string buf c.Isa.method_name;
+  Codec.write_varint buf c.Isa.nargs;
+  write_ty buf c.Isa.ret;
+  write_bool buf c.Isa.sync_method;
+  Codec.write_u8 buf (quality_tag c.Isa.quality);
+  Codec.write_varint buf (Array.length c.Isa.local_types);
+  Array.iter (write_ty buf) c.Isa.local_types;
+  Codec.write_varint buf (Array.length c.Isa.instrs);
+  Array.iter (write_instr buf) c.Isa.instrs;
+  Array.iter (fun v -> Codec.write_varint buf v) c.Isa.costs;
+  Array.iter (fun v -> Codec.write_varint buf v) c.Isa.block_of_pc;
+  write_int_array buf c.Isa.block_start;
+  (* handler ids include -1 ("no handler"); shift by one for the varint *)
+  Codec.write_varint buf (Array.length c.Isa.handler_of_block);
+  Array.iter (fun v -> Codec.write_varint buf (v + 1)) c.Isa.handler_of_block
+
+let decode r : Isa.compiled =
+  let method_name = Codec.read_string ~what:"method name" r in
+  let nargs = Codec.read_varint ~what:"nargs" r in
+  let ret = read_ty ~what:"return type" r in
+  let sync_method = read_bool ~what:"sync" r in
+  let quality = quality_of_tag (Codec.read_u8 ~what:"quality" r) in
+  let n_locals = Codec.read_varint ~what:"local count" r in
+  let local_types = Array.init n_locals (fun _ -> read_ty ~what:"local" r) in
+  let n = Codec.read_varint ~what:"instr count" r in
+  let instrs = Array.init n (fun _ -> read_instr r) in
+  let costs = Array.init n (fun _ -> Codec.read_varint ~what:"cost" r) in
+  let block_of_pc =
+    Array.init n (fun _ -> Codec.read_varint ~what:"block of pc" r)
+  in
+  let block_start = read_int_array ~what:"block starts" r in
+  let nb = Codec.read_varint ~what:"handler count" r in
+  let handler_of_block =
+    Array.init nb (fun _ -> Codec.read_varint ~what:"handler" r - 1)
+  in
+  {
+    Isa.method_name;
+    instrs;
+    costs;
+    block_of_pc;
+    block_start;
+    handler_of_block;
+    local_types;
+    ret;
+    nargs;
+    sync_method;
+    quality;
+    code_size = n;
+  }
+
+let to_string c =
+  let buf = Buffer.create 256 in
+  encode buf c;
+  Buffer.contents buf
+
+let of_string s = decode (Codec.reader_of_string s)

@@ -1,0 +1,22 @@
+(** Binary serialization of compiled code ({!Isa.compiled}), the payload
+    format of the persistent code cache.
+
+    The encoding uses the archive {!Tessera_util.Codec} primitives
+    (LEB128 varints, length-prefixed strings) and is self-contained: a
+    decoded body is structurally identical to the encoded one
+    ([decode ∘ encode = id]), which the qcheck round-trip property in the
+    test suite enforces.  Framing, checksums, and versioning are the
+    {e store}'s job — this module only maps bodies to bytes. *)
+
+exception Malformed of string
+(** Raised by {!decode} on any structurally invalid input (unknown
+    instruction tag, bad type index, inconsistent array lengths).
+    Truncated input raises {!Tessera_util.Codec.Truncated} instead;
+    cache readers must treat both as a corrupt entry. *)
+
+val encode : Buffer.t -> Isa.compiled -> unit
+
+val decode : Tessera_util.Codec.reader -> Isa.compiled
+
+val to_string : Isa.compiled -> string
+val of_string : string -> Isa.compiled

@@ -1,8 +1,12 @@
 module Archive = Tessera_collect.Archive
 module Suites = Tessera_workloads.Suites
+module Fileio = Tessera_util.Fileio
 
 let path dir name suffix = Filename.concat dir (name ^ suffix ^ ".tsra")
 
+(* Archives replace any previous file atomically (tmp + fsync + rename):
+   a crash mid-save must leave the campaign dir loadable — either the
+   old archive or the new one, never a torn file. *)
 let save ~dir outcomes =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   List.iter
@@ -10,9 +14,15 @@ let save ~dir outcomes =
       let name =
         o.Collection.bench.Suites.profile.Tessera_workloads.Profile.name
       in
-      Archive.save o.Collection.randomized (path dir name ".rand");
-      Archive.save o.Collection.progressive (path dir name ".prog");
-      Archive.save o.Collection.merged (path dir name ""))
+      Fileio.atomic_write
+        ~path:(path dir name ".rand")
+        (Archive.to_string o.Collection.randomized);
+      Fileio.atomic_write
+        ~path:(path dir name ".prog")
+        (Archive.to_string o.Collection.progressive);
+      Fileio.atomic_write
+        ~path:(path dir name "")
+        (Archive.to_string o.Collection.merged))
     outcomes
 
 let merged_names dir =
@@ -27,21 +37,26 @@ let merged_names dir =
   |> List.sort compare
 
 let load ~dir =
-  List.map
+  List.filter_map
     (fun name ->
-      let bench =
-        match Suites.find name with
-        | Some b -> b
-        | None -> failwith (Printf.sprintf "Persist.load: unknown benchmark %S" name)
-      in
-      {
-        Collection.tag = bench.Suites.tag;
-        bench;
-        randomized = Archive.load (path dir name ".rand");
-        progressive = Archive.load (path dir name ".prog");
-        merged = Archive.load (path dir name "");
-        stats = [];
-      })
+      match Suites.find name with
+      | None ->
+          (* a stray file (editor backup, copied archive) must not make
+             the whole campaign unloadable *)
+          Printf.eprintf
+            "Persist.load: skipping %s/%s.tsra: unknown benchmark %S\n%!" dir
+            name name;
+          None
+      | Some bench ->
+          Some
+            {
+              Collection.tag = bench.Suites.tag;
+              bench;
+              randomized = Archive.load (path dir name ".rand");
+              progressive = Archive.load (path dir name ".prog");
+              merged = Archive.load (path dir name "");
+              stats = [];
+            })
     (merged_names dir)
 
 let is_campaign_dir dir =

@@ -7,12 +7,16 @@
     workflow the paper's "supporting tools to convert archives" serve. *)
 
 val save : dir:string -> Collection.outcome list -> unit
-(** Creates [dir] if needed; overwrites existing archives. *)
+(** Creates [dir] if needed; replaces existing archives {e atomically}
+    (via {!Tessera_util.Fileio.atomic_write}), so a crash mid-save
+    cannot leave a torn archive in the campaign dir. *)
 
 val load : dir:string -> Collection.outcome list
 (** Reconstructs outcomes from the archives in [dir].  Benchmarks are
     recognized by file name ([<name>.rand.tsra], [<name>.prog.tsra],
-    [<name>.tsra]); unknown benchmark names raise [Failure].  Collector
+    [<name>.tsra]); files whose name is not a known benchmark (stray
+    editor backups, foreign archives) are skipped with a warning on
+    stderr rather than failing the whole campaign.  Collector
     statistics are not persisted and come back empty. *)
 
 val is_campaign_dir : string -> bool

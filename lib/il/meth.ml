@@ -93,6 +93,59 @@ let has_backward_branch m =
     (fun (b : Block.t) -> List.exists (fun s -> s <= b.id) (Block.successors b))
     m.blocks
 
+module H = Tessera_util.Hash64
+
+let hash_node acc root =
+  Node.fold
+    (fun acc (n : Node.t) ->
+      let acc = H.string acc (Opcode.name n.op) in
+      let acc = H.int acc (Types.index n.ty) in
+      let acc = H.int acc n.sym in
+      let acc = H.int64 acc n.const in
+      let acc = H.int acc n.flags in
+      H.int acc (Array.length n.args))
+    acc root
+
+let hash_term acc = function
+  | Block.Goto x -> H.int (H.byte acc 1) x
+  | Block.If { cond; if_true; if_false } ->
+      H.int (H.int (hash_node (H.byte acc 2) cond) if_true) if_false
+  | Block.Return None -> H.byte acc 3
+  | Block.Return (Some n) -> hash_node (H.byte acc 4) n
+  | Block.Throw n -> hash_node (H.byte acc 5) n
+
+let fingerprint m =
+  let acc = H.string H.init m.name in
+  let acc =
+    List.fold_left H.bool acc
+      [
+        m.attrs.constructor; m.attrs.final; m.attrs.protected_;
+        m.attrs.public; m.attrs.static; m.attrs.synchronized;
+        m.attrs.strictfp; m.attrs.virtual_overridden;
+        m.attrs.uses_unsafe; m.attrs.uses_bigdecimal;
+      ]
+  in
+  let acc =
+    Array.fold_left (fun acc ty -> H.int acc (Types.index ty)) acc m.params
+  in
+  let acc = H.int acc (Types.index m.ret) in
+  let acc =
+    Array.fold_left
+      (fun acc (s : Symbol.t) ->
+        let acc = H.string acc s.name in
+        let acc = H.int acc (Types.index s.ty) in
+        H.byte acc (match s.kind with Symbol.Arg -> 0 | Symbol.Temp -> 1))
+      acc m.symbols
+  in
+  Array.fold_left
+    (fun acc (b : Block.t) ->
+      let acc = H.int acc b.id in
+      let acc = H.int acc (match b.handler with None -> -1 | Some h -> h) in
+      let acc = H.int64 acc (Int64.bits_of_float b.freq) in
+      let acc = List.fold_left hash_node acc b.stmts in
+      hash_term acc b.term)
+    acc m.blocks
+
 let term_equal (a : Block.terminator) (b : Block.terminator) =
   match (a, b) with
   | Block.Goto x, Block.Goto y -> x = y

@@ -65,6 +65,15 @@ val exception_handler_count : t -> int
 val has_backward_branch : t -> bool
 (** "May have loops" in Table 1: any edge to a block with a smaller id. *)
 
+val fingerprint : t -> int64
+(** Stable 64-bit FNV-1a hash of the whole method — name, attrs,
+    signature, symbols, and every node of every block (opcode, type,
+    symbol id, constant, flags; node uids are {e excluded} so
+    regenerating the same IL yields the same fingerprint across
+    processes).  This is the IL component of persistent code-cache keys:
+    any change to the method body changes the fingerprint and
+    invalidates cached code. *)
+
 val equal : t -> t -> bool
 (** Structural equality of the whole method body (uids and flags
     ignored), plus equality of name/attrs/signature. *)

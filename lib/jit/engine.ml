@@ -6,6 +6,7 @@ module Interp = Tessera_vm.Interp
 module Exec = Tessera_codegen.Exec
 module Plan = Tessera_opt.Plan
 module Modifier = Tessera_modifiers.Modifier
+module Codecache = Tessera_cache.Codecache
 
 type impl = Interpreted | Compiled of Compiler.compilation
 
@@ -32,6 +33,8 @@ type config = {
   adaptive : bool;
   max_compile_attempts : int;
   compile_cycle_budget : int option;
+  code_cache : Codecache.t option;  (** persistent compiled-code cache *)
+  aot_load_cycles : int;  (** cycles charged per cache hit (AOT load) *)
 }
 
 let default_config =
@@ -47,6 +50,8 @@ let default_config =
     adaptive = true;
     max_compile_attempts = 2;
     compile_cycle_budget = None;
+    code_cache = None;
+    aot_load_cycles = 2_000;
   }
 
 type t = {
@@ -63,6 +68,7 @@ type t = {
   mutable degraded_compiles : int;
   mutable quarantined : int;
   mutable modifier_fallbacks : int;
+  mutable cache_hits : int;
   mutable by_level : int array;
   fuel : int ref;
   (* cycles consumed by direct callees of the currently-executing method,
@@ -113,6 +119,7 @@ let create ?(config = default_config) ?(callbacks = no_callbacks) program =
     degraded_compiles = 0;
     quarantined = 0;
     modifier_fallbacks = 0;
+    cache_hits = 0;
     by_level = Array.make (Array.length Plan.levels) 0;
     fuel = ref 0;
     callee_acc = ref 0L;
@@ -151,7 +158,56 @@ let quarantine t st =
     t.quarantined <- t.quarantined + 1
   end
 
+let entry_of_compilation (c : Compiler.compilation) : Codecache.entry =
+  {
+    Codecache.code = c.Compiler.code;
+    level = c.Compiler.level;
+    modifier = c.Compiler.modifier;
+    features = c.Compiler.features;
+    compile_cycles = c.Compiler.compile_cycles;
+    optimized_nodes = c.Compiler.optimized_nodes;
+    original_nodes = c.Compiler.original_nodes;
+  }
+
+let compilation_of_entry (e : Codecache.entry) : Compiler.compilation =
+  {
+    Compiler.code = e.Codecache.code;
+    level = e.Codecache.level;
+    modifier = e.Codecache.modifier;
+    features = e.Codecache.features;
+    compile_cycles = e.Codecache.compile_cycles;
+    optimized_nodes = e.Codecache.optimized_nodes;
+    original_nodes = e.Codecache.original_nodes;
+  }
+
+let cache_key t ~meth_id ~level ~modifier =
+  Codecache.fingerprint ~target:t.config.target ~level ~modifier
+    (Program.meth t.program meth_id)
+
+(* An AOT load: cached code installs immediately (no compilation thread,
+   no contention) for a small configurable cycle charge.  It is not a
+   compilation — compile_count, per-level counts, and [on_compiled] are
+   untouched, which is what lets a warm run report zero compilations. *)
+let install_cached t ~meth_id (st : method_state) comp =
+  ignore meth_id;
+  t.cache_hits <- t.cache_hits + 1;
+  st.failed_attempts <- 0;
+  Clock.advance t.clock t.config.aot_load_cycles;
+  st.impl <- Compiled comp;
+  st.pending <- None
+
 let install t ~meth_id ~level (st : method_state) comp =
+  (match t.config.code_cache with
+  | Some cache ->
+      (* write-back: whatever we just paid to compile is the warm start
+         of the next run (a cache failure must never fail the engine) *)
+      let key =
+        cache_key t ~meth_id ~level:comp.Compiler.level
+          ~modifier:comp.Compiler.modifier
+      in
+      (try Codecache.store cache ~key (entry_of_compilation comp)
+       with _ -> ())
+  | None -> ());
   t.compile_count <- t.compile_count + 1;
   t.by_level.(Plan.level_index level) <- t.by_level.(Plan.level_index level) + 1;
   st.compile_count <- st.compile_count + 1;
@@ -185,6 +241,21 @@ let install t ~meth_id ~level (st : method_state) comp =
    cycle budget degrades down the plan ladder
    (scorching → … → cold → interpreter). *)
 let rec do_compile t ~meth_id ~level ~modifier =
+  let st = t.states.(meth_id) in
+  match
+    match t.config.code_cache with
+    | None -> None
+    | Some cache ->
+        let key = cache_key t ~meth_id ~level ~modifier in
+        Codecache.lookup cache ~key ~level ~modifier
+  with
+  | Some entry ->
+      (* lookup-before-compile: the cache already holds code for exactly
+         this (method IL, target, level, modifier) *)
+      install_cached t ~meth_id st (compilation_of_entry entry)
+  | None -> do_compile_miss t ~meth_id ~level ~modifier
+
+and do_compile_miss t ~meth_id ~level ~modifier =
   let st = t.states.(meth_id) in
   match
     (match t.callbacks.pre_compile with
@@ -358,6 +429,8 @@ let budget_rejections t = t.budget_rejections
 let degraded_compiles t = t.degraded_compiles
 let quarantined_methods t = t.quarantined
 let modifier_fallbacks t = t.modifier_fallbacks
+let cache_hits t = t.cache_hits
+let cache_counters t = Option.map Codecache.counters t.config.code_cache
 
 let compiles_by_level t =
   Array.to_list

@@ -59,6 +59,16 @@ type config = {
       (** when set, a compilation whose simulated cycles exceed the
           budget is not installed; the engine degrades the method to the
           next-lower plan level (and ultimately the interpreter) *)
+  code_cache : Tessera_cache.Codecache.t option;
+      (** persistent compiled-code cache: every compilation request
+          first looks up (method IL fingerprint, target, level,
+          modifier); a hit installs immediately for [aot_load_cycles]
+          and counts as a {e cache hit}, not a compilation; every
+          successful compilation is written back.  Corrupt or stale
+          entries are dropped by the cache layer and simply recompile *)
+  aot_load_cycles : int;
+      (** cycle charge per cache hit — the simulated cost of relocating
+          AOT code into the code heap (small next to any compilation) *)
 }
 
 val default_config : config
@@ -137,3 +147,12 @@ val quarantined_methods : t -> int
 val modifier_fallbacks : t -> int
 (** Compilations that used the default plan because [choose_modifier]
     raised. *)
+
+(** {1 Code-cache metrics} *)
+
+val cache_hits : t -> int
+(** Compilation requests satisfied from the persistent code cache (AOT
+    loads); 0 when no cache is configured. *)
+
+val cache_counters : t -> Tessera_cache.Store.counters option
+(** The configured cache's own hit/miss/evict/stale/corrupt counters. *)

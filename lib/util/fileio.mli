@@ -1,0 +1,11 @@
+(** Crash-safe file replacement.
+
+    [atomic_write ~path data] writes [data] to a sibling temporary file,
+    fsyncs it, and renames it over [path], so a crash at any point leaves
+    either the old contents or the new contents — never a torn file.
+    Both the campaign persistence layer and the persistent code cache
+    replace files exclusively through this helper. *)
+
+val atomic_write : path:string -> string -> unit
+(** Raises [Sys_error]/[Unix.Unix_error] on I/O failure; the temporary
+    file is removed on any failure after creation. *)

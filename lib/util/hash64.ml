@@ -1,0 +1,23 @@
+let init = 0xcbf29ce484222325L
+
+let prime = 0x100000001b3L
+
+let byte acc b =
+  Int64.mul (Int64.logxor acc (Int64.of_int (b land 0xff))) prime
+
+let int64 acc v =
+  let acc = ref acc in
+  for i = 0 to 7 do
+    acc :=
+      byte !acc (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+  done;
+  !acc
+
+let int acc v = int64 acc (Int64.of_int v)
+
+let bool acc b = byte acc (if b then 1 else 0)
+
+let string acc s =
+  let acc = ref (int acc (String.length s)) in
+  String.iter (fun c -> acc := byte !acc (Char.code c)) s;
+  !acc

@@ -1,0 +1,24 @@
+(** Incremental FNV-1a 64-bit hashing.
+
+    Used wherever a {e stable} fingerprint is needed across processes and
+    runs (the persistent code cache keys, method IL fingerprints):
+    [Hashtbl.hash] makes no cross-version stability promise, so on-disk
+    keys must not depend on it.  Fold bytes and integers into an
+    accumulator seeded with {!init}. *)
+
+val init : int64
+(** The FNV-1a 64-bit offset basis. *)
+
+val byte : int64 -> int -> int64
+(** Mix one byte (low 8 bits of the int). *)
+
+val int : int64 -> int -> int64
+(** Mix a native int as 8 little-endian bytes. *)
+
+val int64 : int64 -> int64 -> int64
+(** Mix an int64 as 8 little-endian bytes. *)
+
+val bool : int64 -> bool -> int64
+
+val string : int64 -> string -> int64
+(** Mix the length then every byte, so ["ab"^"c"] and ["a"^"bc"] differ. *)

@@ -1,0 +1,478 @@
+(* The persistent code cache: codec round-trips (qcheck), store
+   durability/LRU/damage-tolerance, engine warm-start equivalence, and
+   the exhaustive single-byte fault matrix — no flipped bit anywhere in
+   the cache file may change program output or escape the counters. *)
+
+module Isa = Tessera_codegen.Isa
+module Isa_codec = Tessera_codegen.Isa_codec
+module Opcode = Tessera_il.Opcode
+module Types = Tessera_il.Types
+module Node = Tessera_il.Node
+module Meth = Tessera_il.Meth
+module Program = Tessera_il.Program
+module Cost = Tessera_vm.Cost
+module Target = Tessera_vm.Target
+module Values = Tessera_vm.Values
+module Plan = Tessera_opt.Plan
+module Modifier = Tessera_modifiers.Modifier
+module Features = Tessera_features.Features
+module Profile = Tessera_workloads.Profile
+module Generate = Tessera_workloads.Generate
+module Engine = Tessera_jit.Engine
+module Store = Tessera_cache.Store
+module Codecache = Tessera_cache.Codecache
+
+(* ------------------------------------------------------------------ *)
+(* Scratch directories                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let temp_dir () =
+  let path = Filename.temp_file "tessera_cache" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gen_ty = QCheck.Gen.oneofl (Array.to_list Types.all)
+
+let gen_binop =
+  QCheck.Gen.oneofl
+    Opcode.
+      [
+        Add; Sub; Mul; Div; Rem; Shift Shl; Shift Shr; Shift Ushr; Or; And;
+        Xor; Compare Eq; Compare Ne; Compare Lt; Compare Le; Compare Gt;
+        Compare Ge;
+      ]
+
+let gen_cast =
+  QCheck.Gen.oneofl
+    Opcode.
+      [
+        C_byte; C_char; C_short; C_int; C_long; C_float; C_double;
+        C_longdouble; C_address; C_object; C_packed; C_zoned; C_check;
+      ]
+
+let gen_instr =
+  let open QCheck.Gen in
+  let small = int_range 0 48 in
+  let i64 = map Int64.of_int (int_range (-1000) 1000) in
+  oneof
+    [
+      map2 (fun ty v -> Isa.Const (ty, v)) gen_ty i64;
+      map (fun i -> Isa.Load_local i) small;
+      map2 (fun i ty -> Isa.Store_local (i, ty)) small gen_ty;
+      map3 (fun i d ty -> Isa.Inc_local (i, d, ty)) small i64 gen_ty;
+      map (fun i -> Isa.Field_load i) small;
+      map (fun i -> Isa.Field_store i) small;
+      return Isa.Elem_load;
+      return Isa.Elem_store;
+      map2 (fun op ty -> Isa.Binop (op, ty)) gen_binop gen_ty;
+      map (fun ty -> Isa.Negate ty) gen_ty;
+      map2 (fun k ty -> Isa.Cast_to (k, ty)) gen_cast gen_ty;
+      map (fun i -> Isa.Checkcast i) small;
+      map (fun i -> Isa.New_obj i) small;
+      map (fun ty -> Isa.New_arr ty) gen_ty;
+      map (fun ty -> Isa.New_multi ty) gen_ty;
+      map (fun i -> Isa.Instance_of i) small;
+      map (fun b -> Isa.Monitor b) bool;
+      map3 (fun callee n ty -> Isa.Invoke (callee, n, ty)) small
+        (int_range 0 6) gen_ty;
+      map2 (fun n ty -> Isa.Mixed_op (n, ty)) (int_range 0 6) gen_ty;
+      return Isa.Bounds_chk;
+      return Isa.Arr_copy;
+      return Isa.Arr_cmp;
+      return Isa.Arr_len;
+      return Isa.Pop;
+      map (fun pc -> Isa.Jump pc) small;
+      map (fun pc -> Isa.Jump_if_false pc) small;
+      map (fun b -> Isa.Ret b) bool;
+      return Isa.Throw_instr;
+    ]
+
+let gen_compiled =
+  let open QCheck.Gen in
+  int_range 0 32 >>= fun n ->
+  array_repeat n gen_instr >>= fun instrs ->
+  array_repeat n (int_range 0 500) >>= fun costs ->
+  int_range 1 8 >>= fun nblocks ->
+  array_repeat n (int_range 0 (nblocks - 1)) >>= fun block_of_pc ->
+  array_repeat nblocks (int_range 0 n) >>= fun block_start ->
+  array_repeat nblocks (int_range (-1) 6) >>= fun handler_of_block ->
+  int_range 0 6 >>= fun nlocals ->
+  array_repeat nlocals gen_ty >>= fun local_types ->
+  gen_ty >>= fun ret ->
+  int_range 0 4 >>= fun nargs ->
+  bool >>= fun sync_method ->
+  oneofl [ Cost.Q_base; Cost.Q_regalloc; Cost.Q_full ] >>= fun quality ->
+  string_size ~gen:printable (int_range 1 12) >>= fun method_name ->
+  return
+    {
+      Isa.method_name;
+      instrs;
+      costs;
+      block_of_pc;
+      block_start;
+      handler_of_block;
+      local_types;
+      ret;
+      nargs;
+      sync_method;
+      quality;
+      code_size = n;
+    }
+
+let arb_compiled =
+  QCheck.make ~print:(fun c -> Format.asprintf "%a" Isa.pp c) gen_compiled
+
+let gen_entry =
+  let open QCheck.Gen in
+  gen_compiled >>= fun code ->
+  oneofl (Array.to_list Plan.levels) >>= fun level ->
+  map (fun i -> Modifier.of_bits (Int64.of_int i)) (int_range 0 0xFFFF)
+  >>= fun modifier ->
+  map Features.of_array (array_repeat Features.dim (int_range 0 2000))
+  >>= fun features ->
+  int_range 0 1_000_000 >>= fun compile_cycles ->
+  int_range 0 5_000 >>= fun optimized_nodes ->
+  int_range 0 5_000 >>= fun original_nodes ->
+  return
+    {
+      Codecache.code;
+      level;
+      modifier;
+      features;
+      compile_cycles;
+      optimized_nodes;
+      original_nodes;
+    }
+
+let entry_equal (a : Codecache.entry) (b : Codecache.entry) =
+  a.Codecache.code = b.Codecache.code
+  && a.Codecache.level = b.Codecache.level
+  && Modifier.equal a.Codecache.modifier b.Codecache.modifier
+  && Features.equal a.Codecache.features b.Codecache.features
+  && a.Codecache.compile_cycles = b.Codecache.compile_cycles
+  && a.Codecache.optimized_nodes = b.Codecache.optimized_nodes
+  && a.Codecache.original_nodes = b.Codecache.original_nodes
+
+(* ------------------------------------------------------------------ *)
+(* Codec round-trips (qcheck)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_isa_roundtrip () =
+  QCheck.Test.make ~count:200 ~name:"isa codec: decode (encode c) = c"
+    arb_compiled (fun c ->
+      Isa_codec.of_string (Isa_codec.to_string c) = c)
+
+let test_isa_fixpoint () =
+  QCheck.Test.make ~count:200
+    ~name:"isa codec: encode is a fixpoint of decode ∘ encode" arb_compiled
+    (fun c ->
+      let s = Isa_codec.to_string c in
+      String.equal s (Isa_codec.to_string (Isa_codec.of_string s)))
+
+let test_entry_roundtrip () =
+  QCheck.Test.make ~count:100 ~name:"entry codec: decode (encode e) = e"
+    (QCheck.make gen_entry)
+    (fun e -> entry_equal e (Codecache.decode_entry (Codecache.encode_entry e)))
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint () =
+  let p = Helpers.gen_program 42L in
+  let m = p.Program.methods.(1) in
+  let fp level modifier target =
+    Codecache.fingerprint ~target ~level ~modifier m
+  in
+  let base = fp Plan.Warm Modifier.null Target.zircon in
+  Alcotest.(check bool)
+    "deterministic" true
+    (Int64.equal base (fp Plan.Warm Modifier.null Target.zircon));
+  (* uids are not part of the content: rebuilding every node must not
+     move the fingerprint *)
+  let rebuilt =
+    Meth.map_trees
+      (Node.map_bottom_up (fun n -> Node.with_args n n.Node.args))
+      m
+  in
+  Alcotest.(check bool)
+    "uid-independent" true
+    (Int64.equal base
+       (Codecache.fingerprint ~target:Target.zircon ~level:Plan.Warm
+          ~modifier:Modifier.null rebuilt));
+  let distinct =
+    [
+      fp Plan.Hot Modifier.null Target.zircon;
+      fp Plan.Warm (Modifier.of_bits 1L) Target.zircon;
+      fp Plan.Warm Modifier.null Target.obsidian;
+      Codecache.fingerprint ~target:Target.zircon ~level:Plan.Warm
+        ~modifier:Modifier.null
+        p.Program.methods.(2);
+    ]
+  in
+  List.iteri
+    (fun i other ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sensitive %d" i)
+        false (Int64.equal base other))
+    distinct
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let with_store_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let test_store_roundtrip () =
+  with_store_dir @@ fun dir ->
+  let path = Filename.concat dir "s.tscc" in
+  let s = Store.open_ ~path ~capacity_bytes:1_000_000 ~readonly:false in
+  Store.add s 1L "alpha";
+  Store.add s 2L "beta";
+  Store.add s 1L "gamma";
+  Alcotest.(check (option string))
+    "supersede in memory" (Some "gamma") (Store.find s 1L);
+  Store.close s;
+  let s2 = Store.open_ ~path ~capacity_bytes:1_000_000 ~readonly:false in
+  Alcotest.(check int) "entries survive close" 2 (Store.entry_count s2);
+  Alcotest.(check (option string))
+    "supersede survives close" (Some "gamma") (Store.find s2 1L);
+  Alcotest.(check (option string)) "find beta" (Some "beta") (Store.find s2 2L);
+  Alcotest.(check (option string)) "miss" None (Store.find s2 3L);
+  let c = Store.counters s2 in
+  Alcotest.(check int) "hits" 2 c.Store.hits;
+  Alcotest.(check int) "misses" 1 c.Store.misses;
+  Alcotest.(check int) "nothing corrupt" 0 c.Store.corrupt_entries;
+  Store.close s2
+
+let test_store_lru_eviction () =
+  with_store_dir @@ fun dir ->
+  let path = Filename.concat dir "s.tscc" in
+  let value = String.make 64 'x' in
+  (* each frame is 82 bytes (1 magic + 1 len + 8 key + 64 value + 8 crc);
+     capacity holds two of them *)
+  let s = Store.open_ ~path ~capacity_bytes:170 ~readonly:false in
+  Store.add s 1L value;
+  Store.add s 2L value;
+  ignore (Store.find s 1L);
+  (* key 2 is now least recently used *)
+  Store.add s 3L value;
+  Alcotest.(check (option string)) "LRU victim gone" None (Store.find s 2L);
+  Alcotest.(check bool) "refreshed key kept" true (Store.find s 1L <> None);
+  Alcotest.(check bool) "new key kept" true (Store.find s 3L <> None);
+  Alcotest.(check int) "evictions" 1 (Store.counters s).Store.evictions;
+  Alcotest.(check bool)
+    "capacity respected" true
+    (Store.byte_size s <= 170);
+  Store.close s;
+  (* compaction reclaims the evicted frame; the survivors reload *)
+  let s2 = Store.open_ ~path ~capacity_bytes:170 ~readonly:false in
+  Alcotest.(check int) "survivors reload" 2 (Store.entry_count s2);
+  Store.close s2
+
+let test_store_torn_tail () =
+  with_store_dir @@ fun dir ->
+  let path = Filename.concat dir "s.tscc" in
+  let s = Store.open_ ~path ~capacity_bytes:1_000_000 ~readonly:false in
+  Store.add s 1L "alpha";
+  Store.add s 2L "beta";
+  Store.add s 3L "gamma";
+  Store.close s;
+  let image = read_file path in
+  (* crash mid-append: the last frame is half written *)
+  write_file path (String.sub image 0 (String.length image - 5));
+  let s2 = Store.open_ ~path ~capacity_bytes:1_000_000 ~readonly:false in
+  Alcotest.(check int) "torn frame dropped" 2 (Store.entry_count s2);
+  Alcotest.(check bool)
+    "torn frame counted" true
+    ((Store.counters s2).Store.corrupt_entries > 0);
+  Alcotest.(check (option string))
+    "intact prefix readable" (Some "alpha") (Store.find s2 1L);
+  Store.close s2;
+  (* the compaction on close scrubbed the damage away *)
+  let s3 = Store.open_ ~path ~capacity_bytes:1_000_000 ~readonly:false in
+  Alcotest.(check int)
+    "scrubbed clean" 0
+    (Store.counters s3).Store.corrupt_entries;
+  Alcotest.(check int) "survivors persist" 2 (Store.entry_count s3);
+  Store.close s3
+
+let test_store_version_stale () =
+  with_store_dir @@ fun dir ->
+  let path = Filename.concat dir "s.tscc" in
+  let s = Store.open_ ~path ~capacity_bytes:1_000_000 ~readonly:false in
+  Store.add s 1L "alpha";
+  Store.close s;
+  let image = Bytes.of_string (read_file path) in
+  Bytes.set image 4 (Char.chr (Char.code (Bytes.get image 4) + 1));
+  write_file path (Bytes.to_string image);
+  let s2 = Store.open_ ~path ~capacity_bytes:1_000_000 ~readonly:false in
+  Alcotest.(check int) "future format ignored" 0 (Store.entry_count s2);
+  Alcotest.(check int)
+    "counted stale, not corrupt" 1
+    (Store.counters s2).Store.stale_entries;
+  Alcotest.(check int)
+    "not corrupt" 0
+    (Store.counters s2).Store.corrupt_entries;
+  Store.close s2
+
+(* ------------------------------------------------------------------ *)
+(* Engine warm start                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One full adaptive run of a generated program over a given cache. *)
+let run_adaptive ?cache ~invocations program =
+  let config =
+    match cache with
+    | None -> Engine.default_config
+    | Some c -> { Engine.default_config with Engine.code_cache = Some c }
+  in
+  let engine = Engine.create ~config program in
+  let outcomes =
+    List.init invocations (fun k ->
+        Engine.invoke_entry engine (Helpers.entry_args k))
+  in
+  (outcomes, engine)
+
+let test_engine_warm_equivalence () =
+  let program = Helpers.gen_program 7L in
+  with_store_dir @@ fun dir ->
+  let cold_cache = Codecache.create ~dir () in
+  let cold_out, cold_engine =
+    run_adaptive ~cache:cold_cache ~invocations:6 program
+  in
+  let cold_compiles = Engine.compile_count cold_engine in
+  Codecache.close cold_cache;
+  Alcotest.(check bool) "cold run compiles" true (cold_compiles > 0);
+  Alcotest.(check bool)
+    "cold run misses only" true
+    (Engine.cache_hits cold_engine = 0);
+  let warm_cache = Codecache.create ~dir () in
+  let warm_out, warm_engine =
+    run_adaptive ~cache:warm_cache ~invocations:6 program
+  in
+  Alcotest.(check (list Helpers.outcome_testable))
+    "identical outcomes" cold_out warm_out;
+  Alcotest.(check int) "no warm compilations" 0
+    (Engine.compile_count warm_engine);
+  Alcotest.(check int) "every install is an AOT load" cold_compiles
+    (Engine.cache_hits warm_engine);
+  Codecache.close warm_cache;
+  (* read-only: same behaviour, file untouched *)
+  let image = read_file (Filename.concat dir Codecache.file_name) in
+  let ro_cache = Codecache.create ~dir ~readonly:true () in
+  let ro_out, ro_engine = run_adaptive ~cache:ro_cache ~invocations:6 program in
+  Alcotest.(check (list Helpers.outcome_testable))
+    "read-only outcomes" cold_out ro_out;
+  Alcotest.(check int) "read-only compilations" 0
+    (Engine.compile_count ro_engine);
+  Codecache.close ro_cache;
+  Alcotest.(check bool)
+    "read-only leaves the file alone" true
+    (String.equal image (read_file (Filename.concat dir Codecache.file_name)))
+
+(* ------------------------------------------------------------------ *)
+(* Fault matrix                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Tiny deterministic workload so the cache file stays small enough to
+   attack every byte. *)
+let matrix_profile =
+  {
+    (Helpers.small_profile 5L) with
+    Profile.name = "cachefault";
+    methods = 3;
+    fragments_mean = 2.0;
+    driver_trips = 2;
+    hot_methods = 2;
+  }
+
+let run_matrix ?cache program =
+  let config =
+    match cache with
+    | None -> Engine.default_config
+    | Some c -> { Engine.default_config with Engine.code_cache = Some c }
+  in
+  let engine = Engine.create ~config program in
+  Array.iteri
+    (fun id _ -> Engine.request_compile engine ~meth_id:id ~level:Plan.Cold ())
+    program.Program.methods;
+  Engine.invoke_entry engine (Helpers.entry_args 0)
+
+let test_fault_matrix () =
+  let program = Generate.program matrix_profile in
+  with_store_dir @@ fun dir ->
+  let path = Filename.concat dir Codecache.file_name in
+  let cold_cache = Codecache.create ~dir () in
+  let reference = run_matrix ~cache:cold_cache program in
+  Codecache.close cold_cache;
+  let pristine = read_file path in
+  let len = String.length pristine in
+  Alcotest.(check bool) "cache file populated" true (len > 5);
+  for pos = 0 to len - 1 do
+    let image = Bytes.of_string pristine in
+    Bytes.set image pos
+      (Char.chr (Char.code (Bytes.get image pos) lxor (1 lsl (pos mod 8))));
+    write_file path (Bytes.to_string image);
+    let cache = Codecache.create ~dir ~readonly:true () in
+    let outcome = run_matrix ~cache program in
+    let c = Codecache.counters cache in
+    Codecache.close cache;
+    if not (Helpers.outcome_equal reference outcome) then
+      Alcotest.failf "flipping a bit of byte %d changed program output" pos;
+    (* byte 4 is the format-version byte: well-formed but outdated;
+       every other position must be caught as corruption *)
+    if pos = 4 then begin
+      if c.Store.stale_entries = 0 then
+        Alcotest.failf "version flip at byte %d not counted stale" pos
+    end
+    else if c.Store.corrupt_entries = 0 then
+      Alcotest.failf "flip at byte %d not counted corrupt" pos
+  done;
+  write_file path pristine
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ test_isa_roundtrip (); test_isa_fixpoint (); test_entry_roundtrip () ]
+  @ [
+      Alcotest.test_case "fingerprint content-addresses the plan" `Quick
+        test_fingerprint;
+      Alcotest.test_case "store: add/find/supersede survive reopen" `Quick
+        test_store_roundtrip;
+      Alcotest.test_case "store: capacity evicts least recently used" `Quick
+        test_store_lru_eviction;
+      Alcotest.test_case "store: torn tail dropped, prefix kept, scrubbed"
+        `Quick test_store_torn_tail;
+      Alcotest.test_case "store: future format version reads as stale" `Quick
+        test_store_version_stale;
+      Alcotest.test_case "engine: warm start replays without compiling" `Quick
+        test_engine_warm_equivalence;
+      Alcotest.test_case "fault matrix: every byte flip is survived" `Slow
+        test_fault_matrix;
+    ]

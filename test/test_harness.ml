@@ -229,5 +229,31 @@ let test_persist_roundtrip () =
         (List.sort compare outcomes |> List.map Fun.id)
         loaded)
 
+(* A stray .tsra file (editor backup, archive copied in by hand) must be
+   skipped with a warning, not make the whole campaign unloadable. *)
+let test_persist_skips_strays () =
+  let outcomes = Lazy.force outcomes in
+  let dir = Filename.temp_file "tessera_campaign" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      Harness.Persist.save ~dir outcomes;
+      let oc = open_out (Filename.concat dir "not-a-benchmark.tsra") in
+      output_string oc "junk";
+      close_out oc;
+      let loaded = Harness.Persist.load ~dir in
+      Alcotest.(check int) "stray skipped, rest loaded" (List.length outcomes)
+        (List.length loaded))
+
 let suite =
-  suite @ [ Alcotest.test_case "campaign persistence" `Slow test_persist_roundtrip ]
+  suite
+  @ [
+      Alcotest.test_case "campaign persistence" `Slow test_persist_roundtrip;
+      Alcotest.test_case "campaign ignores stray files" `Slow
+        test_persist_skips_strays;
+    ]

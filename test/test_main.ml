@@ -21,4 +21,5 @@ let () =
       ("engines", Test_engines.suite);
       ("properties", Test_properties.suite);
       ("harness", Test_harness.suite);
+      ("cache", Test_cache.suite);
     ]
