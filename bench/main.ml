@@ -9,6 +9,7 @@
      dune exec bench/main.exe pipe       -- named-pipe overhead
      dune exec bench/main.exe ablations  -- design-choice ablations
      dune exec bench/main.exe cache      -- warm vs cold start-up (BENCH_cache.json)
+     dune exec bench/main.exe obs        -- tracing overhead (BENCH_obs.json)
      dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
      dune exec bench/main.exe quick      -- down-scaled smoke of everything *)
 
@@ -569,6 +570,80 @@ let run_cache cfg =
   clear ()
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Tessera_obs.Trace
+
+(* The tracing discipline promises that a disabled ring costs one
+   load-and-branch per event site.  Run the same workload with tracing
+   off and on and emit BENCH_obs.json with the wall-clock overhead of
+   the on state (budget: <3%). *)
+let run_obs cfg =
+  section "Observability overhead (tracing off vs on)";
+  let bench =
+    Suites.scale_bench
+      (Option.get (Suites.find "compress"))
+      cfg.Harness.Expconfig.bench_scale
+  in
+  let program = Tessera_workloads.Generate.program bench.Suites.profile in
+  let iterations = 3 in
+  let run () =
+    let engine = Engine.create program in
+    for it = 0 to iterations - 1 do
+      for j = 0 to bench.Suites.iteration_invocations - 1 do
+        ignore
+          (Engine.invoke_entry engine
+             [| Values.Int_v (Int64.of_int ((it * 31) + j)) |])
+      done
+    done
+  in
+  let time_best reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  run () (* warm the code paths once before timing *);
+  Trace.disable ();
+  Trace.reset ();
+  let reps = 5 in
+  let off_s = time_best reps run in
+  Trace.enable ();
+  let on_s = time_best reps run in
+  let events = Trace.length () in
+  let dropped = Trace.dropped () in
+  Trace.disable ();
+  Trace.reset ();
+  Trace.clear_cycle_source ();
+  let overhead_pct = (on_s -. off_s) /. off_s *. 100.0 in
+  Format.fprintf fmt
+    "%-10s disabled %.2f ms, enabled %.2f ms (overhead %+.2f%%; %d events \
+     buffered, %d dropped)@."
+    bench.Suites.profile.Tessera_workloads.Profile.name (off_s *. 1e3)
+    (on_s *. 1e3) overhead_pct events dropped;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": %S,\n\
+      \  \"iterations\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"disabled_wall_s\": %.6f,\n\
+      \  \"enabled_wall_s\": %.6f,\n\
+      \  \"overhead_pct\": %.4f,\n\
+      \  \"events\": %d,\n\
+      \  \"dropped\": %d\n\
+       }\n"
+      bench.Suites.profile.Tessera_workloads.Profile.name iterations reps off_s
+      on_s overhead_pct events dropped
+  in
+  Tessera_util.Fileio.atomic_write ~path:"BENCH_obs.json" json;
+  Format.fprintf fmt "[wrote BENCH_obs.json]@.@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -653,6 +728,7 @@ let () =
   | "crossover" -> run_crossover cfg
   | "platform" -> run_platform cfg
   | "cache" -> run_cache cfg
+  | "obs" -> run_obs cfg
   | _ ->
       run_figures cfg;
       run_kernels cfg;
@@ -661,5 +737,6 @@ let () =
       run_ablations cfg;
       run_platform cfg;
       run_cache cfg;
+      run_obs cfg;
       run_micro cfg);
   Format.fprintf fmt "[total bench time %.1fs]@." (Unix.gettimeofday () -. t0)

@@ -53,10 +53,76 @@ let archives =
   Arg.(value & opt (some string) None & info [ "archives" ] ~docv:"DIR"
          ~doc:"Campaign directory: load collection archives from it when                present, otherwise collect and save them there.")
 
-let cmd =
+let paper_term =
+  Term.(const run $ quick $ trials $ spec_count $ dacapo_count $ archives)
+
+let paper_cmd =
   Cmd.v
+    (Cmd.info "paper" ~doc:"Reproduce Table 4 and Figures 6-13 end to end")
+    paper_term
+
+(* [timeline BENCH]: run one benchmark under tracing and render the
+   per-method compilation timeline from the captured events. *)
+let timeline target iterations model_dir =
+  let module Engine = Tessera_jit.Engine in
+  let module Trace = Tessera_obs.Trace in
+  match Suites.find target with
+  | None ->
+      Printf.eprintf "unknown benchmark %S\n" target;
+      1
+  | Some b ->
+      Trace.enable ();
+      let modelset =
+        Option.map (fun dir -> Harness.Modelset.load ~name:"cli" ~dir)
+          model_dir
+      in
+      let callbacks =
+        match modelset with
+        | None -> Engine.no_callbacks
+        | Some ms ->
+            {
+              Engine.no_callbacks with
+              Engine.choose_modifier = Some (Harness.Modelset.choose_modifier ms);
+            }
+      in
+      let program = Tessera_workloads.Generate.program b.Suites.profile in
+      let engine = Engine.create ~callbacks program in
+      for it = 0 to iterations - 1 do
+        for k = 0 to b.Suites.iteration_invocations - 1 do
+          ignore
+            (Engine.invoke_entry engine
+               [| Tessera_vm.Values.Int_v (Int64.of_int ((it * 31) + k)) |])
+        done
+      done;
+      Tessera_obs.Export.timeline Format.std_formatter (Trace.events ());
+      0
+
+let timeline_target =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH"
+         ~doc:"Benchmark name (e.g. compress).")
+
+let timeline_iterations =
+  Arg.(value & opt int 1 & info [ "n"; "iterations" ] ~docv:"N"
+         ~doc:"Benchmark iterations to trace.")
+
+let timeline_model_dir =
+  Arg.(value & opt (some dir) None & info [ "model" ] ~docv:"DIR"
+         ~doc:"Model-set directory steering the JIT; omit for the \
+               unmodified compiler.")
+
+let timeline_cmd =
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Trace one benchmark run and print its per-method compilation \
+             timeline")
+    Term.(const timeline $ timeline_target $ timeline_iterations
+          $ timeline_model_dir)
+
+let cmd =
+  Cmd.group ~default:paper_term
     (Cmd.info "tessera_report"
-       ~doc:"Reproduce Table 4 and Figures 6-13 end to end")
-    Term.(const run $ quick $ trials $ spec_count $ dacapo_count $ archives)
+       ~doc:"Reproduce the paper's tables and figures, or inspect a traced \
+             run")
+    [ paper_cmd; timeline_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -20,6 +20,10 @@ module Features = Tessera_features.Features
 module Program = Tessera_il.Program
 module Modifier = Tessera_modifiers.Modifier
 module Codecache = Tessera_cache.Codecache
+module Trace = Tessera_obs.Trace
+module Metrics = Tessera_obs.Metrics
+module Export = Tessera_obs.Export
+module Fileio = Tessera_util.Fileio
 
 (* In-process deployment of the paper's two-process setup: engine →
    resilient client → faulty in-memory pipes → protocol server →
@@ -41,7 +45,11 @@ let faulty_pipeline ~spec ~seed ~predictor =
   (client, server_inj, client_inj, jit_inj)
 
 let run target model_dir iterations tir fault_spec fault_seed compile_budget
-    code_cache_dir code_cache_mb code_cache_readonly =
+    code_cache_dir code_cache_mb code_cache_readonly trace_out metrics_out =
+  (* tracing must be live before the engine exists: Engine.create emits
+     nothing itself, but it registers its clock as the trace cycle
+     source, and the very first invocation already compiles *)
+  if trace_out <> None then Trace.enable ();
   let program =
     if tir then Tessera_lang.Parser.load_program target
     else
@@ -175,6 +183,22 @@ let run target model_dir iterations tir fault_spec fault_seed compile_budget
   | None -> ());
   report_faults engine;
   if !traps > 0 then Printf.printf "uncaught exceptions: %d\n" !traps;
+  (match trace_out with
+  | Some path ->
+      Fileio.atomic_write ~path (Export.chrome_json (Trace.events ()));
+      Printf.printf "trace              : %s (%d events, %d dropped)\n" path
+        (Trace.length ()) (Trace.dropped ())
+  | None -> ());
+  (match metrics_out with
+  | Some path ->
+      (* engine registry first, then the process-wide default registry
+         (model-server counters live there when the protocol is used) *)
+      let text =
+        Metrics.expose (Engine.metrics engine) ^ Metrics.expose Metrics.default
+      in
+      Fileio.atomic_write ~path text;
+      Printf.printf "metrics            : %s\n" path
+  | None -> ());
   0
 
 let target =
@@ -232,11 +256,23 @@ let code_cache_readonly =
          ~doc:"Consume the code cache without writing back (shared or \
                immutable cache deployments).")
 
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Record a virtual-clock trace of the run and write it as \
+               Chrome trace_event JSON (loadable in Perfetto or \
+               chrome://tracing).")
+
+let metrics_out =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Dump the engine's metrics registry (and the process-wide \
+               default registry) in Prometheus text exposition format \
+               after the run.")
+
 let cmd =
   Cmd.v
     (Cmd.info "tessera_run" ~doc:"Run a benchmark on the simulated JVM")
     Term.(const run $ target $ model_dir $ iterations $ tir $ fault_spec
           $ fault_seed $ compile_budget $ code_cache_dir $ code_cache_mb
-          $ code_cache_readonly)
+          $ code_cache_readonly $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval' cmd)

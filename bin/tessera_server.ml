@@ -28,7 +28,7 @@ let scrub_code_cache dir capacity_mb readonly =
   Codecache.close c
 
 let run model_dir in_fifo out_fifo fault_spec fault_seed code_cache_dir
-    code_cache_mb code_cache_readonly =
+    code_cache_mb code_cache_readonly metrics_out =
   (* a client that vanishes mid-write must surface as Channel.Closed
      (EPIPE), not kill the process *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -66,6 +66,13 @@ let run model_dir in_fifo out_fifo fault_spec fault_seed code_cache_dir
   in
   (try Tessera_protocol.Server.serve ch (Harness.Modelset.server_predictor ms)
    with Channel.Closed -> ());
+  (* the same exposition a live client gets from a Stats_req, dumped for
+     post-mortem scraping *)
+  Option.iter
+    (fun path ->
+      Tessera_util.Fileio.atomic_write ~path
+        (Tessera_obs.Metrics.expose Tessera_obs.Metrics.default))
+    metrics_out;
   match injector with
   | Some inj when (Injector.stats inj).Injector.crashes > 0 ->
       Format.printf "simulated crash: %a@." Injector.pp_stats
@@ -118,11 +125,17 @@ let code_cache_readonly =
   Arg.(value & flag & info [ "code-cache-readonly" ]
          ~doc:"Verify the code cache without rewriting it.")
 
+let metrics_out =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Write the server's Prometheus metrics exposition to FILE at \
+               shutdown (the same text a client receives for a stats \
+               request).")
+
 let cmd =
   Cmd.v
     (Cmd.info "tessera_server"
        ~doc:"Serve a trained model set over named pipes")
     Term.(const run $ model_dir $ in_fifo $ out_fifo $ fault_spec $ fault_seed
-          $ code_cache_dir $ code_cache_mb $ code_cache_readonly)
+          $ code_cache_dir $ code_cache_mb $ code_cache_readonly $ metrics_out)
 
 let () = exit (Cmd.eval' cmd)

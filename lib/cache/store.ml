@@ -191,14 +191,22 @@ let open_ ~path ~capacity_bytes ~readonly =
   enforce_capacity t;
   t
 
+let trace_key name key =
+  if !Tessera_obs.Trace.enabled then
+    Tessera_obs.Trace.instant ~cat:"cache"
+      ~args:[ ("key", Tessera_obs.Trace.Str (Printf.sprintf "%016Lx" key)) ]
+      name
+
 let find t key =
   match Hashtbl.find_opt t.tbl key with
   | Some s ->
       t.cnt.hits <- t.cnt.hits + 1;
       s.tick <- next_tick t;
+      trace_key "store_hit" key;
       Some s.value
   | None ->
       t.cnt.misses <- t.cnt.misses + 1;
+      trace_key "store_miss" key;
       None
 
 let out_channel t =
@@ -230,11 +238,13 @@ let add t key value =
 
 let drop_corrupt t key =
   remove t key;
-  t.cnt.corrupt_entries <- t.cnt.corrupt_entries + 1
+  t.cnt.corrupt_entries <- t.cnt.corrupt_entries + 1;
+  trace_key "store_corrupt" key
 
 let drop_stale t key =
   remove t key;
-  t.cnt.stale_entries <- t.cnt.stale_entries + 1
+  t.cnt.stale_entries <- t.cnt.stale_entries + 1;
+  trace_key "store_stale" key
 
 let entry_count t = Hashtbl.length t.tbl
 let byte_size t = t.live_bytes

@@ -1,7 +1,13 @@
 module Channel = Tessera_protocol.Channel
 module Prng = Tessera_util.Prng
+module Trace = Tessera_obs.Trace
 
 exception Injected of string
+
+(* injected faults land on the same timeline as the JIT/cache events
+   they perturb, so a trace shows cause next to effect *)
+let trace_fault name =
+  if !Trace.enabled then Trace.instant ~cat:"fault" name
 
 type stats = {
   mutable writes : int;
@@ -75,6 +81,7 @@ let check_crash t base =
         t.crashed <- false;
         t.crash_ops <- 0;
         t.stats.revivals <- t.stats.revivals + 1;
+        trace_fault "revival";
         t.next_crash_at <-
           Option.map (fun n -> t.stats.writes + n) t.spec.Spec.crash_after;
         ignore (Channel.drain base)
@@ -88,6 +95,7 @@ let note_write t base =
       t.crashed <- true;
       t.crash_ops <- 0;
       t.stats.crashes <- t.stats.crashes + 1;
+      trace_fault "crash";
       ignore (Channel.drain base)
   | _ -> ()
 
@@ -101,17 +109,21 @@ let corrupt_string t s =
 let on_write t base s =
   note_write t base;
   check_crash t base;
-  if Prng.bernoulli t.rng t.spec.Spec.drop then
-    t.stats.dropped <- t.stats.dropped + 1
+  if Prng.bernoulli t.rng t.spec.Spec.drop then begin
+    t.stats.dropped <- t.stats.dropped + 1;
+    trace_fault "drop"
+  end
   else begin
     if Prng.bernoulli t.rng t.spec.Spec.garbage then begin
       t.stats.garbage <- t.stats.garbage + 1;
+      trace_fault "garbage";
       let n = 1 + Prng.int t.rng 8 in
       Channel.write base (String.init n (fun _ -> Char.chr (Prng.int t.rng 256)))
     end;
     let s =
       if String.length s > 0 && Prng.bernoulli t.rng t.spec.Spec.corrupt then begin
         t.stats.corrupted <- t.stats.corrupted + 1;
+        trace_fault "corrupt";
         corrupt_string t s
       end
       else s
@@ -119,6 +131,7 @@ let on_write t base s =
     Channel.write base s;
     if Prng.bernoulli t.rng t.spec.Spec.dup then begin
       t.stats.duplicated <- t.stats.duplicated + 1;
+      trace_fault "duplicate";
       Channel.write base s
     end;
     if t.spec.Spec.delay_ms > 0 then begin
@@ -141,5 +154,6 @@ let wrap_channel t ch =
 let compile_fault t ~meth_id =
   if Prng.bernoulli t.rng t.spec.Spec.compile_fail then begin
     t.stats.compile_faults <- t.stats.compile_faults + 1;
+    trace_fault "compile_fault";
     raise (Injected (Printf.sprintf "injected compile fault (method %d)" meth_id))
   end

@@ -7,6 +7,8 @@ module Exec = Tessera_codegen.Exec
 module Plan = Tessera_opt.Plan
 module Modifier = Tessera_modifiers.Modifier
 module Codecache = Tessera_cache.Codecache
+module Trace = Tessera_obs.Trace
+module Metrics = Tessera_obs.Metrics
 
 type impl = Interpreted | Compiled of Compiler.compilation
 
@@ -61,15 +63,22 @@ type t = {
   config : config;
   callbacks : callbacks;
   mutable compile_thread_free : int64;
-  mutable total_compile_cycles : int64;
-  mutable compile_count : int;
-  mutable compile_failures : int;
-  mutable budget_rejections : int;
-  mutable degraded_compiles : int;
-  mutable quarantined : int;
-  mutable modifier_fallbacks : int;
-  mutable cache_hits : int;
-  mutable by_level : int array;
+  mutable pending_count : int;  (** methods queued for async install *)
+  (* every aggregate counter lives in the per-engine metrics registry —
+     the one surface every reporter (CLI, server stats, tests) reads;
+     the .mli accessors below are thin wrappers over it *)
+  metrics : Metrics.t;
+  m_compilations : Metrics.counter;
+  m_compile_cycles : Metrics.counter;
+  m_compile_failures : Metrics.counter;
+  m_budget_rejections : Metrics.counter;
+  m_degraded : Metrics.counter;
+  m_quarantined : Metrics.counter;
+  m_modifier_fallbacks : Metrics.counter;
+  m_cache_hits : Metrics.counter;
+  m_by_level : Metrics.counter array;
+  m_queue_depth : Metrics.gauge;
+  m_compile_hist : Metrics.histogram;
   fuel : int ref;
   (* cycles consumed by direct callees of the currently-executing method,
      for exclusive (self-time) instrumentation samples *)
@@ -94,9 +103,16 @@ let no_callbacks =
   }
 
 let create ?(config = default_config) ?(callbacks = no_callbacks) program =
+  let clock = Clock.create ~seed:config.clock_seed () in
+  (* events from clock-less subsystems (cache, protocol, faults) stamp
+     with this engine's virtual time; last-created engine wins, which is
+     right for the sequential runs the harness does *)
+  Trace.set_cycle_source (fun () -> Clock.now clock);
+  let metrics = Metrics.create () in
+  let counter name help = Metrics.counter metrics ~help name in
   {
     program;
-    clock = Clock.create ~seed:config.clock_seed ();
+    clock;
     states =
       Array.init (Program.method_count program) (fun _ ->
           {
@@ -112,15 +128,46 @@ let create ?(config = default_config) ?(callbacks = no_callbacks) program =
     config;
     callbacks;
     compile_thread_free = 0L;
-    total_compile_cycles = 0L;
-    compile_count = 0;
-    compile_failures = 0;
-    budget_rejections = 0;
-    degraded_compiles = 0;
-    quarantined = 0;
-    modifier_fallbacks = 0;
-    cache_hits = 0;
-    by_level = Array.make (Array.length Plan.levels) 0;
+    pending_count = 0;
+    metrics;
+    m_compilations =
+      counter "jit_compilations_total" "successful JIT compilations installed";
+    m_compile_cycles =
+      counter "jit_compile_cycles_total"
+        "total simulated cycles spent in the compiler";
+    m_compile_failures =
+      counter "jit_compile_failures_total"
+        "compilations that raised (including injected faults)";
+    m_budget_rejections =
+      counter "jit_budget_rejections_total"
+        "compilations rejected for exceeding the cycle budget";
+    m_degraded =
+      counter "jit_degraded_compiles_total"
+        "budget rejections retried at a lower plan level";
+    m_quarantined =
+      counter "jit_quarantined_methods_total"
+        "methods pinned to their current implementation";
+    m_modifier_fallbacks =
+      counter "jit_modifier_fallbacks_total"
+        "compilations on the default plan because the predictor raised";
+    m_cache_hits =
+      counter "jit_cache_hits_total"
+        "compilation requests satisfied by the persistent code cache";
+    m_by_level =
+      Array.map
+        (fun level ->
+          counter
+            (Printf.sprintf "jit_compilations_%s_total" (Plan.level_name level))
+            (Printf.sprintf "compilations at the %s level"
+               (Plan.level_name level)))
+        Plan.levels;
+    m_queue_depth =
+      Metrics.gauge metrics
+        ~help:"methods with compiled code awaiting async install"
+        "jit_compile_queue_depth";
+    m_compile_hist =
+      Metrics.histogram metrics
+        ~help:"simulated cycles per compiler run" "jit_compilation_cycles";
     fuel = ref 0;
     callee_acc = ref 0L;
   }
@@ -128,6 +175,16 @@ let create ?(config = default_config) ?(callbacks = no_callbacks) program =
 let program t = t.program
 let state t i = t.states.(i)
 let clock_now t = Clock.now t.clock
+let metrics t = t.metrics
+
+let meth_name t meth_id = (Program.meth t.program meth_id).Meth.name
+
+let impl_level_name = function
+  | Interpreted -> "interpreter"
+  | Compiled c -> Plan.level_name c.Compiler.level
+
+(* shared arg prefix of every jit trace event *)
+let targs t meth_id rest = ("meth", Trace.Str (meth_name t meth_id)) :: rest
 
 let loop_class t meth_id =
   let st = t.states.(meth_id) in
@@ -138,11 +195,36 @@ let loop_class t meth_id =
       st.loop_cls <- Some c;
       c
 
-let install_if_ready t st =
+let install_if_ready t meth_id st =
   match st.pending with
   | Some (comp, at) when Int64.compare (Clock.now t.clock) at >= 0 ->
+      let prev = st.impl in
       st.impl <- Compiled comp;
-      st.pending <- None
+      st.pending <- None;
+      t.pending_count <- t.pending_count - 1;
+      Metrics.set_gauge t.m_queue_depth (float_of_int t.pending_count);
+      if !Trace.enabled then begin
+        let now = Clock.now t.clock in
+        let level = Plan.level_name comp.Compiler.level in
+        Trace.instant ~cycles:now ~cat:"jit"
+          ~args:
+            (targs t meth_id
+               [
+                 ("level", Trace.Str level);
+                 ("queue_wait", Trace.Int (Int64.sub now at));
+               ])
+          "install";
+        Trace.instant ~cycles:now ~cat:"jit"
+          ~args:
+            (targs t meth_id
+               [
+                 ("from", Trace.Str (impl_level_name prev));
+                 ("level", Trace.Str level);
+               ])
+          "promote";
+        Trace.counter ~cycles:now ~cat:"jit" "compile_queue_depth"
+          t.pending_count
+      end
   | _ -> ()
 
 let lower_level = function
@@ -152,10 +234,14 @@ let lower_level = function
   | Plan.Warm -> Some Plan.Cold
   | Plan.Cold -> None
 
-let quarantine t st =
+let quarantine t meth_id st =
   if not st.no_more then begin
     st.no_more <- true;
-    t.quarantined <- t.quarantined + 1
+    Metrics.inc t.m_quarantined;
+    if !Trace.enabled then
+      Trace.instant ~cycles:(Clock.now t.clock) ~cat:"jit"
+        ~args:(targs t meth_id [])
+        "quarantine"
   end
 
 let entry_of_compilation (c : Compiler.compilation) : Codecache.entry =
@@ -189,12 +275,29 @@ let cache_key t ~meth_id ~level ~modifier =
    compilation — compile_count, per-level counts, and [on_compiled] are
    untouched, which is what lets a warm run report zero compilations. *)
 let install_cached t ~meth_id (st : method_state) comp =
-  ignore meth_id;
-  t.cache_hits <- t.cache_hits + 1;
+  Metrics.inc t.m_cache_hits;
   st.failed_attempts <- 0;
   Clock.advance t.clock t.config.aot_load_cycles;
+  let prev = st.impl in
   st.impl <- Compiled comp;
-  st.pending <- None
+  st.pending <- None;
+  if !Trace.enabled then begin
+    let now = Clock.now t.clock in
+    let level = Plan.level_name comp.Compiler.level in
+    Trace.instant ~cycles:now ~cat:"jit"
+      ~args:
+        (targs t meth_id
+           [
+             ("level", Trace.Str level);
+             ("modifier", Trace.Str (Modifier.to_string comp.Compiler.modifier));
+           ])
+      "cache_hit";
+    Trace.instant ~cycles:now ~cat:"jit"
+      ~args:
+        (targs t meth_id
+           [ ("from", Trace.Str (impl_level_name prev)); ("level", Trace.Str level) ])
+      "promote"
+  end
 
 let install t ~meth_id ~level (st : method_state) comp =
   (match t.config.code_cache with
@@ -208,8 +311,8 @@ let install t ~meth_id ~level (st : method_state) comp =
       (try Codecache.store cache ~key (entry_of_compilation comp)
        with _ -> ())
   | None -> ());
-  t.compile_count <- t.compile_count + 1;
-  t.by_level.(Plan.level_index level) <- t.by_level.(Plan.level_index level) + 1;
+  Metrics.inc t.m_compilations;
+  Metrics.inc t.m_by_level.(Plan.level_index level);
   st.compile_count <- st.compile_count + 1;
   st.failed_attempts <- 0;
   if t.config.async_compile then begin
@@ -223,12 +326,36 @@ let install t ~meth_id ~level (st : method_state) comp =
     in
     let finish = Int64.add start (Int64.of_int duration) in
     t.compile_thread_free <- finish;
-    st.pending <- Some (comp, finish)
+    st.pending <- Some (comp, finish);
+    t.pending_count <- t.pending_count + 1;
+    Metrics.set_gauge t.m_queue_depth (float_of_int t.pending_count);
+    if !Trace.enabled then begin
+      Trace.instant ~cycles:now ~cat:"jit"
+        ~args:
+          (targs t meth_id
+             [
+               ("level", Trace.Str (Plan.level_name level));
+               ("ready_at", Trace.Int finish);
+             ])
+        "queue_enqueue";
+      Trace.counter ~cycles:now ~cat:"jit" "compile_queue_depth"
+        t.pending_count
+    end
   end
   else begin
     Clock.advance t.clock comp.Compiler.compile_cycles;
+    let prev = st.impl in
     st.impl <- Compiled comp;
-    st.pending <- None
+    st.pending <- None;
+    if !Trace.enabled then
+      Trace.instant ~cycles:(Clock.now t.clock) ~cat:"jit"
+        ~args:
+          (targs t meth_id
+             [
+               ("from", Trace.Str (impl_level_name prev));
+               ("level", Trace.Str (Plan.level_name level));
+             ])
+        "promote"
   end;
   match t.callbacks.on_compiled with
   | Some f -> f t ~meth_id comp
@@ -247,7 +374,12 @@ let rec do_compile t ~meth_id ~level ~modifier =
     | None -> None
     | Some cache ->
         let key = cache_key t ~meth_id ~level ~modifier in
-        Codecache.lookup cache ~key ~level ~modifier
+        let entry = Codecache.lookup cache ~key ~level ~modifier in
+        if entry = None && !Trace.enabled then
+          Trace.instant ~cycles:(Clock.now t.clock) ~cat:"jit"
+            ~args:(targs t meth_id [ ("level", Trace.Str (Plan.level_name level)) ])
+            "cache_miss";
+        entry
   with
   | Some entry ->
       (* lookup-before-compile: the cache already holds code for exactly
@@ -257,6 +389,16 @@ let rec do_compile t ~meth_id ~level ~modifier =
 
 and do_compile_miss t ~meth_id ~level ~modifier =
   let st = t.states.(meth_id) in
+  let tracing = !Trace.enabled in
+  if tracing then
+    Trace.span_begin ~cycles:(Clock.now t.clock) ~cat:"jit"
+      ~args:
+        (targs t meth_id
+           [
+             ("level", Trace.Str (Plan.level_name level));
+             ("modifier", Trace.Str (Modifier.to_string modifier));
+           ])
+      "compile";
   match
     (match t.callbacks.pre_compile with
     | Some f -> f t ~meth_id ~level
@@ -266,22 +408,41 @@ and do_compile_miss t ~meth_id ~level ~modifier =
       (Program.meth t.program meth_id)
   with
   | exception _ ->
-      t.compile_failures <- t.compile_failures + 1;
+      if tracing then
+        Trace.span_end ~cycles:(Clock.now t.clock) ~cat:"jit"
+          ~args:(targs t meth_id [ ("ok", Trace.Str "false") ])
+          "compile";
+      Metrics.inc t.m_compile_failures;
       st.failed_attempts <- st.failed_attempts + 1;
       if st.failed_attempts >= t.config.max_compile_attempts then
-        quarantine t st
+        quarantine t meth_id st
   | comp -> (
       (* the compiler ran either way: its cycles are spent and part of
          them steal application cycles *)
-      t.total_compile_cycles <-
-        Int64.add t.total_compile_cycles
-          (Int64.of_int comp.Compiler.compile_cycles);
+      Metrics.add t.m_compile_cycles comp.Compiler.compile_cycles;
+      Metrics.observe t.m_compile_hist
+        (float_of_int comp.Compiler.compile_cycles);
       Clock.advance t.clock
         (int_of_float
            (t.config.contention *. float_of_int comp.Compiler.compile_cycles));
+      if tracing then
+        Trace.span_end ~cycles:(Clock.now t.clock) ~cat:"jit"
+          ~args:
+            (targs t meth_id
+               [
+                 ( "compile_cycles",
+                   Trace.Int (Int64.of_int comp.Compiler.compile_cycles) );
+               ])
+          "compile";
       match t.config.compile_cycle_budget with
       | Some budget when comp.Compiler.compile_cycles > budget -> (
-          t.budget_rejections <- t.budget_rejections + 1;
+          Metrics.inc t.m_budget_rejections;
+          if tracing then
+            Trace.instant ~cycles:(Clock.now t.clock) ~cat:"jit"
+              ~args:
+                (targs t meth_id
+                   [ ("level", Trace.Str (Plan.level_name level)) ])
+              "budget_reject";
           let current_level_index =
             match st.impl with
             | Compiled c -> Some (Plan.level_index c.Compiler.level)
@@ -291,7 +452,16 @@ and do_compile_miss t ~meth_id ~level ~modifier =
           | Some l
             when current_level_index = None
                  || Option.get current_level_index < Plan.level_index l ->
-              t.degraded_compiles <- t.degraded_compiles + 1;
+              Metrics.inc t.m_degraded;
+              if tracing then
+                Trace.instant ~cycles:(Clock.now t.clock) ~cat:"jit"
+                  ~args:
+                    (targs t meth_id
+                       [
+                         ("from", Trace.Str (Plan.level_name level));
+                         ("level", Trace.Str (Plan.level_name l));
+                       ])
+                  "degrade";
               do_compile t ~meth_id ~level:l ~modifier
           | Some _ ->
               (* the ladder only leads to levels the method already runs
@@ -299,10 +469,10 @@ and do_compile_miss t ~meth_id ~level ~modifier =
                  eventually stop trying *)
               st.failed_attempts <- st.failed_attempts + 1;
               if st.failed_attempts >= t.config.max_compile_attempts then
-                quarantine t st
+                quarantine t meth_id st
           | None ->
               (* even the cold plan blows the budget: stay interpreted *)
-              quarantine t st)
+              quarantine t meth_id st)
       | _ -> install t ~meth_id ~level st comp)
 
 let request_compile t ~meth_id ~level ?modifier () =
@@ -321,7 +491,13 @@ let request_compile t ~meth_id ~level ?modifier () =
             | exception _ ->
                 (* a failing predictor must not stop compilation: fall
                    back to the paper's default plan *)
-                t.modifier_fallbacks <- t.modifier_fallbacks + 1;
+                Metrics.inc t.m_modifier_fallbacks;
+                if !Trace.enabled then
+                  Trace.instant ~cycles:(Clock.now t.clock) ~cat:"jit"
+                    ~args:
+                      (targs t meth_id
+                         [ ("level", Trace.Str (Plan.level_name level)) ])
+                    "modifier_fallback";
                 do_compile t ~meth_id ~level ~modifier:Modifier.null))
 
 let next_level st =
@@ -360,7 +536,7 @@ let instrumentation_overhead = 35 (* cycles per TR_jitPTTMethod{Enter,Exit} *)
 
 let rec invoke t meth_id args =
   let st = t.states.(meth_id) in
-  install_if_ready t st;
+  install_if_ready t meth_id st;
   st.invocations <- st.invocations + 1;
   if t.config.instrument then Clock.advance t.clock instrumentation_overhead;
   let enter_cycles, enter_cpu = Clock.read_tsc t.clock in
@@ -422,19 +598,24 @@ let invoke_method t meth_id args =
 let invoke_entry t args = invoke_method t t.program.Program.entry args
 
 let app_cycles t = Clock.now t.clock
-let total_compile_cycles t = t.total_compile_cycles
-let compile_count t = t.compile_count
-let compile_failures t = t.compile_failures
-let budget_rejections t = t.budget_rejections
-let degraded_compiles t = t.degraded_compiles
-let quarantined_methods t = t.quarantined
-let modifier_fallbacks t = t.modifier_fallbacks
-let cache_hits t = t.cache_hits
+
+(* the aggregate counters live in the metrics registry; these accessors
+   are compatibility wrappers over that single surface *)
+let total_compile_cycles t = Int64.of_int (Metrics.counter_value t.m_compile_cycles)
+let compile_count t = Metrics.counter_value t.m_compilations
+let compile_failures t = Metrics.counter_value t.m_compile_failures
+let budget_rejections t = Metrics.counter_value t.m_budget_rejections
+let degraded_compiles t = Metrics.counter_value t.m_degraded
+let quarantined_methods t = Metrics.counter_value t.m_quarantined
+let modifier_fallbacks t = Metrics.counter_value t.m_modifier_fallbacks
+let cache_hits t = Metrics.counter_value t.m_cache_hits
 let cache_counters t = Option.map Codecache.counters t.config.code_cache
 
 let compiles_by_level t =
   Array.to_list
-    (Array.mapi (fun i c -> (Plan.level_of_index i, c)) t.by_level)
+    (Array.mapi
+       (fun i c -> (Plan.level_of_index i, Metrics.counter_value c))
+       t.m_by_level)
   |> List.filter (fun (_, c) -> c > 0)
 
 let methods_compiled t =

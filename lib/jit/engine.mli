@@ -121,7 +121,23 @@ val request_compile :
     [compile_cycle_budget] is degraded level by level toward the
     interpreter.  Never raises. *)
 
-(** {1 Metrics} *)
+(** {1 Metrics}
+
+    Every aggregate counter below lives in a per-engine
+    {!Tessera_obs.Metrics} registry (one simulated JVM, one registry) —
+    the accessors are thin compatibility wrappers reading that single
+    surface.  {!metrics} exposes the registry itself for Prometheus-style
+    exposition ([tessera_run --metrics-out], the server's [Stats]
+    request). *)
+
+val metrics : t -> Tessera_obs.Metrics.t
+(** The engine's registry: [jit_compilations_total],
+    [jit_compile_cycles_total], [jit_compile_failures_total],
+    [jit_budget_rejections_total], [jit_degraded_compiles_total],
+    [jit_quarantined_methods_total], [jit_modifier_fallbacks_total],
+    [jit_cache_hits_total], per-level [jit_compilations_<level>_total],
+    the [jit_compile_queue_depth] gauge, and the [jit_compilation_cycles]
+    histogram. *)
 
 val app_cycles : t -> int64
 val total_compile_cycles : t -> int64

@@ -1,0 +1,346 @@
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON                                              *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6f" f
+
+let arg_json = function
+  | Trace.Int i -> Int64.to_string i
+  | Trace.Float f -> json_float f
+  | Trace.Str s -> Printf.sprintf "\"%s\"" (escape s)
+
+let chrome_json ?(cycles_per_us = 2000.0) events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i (e : Trace.event) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let ts = Int64.to_float e.Trace.cycles /. cycles_per_us in
+      let args =
+        e.Trace.args
+        @ (if e.Trace.wall_us > 0.0 then [ ("wall_us", Trace.Float e.Trace.wall_us) ]
+           else [])
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"pid\":1,\"tid\":1"
+           (escape e.Trace.name) (escape e.Trace.cat)
+           (Trace.phase_name e.Trace.ph)
+           (json_float ts));
+      (match e.Trace.ph with
+      | Trace.Instant -> Buffer.add_string buf ",\"s\":\"g\""
+      | _ -> ());
+      if args <> [] then begin
+        Buffer.add_string buf ",\"args\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\":%s" (escape k) (arg_json v)))
+          args;
+        Buffer.add_char buf '}'
+      end;
+      Buffer.add_char buf '}')
+    events;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON reader (validation only; no external dependency)        *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Jstr of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    String.iter (fun c -> expect c) word;
+    value
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> advance (); Buffer.add_char buf '"'; go ()
+          | Some '\\' -> advance (); Buffer.add_char buf '\\'; go ()
+          | Some '/' -> advance (); Buffer.add_char buf '/'; go ()
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+          | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'; go ()
+          | Some 'b' -> advance (); Buffer.add_char buf '\b'; go ()
+          | Some 'f' -> advance (); Buffer.add_char buf '\012'; go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              pos := !pos + 4;
+              (* decode to UTF-8; surrogates pass through as replacement *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+              go ()
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match float_of_string_opt tok with
+    | Some f -> f
+    | None -> fail (Printf.sprintf "bad number %S" tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elems []
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Per-method compilation timeline                                      *)
+(* ------------------------------------------------------------------ *)
+
+let find_str args key =
+  match List.assoc_opt key args with Some (Trace.Str s) -> Some s | _ -> None
+
+let find_int args key =
+  match List.assoc_opt key args with Some (Trace.Int i) -> Some i | _ -> None
+
+type row = {
+  at : int64;
+  meth : string;
+  kind : string;
+  level : string;
+  detail : string;
+}
+
+let timeline fmt events =
+  (* pair compile B/E by a stack (compiles are synchronous, so nesting
+     is well-formed); everything else is an instant *)
+  let rows = ref [] in
+  let stack = ref [] in
+  let add r = rows := r :: !rows in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.cat = "jit" || e.Trace.cat = "cache" then
+        let meth = Option.value ~default:"?" (find_str e.Trace.args "meth") in
+        let level = Option.value ~default:"" (find_str e.Trace.args "level") in
+        match (e.Trace.ph, e.Trace.name) with
+        | Trace.Span_begin, "compile" -> stack := (e, meth, level) :: !stack
+        | Trace.Span_end, "compile" -> (
+            match !stack with
+            | (b, bmeth, blevel) :: rest ->
+                stack := rest;
+                let cycles =
+                  match find_int e.Trace.args "compile_cycles" with
+                  | Some c -> Printf.sprintf "%Ld cycles" c
+                  | None -> "failed"
+                in
+                let modifier =
+                  Option.value ~default:"" (find_str b.Trace.args "modifier")
+                in
+                add
+                  {
+                    at = b.Trace.cycles;
+                    meth = bmeth;
+                    kind = "compile";
+                    level = blevel;
+                    detail = Printf.sprintf "%s modifier=%s" cycles modifier;
+                  }
+            | [] -> ())
+        | Trace.Instant, ("cache_hit" | "install" | "quarantine"
+                         | "budget_reject" | "degrade" | "modifier_fallback"
+                         | "promote") ->
+            let detail =
+              match e.Trace.name with
+              | "cache_hit" ->
+                  Printf.sprintf "modifier=%s"
+                    (Option.value ~default:""
+                       (find_str e.Trace.args "modifier"))
+              | "install" -> (
+                  match find_int e.Trace.args "queue_wait" with
+                  | Some w -> Printf.sprintf "queue_wait=%Ld" w
+                  | None -> "")
+              | "promote" ->
+                  Printf.sprintf "from=%s"
+                    (Option.value ~default:"interpreter"
+                       (find_str e.Trace.args "from"))
+              | _ -> ""
+            in
+            let kind =
+              if e.Trace.name = "cache_hit" then "aot-load" else e.Trace.name
+            in
+            add { at = e.Trace.cycles; meth; kind; level; detail }
+        | _ -> ())
+    events;
+  let rows = List.rev !rows in
+  if rows = [] then
+    Format.fprintf fmt
+      "no compilation events in the trace (was tracing enabled?)@."
+  else begin
+    Format.fprintf fmt "%12s  %-36s %-12s %-10s %s@." "virtual ms" "method"
+      "event" "level" "detail";
+    Format.fprintf fmt "%s@." (String.make 100 '-');
+    List.iter
+      (fun r ->
+        Format.fprintf fmt "%12.3f  %-36s %-12s %-10s %s@."
+          (Int64.to_float r.at /. 2e6)
+          (if String.length r.meth > 36 then String.sub r.meth 0 36 else r.meth)
+          r.kind r.level r.detail)
+      rows;
+    (* per-method summary *)
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun r ->
+        let compiles, aots, last_level =
+          Option.value ~default:(0, 0, "") (Hashtbl.find_opt tbl r.meth)
+        in
+        let entry =
+          match r.kind with
+          | "compile" -> (compiles + 1, aots, r.level)
+          | "aot-load" -> (compiles, aots + 1, r.level)
+          | "promote" | "install" -> (compiles, aots, r.level)
+          | _ -> (compiles, aots, last_level)
+        in
+        Hashtbl.replace tbl r.meth entry)
+      rows;
+    Format.fprintf fmt "@.%-36s %10s %10s %10s@." "method" "compiles"
+      "aot-loads" "level";
+    let summary =
+      Hashtbl.fold (fun m v acc -> (m, v) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    List.iter
+      (fun (m, (compiles, aots, level)) ->
+        Format.fprintf fmt "%-36s %10d %10d %10s@."
+          (if String.length m > 36 then String.sub m 0 36 else m)
+          compiles aots level)
+      summary
+  end

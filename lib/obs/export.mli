@@ -1,0 +1,41 @@
+(** Exporters over the trace buffer.
+
+    {!chrome_json} emits the Chrome [trace_event] array format, loadable
+    in Perfetto / [chrome://tracing]: spans become ["B"]/["E"] pairs,
+    instants ["i"], counter samples ["C"] tracks.  Timestamps are the
+    virtual cycle stamps converted to virtual microseconds, so the
+    viewer's time axis reads in simulated time.
+
+    {!timeline} renders a human-readable per-method compilation timeline
+    from the same events (the [tessera_report timeline] subcommand).
+
+    {!parse_json} is a minimal strict JSON reader used to validate
+    exports in tests and CI without external dependencies. *)
+
+val chrome_json : ?cycles_per_us:float -> Trace.event list -> string
+(** [cycles_per_us] defaults to 2000. (2 GHz virtual core, matching
+    [Tessera_vm.Cost.cycles_per_ms] = 2,000,000).  When an event carries
+    a wall stamp it rides along as an arg. *)
+
+(** {1 Minimal JSON} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Jstr of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse_json : string -> (json, string) result
+(** Strict: exactly one value, whole input consumed (modulo whitespace). *)
+
+val member : string -> json -> json option
+(** Object field lookup. *)
+
+(** {1 Timeline} *)
+
+val timeline : Format.formatter -> Trace.event list -> unit
+(** Per-method compilation timeline: one row per compile span, AOT
+    load, install, or degradation event, ordered by virtual time, with
+    a per-method summary. *)

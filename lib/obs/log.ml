@@ -1,0 +1,30 @@
+type level = Debug | Info | Warn
+
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2
+
+let threshold = ref Info
+let set_level l = threshold := l
+let get_level () = !threshold
+
+let default_sink level msg =
+  Printf.eprintf "tessera[%s]: %s\n%!" (level_name level) msg
+
+let sink = ref default_sink
+let set_sink f = sink := f
+let reset_sink () = sink := default_sink
+
+let mirror_to_trace = ref false
+
+let log level msg =
+  if severity level >= severity !threshold then begin
+    !sink level msg;
+    if !mirror_to_trace && !Trace.enabled then
+      Trace.instant ~cat:"log"
+        ~args:[ ("level", Trace.Str (level_name level)) ]
+        msg
+  end
+
+let debug msg = log Debug msg
+let info msg = log Info msg
+let warn msg = log Warn msg

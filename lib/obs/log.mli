@@ -1,0 +1,32 @@
+(** Leveled logging, replacing the ad-hoc [prerr_endline]/[Printf]
+    scattered through the stack.
+
+    Messages at or above {!set_level}'s threshold go to the sink
+    (stderr by default, replaceable for tests and embedding); when
+    {!mirror_to_trace} is set and tracing is enabled, every emitted
+    message is also recorded as an [Instant] event in the trace buffer
+    (category ["log"]), so log lines land on the same timeline as the
+    compilation events they explain. *)
+
+type level = Debug | Info | Warn
+
+val level_name : level -> string
+
+val set_level : level -> unit
+(** Default: [Info] ([Debug] messages are suppressed). *)
+
+val get_level : unit -> level
+
+val set_sink : (level -> string -> unit) -> unit
+(** Default sink writes ["tessera[LEVEL]: msg"] to stderr. *)
+
+val reset_sink : unit -> unit
+
+val mirror_to_trace : bool ref
+(** Default [false]. *)
+
+val debug : string -> unit
+val info : string -> unit
+val warn : string -> unit
+
+val log : level -> string -> unit

@@ -1,0 +1,114 @@
+type arg = Int of int64 | Float of float | Str of string
+
+type phase = Span_begin | Span_end | Instant | Counter
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  cycles : int64;
+  wall_us : float;
+  args : (string * arg) list;
+}
+
+type ring = {
+  buf : event array;
+  mutable start : int;  (* index of the oldest event *)
+  mutable len : int;
+  mutable dropped : int;
+  wall : bool;
+}
+
+let dummy =
+  { name = ""; cat = ""; ph = Instant; cycles = 0L; wall_us = 0.0; args = [] }
+
+let enabled = ref false
+let ring : ring option ref = ref None
+let default_source () = 0L
+let cycle_source = ref default_source
+
+let enable ?(capacity = 65536) ?(wall = false) () =
+  if capacity <= 0 then invalid_arg "Trace.enable: capacity must be positive";
+  ring :=
+    Some { buf = Array.make capacity dummy; start = 0; len = 0; dropped = 0; wall };
+  enabled := true
+
+let disable () = enabled := false
+
+let reset () =
+  match !ring with
+  | None -> ()
+  | Some r ->
+      r.start <- 0;
+      r.len <- 0;
+      r.dropped <- 0
+
+let set_cycle_source f = cycle_source := f
+let clear_cycle_source () = cycle_source := default_source
+
+let push r e =
+  let cap = Array.length r.buf in
+  if r.len < cap then begin
+    r.buf.((r.start + r.len) mod cap) <- e;
+    r.len <- r.len + 1
+  end
+  else begin
+    r.buf.(r.start) <- e;
+    r.start <- (r.start + 1) mod cap;
+    r.dropped <- r.dropped + 1
+  end
+
+let emit ?cycles ?(args = []) ~cat ph name =
+  if !enabled then
+    match !ring with
+    | None -> ()
+    | Some r ->
+        let cycles =
+          match cycles with Some c -> c | None -> !cycle_source ()
+        in
+        let wall_us = if r.wall then Unix.gettimeofday () *. 1e6 else 0.0 in
+        push r { name; cat; ph; cycles; wall_us; args }
+
+let span_begin ?cycles ?args ~cat name = emit ?cycles ?args ~cat Span_begin name
+let span_end ?cycles ?args ~cat name = emit ?cycles ?args ~cat Span_end name
+let instant ?cycles ?args ~cat name = emit ?cycles ?args ~cat Instant name
+
+let counter ?cycles ~cat name v =
+  emit ?cycles ~args:[ ("value", Int (Int64.of_int v)) ] ~cat Counter name
+
+let events () =
+  match !ring with
+  | None -> []
+  | Some r ->
+      let cap = Array.length r.buf in
+      List.init r.len (fun i -> r.buf.((r.start + i) mod cap))
+
+let length () = match !ring with None -> 0 | Some r -> r.len
+let capacity () = match !ring with None -> 0 | Some r -> Array.length r.buf
+let dropped () = match !ring with None -> 0 | Some r -> r.dropped
+
+let phase_name = function
+  | Span_begin -> "B"
+  | Span_end -> "E"
+  | Instant -> "i"
+  | Counter -> "C"
+
+let pp_arg fmt = function
+  | Int i -> Format.fprintf fmt "%Ld" i
+  | Float f -> Format.fprintf fmt "%.17g" f
+  | Str s -> Format.fprintf fmt "%s" s
+
+let to_canonical_string () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%Ld %s %s %s" e.cycles e.cat (phase_name e.ph) e.name);
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf " %s=%s" k (Format.asprintf "%a" pp_arg v)))
+        e.args;
+      Buffer.add_char buf '\n')
+    (events ());
+  Buffer.contents buf

@@ -1,0 +1,91 @@
+(** Low-overhead trace ring buffer.
+
+    Every event carries the {e virtual} cycle count of the subsystem's
+    {!Tessera_vm.Clock} (the simulation's time base) plus, optionally,
+    wall time.  Virtual stamps make traces deterministic: two runs with
+    identical seeds produce byte-identical canonical event streams
+    ({!to_canonical_string} excludes wall time), which is what lets a
+    trace diff double as a regression oracle.
+
+    The buffer is a global singleton — there is one simulated machine
+    per process — with a fixed capacity; when full, the oldest events
+    are overwritten and counted in {!dropped}, so tracing can never grow
+    memory without bound.
+
+    Overhead discipline: {!enabled} is the single global on/off flag.
+    Instrumentation sites in hot paths must guard with
+    [if !Trace.enabled then ...] so that tracing compiled in but
+    disabled costs exactly one load-and-branch per event site (argument
+    lists are only allocated behind the guard).  The emit functions also
+    check the flag, so cold call sites may skip the guard. *)
+
+type arg = Int of int64 | Float of float | Str of string
+
+type phase =
+  | Span_begin  (** Chrome ["B"] *)
+  | Span_end  (** Chrome ["E"] *)
+  | Instant  (** Chrome ["i"] *)
+  | Counter  (** Chrome ["C"]: a sampled value, rendered as a track *)
+
+type event = {
+  name : string;
+  cat : string;  (** category: ["jit"], ["cache"], ["vm"], ["protocol"], ["fault"], ["log"] *)
+  ph : phase;
+  cycles : int64;  (** virtual clock stamp *)
+  wall_us : float;  (** wall-clock microseconds; [0.] unless wall capture is on *)
+  args : (string * arg) list;
+}
+
+val enabled : bool ref
+(** The global fast-path flag.  Hot call sites read this once and skip
+    all argument construction when false.  Mutate only through
+    {!enable}/{!disable}. *)
+
+val enable : ?capacity:int -> ?wall:bool -> unit -> unit
+(** Start tracing into a fresh ring of [capacity] events (default
+    65536).  [wall] (default false) additionally stamps events with
+    [Unix.gettimeofday]; leave it off for deterministic traces. *)
+
+val disable : unit -> unit
+(** Stop tracing; buffered events remain readable. *)
+
+val reset : unit -> unit
+(** Drop all buffered events and the dropped count (keeps enabled state
+    and capacity). *)
+
+val set_cycle_source : (unit -> int64) -> unit
+(** Register the virtual-clock read used when an emit site does not pass
+    [?cycles] explicitly (subsystems that do not own a clock: the code
+    cache, the protocol client, the fault injector).  The JIT engine
+    registers its clock on creation; the default source returns [0L]. *)
+
+val clear_cycle_source : unit -> unit
+
+val emit :
+  ?cycles:int64 -> ?args:(string * arg) list -> cat:string -> phase -> string -> unit
+(** The primitive; no-op while disabled. *)
+
+val span_begin : ?cycles:int64 -> ?args:(string * arg) list -> cat:string -> string -> unit
+val span_end : ?cycles:int64 -> ?args:(string * arg) list -> cat:string -> string -> unit
+val instant : ?cycles:int64 -> ?args:(string * arg) list -> cat:string -> string -> unit
+
+val counter : ?cycles:int64 -> cat:string -> string -> int -> unit
+(** [counter ~cat name v] samples a counter track (the value rides in
+    [args] as ["value"]). *)
+
+val events : unit -> event list
+(** Oldest first; at most [capacity] events. *)
+
+val length : unit -> int
+val capacity : unit -> int
+
+val dropped : unit -> int
+(** Events overwritten because the ring was full. *)
+
+val to_canonical_string : unit -> string
+(** One line per buffered event —
+    [cycles cat phase name k=v ...] — excluding wall time; the
+    determinism oracle. *)
+
+val phase_name : phase -> string
+val pp_arg : Format.formatter -> arg -> unit

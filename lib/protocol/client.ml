@@ -1,5 +1,7 @@
 module Modifier = Tessera_modifiers.Modifier
 module Prng = Tessera_util.Prng
+module Trace = Tessera_obs.Trace
+module Log = Tessera_obs.Log
 
 type failure = Timeout | Malformed | Closed | Server_error | Unexpected_reply
 
@@ -44,7 +46,7 @@ let default_config =
     breaker_cooldown = 16;
     jitter_seed = 0x5EEDL;
     sleep = (fun _ -> ());
-    log = prerr_endline;
+    log = Log.warn;
   }
 
 type counters = {
@@ -105,6 +107,10 @@ let pp_counters fmt c =
     c.breaker_half_opens c.breaker_recoveries
 
 let record_failure t f =
+  if !Trace.enabled then
+    Trace.instant ~cat:"protocol"
+      ~args:[ ("class", Trace.Str (failure_name f)) ]
+      "model_failure";
   let c = t.counters in
   (match f with
   | Timeout -> c.timeouts <- c.timeouts + 1
@@ -154,6 +160,14 @@ let backoff_delay t attempt =
 
 let trip t =
   if t.breaker <> Breaker_open then begin
+    if !Trace.enabled then
+      Trace.instant ~cat:"protocol"
+        ~args:
+          [
+            ( "consecutive_failures",
+              Trace.Int (Int64.of_int t.consecutive_failures) );
+          ]
+        "breaker_open";
     if t.counters.breaker_trips = 0 then
       t.config.log
         (Printf.sprintf
@@ -183,16 +197,19 @@ let ping_once t =
 let half_open_probe t =
   t.breaker <- Breaker_half_open;
   t.counters.breaker_half_opens <- t.counters.breaker_half_opens + 1;
+  if !Trace.enabled then Trace.instant ~cat:"protocol" "breaker_half_open";
   if ping_once t then begin
     t.breaker <- Breaker_closed;
     t.consecutive_failures <- 0;
     t.counters.breaker_recoveries <- t.counters.breaker_recoveries + 1;
+    if !Trace.enabled then Trace.instant ~cat:"protocol" "breaker_closed";
     t.config.log "tessera-client: circuit breaker closed (server recovered)";
     true
   end
   else begin
     t.breaker <- Breaker_open;
     t.open_skips <- 0;
+    if !Trace.enabled then Trace.instant ~cat:"protocol" "breaker_reopen";
     false
   end
 
@@ -232,6 +249,10 @@ let predict_result t ~level ~features =
           let retryable = match f with Timeout | Malformed -> true | _ -> false in
           if retryable && attempt < t.config.max_retries then begin
             c.retries <- c.retries + 1;
+            if !Trace.enabled then
+              Trace.instant ~cat:"protocol"
+                ~args:[ ("attempt", Trace.Int (Int64.of_int (attempt + 1))) ]
+                "retry";
             t.config.sleep (backoff_delay t attempt);
             go (attempt + 1)
           end
@@ -249,6 +270,11 @@ let predict t ~level ~features =
   | Fallback _ | Breaker_skip -> Modifier.null
 
 let ping t = ping_once t
+
+let stats t =
+  match round_trip t Message.Stats_req with
+  | Ok (Message.Stats_text s) -> Some s
+  | _ -> None
 
 let connect ?(model_name = "default") ?(lockstep = fun () -> ())
     ?(config = default_config) ch =

@@ -39,7 +39,10 @@ type config = {
       (** backoff sleep, in seconds; defaults to a no-op so in-process
           lockstep setups stay deterministic — two-process deployments
           pass [Unix.sleepf] *)
-  log : string -> unit;  (** once-per-failure-class diagnostics *)
+  log : string -> unit;
+      (** once-per-failure-class diagnostics; defaults to
+          {!Tessera_obs.Log.warn} (leveled, stderr, optionally mirrored
+          into the trace buffer) *)
 }
 
 val default_config : config
@@ -93,6 +96,11 @@ val predict_result :
 (** Like {!predict} but keeps the failure class visible.  Never raises. *)
 
 val ping : t -> bool
+
+val stats : t -> string option
+(** One [Stats_req] round trip: the server's metrics exposition, or
+    [None] on any failure (never raises, not retried, not counted as a
+    prediction failure). *)
 
 val counters : t -> counters
 val breaker_state : t -> breaker

@@ -12,6 +12,8 @@ type t =
   | Pong
   | Shutdown
   | Error_msg of string
+  | Stats_req
+  | Stats_text of string
 
 exception Malformed of string
 
@@ -24,12 +26,15 @@ let tag = function
   | Pong -> 6
   | Shutdown -> 7
   | Error_msg _ -> 8
+  | Stats_req -> 9
+  | Stats_text _ -> 10
 
 let payload m =
   let buf = Buffer.create 64 in
   (match m with
   | Init { model_name } -> Codec.write_string buf model_name
-  | Init_ok | Ping | Pong | Shutdown -> ()
+  | Init_ok | Ping | Pong | Shutdown | Stats_req -> ()
+  | Stats_text s -> Codec.write_string buf s
   | Predict { level; features } ->
       Codec.write_varint buf (Plan.level_index level);
       Codec.write_varint buf (Array.length features);
@@ -100,6 +105,8 @@ let decode_after_magic ?deadline ch =
     | 6 -> Pong
     | 7 -> Shutdown
     | 8 -> Error_msg (Codec.read_string ~what:"error" r)
+    | 9 -> Stats_req
+    | 10 -> Stats_text (Codec.read_string ~what:"stats" r)
     | t -> raise (Malformed (Printf.sprintf "unknown tag %d" t))
   with
   | Codec.Truncated w -> raise (Malformed ("truncated payload: " ^ w))
@@ -139,6 +146,8 @@ let equal a b =
   | Predict x, Predict y -> x.level = y.level && x.features = y.features
   | Prediction x, Prediction y -> Modifier.equal x.modifier y.modifier
   | Error_msg x, Error_msg y -> String.equal x y
+  | Stats_req, Stats_req -> true
+  | Stats_text x, Stats_text y -> String.equal x y
   | _ -> false
 
 let pp fmt = function
@@ -153,3 +162,5 @@ let pp fmt = function
   | Pong -> Format.fprintf fmt "Pong"
   | Shutdown -> Format.fprintf fmt "Shutdown"
   | Error_msg e -> Format.fprintf fmt "Error(%s)" e
+  | Stats_req -> Format.fprintf fmt "StatsReq"
+  | Stats_text s -> Format.fprintf fmt "StatsText(%d bytes)" (String.length s)

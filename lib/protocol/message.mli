@@ -23,6 +23,10 @@ type t =
   | Pong
   | Shutdown
   | Error_msg of string
+  | Stats_req
+      (** ask the server for its metrics exposition (observability) *)
+  | Stats_text of string
+      (** Prometheus-style text exposition of the server's registry *)
 
 exception Malformed of string
 

@@ -1,27 +1,64 @@
+module Metrics = Tessera_obs.Metrics
+module Trace = Tessera_obs.Trace
+
 type predictor =
   level:Tessera_opt.Plan.level ->
   features:float array ->
   Tessera_modifiers.Modifier.t
 
-let step ?(resync_budget = 4096) ch predictor =
+(* process-wide serving counters: one model server per process, so they
+   live in the default registry and are what a [Stats_req] reports *)
+let m_requests =
+  lazy
+    (Metrics.counter Metrics.default ~help:"messages handled by the model server"
+       "server_requests_total")
+
+let m_predictions =
+  lazy
+    (Metrics.counter Metrics.default ~help:"predictions answered"
+       "server_predictions_total")
+
+let m_errors =
+  lazy
+    (Metrics.counter Metrics.default
+       ~help:"requests answered with an error reply" "server_errors_total")
+
+let default_stats () = Metrics.expose Metrics.default
+
+let step ?(resync_budget = 4096) ?(stats = default_stats) ch predictor =
   match Message.recv ~resync_budget ch with
-  | Message.Init _ ->
-      Message.send ch Message.Init_ok;
-      true
-  | Message.Ping ->
-      Message.send ch Message.Pong;
-      true
-  | Message.Predict { level; features } ->
-      (match predictor ~level ~features with
-      | modifier -> Message.send ch (Message.Prediction { modifier })
-      | exception e ->
-          Message.send ch (Message.Error_msg (Printexc.to_string e)));
-      true
-  | Message.Shutdown -> false
-  | Message.Init_ok | Message.Pong | Message.Prediction _ | Message.Error_msg _
-    ->
-      Message.send ch (Message.Error_msg "unexpected client->server message");
-      true
+  | msg -> (
+      Metrics.inc (Lazy.force m_requests);
+      match msg with
+      | Message.Init _ ->
+          Message.send ch Message.Init_ok;
+          true
+      | Message.Ping ->
+          Message.send ch Message.Pong;
+          true
+      | Message.Predict { level; features } ->
+          (match predictor ~level ~features with
+          | modifier ->
+              Metrics.inc (Lazy.force m_predictions);
+              Message.send ch (Message.Prediction { modifier })
+          | exception e ->
+              Metrics.inc (Lazy.force m_errors);
+              Message.send ch (Message.Error_msg (Printexc.to_string e)));
+          true
+      | Message.Stats_req ->
+          if !Trace.enabled then Trace.instant ~cat:"protocol" "stats_request";
+          (match stats () with
+          | text -> Message.send ch (Message.Stats_text text)
+          | exception e ->
+              Metrics.inc (Lazy.force m_errors);
+              Message.send ch (Message.Error_msg (Printexc.to_string e)));
+          true
+      | Message.Shutdown -> false
+      | Message.Init_ok | Message.Pong | Message.Prediction _
+      | Message.Error_msg _ | Message.Stats_text _ ->
+          Metrics.inc (Lazy.force m_errors);
+          Message.send ch (Message.Error_msg "unexpected client->server message");
+          true)
   | exception Message.Malformed w ->
       (* recv already tried to resynchronize; if it could not find a
          valid frame within its budget the stream is unsalvageable —
@@ -31,11 +68,11 @@ let step ?(resync_budget = 4096) ch predictor =
       (try Channel.close ch with _ -> ());
       false
 
-let serve ch predictor =
+let serve ?stats ch predictor =
   let continue = ref true in
   (try
      while !continue do
-       match step ch predictor with
+       match step ?stats ch predictor with
        | c -> continue := c
        | exception Channel.Timeout ->
            (* nothing buffered and no way to block for more (in-memory

@@ -9,14 +9,21 @@ type predictor =
   features:float array ->
   Tessera_modifiers.Modifier.t
 
-val step : ?resync_budget:int -> Channel.t -> predictor -> bool
+val step :
+  ?resync_budget:int -> ?stats:(unit -> string) -> Channel.t -> predictor -> bool
 (** Handle exactly one incoming message; [false] after [Shutdown].
     Malformed input is resynchronized via {!Message.recv}; if no valid
     frame can be found within [resync_budget] the channel is closed and
     [false] is returned (resync-or-close — the loop never continues from
     a desynced stream).  [Channel.Timeout] propagates to the caller
-    (lockstep harnesses treat it as "no request pending"). *)
+    (lockstep harnesses treat it as "no request pending").
 
-val serve : Channel.t -> predictor -> unit
+    A [Stats_req] is answered with [Stats_text (stats ())]; [stats]
+    defaults to the Prometheus exposition of
+    {!Tessera_obs.Metrics.default}, where the server registers
+    [server_requests_total], [server_predictions_total], and
+    [server_errors_total]. *)
+
+val serve : ?stats:(unit -> string) -> Channel.t -> predictor -> unit
 (** Run {!step} until shutdown, channel close, or a timeout (which, with
     no way to block for more input, means no progress is possible). *)

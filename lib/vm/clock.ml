@@ -32,6 +32,10 @@ let advance t n =
   while t.cycles >= t.next_migration do
     t.core <- (t.core + 1 + Prng.int t.rng (max 1 (t.cores - 1))) mod t.cores;
     t.migrations <- t.migrations + 1;
+    if !Tessera_obs.Trace.enabled then
+      Tessera_obs.Trace.instant ~cycles:t.next_migration ~cat:"vm"
+        ~args:[ ("core", Tessera_obs.Trace.Int (Int64.of_int t.core)) ]
+        "core_migration";
     t.next_migration <- Int64.add t.next_migration (draw_interval t.rng)
   done
 

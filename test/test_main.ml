@@ -22,4 +22,5 @@ let () =
       ("properties", Test_properties.suite);
       ("harness", Test_harness.suite);
       ("cache", Test_cache.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,311 @@
+(* The observability layer: ring-buffer bounds and ordering (qcheck),
+   histogram accounting, Chrome-trace export validity and name
+   round-trip, virtual-clock determinism of engine traces, the engine's
+   registry-backed counters, and the protocol's Stats request. *)
+
+module Trace = Tessera_obs.Trace
+module Metrics = Tessera_obs.Metrics
+module Log = Tessera_obs.Log
+module Export = Tessera_obs.Export
+module Engine = Tessera_jit.Engine
+module Channel = Tessera_protocol.Channel
+module Message = Tessera_protocol.Message
+module Server = Tessera_protocol.Server
+module Client = Tessera_protocol.Client
+module Modifier = Tessera_modifiers.Modifier
+module Plan = Tessera_opt.Plan
+
+(* every test leaves the global trace state as it found it: disabled,
+   empty, with the default cycle source *)
+let with_trace ?capacity f =
+  Trace.enable ?capacity ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ();
+      Trace.clear_cycle_source ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_names = QCheck.Gen.(list_size (int_bound 200) (string_size ~gen:(char_range 'a' 'z') (return 5)))
+
+let test_ring_bounds () =
+  QCheck.Test.make ~count:100
+    ~name:"ring buffer never exceeds capacity and preserves order"
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 1 32) gen_names))
+    (fun (capacity, names) ->
+      with_trace ~capacity @@ fun () ->
+      List.iteri
+        (fun i name -> Trace.instant ~cycles:(Int64.of_int i) ~cat:"test" name)
+        names;
+      let evs = Trace.events () in
+      let n = List.length names in
+      let kept = min n capacity in
+      List.length evs = kept
+      && Trace.dropped () = n - kept
+      (* the retained events are exactly the newest [kept], in order *)
+      && List.map (fun (e : Trace.event) -> e.Trace.name) evs
+         = List.filteri (fun i _ -> i >= n - kept) names
+      && List.map (fun (e : Trace.event) -> e.Trace.cycles) evs
+         = List.init kept (fun i -> Int64.of_int (n - kept + i)))
+
+let test_disabled_emits_nothing () =
+  Trace.disable ();
+  Trace.reset ();
+  Trace.instant ~cat:"test" "ignored";
+  Trace.span_begin ~cat:"test" "ignored";
+  Alcotest.(check int) "no events while disabled" 0 (Trace.length ())
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_sums () =
+  QCheck.Test.make ~count:100
+    ~name:"histogram bucket counts sum to observations"
+    (QCheck.make QCheck.Gen.(list (map (fun f -> f *. 1e10) (float_bound_inclusive 1.0))))
+    (fun samples ->
+      let reg = Metrics.create () in
+      let h = Metrics.histogram reg "h" in
+      List.iter (Metrics.observe h) samples;
+      let bucket_total =
+        Array.fold_left (fun acc (_, c) -> acc + c) 0 (Metrics.bucket_counts h)
+      in
+      bucket_total = List.length samples
+      && Metrics.histogram_count h = List.length samples
+      && abs_float (Metrics.histogram_sum h -. List.fold_left ( +. ) 0.0 samples)
+         <= 1e-6 *. (1.0 +. abs_float (Metrics.histogram_sum h)))
+
+let test_registry_registration () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg ~help:"a counter" "requests_total" in
+  Metrics.inc c;
+  (* idempotent: same name and kind returns the same instrument *)
+  let c' = Metrics.counter reg "requests_total" in
+  Metrics.inc c';
+  Alcotest.(check int) "one shared counter" 2 (Metrics.counter_value c);
+  (* kind mismatch raises *)
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument
+       "Metrics: \"requests_total\" already registered as a counter")
+    (fun () -> ignore (Metrics.gauge reg "requests_total"));
+  Alcotest.(check bool) "negative add raises" true
+    (try
+       Metrics.add c (-1);
+       false
+     with Invalid_argument _ -> true);
+  let g = Metrics.gauge reg "depth" in
+  Metrics.set_gauge g 3.0;
+  Metrics.add_gauge g (-1.0);
+  Alcotest.(check (float 1e-9)) "gauge arithmetic" 2.0 (Metrics.gauge_value g);
+  let text = Metrics.expose reg in
+  Alcotest.(check bool) "exposition carries HELP" true
+    (let re = "# HELP requests_total a counter" in
+     let rec contains i =
+       i + String.length re <= String.length text
+       && (String.sub text i (String.length re) = re || contains (i + 1))
+     in
+     contains 0);
+  Alcotest.(check (list string)) "names sorted"
+    [ "depth"; "requests_total" ] (Metrics.names reg)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome-trace export                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let gen_event =
+  QCheck.Gen.(
+    let name = string_size ~gen:printable (int_range 1 12) in
+    let arg =
+      oneof
+        [
+          map (fun i -> Trace.Int (Int64.of_int i)) int;
+          map (fun f -> Trace.Float (f *. 1e6)) (float_bound_inclusive 1.0);
+          map (fun s -> Trace.Str s) (string_size ~gen:printable (int_bound 8));
+        ]
+    in
+    let phase =
+      oneofl [ Trace.Span_begin; Trace.Span_end; Trace.Instant; Trace.Counter ]
+    in
+    map
+      (fun (name, ph, cycles, args) ->
+        { Trace.name; cat = "test"; ph; cycles = Int64.of_int cycles;
+          wall_us = 0.0; args })
+      (quad name phase nat (list_size (int_bound 3) (pair name arg))))
+
+let test_chrome_roundtrip () =
+  QCheck.Test.make ~count:100
+    ~name:"chrome export is valid JSON and round-trips event names"
+    (QCheck.make QCheck.Gen.(list_size (int_bound 40) gen_event))
+    (fun events ->
+      let text = Export.chrome_json events in
+      match Export.parse_json text with
+      | Error e -> QCheck.Test.fail_reportf "invalid JSON: %s" e
+      | Ok json -> (
+          match Export.member "traceEvents" json with
+          | Some (Export.Arr items) ->
+              let names =
+                List.map
+                  (fun item ->
+                    match Export.member "name" item with
+                    | Some (Export.Jstr s) -> s
+                    | _ -> QCheck.Test.fail_report "event without a name")
+                  items
+              in
+              names = List.map (fun (e : Trace.event) -> e.Trace.name) events
+          | _ -> QCheck.Test.fail_report "no traceEvents array"))
+
+(* ------------------------------------------------------------------ *)
+(* Engine integration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_traced ~invocations program =
+  Trace.reset ();
+  let engine = Engine.create program in
+  let outcomes =
+    List.init invocations (fun k ->
+        Engine.invoke_entry engine (Helpers.entry_args k))
+  in
+  (outcomes, engine, Trace.to_canonical_string ())
+
+let test_engine_trace_determinism () =
+  with_trace @@ fun () ->
+  let program = Helpers.gen_program 11L in
+  let out1, _, trace1 = run_traced ~invocations:6 program in
+  let out2, _, trace2 = run_traced ~invocations:6 program in
+  Alcotest.(check (list Helpers.outcome_testable))
+    "identical outcomes" out1 out2;
+  Alcotest.(check bool) "trace is non-trivial" true
+    (String.length trace1 > 0);
+  Alcotest.(check string) "byte-identical canonical traces" trace1 trace2
+
+let test_engine_trace_content () =
+  with_trace @@ fun () ->
+  let program = Helpers.gen_program 11L in
+  let _, _, _ = run_traced ~invocations:6 program in
+  let events = Trace.events () in
+  let count ph name =
+    List.length
+      (List.filter
+         (fun (e : Trace.event) -> e.Trace.ph = ph && e.Trace.name = name)
+         events)
+  in
+  let begins = count Trace.Span_begin "compile" in
+  Alcotest.(check bool) "compile spans present" true (begins > 0);
+  Alcotest.(check int) "spans balanced" begins (count Trace.Span_end "compile");
+  Alcotest.(check bool) "installs traced" true (count Trace.Instant "install" > 0);
+  Alcotest.(check bool) "queue-depth track sampled" true
+    (count Trace.Counter "compile_queue_depth" > 0);
+  (* compile spans carry the method and level *)
+  let has_key k (e : Trace.event) = List.mem_assoc k e.Trace.args in
+  Alcotest.(check bool) "compile spans carry meth+level" true
+    (List.for_all
+       (fun (e : Trace.event) ->
+         e.Trace.name <> "compile"
+         || e.Trace.ph <> Trace.Span_begin
+         || (has_key "meth" e && has_key "level" e))
+       events)
+
+let test_engine_metrics_view () =
+  let program = Helpers.gen_program 11L in
+  let engine = Engine.create program in
+  for k = 0 to 5 do
+    ignore (Engine.invoke_entry engine (Helpers.entry_args k))
+  done;
+  let reg = Engine.metrics engine in
+  let value name = Metrics.counter_value (Metrics.counter reg name) in
+  Alcotest.(check int) "compilations counter backs compile_count"
+    (Engine.compile_count engine) (value "jit_compilations_total");
+  Alcotest.(check int) "per-level counters sum to the total"
+    (Engine.compile_count engine)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0
+       (Engine.compiles_by_level engine));
+  Alcotest.(check int) "histogram count equals compilations"
+    (Engine.compile_count engine)
+    (Metrics.histogram_count (Metrics.histogram reg "jit_compilation_cycles"));
+  Alcotest.(check bool) "exposition mentions the JIT" true
+    (String.length (Metrics.expose reg) > 0
+    && value "jit_compilations_total" > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol stats                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_stats () =
+  let server_ch, client_ch = Channel.pipe_pair () in
+  let predictor ~level:_ ~features:_ = Modifier.null in
+  let lockstep () = ignore (Server.step server_ch predictor) in
+  let client = Client.connect ~model_name:"test" ~lockstep client_ch in
+  ignore (Client.predict client ~level:Plan.Cold ~features:[| 1.0 |]);
+  match Client.stats client with
+  | None -> Alcotest.fail "stats round trip failed"
+  | Some text ->
+      let mentions s =
+        let rec go i =
+          i + String.length s <= String.length text
+          && (String.sub text i (String.length s) = s || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "server counts requests" true
+        (mentions "server_requests_total");
+      Alcotest.(check bool) "server counts predictions" true
+        (mentions "server_predictions_total")
+
+(* ------------------------------------------------------------------ *)
+(* Log                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_levels () =
+  let seen = ref [] in
+  Log.set_sink (fun level msg -> seen := (level, msg) :: !seen);
+  Fun.protect
+    ~finally:(fun () ->
+      Log.reset_sink ();
+      Log.set_level Log.Info)
+    (fun () ->
+      Log.set_level Log.Info;
+      Log.debug "hidden";
+      Log.info "shown";
+      Log.warn "loud";
+      Alcotest.(check int) "threshold filters debug" 2 (List.length !seen);
+      Log.set_level Log.Debug;
+      Log.debug "now visible";
+      Alcotest.(check int) "debug passes at Debug" 3 (List.length !seen);
+      (* mirroring puts log lines on the trace timeline *)
+      with_trace @@ fun () ->
+      Log.mirror_to_trace := true;
+      Fun.protect
+        ~finally:(fun () -> Log.mirror_to_trace := false)
+        (fun () ->
+          Log.warn "traced";
+          let evs = Trace.events () in
+          Alcotest.(check bool) "mirrored into trace" true
+            (List.exists
+               (fun (e : Trace.event) ->
+                 e.Trace.cat = "log" && e.Trace.name = "traced")
+               evs)))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ test_ring_bounds (); test_histogram_sums (); test_chrome_roundtrip () ]
+  @ [
+      Alcotest.test_case "disabled tracing emits nothing" `Quick
+        test_disabled_emits_nothing;
+      Alcotest.test_case "registry: idempotent, kind-checked, exposed" `Quick
+        test_registry_registration;
+      Alcotest.test_case "engine: same seed, byte-identical trace" `Quick
+        test_engine_trace_determinism;
+      Alcotest.test_case "engine: trace carries spans, installs, queue depth"
+        `Quick test_engine_trace_content;
+      Alcotest.test_case "engine: accessors read the registry" `Quick
+        test_engine_metrics_view;
+      Alcotest.test_case "protocol: Stats_req answers with the exposition"
+        `Quick test_server_stats;
+      Alcotest.test_case "log: thresholds and trace mirroring" `Quick
+        test_log_levels;
+    ]
