@@ -10,8 +10,15 @@
      dune exec bench/main.exe ablations  -- design-choice ablations
      dune exec bench/main.exe cache      -- warm vs cold start-up (BENCH_cache.json)
      dune exec bench/main.exe obs        -- tracing overhead (BENCH_obs.json)
+     dune exec bench/main.exe parallel   -- -j determinism + speedup (BENCH_parallel.json)
      dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
-     dune exec bench/main.exe quick      -- down-scaled smoke of everything *)
+     dune exec bench/main.exe quick      -- down-scaled smoke of everything
+
+   "quick" composes with any subcommand (e.g. "figures quick"), and
+   "-j N" sets the evaluation-pool domain count (default: the number of
+   cores; -j 1 is the exact sequential behaviour).  Figure output is
+   byte-identical for every -j — the digest line printed by "figures"
+   and checked by "parallel" proves it. *)
 
 module Harness = Tessera_harness
 module Suites = Tessera_workloads.Suites
@@ -20,23 +27,26 @@ module Plan = Tessera_opt.Plan
 module Modifier = Tessera_modifiers.Modifier
 module Values = Tessera_vm.Values
 module Stats = Tessera_util.Stats
+module Pool = Tessera_util.Pool
 
 let fmt = Format.std_formatter
 
-let section title =
+let section_on fmt title =
   Format.fprintf fmt "%s@." (String.make 78 '=');
   Format.fprintf fmt "%s@." title;
   Format.fprintf fmt "%s@." (String.make 78 '=')
 
+let section title = section_on fmt title
+
 (* collect once, reuse across experiment groups *)
 let collected = ref None
 
-let get_outcomes cfg =
+let get_outcomes ~jobs cfg =
   match !collected with
   | Some o -> o
   | None ->
       let t0 = Unix.gettimeofday () in
-      let o = Harness.Collection.collect_training_set ~cfg () in
+      let o = Harness.Collection.collect_training_set ~cfg ~jobs () in
       Format.fprintf fmt "[data collection took %.1fs]@.@."
         (Unix.gettimeofday () -. t0);
       collected := Some o;
@@ -46,20 +56,21 @@ let get_outcomes cfg =
 (* Table 4 and Figures 6-13                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_figures cfg =
-  let outcomes = get_outcomes cfg in
+(* The figures report minus every timing line, rendered to [fmt]: what
+   remains is a pure function of cfg.seed, so two renderings — whatever
+   their -j — must be byte-identical.  Both "figures" (digest line) and
+   "parallel" (digest comparison) rely on that. *)
+let render_figures ~jobs cfg outcomes fmt =
   Harness.Report.collection_summary fmt outcomes;
-  let loo = Harness.Training.train_loo outcomes in
-  Harness.Report.training_summary fmt loo;
-  section "Table 4";
+  let loo = Harness.Training.train_loo ~jobs outcomes in
+  Harness.Report.training_summary ~timings:false fmt loo;
+  section_on fmt "Table 4";
   Harness.Report.table4 fmt loo;
-  let t0 = Unix.gettimeofday () in
-  let m = Harness.Evaluation.full_matrix ~cfg ~loo () in
-  Format.fprintf fmt "[evaluation took %.1fs]@.@." (Unix.gettimeofday () -. t0);
-  section "Figures 6-13";
+  let m = Harness.Evaluation.full_matrix ~cfg ~jobs ~loo () in
+  section_on fmt "Figures 6-13";
   Harness.Report.figures_6_to_13 fmt m;
   (* Section 6's cross-validation views of classifier quality *)
-  section "Classifier cross-validation (Section 6)";
+  section_on fmt "Classifier cross-validation (Section 6)";
   Format.fprintf fmt "5-fold CV accuracy on the merged training data:@.";
   List.iter
     (fun (a : Harness.Crossval.level_accuracy) ->
@@ -76,13 +87,87 @@ let run_figures cfg =
     (Harness.Crossval.loo_benchmark_accuracy outcomes);
   Format.fprintf fmt "@."
 
+let render_figures_to_string ~jobs cfg outcomes =
+  let buf = Buffer.create (1 lsl 16) in
+  let bfmt = Format.formatter_of_buffer buf in
+  render_figures ~jobs cfg outcomes bfmt;
+  Format.pp_print_flush bfmt ();
+  Buffer.contents buf
+
+let run_figures ~jobs cfg =
+  let outcomes = get_outcomes ~jobs cfg in
+  let t0 = Unix.gettimeofday () in
+  let report = render_figures_to_string ~jobs cfg outcomes in
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.fprintf fmt "%s" report;
+  Format.fprintf fmt "[train+evaluation took %.1fs at -j %d]@." dt jobs;
+  Format.fprintf fmt "[figures digest: %s]@.@."
+    (Digest.to_hex (Digest.string report))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel evaluation: -j determinism and speedup (BENCH_parallel.json) *)
+(* ------------------------------------------------------------------ *)
+
+let run_parallel ~jobs cfg =
+  section "Parallel evaluation: sequential vs -j N (determinism + speedup)";
+  (* the full collect -> train -> evaluate -> render pipeline, end to
+     end, at a given domain count; fresh collection each time so both
+     legs pay the same cost *)
+  let measure jobs =
+    let t0 = Unix.gettimeofday () in
+    let outcomes = Harness.Collection.collect_training_set ~cfg ~jobs () in
+    let report = render_figures_to_string ~jobs cfg outcomes in
+    (report, Unix.gettimeofday () -. t0)
+  in
+  let par_jobs = max 2 (if jobs > 1 then jobs else Pool.default_jobs ()) in
+  let seq_report, seq_s = measure 1 in
+  Format.fprintf fmt "sequential (-j 1)  : %7.1fs@." seq_s;
+  let par_report, par_s = measure par_jobs in
+  Format.fprintf fmt "parallel  (-j %-2d)  : %7.1fs (%.2fx)@." par_jobs par_s
+    (seq_s /. Float.max 1e-9 par_s);
+  let seq_digest = Digest.to_hex (Digest.string seq_report) in
+  let par_digest = Digest.to_hex (Digest.string par_report) in
+  let identical = String.equal seq_report par_report in
+  if identical then
+    Format.fprintf fmt "figures digest     : %s (identical at both -j)@."
+      seq_digest
+  else
+    Format.fprintf fmt
+      "figures digest     : MISMATCH (-j 1: %s, -j %d: %s)@." seq_digest
+      par_jobs par_digest;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"quick\": %b,\n\
+      \  \"seq_jobs\": 1,\n\
+      \  \"par_jobs\": %d,\n\
+      \  \"seq_wall_s\": %.3f,\n\
+      \  \"par_wall_s\": %.3f,\n\
+      \  \"speedup\": %.3f,\n\
+      \  \"digests_identical\": %b,\n\
+      \  \"seq_digest\": %S,\n\
+      \  \"par_digest\": %S\n\
+       }\n"
+      (cfg == Harness.Expconfig.quick)
+      par_jobs seq_s par_s
+      (seq_s /. Float.max 1e-9 par_s)
+      identical seq_digest par_digest
+  in
+  Tessera_util.Fileio.atomic_write ~path:"BENCH_parallel.json" json;
+  Format.fprintf fmt "[wrote BENCH_parallel.json]@.@.";
+  if not identical then begin
+    Format.fprintf fmt
+      "FAILED: parallel evaluation diverged from the sequential baseline@.";
+    exit 1
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Section 6: kernel selection study                                    *)
 (* ------------------------------------------------------------------ *)
 
-let run_kernels cfg =
+let run_kernels ~jobs cfg =
   section "Section 6 kernel study: linear (MCSVM_CS) vs non-linear (RBF)";
-  let outcomes = get_outcomes cfg in
+  let outcomes = get_outcomes ~jobs cfg in
   let records = Harness.Training.records_of outcomes in
   let ts = Tessera_dataproc.Trainset.build ~level:Plan.Hot records in
   let problem = Tessera_dataproc.Trainset.problem ts in
@@ -129,9 +214,9 @@ let run_kernels cfg =
 (* Section 7: named-pipe overhead                                       *)
 (* ------------------------------------------------------------------ *)
 
-let run_pipe_overhead cfg =
+let run_pipe_overhead ~jobs cfg =
   section "Section 7: model-query overhead (in-process vs named pipes)";
-  let outcomes = get_outcomes cfg in
+  let outcomes = get_outcomes ~jobs cfg in
   let ms = Harness.Training.train_on_all ~name:"pipe" outcomes in
   let features = Array.make Tessera_features.Features.dim 0.5 in
   let predictor = Harness.Modelset.server_predictor ms in
@@ -223,9 +308,9 @@ let ablate_sync cfg =
     [ "compress"; "db"; "javac" ];
   Format.fprintf fmt "@."
 
-let ablate_search cfg =
+let ablate_search ~jobs cfg =
   section "Ablation: randomized vs progressive vs merged search data";
-  let outcomes = get_outcomes cfg in
+  let outcomes = get_outcomes ~jobs cfg in
   let strategies =
     [
       ( "randomized",
@@ -306,9 +391,9 @@ let ablate_search cfg =
      paper's@.Section-5 future work, implemented here as per-method hill \
      climbing on Eq. 2)@.@."
 
-let ablate_rank cfg =
+let ablate_rank ~jobs cfg =
   section "Ablation: ranking selection rule (best-1 vs top-3 within 95%)";
-  let outcomes = get_outcomes cfg in
+  let outcomes = get_outcomes ~jobs cfg in
   let records = Harness.Training.records_of outcomes in
   List.iter
     (fun (label, max_per_vector) ->
@@ -323,9 +408,9 @@ let ablate_rank cfg =
     [ ("best-1", 1); ("top-3", 3); ("top-5", 5) ];
   Format.fprintf fmt "@."
 
-let ablate_solver cfg =
+let ablate_solver ~jobs cfg =
   section "Ablation: one-vs-rest vs Crammer-Singer multiclass solver";
-  let outcomes = get_outcomes cfg in
+  let outcomes = get_outcomes ~jobs cfg in
   let bench =
     Suites.scale_bench
       (Option.get (Suites.find "jack"))
@@ -348,11 +433,11 @@ let ablate_solver cfg =
     ];
   Format.fprintf fmt "@."
 
-let run_ablations cfg =
+let run_ablations ~jobs cfg =
   ablate_sync cfg;
-  ablate_search cfg;
-  ablate_rank cfg;
-  ablate_solver cfg
+  ablate_search ~jobs cfg;
+  ablate_rank ~jobs cfg;
+  ablate_solver ~jobs cfg
 
 (* ------------------------------------------------------------------ *)
 (* Start-up -> throughput crossover                                     *)
@@ -361,10 +446,10 @@ let run_ablations cfg =
 (* Not a figure of the paper, but the mechanism behind Figures 6 vs 10:
    the learned models' lead is built during the compilation wave and is
    then eroded at the paper's quality-sensitive steady state. *)
-let run_crossover cfg =
+let run_crossover ~jobs cfg =
   section "Crossover: cumulative relative performance per iteration";
-  let outcomes = get_outcomes cfg in
-  let loo = Harness.Training.train_loo outcomes in
+  let outcomes = get_outcomes ~jobs cfg in
+  let loo = Harness.Training.train_loo ~jobs outcomes in
   let model_for (b : Suites.bench) =
     match
       List.find_opt
@@ -422,16 +507,16 @@ let run_crossover cfg =
    platform may need redesign on another.  Deploy models trained on the
    default target (zircon) onto a RISC-ish target (obsidian) and compare
    with models trained on obsidian data. *)
-let run_platform cfg =
+let run_platform ~jobs cfg =
   section "Platform sensitivity (Section 1's motivation)";
-  let outcomes_zircon = get_outcomes cfg in
+  let outcomes_zircon = get_outcomes ~jobs cfg in
   let zircon_model =
     Harness.Training.train_on_all ~name:"zircon-trained" outcomes_zircon
   in
   let obsidian = Tessera_vm.Target.obsidian in
   let t0 = Unix.gettimeofday () in
   let outcomes_obsidian =
-    Harness.Collection.collect_training_set ~cfg ~target:obsidian ()
+    Harness.Collection.collect_training_set ~cfg ~target:obsidian ~jobs ()
   in
   Format.fprintf fmt "[obsidian collection took %.1fs]@."
     (Unix.gettimeofday () -. t0);
@@ -647,10 +732,10 @@ let run_obs cfg =
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run_micro cfg =
+let run_micro ~jobs cfg =
   section "Micro-benchmarks (Bechamel, OLS ns/op)";
   let open Bechamel in
-  let outcomes = get_outcomes cfg in
+  let outcomes = get_outcomes ~jobs cfg in
   let ms = Harness.Training.train_on_all ~name:"micro" outcomes in
   let bench0 = List.hd Suites.specjvm98 in
   let program = Tessera_workloads.Generate.program bench0.Suites.profile in
@@ -714,29 +799,48 @@ let run_micro cfg =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* "<subcommand>" plus optional "quick" and "-j N" modifiers, in any
+     order; a bare "quick" keeps its historical meaning of "everything,
+     down-scaled" *)
+  let rec parse (cmd, quick, jobs) = function
+    | [] -> (cmd, quick, jobs)
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> parse (cmd, quick, j) rest
+        | _ -> failwith (Printf.sprintf "bad -j value %S" n))
+    | [ "-j" ] -> failwith "-j needs a domain count"
+    | "quick" :: rest -> parse (cmd, true, jobs) rest
+    | word :: rest -> parse (word, quick, jobs) rest
+  in
+  let cmd, quick, jobs =
+    parse
+      ("all", false, Pool.default_jobs ())
+      (List.tl (Array.to_list Sys.argv))
+  in
   let cfg =
-    if arg = "quick" then Harness.Expconfig.quick else Harness.Expconfig.default
+    if quick then Harness.Expconfig.quick else Harness.Expconfig.default
   in
   let t0 = Unix.gettimeofday () in
-  (match arg with
-  | "figures" -> run_figures cfg
-  | "kernels" -> run_kernels cfg
-  | "micro" -> run_micro cfg
-  | "ablations" -> run_ablations cfg
-  | "pipe" -> run_pipe_overhead cfg
-  | "crossover" -> run_crossover cfg
-  | "platform" -> run_platform cfg
+  (match cmd with
+  | "figures" -> run_figures ~jobs cfg
+  | "kernels" -> run_kernels ~jobs cfg
+  | "micro" -> run_micro ~jobs cfg
+  | "ablations" -> run_ablations ~jobs cfg
+  | "pipe" -> run_pipe_overhead ~jobs cfg
+  | "crossover" -> run_crossover ~jobs cfg
+  | "platform" -> run_platform ~jobs cfg
   | "cache" -> run_cache cfg
   | "obs" -> run_obs cfg
+  | "parallel" -> run_parallel ~jobs cfg
   | _ ->
-      run_figures cfg;
-      run_kernels cfg;
-      run_pipe_overhead cfg;
-      run_crossover cfg;
-      run_ablations cfg;
-      run_platform cfg;
+      run_figures ~jobs cfg;
+      run_kernels ~jobs cfg;
+      run_pipe_overhead ~jobs cfg;
+      run_crossover ~jobs cfg;
+      run_ablations ~jobs cfg;
+      run_platform ~jobs cfg;
       run_cache cfg;
       run_obs cfg;
-      run_micro cfg);
+      run_parallel ~jobs cfg;
+      run_micro ~jobs cfg);
   Format.fprintf fmt "[total bench time %.1fs]@." (Unix.gettimeofday () -. t0)

@@ -5,7 +5,7 @@ open Cmdliner
 module Suites = Tessera_workloads.Suites
 module Harness = Tessera_harness
 
-let run benchmarks out_dir quick =
+let run benchmarks out_dir quick jobs =
   let cfg =
     if quick then Harness.Expconfig.quick else Harness.Expconfig.default
   in
@@ -21,9 +21,14 @@ let run benchmarks out_dir quick =
             | None -> failwith (Printf.sprintf "unknown benchmark %S" n))
           names
   in
-  List.iter
-    (fun bench ->
-      let o = Harness.Collection.collect_bench ~cfg bench in
+  (* collection runs on the pool; the archives come back in input order
+     and are written (and reported) from this domain only *)
+  let outcomes =
+    Tessera_util.Pool.run_list ~jobs
+      (Harness.Collection.collect_bench ~cfg) benches
+  in
+  List.iter2
+    (fun bench o ->
       let name =
         bench.Suites.profile.Tessera_workloads.Profile.name
       in
@@ -34,7 +39,7 @@ let run benchmarks out_dir quick =
       Printf.printf "%-12s: %5d records -> %s\n%!" name
         (List.length o.Harness.Collection.merged.Tessera_collect.Archive.records)
         (path ""))
-    benches;
+    benches outcomes;
   0
 
 let benchmarks =
@@ -49,10 +54,17 @@ let out_dir =
 let quick =
   Arg.(value & flag & info [ "quick" ] ~doc:"Down-scaled collection for smoke runs.")
 
+let jobs =
+  Arg.(value & opt int (Tessera_util.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Collect benchmarks on N domains (default: the core count; \
+                 every search is independently seeded, so the archives are \
+                 identical for every N).")
+
 let cmd =
   Cmd.v
     (Cmd.info "tessera_collect"
        ~doc:"Run compilation-plan data collection on synthetic benchmarks")
-    Term.(const run $ benchmarks $ out_dir $ quick)
+    Term.(const run $ benchmarks $ out_dir $ quick $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -44,12 +44,9 @@ let faulty_pipeline ~spec ~seed ~predictor =
   let client = Client.connect ~model_name:"faulty" ~lockstep client_ch in
   (client, server_inj, client_inj, jit_inj)
 
-let run target model_dir iterations tir fault_spec fault_seed compile_budget
-    code_cache_dir code_cache_mb code_cache_readonly trace_out metrics_out =
-  (* tracing must be live before the engine exists: Engine.create emits
-     nothing itself, but it registers its clock as the trace cycle
-     source, and the very first invocation already compiles *)
-  if trace_out <> None then Trace.enable ();
+let run_target ~fmt ~model_dir ~iterations ~tir ~fault_spec ~fault_seed
+    ~compile_budget ~code_cache_dir ~code_cache_mb ~code_cache_readonly
+    ~trace_out ~metrics_out target =
   let program =
     if tir then Tessera_lang.Parser.load_program target
     else
@@ -113,17 +110,17 @@ let run target model_dir iterations tir fault_spec fault_seed compile_budget
           }
         in
         let report engine =
-          Printf.printf "fault spec         : %s (seed %d)\n"
+          Format.fprintf fmt "fault spec         : %s (seed %d)\n"
             (Spec.to_string spec) fault_seed;
-          Format.printf "  server injector  : %a@." Injector.pp_stats
+          Format.fprintf fmt "  server injector  : %a@." Injector.pp_stats
             (Injector.stats server_inj);
-          Format.printf "  client injector  : %a@." Injector.pp_stats
+          Format.fprintf fmt "  client injector  : %a@." Injector.pp_stats
             (Injector.stats client_inj);
-          Format.printf "  client counters  : %a@." Client.pp_counters
+          Format.fprintf fmt "  client counters  : %a@." Client.pp_counters
             (Client.counters client);
-          Printf.printf "  breaker state    : %s\n"
+          Format.fprintf fmt "  breaker state    : %s\n"
             (Client.breaker_name (Client.breaker_state client));
-          Printf.printf
+          Format.fprintf fmt
             "  jit degradation  : compile_failures=%d budget_rejections=%d \
              degraded=%d quarantined=%d modifier_fallbacks=%d\n"
             (Engine.compile_failures engine)
@@ -160,33 +157,33 @@ let run target model_dir iterations tir fault_spec fault_seed compile_budget
       | Error _ -> incr traps
     done
   done;
-  Printf.printf "application cycles : %Ld (%.2f virtual ms)\n"
+  Format.fprintf fmt "application cycles : %Ld (%.2f virtual ms)\n"
     (Engine.app_cycles engine)
     (Int64.to_float (Engine.app_cycles engine)
     /. float_of_int Tessera_vm.Cost.cycles_per_ms);
-  Printf.printf "compilation cycles : %Ld\n" (Engine.total_compile_cycles engine);
-  Printf.printf "compilations       : %d (%d methods)\n"
+  Format.fprintf fmt "compilation cycles : %Ld\n" (Engine.total_compile_cycles engine);
+  Format.fprintf fmt "compilations       : %d (%d methods)\n"
     (Engine.compile_count engine)
     (Engine.methods_compiled engine);
   List.iter
     (fun (level, count) ->
-      Printf.printf "  %-10s %d\n" (Tessera_opt.Plan.level_name level) count)
+      Format.fprintf fmt "  %-10s %d\n" (Tessera_opt.Plan.level_name level) count)
     (Engine.compiles_by_level engine);
   (match cache with
   | Some c ->
-      Printf.printf "aot cache loads    : %d\n" (Engine.cache_hits engine);
-      Format.printf "code cache         : %a (%d entries, %d bytes%s)@."
+      Format.fprintf fmt "aot cache loads    : %d\n" (Engine.cache_hits engine);
+      Format.fprintf fmt "code cache         : %a (%d entries, %d bytes%s)@."
         Codecache.pp_counters (Codecache.counters c) (Codecache.entry_count c)
         (Codecache.byte_size c)
         (if Codecache.readonly c then ", readonly" else "");
       Codecache.close c
   | None -> ());
   report_faults engine;
-  if !traps > 0 then Printf.printf "uncaught exceptions: %d\n" !traps;
+  if !traps > 0 then Format.fprintf fmt "uncaught exceptions: %d\n" !traps;
   (match trace_out with
   | Some path ->
       Fileio.atomic_write ~path (Export.chrome_json (Trace.events ()));
-      Printf.printf "trace              : %s (%d events, %d dropped)\n" path
+      Format.fprintf fmt "trace              : %s (%d events, %d dropped)\n" path
         (Trace.length ()) (Trace.dropped ())
   | None -> ());
   (match metrics_out with
@@ -197,13 +194,58 @@ let run target model_dir iterations tir fault_spec fault_seed compile_budget
         Metrics.expose (Engine.metrics engine) ^ Metrics.expose Metrics.default
       in
       Fileio.atomic_write ~path text;
-      Printf.printf "metrics            : %s\n" path
-  | None -> ());
+      Format.fprintf fmt "metrics            : %s\n" path
+  | None -> ())
+
+let run targets jobs model_dir iterations tir fault_spec fault_seed
+    compile_budget code_cache_dir code_cache_mb code_cache_readonly trace_out
+    metrics_out =
+  (* tracing must be live before the engine exists: Engine.create emits
+     nothing itself, but it registers its clock as the trace cycle
+     source, and the very first invocation already compiles *)
+  if trace_out <> None then Trace.enable ();
+  let multi = List.length targets > 1 in
+  let jobs =
+    (* the code-cache store and the trace/metrics output files are
+       shared across targets, so concurrent targets would race on them *)
+    if
+      multi && jobs <> 1
+      && (code_cache_dir <> None || trace_out <> None || metrics_out <> None)
+    then begin
+      prerr_endline
+        "tessera_run: --code-cache/--trace-out/--metrics-out are shared \
+         across targets; forcing -j 1";
+      1
+    end
+    else jobs
+  in
+  (* each target renders its report into its own buffer, so -j N output
+     is printed whole, in command-line order, never interleaved *)
+  let reports =
+    Tessera_util.Pool.run_list ~jobs
+      (fun target ->
+        let buf = Buffer.create 1024 in
+        let fmt = Format.formatter_of_buffer buf in
+        if multi then Format.fprintf fmt "=== %s ===@." target;
+        run_target ~fmt ~model_dir ~iterations ~tir ~fault_spec ~fault_seed
+          ~compile_budget ~code_cache_dir ~code_cache_mb ~code_cache_readonly
+          ~trace_out ~metrics_out target;
+        Format.pp_print_flush fmt ();
+        Buffer.contents buf)
+      targets
+  in
+  List.iter print_string reports;
   0
 
-let target =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET"
-         ~doc:"Benchmark name (e.g. compress) or path to a .tir file with --tir.")
+let targets =
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"TARGET"
+         ~doc:"Benchmark name(s) (e.g. compress) or path(s) to .tir files \
+               with --tir; several targets run on a domain pool (see -j).")
+
+let jobs =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Run multiple targets on N domains (default 1; results are \
+               identical for every N, printed in command-line order).")
 
 let model_dir =
   Arg.(value & opt (some dir) None & info [ "model" ] ~docv:"DIR"
@@ -271,8 +313,8 @@ let metrics_out =
 let cmd =
   Cmd.v
     (Cmd.info "tessera_run" ~doc:"Run a benchmark on the simulated JVM")
-    Term.(const run $ target $ model_dir $ iterations $ tir $ fault_spec
-          $ fault_seed $ compile_budget $ code_cache_dir $ code_cache_mb
-          $ code_cache_readonly $ trace_out $ metrics_out)
+    Term.(const run $ targets $ jobs $ model_dir $ iterations $ tir
+          $ fault_spec $ fault_seed $ compile_budget $ code_cache_dir
+          $ code_cache_mb $ code_cache_readonly $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,7 +5,7 @@ module Harness = Tessera_harness
 module Archive = Tessera_collect.Archive
 module Plan = Tessera_opt.Plan
 
-let run archives out_dir solver_name emit_datasets explain =
+let run archives out_dir solver_name emit_datasets explain jobs =
   let solver =
     match solver_name with
     | "ovr" -> Harness.Modelset.Ovr
@@ -31,7 +31,7 @@ let run archives out_dir solver_name emit_datasets explain =
         Printf.printf "wrote %s (%d instances)\n%!" path
           (List.length ts.Tessera_dataproc.Trainset.instances))
       [ Plan.Cold; Plan.Warm; Plan.Hot ];
-  let ms = Harness.Modelset.train ~solver ~name:"cli" records in
+  let ms = Harness.Modelset.train ~solver ~jobs ~name:"cli" records in
   Harness.Modelset.save ms ~dir:out_dir;
   if explain then
     List.iter
@@ -74,9 +74,17 @@ let explain =
   Arg.(value & flag & info [ "explain" ]
          ~doc:"Print the strongest feature weights per class of each model.")
 
+let jobs =
+  Arg.(value & opt int (Tessera_util.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Train the per-level models on N domains (default: the core \
+                 count; the solvers are deterministic, so the model files \
+                 are identical for every N).")
+
 let cmd =
   Cmd.v
     (Cmd.info "tessera_train" ~doc:"Train per-level SVM models from archives")
-    Term.(const run $ archives $ out_dir $ solver $ emit_datasets $ explain)
+    Term.(const run $ archives $ out_dir $ solver $ emit_datasets $ explain
+          $ jobs)
 
 let () = exit (Cmd.eval' cmd)

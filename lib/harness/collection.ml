@@ -58,5 +58,9 @@ let collect_bench ?(cfg = Expconfig.default)
   }
 
 let collect_training_set ?(cfg = Expconfig.default)
-    ?(target = Tessera_vm.Target.zircon) () =
-  List.map (collect_bench ~cfg ~target) Suites.training_set
+    ?(target = Tessera_vm.Target.zircon) ?(jobs = 1) () =
+  (* each benchmark's two searches are seeded from cfg.seed only, so the
+     outcomes are independent of which domain runs them; run_list keeps
+     the training-set order *)
+  Tessera_util.Pool.run_list ~jobs (collect_bench ~cfg ~target)
+    Suites.training_set

@@ -22,6 +22,13 @@ val collect_bench :
   outcome
 
 val collect_training_set :
-  ?cfg:Expconfig.t -> ?target:Tessera_vm.Target.t -> unit -> outcome list
+  ?cfg:Expconfig.t ->
+  ?target:Tessera_vm.Target.t ->
+  ?jobs:int ->
+  unit ->
+  outcome list
 (** The five trainable SPECjvm98 benchmarks (optionally collected on a
-    non-default back-end target). *)
+    non-default back-end target).  [jobs] (default 1) collects the
+    benchmarks on a {!Tessera_util.Pool} of that many domains; every
+    search is independently seeded, so the outcome list is identical for
+    every [jobs] value. *)

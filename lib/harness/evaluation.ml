@@ -1,5 +1,6 @@
 module Stats = Tessera_util.Stats
 module Prng = Tessera_util.Prng
+module Pool = Tessera_util.Pool
 module Suites = Tessera_workloads.Suites
 module Generate = Tessera_workloads.Generate
 module Engine = Tessera_jit.Engine
@@ -89,38 +90,51 @@ let evaluate_variant ~cfg ~bench ?model () =
   in
   (startup, throughput)
 
-let evaluate_bench ?(cfg = Expconfig.default) ~models bench =
-  let base_startup, base_throughput = evaluate_variant ~cfg ~bench () in
-  List.map
-    (fun (ms : Modelset.t) ->
-      let s, t = evaluate_variant ~cfg ~bench ~model:ms () in
-      let rng = Prng.create (Int64.add cfg.Expconfig.seed 0xA11CEL) in
-      let app r = Array.map (fun m -> m.app_cycles) r in
-      let comp r =
-        Array.map (fun m -> Int64.add 1L m.compile_cycles) r
-        (* +1 avoids 0/0 when nothing compiles in tiny configs *)
-      in
-      {
-        bench = bench.Suites.profile.Tessera_workloads.Profile.name;
-        model = ms.Modelset.name;
-        startup_perf =
-          relative_samples ~cfg ~rng ~invert:false (app base_startup) (app s);
-        startup_compile =
-          relative_samples ~cfg ~rng ~invert:true (comp base_startup) (comp s);
-        throughput_perf =
-          relative_samples ~cfg ~rng ~invert:false (app base_throughput) (app t);
-        throughput_compile =
-          relative_samples ~cfg ~rng ~invert:true (comp base_throughput) (comp t);
-      })
-    models
+(* one cell from the already-measured baseline and variant runs; the
+   noise rng is created per cell and the four summaries consume it in a
+   fixed order, so the numbers are independent of when (or on which
+   domain) the underlying simulations ran *)
+let cell_of ~cfg ~bench (ms : Modelset.t) (base_startup, base_throughput) (s, t)
+    =
+  let rng = Prng.create (Int64.add cfg.Expconfig.seed 0xA11CEL) in
+  let app r = Array.map (fun m -> m.app_cycles) r in
+  let comp r =
+    Array.map (fun m -> Int64.add 1L m.compile_cycles) r
+    (* +1 avoids 0/0 when nothing compiles in tiny configs *)
+  in
+  {
+    bench = bench.Suites.profile.Tessera_workloads.Profile.name;
+    model = ms.Modelset.name;
+    startup_perf =
+      relative_samples ~cfg ~rng ~invert:false (app base_startup) (app s);
+    startup_compile =
+      relative_samples ~cfg ~rng ~invert:true (comp base_startup) (comp s);
+    throughput_perf =
+      relative_samples ~cfg ~rng ~invert:false (app base_throughput) (app t);
+    throughput_compile =
+      relative_samples ~cfg ~rng ~invert:true (comp base_throughput) (comp t);
+  }
+
+let evaluate_bench ?(cfg = Expconfig.default) ?(jobs = 1) ~models bench =
+  (* baseline first, then one task per model — the same evaluation
+     order as the sequential code, whatever the domain count *)
+  let tasks = None :: List.map (fun ms -> Some ms) models in
+  let runs =
+    Pool.run_list ~jobs (fun mo -> evaluate_variant ~cfg ~bench ?model:mo ())
+      tasks
+  in
+  match runs with
+  | base :: variants ->
+      List.map2 (fun ms run -> cell_of ~cfg ~bench ms base run) models variants
+  | [] -> assert false
 
 type matrix = {
   spec_cells : cell list;
   dacapo_cells : cell list;
 }
 
-let full_matrix ?(cfg = Expconfig.default) ~loo ?(spec = Suites.specjvm98)
-    ?(dacapo = Suites.dacapo) () =
+let full_matrix ?(cfg = Expconfig.default) ?(jobs = 1) ~loo
+    ?(spec = Suites.specjvm98) ?(dacapo = Suites.dacapo) () =
   let all_models = List.map (fun (s : Training.loo_set) -> s.Training.modelset) loo in
   let models_for (b : Suites.bench) =
     if b.Suites.trainable then
@@ -132,9 +146,40 @@ let full_matrix ?(cfg = Expconfig.default) ~loo ?(spec = Suites.specjvm98)
         loo
     else all_models
   in
-  let eval suite =
+  (* flatten both suites into one task list — a task is one variant
+     (baseline or one model) of one benchmark, i.e. an independent
+     seeded simulation — so the pool load-balances across every cell of
+     the matrix at once *)
+  let with_models suite = List.map (fun b -> (b, models_for b)) suite in
+  let spec_bm = with_models spec and dacapo_bm = with_models dacapo in
+  let tasks =
     List.concat_map
-      (fun b -> evaluate_bench ~cfg ~models:(models_for b) b)
-      suite
+      (fun (b, models) ->
+        (b, None) :: List.map (fun ms -> (b, Some ms)) models)
+      (spec_bm @ dacapo_bm)
   in
-  { spec_cells = eval spec; dacapo_cells = eval dacapo }
+  let runs =
+    Pool.run_list ~jobs
+      (fun (b, mo) -> evaluate_variant ~cfg ~bench:b ?model:mo ())
+      tasks
+  in
+  (* reassemble in task order: for each benchmark, the baseline run
+     followed by its model runs *)
+  let remaining = ref runs in
+  let take () =
+    match !remaining with
+    | r :: rest ->
+        remaining := rest;
+        r
+    | [] -> assert false
+  in
+  let cells bm =
+    List.concat_map
+      (fun (b, models) ->
+        let base = take () in
+        List.map (fun ms -> cell_of ~cfg ~bench:b ms base (take ())) models)
+      bm
+  in
+  let spec_cells = cells spec_bm in
+  let dacapo_cells = cells dacapo_bm in
+  { spec_cells; dacapo_cells }

@@ -42,7 +42,11 @@ type cell = {
 }
 
 val evaluate_bench :
-  ?cfg:Expconfig.t -> models:Modelset.t list -> Suites.bench -> cell list
+  ?cfg:Expconfig.t ->
+  ?jobs:int ->
+  models:Modelset.t list ->
+  Suites.bench ->
+  cell list
 
 type matrix = {
   spec_cells : cell list;
@@ -51,6 +55,7 @@ type matrix = {
 
 val full_matrix :
   ?cfg:Expconfig.t ->
+  ?jobs:int ->
   loo:Training.loo_set list ->
   ?spec:Suites.bench list ->
   ?dacapo:Suites.bench list ->
@@ -58,4 +63,10 @@ val full_matrix :
   matrix
 (** Benchmarks in the training set are evaluated only against the model
     that excludes them (leave-one-out); reservation-set and DaCapo
-    benchmarks against all five model sets. *)
+    benchmarks against all five model sets.
+
+    [jobs] (default 1) runs the matrix's cells — independent seeded
+    simulations — on a {!Tessera_util.Pool} of that many domains.  The
+    task list, the per-cell seeds, and the assembly order are all fixed
+    up front, so the returned matrix is byte-identical for every
+    [jobs] value. *)

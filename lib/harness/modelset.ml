@@ -28,9 +28,9 @@ type t = {
 let default_levels = [ Plan.Cold; Plan.Warm; Plan.Hot ]
 
 let train ?(solver = Crammer_singer) ?(params = Tessera_svm.Linear.default_params)
-    ?(levels = default_levels) ~name ?excluded records =
+    ?(levels = default_levels) ?(jobs = 1) ~name ?excluded records =
   let levels =
-    List.filter_map
+    Tessera_util.Pool.run_list ~jobs
       (fun level ->
         let ts = Trainset.build ~level records in
         let problem = Trainset.problem ts in
@@ -54,6 +54,7 @@ let train ?(solver = Crammer_singer) ?(params = Tessera_svm.Linear.default_param
             }
         end)
       levels
+    |> List.filter_map Fun.id
   in
   { name; excluded; levels }
 

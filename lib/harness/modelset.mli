@@ -27,13 +27,18 @@ val train :
   ?solver:solver ->
   ?params:Tessera_svm.Linear.params ->
   ?levels:Plan.level list ->
+  ?jobs:int ->
   name:string ->
   ?excluded:string ->
   Tessera_collect.Record.t list ->
   t
 (** Builds per-level training sets (rank → normalize → remap) and trains
     a model per level; levels whose training set is degenerate (fewer
-    than two classes) are skipped. *)
+    than two classes) are skipped.  [jobs] (default 1) trains the levels
+    on a {!Tessera_util.Pool}; the solvers are deterministic and levels
+    come back in order, so the trained set does not depend on [jobs].
+    [train_seconds] is process CPU time and will over-count when other
+    domains train concurrently — it is a diagnostic, not a figure. *)
 
 val predict : t -> level:Plan.level -> Features.t -> Modifier.t
 (** Null modifier for levels without a model. *)

@@ -157,7 +157,7 @@ let collection_summary fmt (outcomes : Collection.outcome list) =
     outcomes;
   Format.fprintf fmt "@."
 
-let training_summary fmt (loo : Training.loo_set list) =
+let training_summary ?(timings = true) fmt (loo : Training.loo_set list) =
   hr fmt;
   Format.fprintf fmt
     "Trained model sets (leave-one-out; one model per level)@.";
@@ -168,11 +168,13 @@ let training_summary fmt (loo : Training.loo_set list) =
         s.Training.excluded_tag;
       List.iter
         (fun (lm : Modelset.level_model) ->
-          Format.fprintf fmt " %s[%d cls, %d inst, %.2fs]"
+          Format.fprintf fmt " %s[%d cls, %d inst"
             (Plan.level_name lm.Modelset.level)
             lm.Modelset.stats.Trainset.training_classes
-            lm.Modelset.stats.Trainset.training_instances
-            lm.Modelset.train_seconds)
+            lm.Modelset.stats.Trainset.training_instances;
+          if timings then
+            Format.fprintf fmt ", %.2fs" lm.Modelset.train_seconds;
+          Format.fprintf fmt "]")
         s.Training.modelset.Modelset.levels;
       Format.fprintf fmt "@.")
     loo;

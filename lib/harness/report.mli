@@ -21,4 +21,8 @@ val figures_6_to_13 : Format.formatter -> Evaluation.matrix -> unit
 
 val collection_summary : Format.formatter -> Collection.outcome list -> unit
 
-val training_summary : Format.formatter -> Training.loo_set list -> unit
+val training_summary :
+  ?timings:bool -> Format.formatter -> Training.loo_set list -> unit
+(** [timings:false] omits the per-level solver CPU seconds — the only
+    nondeterministic field — so the rendering can be digested and
+    compared across runs (the bench harness's [-j] determinism check). *)

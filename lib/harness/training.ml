@@ -1,4 +1,5 @@
 module Archive = Tessera_collect.Archive
+module Pool = Tessera_util.Pool
 
 type loo_set = {
   name : string;
@@ -10,9 +11,10 @@ let records_of outcomes =
   List.concat_map (fun (o : Collection.outcome) -> o.Collection.merged.Archive.records) outcomes
 
 let train_loo ?(solver = Modelset.Crammer_singer)
-    ?(params = Tessera_svm.Linear.default_params) outcomes =
-  List.mapi
-    (fun i (excluded : Collection.outcome) ->
+    ?(params = Tessera_svm.Linear.default_params) ?(jobs = 1) outcomes =
+  let indexed = List.mapi (fun i o -> (i, o)) outcomes in
+  Pool.run_list ~jobs
+    (fun (i, (excluded : Collection.outcome)) ->
       let name = Printf.sprintf "H%d" (i + 1) in
       let kept =
         List.filter
@@ -23,10 +25,10 @@ let train_loo ?(solver = Modelset.Crammer_singer)
         name;
         excluded_tag = excluded.Collection.tag;
         modelset =
-          Modelset.train ~solver ~params ~name
+          Modelset.train ~solver ~params ~jobs ~name
             ~excluded:excluded.Collection.tag (records_of kept);
       })
-    outcomes
+    indexed
 
 let train_on_all ?(solver = Modelset.Crammer_singer)
     ?(params = Tessera_svm.Linear.default_params) ~name outcomes =

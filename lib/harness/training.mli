@@ -13,8 +13,12 @@ type loo_set = {
 val train_loo :
   ?solver:Modelset.solver ->
   ?params:Tessera_svm.Linear.params ->
+  ?jobs:int ->
   Collection.outcome list ->
   loo_set list
+(** [jobs] (default 1) trains the five sets on a {!Tessera_util.Pool};
+    training is deterministic per set, and results come back in input
+    order, so the output is independent of the domain count. *)
 
 val train_on_all :
   ?solver:Modelset.solver ->

@@ -18,11 +18,11 @@ type t = {
   flags : flags;
 }
 
-let counter = ref 0
+(* atomic: programs are generated concurrently by evaluation-pool
+   domains, and uids must stay unique across them *)
+let counter = Atomic.make 0
 
-let fresh_uid () =
-  incr counter;
-  !counter
+let fresh_uid () = Atomic.fetch_and_add counter 1 + 1
 
 let mk ?(sym = -1) ?(const = 0L) ?(flags = flag_none) op ty args =
   { uid = fresh_uid (); op; ty; args; sym; const; flags }

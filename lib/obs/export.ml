@@ -2,24 +2,42 @@
 (* Chrome trace_event JSON                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* UTF-8-aware string escaping: well-formed multibyte sequences pass
+   through untouched (so method and benchmark names render in Perfetto
+   instead of turning into per-byte mojibake), control bytes get the
+   usual escapes, and invalid sequences become U+FFFD — the output is
+   always valid UTF-8 and valid JSON. *)
 let escape s =
   let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let d = String.get_utf_8_uchar s !i in
+    (if Uchar.utf_decode_is_valid d then
+       let u = Uchar.utf_decode_uchar d in
+       let c = Uchar.to_int u in
+       if c < 0x80 then
+         match Char.chr c with
+         | '"' -> Buffer.add_string buf "\\\""
+         | '\\' -> Buffer.add_string buf "\\\\"
+         | '\n' -> Buffer.add_string buf "\\n"
+         | '\r' -> Buffer.add_string buf "\\r"
+         | '\t' -> Buffer.add_string buf "\\t"
+         | ch when Char.code ch < 0x20 ->
+             Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+         | ch -> Buffer.add_char buf ch
+       else Buffer.add_utf_8_uchar buf u
+     else Buffer.add_utf_8_uchar buf Uchar.rep);
+    i := !i + Uchar.utf_decode_length d
+  done;
   Buffer.contents buf
 
+(* JSON has no nan/inf tokens; Chrome tracing's convention for a
+   non-finite value is null.  Emitting the bare token would make the
+   whole export fail strict validation (including our own parse_json). *)
 let json_float f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.6f" f
 
 let arg_json = function
@@ -119,16 +137,41 @@ let parse_json s =
           | Some 'f' -> advance (); Buffer.add_char buf '\012'; go ()
           | Some 'u' ->
               advance ();
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let hex = String.sub s !pos 4 in
-              let code =
-                try int_of_string ("0x" ^ hex)
-                with _ -> fail "bad \\u escape"
+              let read_hex4 () =
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail "bad \\u escape"
+                in
+                pos := !pos + 4;
+                code
               in
-              pos := !pos + 4;
-              (* decode to UTF-8; surrogates pass through as replacement *)
-              if code < 0x80 then Buffer.add_char buf (Char.chr code)
-              else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+              (* decode to UTF-8, pairing surrogates; lone surrogates
+                 become U+FFFD *)
+              let code = read_hex4 () in
+              if code >= 0xD800 && code <= 0xDBFF then begin
+                if !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then begin
+                  pos := !pos + 2;
+                  let lo = read_hex4 () in
+                  if lo >= 0xDC00 && lo <= 0xDFFF then
+                    Buffer.add_utf_8_uchar buf
+                      (Uchar.of_int
+                         (0x10000
+                         + ((code - 0xD800) lsl 10)
+                         + (lo - 0xDC00)))
+                  else begin
+                    Buffer.add_utf_8_uchar buf Uchar.rep;
+                    if lo >= 0xD800 && lo <= 0xDFFF then
+                      Buffer.add_utf_8_uchar buf Uchar.rep
+                    else Buffer.add_utf_8_uchar buf (Uchar.of_int lo)
+                  end
+                end
+                else Buffer.add_utf_8_uchar buf Uchar.rep
+              end
+              else if code >= 0xDC00 && code <= 0xDFFF then
+                Buffer.add_utf_8_uchar buf Uchar.rep
+              else Buffer.add_utf_8_uchar buf (Uchar.of_int code);
               go ()
           | _ -> fail "bad escape")
       | Some c when Char.code c < 0x20 -> fail "control character in string"

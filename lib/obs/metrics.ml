@@ -12,26 +12,35 @@ type histogram = {
 
 type instrument = C of counter | G of gauge | H of histogram
 
-type t = { tbl : (string, instrument) Hashtbl.t }
+(* The registry table is the only state shared across domains:
+   registration, exposition, and reset take [mu]; instrument reads and
+   writes are plain record-field operations on values handed out at
+   registration time, so the hot path never locks or hashes. *)
+type t = { tbl : (string, instrument) Hashtbl.t; mu : Mutex.t }
 
-let create () = { tbl = Hashtbl.create 32 }
+let create () = { tbl = Hashtbl.create 32; mu = Mutex.create () }
 let default = create ()
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
 let register t name make found =
-  match Hashtbl.find_opt t.tbl name with
-  | Some i -> (
-      match found i with
-      | Some v -> v
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some i -> (
+          match found i with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %S already registered as a %s" name
+                   (kind_name i)))
       | None ->
-          invalid_arg
-            (Printf.sprintf "Metrics: %S already registered as a %s" name
-               (kind_name i)))
-  | None ->
-      let v, i = make () in
-      Hashtbl.add t.tbl name i;
-      v
+          let v, i = make () in
+          Hashtbl.add t.tbl name i;
+          v)
 
 let counter t ?(help = "") name =
   register t name
@@ -105,17 +114,25 @@ let bucket_counts h =
 let histogram_sum h = h.h_sum
 let histogram_count h = h.h_count
 
-let names t =
+let names_unlocked t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort String.compare
 
+let names t = locked t (fun () -> names_unlocked t)
+
 (* Prometheus exposition needs 1e6 to print as "1e+06"-free decimal where
-   possible; use %.17g trimmed via %g for bounds and sums. *)
+   possible; use %.17g trimmed via %g for bounds and sums.  Non-finite
+   values use the format's spellings (NaN, +Inf, -Inf) — "nan"/"inf"
+   tokens would fail strict scrape parsers. *)
 let float_str f =
-  if Float.is_integer f && Float.abs f < 1e15 then
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.0f" f
   else Printf.sprintf "%g" f
 
 let expose t =
+  locked t @@ fun () ->
   let buf = Buffer.create 1024 in
   let header name help kind =
     if help <> "" then
@@ -149,17 +166,18 @@ let expose t =
             (Printf.sprintf "%s_sum %s\n" h.h_name (float_str h.h_sum));
           Buffer.add_string buf
             (Printf.sprintf "%s_count %d\n" h.h_name h.h_count))
-    (names t);
+    (names_unlocked t);
   Buffer.contents buf
 
 let reset t =
-  Hashtbl.iter
-    (fun _ i ->
-      match i with
-      | C c -> c.c_value <- 0
-      | G g -> g.g_value <- 0.0
-      | H h ->
-          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-          h.h_sum <- 0.0;
-          h.h_count <- 0)
-    t.tbl
+  locked t (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          match i with
+          | C c -> c.c_value <- 0
+          | G g -> g.g_value <- 0.0
+          | H h ->
+              Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+              h.h_sum <- 0.0;
+              h.h_count <- 0)
+        t.tbl)

@@ -12,7 +12,15 @@
     Registries are values: per-engine state (one simulated JVM each)
     lives in its own registry, process-wide state (the model server's
     request counters) in {!default}.  Instrument reads and writes are
-    plain record-field operations — no hashing on the hot path. *)
+    plain record-field operations — no hashing on the hot path.
+
+    Domain safety: registration, {!expose}, {!names}, and {!reset} are
+    mutex-guarded, so concurrent domains may register against one
+    registry (e.g. {!default}) freely.  Instrument updates stay
+    lock-free; the intended discipline is that each instrument is
+    written by one domain (engines own their registries in a work
+    pool) — concurrent writers of a {e single} instrument may lose
+    increments, but never corrupt the registry. *)
 
 type t
 (** A registry. *)

@@ -23,28 +23,73 @@ let dummy =
   { name = ""; cat = ""; ph = Instant; cycles = 0L; wall_us = 0.0; args = [] }
 
 let enabled = ref false
-let ring : ring option ref = ref None
-let default_source () = 0L
-let cycle_source = ref default_source
+
+(* Domain safety: each domain buffers into its own ring, so the emit
+   path never takes a lock and never shares a cache line.  Rings are
+   registered in [rings] (mutex-guarded, reader side only) the first
+   time a domain emits; [generation] invalidates the domain-local cache
+   whenever [enable] rebuilds the ring set, so a pool worker that
+   outlives an enable cycle lazily re-registers a fresh ring. *)
+let mu = Mutex.create ()
+let rings : ring list ref = ref []
+let generation = ref 0
+let config = ref (65536, false) (* capacity, wall — set by [enable] *)
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let dls_ring : (int * ring) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let new_ring () =
+  let capacity, wall = !config in
+  { buf = Array.make capacity dummy; start = 0; len = 0; dropped = 0; wall }
+
+(* the calling domain's ring for the current generation, creating and
+   registering it on first use *)
+let current_ring () =
+  let cache = Domain.DLS.get dls_ring in
+  match !cache with
+  | Some (g, r) when g = !generation -> r
+  | _ ->
+      locked (fun () ->
+          let r = new_ring () in
+          rings := !rings @ [ r ];
+          cache := Some (!generation, r);
+          r)
 
 let enable ?(capacity = 65536) ?(wall = false) () =
   if capacity <= 0 then invalid_arg "Trace.enable: capacity must be positive";
-  ring :=
-    Some { buf = Array.make capacity dummy; start = 0; len = 0; dropped = 0; wall };
+  locked (fun () ->
+      config := (capacity, wall);
+      rings := [];
+      incr generation);
+  (* eager ring for the enabling domain, so [capacity ()] is meaningful
+     immediately *)
+  ignore (current_ring ());
   enabled := true
 
 let disable () = enabled := false
 
 let reset () =
-  match !ring with
-  | None -> ()
-  | Some r ->
-      r.start <- 0;
-      r.len <- 0;
-      r.dropped <- 0
+  locked (fun () ->
+      List.iter
+        (fun r ->
+          r.start <- 0;
+          r.len <- 0;
+          r.dropped <- 0)
+        !rings)
 
-let set_cycle_source f = cycle_source := f
-let clear_cycle_source () = cycle_source := default_source
+(* the cycle source is domain-local: each worker's engine registers its
+   own clock without stamping anyone else's events *)
+let default_source () = 0L
+
+let dls_source : (unit -> int64) ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref default_source)
+
+let set_cycle_source f = Domain.DLS.get dls_source := f
+let clear_cycle_source () = Domain.DLS.get dls_source := default_source
 
 let push r e =
   let cap = Array.length r.buf in
@@ -59,15 +104,14 @@ let push r e =
   end
 
 let emit ?cycles ?(args = []) ~cat ph name =
-  if !enabled then
-    match !ring with
-    | None -> ()
-    | Some r ->
-        let cycles =
-          match cycles with Some c -> c | None -> !cycle_source ()
-        in
-        let wall_us = if r.wall then Unix.gettimeofday () *. 1e6 else 0.0 in
-        push r { name; cat; ph; cycles; wall_us; args }
+  if !enabled then begin
+    let r = current_ring () in
+    let cycles =
+      match cycles with Some c -> c | None -> !(Domain.DLS.get dls_source) ()
+    in
+    let wall_us = if r.wall then Unix.gettimeofday () *. 1e6 else 0.0 in
+    push r { name; cat; ph; cycles; wall_us; args }
+  end
 
 let span_begin ?cycles ?args ~cat name = emit ?cycles ?args ~cat Span_begin name
 let span_end ?cycles ?args ~cat name = emit ?cycles ?args ~cat Span_end name
@@ -76,16 +120,9 @@ let instant ?cycles ?args ~cat name = emit ?cycles ?args ~cat Instant name
 let counter ?cycles ~cat name v =
   emit ?cycles ~args:[ ("value", Int (Int64.of_int v)) ] ~cat Counter name
 
-let events () =
-  match !ring with
-  | None -> []
-  | Some r ->
-      let cap = Array.length r.buf in
-      List.init r.len (fun i -> r.buf.((r.start + i) mod cap))
-
-let length () = match !ring with None -> 0 | Some r -> r.len
-let capacity () = match !ring with None -> 0 | Some r -> Array.length r.buf
-let dropped () = match !ring with None -> 0 | Some r -> r.dropped
+let ring_events r =
+  let cap = Array.length r.buf in
+  List.init r.len (fun i -> r.buf.((r.start + i) mod cap))
 
 let phase_name = function
   | Span_begin -> "B"
@@ -98,17 +135,53 @@ let pp_arg fmt = function
   | Float f -> Format.fprintf fmt "%.17g" f
   | Str s -> Format.fprintf fmt "%s" s
 
+let canonical_line e =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf
+    (Printf.sprintf "%Ld %s %s %s" e.cycles e.cat (phase_name e.ph) e.name);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf " %s=%s" k (Format.asprintf "%a" pp_arg v)))
+    e.args;
+  Buffer.contents buf
+
+(* Merging: one ring (the sequential case) keeps its exact emission
+   order.  Several rings are merged into a single canonical stream
+   ordered by virtual cycle; ties are broken by the canonical line
+   content, which makes the merged order independent of which domain
+   happened to run which work item — the property the determinism
+   oracle needs, since with dynamic load balancing the per-ring
+   contents are scheduling-dependent but the merged multiset is not. *)
+let events () =
+  match locked (fun () -> !rings) with
+  | [] -> []
+  | [ r ] -> ring_events r
+  | rs ->
+      let all = List.concat_map ring_events rs in
+      let keyed = List.map (fun e -> ((e.cycles, canonical_line e), e)) all in
+      List.map snd
+        (List.stable_sort
+           (fun ((c1, l1), _) ((c2, l2), _) ->
+             match Int64.compare c1 c2 with
+             | 0 -> String.compare l1 l2
+             | n -> n)
+           keyed)
+
+let ring_count () = locked (fun () -> List.length !rings)
+
+let sum_rings f =
+  locked (fun () -> List.fold_left (fun acc r -> acc + f r) 0 !rings)
+
+let length () = sum_rings (fun r -> r.len)
+let capacity () = sum_rings (fun r -> Array.length r.buf)
+let dropped () = sum_rings (fun r -> r.dropped)
+
 let to_canonical_string () =
   let buf = Buffer.create 4096 in
   List.iter
     (fun e ->
-      Buffer.add_string buf
-        (Printf.sprintf "%Ld %s %s %s" e.cycles e.cat (phase_name e.ph) e.name);
-      List.iter
-        (fun (k, v) ->
-          Buffer.add_string buf
-            (Printf.sprintf " %s=%s" k (Format.asprintf "%a" pp_arg v)))
-        e.args;
+      Buffer.add_string buf (canonical_line e);
       Buffer.add_char buf '\n')
     (events ());
   Buffer.contents buf

@@ -7,10 +7,15 @@
     ({!to_canonical_string} excludes wall time), which is what lets a
     trace diff double as a regression oracle.
 
-    The buffer is a global singleton — there is one simulated machine
-    per process — with a fixed capacity; when full, the oldest events
-    are overwritten and counted in {!dropped}, so tracing can never grow
-    memory without bound.
+    Each {e domain} buffers into its own fixed-capacity ring — the emit
+    path never takes a lock — and the rings are registered in a shared
+    set the first time a domain emits.  {!events} merges them into one
+    canonical stream ordered by virtual cycle (ties broken by event
+    content), so the merged order is independent of which domain ran
+    which work item; a single-domain run keeps its exact emission order,
+    preserving the pre-parallel behaviour byte for byte.  When a ring is
+    full, its oldest events are overwritten and counted in {!dropped},
+    so tracing can never grow memory without bound.
 
     Overhead discipline: {!enabled} is the single global on/off flag.
     Instrumentation sites in hot paths must guard with
@@ -42,22 +47,25 @@ val enabled : bool ref
     {!enable}/{!disable}. *)
 
 val enable : ?capacity:int -> ?wall:bool -> unit -> unit
-(** Start tracing into a fresh ring of [capacity] events (default
-    65536).  [wall] (default false) additionally stamps events with
-    [Unix.gettimeofday]; leave it off for deterministic traces. *)
+(** Start tracing into a fresh ring set; each domain that emits gets its
+    own ring of [capacity] events (default 65536).  [wall] (default
+    false) additionally stamps events with [Unix.gettimeofday]; leave it
+    off for deterministic traces. *)
 
 val disable : unit -> unit
 (** Stop tracing; buffered events remain readable. *)
 
 val reset : unit -> unit
-(** Drop all buffered events and the dropped count (keeps enabled state
-    and capacity). *)
+(** Drop all buffered events and the dropped counts from every
+    registered ring (keeps enabled state, capacity, and the rings). *)
 
 val set_cycle_source : (unit -> int64) -> unit
 (** Register the virtual-clock read used when an emit site does not pass
     [?cycles] explicitly (subsystems that do not own a clock: the code
     cache, the protocol client, the fault injector).  The JIT engine
-    registers its clock on creation; the default source returns [0L]. *)
+    registers its clock on creation; the default source returns [0L].
+    The registration is {e domain-local}, so concurrent engines in a
+    work pool never stamp each other's clocks. *)
 
 val clear_cycle_source : unit -> unit
 
@@ -74,13 +82,23 @@ val counter : ?cycles:int64 -> cat:string -> string -> int -> unit
     [args] as ["value"]). *)
 
 val events : unit -> event list
-(** Oldest first; at most [capacity] events. *)
+(** All buffered events as one stream.  With a single ring this is the
+    exact emission order; with several (a parallel run) the rings are
+    merged by virtual cycle with content tie-breaks — a canonical order
+    independent of domain scheduling.  Call after parallel work has
+    been joined; concurrent emitters may be partially visible. *)
 
 val length : unit -> int
+(** Buffered events, summed over all rings. *)
+
 val capacity : unit -> int
+(** Total capacity, summed over all rings. *)
 
 val dropped : unit -> int
-(** Events overwritten because the ring was full. *)
+(** Events overwritten because a ring was full, summed over rings. *)
+
+val ring_count : unit -> int
+(** Registered per-domain rings (1 in a sequential run). *)
 
 val to_canonical_string : unit -> string
 (** One line per buffered event —

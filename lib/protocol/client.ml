@@ -155,8 +155,10 @@ let backoff_delay t attempt =
       (t.config.backoff_base_ms *. (2.0 ** float_of_int attempt))
       t.config.backoff_max_ms
   in
-  (* full-jitter: uniform in [capped, 1.5 * capped) *)
-  (capped +. Prng.float t.rng ((capped /. 2.0) +. 1e-9)) /. 1000.0
+  (* full jitter (AWS style): uniform in (0, capped].  A floor at
+     [capped] would make every retrying client wait the entire backoff
+     and keep their retries correlated — the opposite of jitter. *)
+  capped *. (1.0 -. Prng.float t.rng 1.0) /. 1000.0
 
 let trip t =
   if t.breaker <> Breaker_open then begin

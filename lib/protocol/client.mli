@@ -106,4 +106,11 @@ val counters : t -> counters
 val breaker_state : t -> breaker
 val pp_counters : Format.formatter -> counters -> unit
 
+val backoff_delay : t -> int -> float
+(** [backoff_delay t attempt] is the retry sleep in seconds for the
+    given 0-based attempt: full jitter, uniform in
+    [(0, min (base * 2^attempt) max]].  Draws from the client's jitter
+    PRNG (so calling it advances the stream); exposed for property
+    tests of the bound. *)
+
 val shutdown : t -> unit

@@ -4,9 +4,10 @@ type params = { c : float; eps : float; max_iter : int; seed : int64 }
 
 let default_params = { c = 10.0; eps = 1e-3; max_iter = 1000; seed = 7L }
 
-let last_iterations = ref 0
+(* diagnostic only; atomic so concurrent training domains never race *)
+let last_iterations = Atomic.make 0
 
-let iterations_used () = !last_iterations
+let iterations_used () = Atomic.get last_iterations
 
 (* Dual coordinate descent for min_w 1/2 w'w + C Σ max(0, 1 - y_i w'x_i).
    Dual: min_α 1/2 α'Qα - e'α, 0 <= α_i <= C, Q_ij = y_i y_j x_i'x_j. *)
@@ -52,7 +53,7 @@ let train_binary ?(params = default_params) x y =
         order;
       if !max_pg < params.eps then converged := true
     done;
-    last_iterations := !iter;
+    Atomic.set last_iterations !iter;
     w
   end
 

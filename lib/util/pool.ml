@@ -1,0 +1,53 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* true while the current domain is executing pool work: nested pool
+   calls degrade to the sequential path instead of spawning
+   domains-of-domains *)
+let inside : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let sequential_init n f = Array.init n f
+
+let parallel_init ~jobs n f =
+  (* each slot is written exactly once, by whichever domain claimed its
+     index; the claim counter is the only shared mutable state *)
+  let results : ('a, exn) result option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    Domain.DLS.set inside true;
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- (try Some (Ok (f i)) with e -> Some (Error e));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Domain.DLS.set inside false;
+  Array.iter Domain.join domains;
+  (* deterministic error propagation: the lowest-indexed failure wins *)
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise e
+      | None -> assert false (* every index below [n] was claimed *))
+    results
+
+let init ?jobs n f =
+  if n < 0 then invalid_arg "Pool.init: negative length";
+  let jobs =
+    max 1 (min (match jobs with Some j -> j | None -> default_jobs ()) n)
+  in
+  if n = 0 then [||]
+  else if jobs = 1 || Domain.DLS.get inside then sequential_init n f
+  else parallel_init ~jobs n f
+
+let map_array ?jobs f items =
+  init ?jobs (Array.length items) (fun i -> f items.(i))
+
+let run_list ?jobs f items =
+  Array.to_list (map_array ?jobs f (Array.of_list items))
+
+let iter_list ?jobs f items = ignore (run_list ?jobs f items)

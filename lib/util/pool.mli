@@ -1,0 +1,42 @@
+(** Fixed-size [Domain] work pool with deterministic result ordering.
+
+    The paper's methodology is embarrassingly parallel: every evaluation
+    cell is an independent seeded simulation, every leave-one-out model
+    trains on its own data, every collection run owns its engine.  This
+    pool recovers that parallelism without changing a single reported
+    number: work items carry their index, each result is written into a
+    pre-sized slot of the output, and the output is assembled in input
+    order — so the result is byte-identical to the sequential run
+    regardless of how the domains schedule the items.
+
+    Worker domains pull item indices from a shared atomic counter
+    (dynamic load balancing); the calling domain participates as a
+    worker, so [jobs = 1] spawns no domain at all and is exactly the
+    sequential [Array.map] / [List.map], in the same evaluation order.
+
+    Nested calls never over-subscribe: a pool invocation made from
+    inside a pool worker runs sequentially in that worker (one level of
+    domains, never domains-of-domains).
+
+    Exceptions are deterministic: if one or more items raise, the whole
+    call raises the exception of the {e lowest-indexed} failing item,
+    after all spawned domains have been joined. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [-j] default of every
+    CLI. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array ~jobs f items] is [Array.map f items], computed by up to
+    [jobs] domains.  [jobs] defaults to {!default_jobs}[ ()] and is
+    clamped to [[1, Array.length items]]. *)
+
+val run_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [List.map f items], parallelized like {!map_array}; order
+    preserved. *)
+
+val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [Array.init n f], parallelized like {!map_array}. *)
+
+val iter_list : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+(** [List.iter f items] with the items distributed over the pool. *)

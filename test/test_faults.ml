@@ -309,6 +309,37 @@ let test_connect_survives_dead_server () =
   | Client.Predicted _ -> Alcotest.fail "predicted against a dead server");
   check_counter_invariant client
 
+(* ---------- backoff jitter ---------- *)
+
+let test_backoff_full_jitter () =
+  (* full jitter: every delay is uniform in (0, capped] seconds — never
+     zero (a zero sleep would hammer a struggling server), never above
+     the exponential cap, and actually jittered (not a constant) *)
+  QCheck.Test.make ~count:100 ~name:"backoff delay is full jitter in (0, cap]"
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 1 1000) (int_range 1 5000) (int_bound 20)))
+    (fun (base_ms, max_ms, attempt) ->
+      let config =
+        {
+          lockstep_config with
+          Client.backoff_base_ms = float_of_int base_ms;
+          backoff_max_ms = float_of_int max_ms;
+          jitter_seed = Int64.of_int ((base_ms * 7919) + attempt);
+        }
+      in
+      (* a dead server: connect fails fast and leaves a usable client *)
+      let _, client_raw = Channel.pipe_pair () in
+      let client = Client.connect ~model_name:"jitter" ~config client_raw in
+      let capped_s =
+        Float.min
+          (float_of_int base_ms *. (2.0 ** float_of_int attempt))
+          (float_of_int max_ms)
+        /. 1000.0
+      in
+      let draws = List.init 32 (fun _ -> Client.backoff_delay client attempt) in
+      List.for_all (fun d -> d > 0.0 && d <= capped_s) draws
+      && List.exists (fun d -> d <> List.hd draws) draws)
+
 (* ---------- engine degradation ---------- *)
 
 let sync_config =
@@ -457,6 +488,7 @@ let suite =
       test_breaker_trips_and_recovers;
     Alcotest.test_case "connect survives dead server" `Quick
       test_connect_survives_dead_server;
+    QCheck_alcotest.to_alcotest (test_backoff_full_jitter ());
     Alcotest.test_case "engine quarantines failing compiles" `Quick
       test_engine_quarantines_failing_compiles;
     Alcotest.test_case "engine budget degrades" `Quick

@@ -1,6 +1,10 @@
 let () =
   Alcotest.run "tessera"
     [
+      (* protocol first: its two-process test forks, and Unix.fork is
+         illegal once any suite has spawned a domain (the pool and
+         obs domain-safety tests do) *)
+      ("protocol", Test_protocol.suite);
       ("util", Test_util.suite);
       ("il", Test_il.suite);
       ("vm", Test_vm.suite);
@@ -14,7 +18,6 @@ let () =
       ("collect", Test_collect.suite);
       ("dataproc", Test_dataproc.suite);
       ("svm", Test_svm.suite);
-      ("protocol", Test_protocol.suite);
       ("faults", Test_faults.suite);
       ("jit", Test_jit.suite);
       ("workloads", Test_workloads.suite);

@@ -159,6 +159,174 @@ let test_chrome_roundtrip () =
               names = List.map (fun (e : Trace.event) -> e.Trace.name) events
           | _ -> QCheck.Test.fail_report "no traceEvents array"))
 
+(* args — including non-finite floats and multibyte UTF-8 — survive the
+   export → parse round trip: nan/±inf become null (JSON has no tokens
+   for them), every valid UTF-8 string comes back byte-identical *)
+
+let utf8_fragments =
+  [ "a"; "Z"; "0"; " "; "\""; "\\"; "/"; "\n"; "\t"; "\r"; "\x01"; "\x1f";
+    "\xc3\xa9" (* é *); "\xc3\x9f" (* ß *); "\xe6\x97\xa5" (* 日 *);
+    "\xe2\x82\xac" (* € *); "\xf0\x9f\x9a\x80" (* 🚀 *);
+    "\xf0\x9d\x84\x9e" (* 𝄞, needs a surrogate pair in \u form *);
+    "\xef\xbf\xbd" (* U+FFFD itself *) ]
+
+let gen_utf8 =
+  QCheck.Gen.(
+    map (String.concat "")
+      (list_size (int_bound 6) (oneofl utf8_fragments)))
+
+let gen_arg_value =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Trace.Int (Int64.of_int i)) int;
+        map (fun f -> Trace.Float f) float;
+        oneofl
+          [ Trace.Float Float.nan; Trace.Float Float.infinity;
+            Trace.Float Float.neg_infinity; Trace.Float Float.max_float;
+            Trace.Float (-0.0) ];
+        map (fun s -> Trace.Str s) gen_utf8;
+      ])
+
+let gen_arg_event =
+  QCheck.Gen.(
+    map
+      (fun (name, args) ->
+        { Trace.name; cat = "test"; ph = Trace.Instant; cycles = 7L;
+          wall_us = 0.0 (* 0 so no wall_us arg is appended *); args })
+      (pair gen_utf8
+         (list_size (int_bound 4)
+            (map2 (fun k v -> (k, v)) gen_utf8 gen_arg_value))))
+
+let arg_matches expected (parsed : Export.json) =
+  match (expected, parsed) with
+  | Trace.Int i, Export.Num f -> f = Int64.to_float i
+  | Trace.Float f, Export.Null -> not (Float.is_finite f)
+  | Trace.Float f, Export.Num p ->
+      (* json_float prints %.6f / %.0f, so equality is up to that *)
+      Float.is_finite f && Float.abs (p -. f) <= 1e-6 +. (1e-9 *. Float.abs f)
+  | Trace.Str s, Export.Jstr p -> String.equal s p
+  | _ -> false
+
+let test_chrome_args_roundtrip () =
+  QCheck.Test.make ~count:200
+    ~name:"chrome export round-trips args (nan/inf -> null, UTF-8 intact)"
+    (QCheck.make QCheck.Gen.(list_size (int_bound 20) gen_arg_event))
+    (fun events ->
+      let text = Export.chrome_json events in
+      match Export.parse_json text with
+      | Error e -> QCheck.Test.fail_reportf "invalid JSON: %s" e
+      | Ok json -> (
+          match Export.member "traceEvents" json with
+          | Some (Export.Arr items) ->
+              List.length items = List.length events
+              && List.for_all2
+                   (fun (e : Trace.event) item ->
+                     (match Export.member "name" item with
+                      | Some (Export.Jstr s) -> String.equal s e.Trace.name
+                      | _ -> false)
+                     &&
+                     let parsed_args =
+                       match Export.member "args" item with
+                       | Some (Export.Obj fields) -> fields
+                       | None -> []
+                       | Some _ -> [ ("", Export.Bool false) ]
+                     in
+                     List.length parsed_args = List.length e.Trace.args
+                     && List.for_all2
+                          (fun (k, v) (pk, pv) ->
+                            String.equal k pk && arg_matches v pv)
+                          e.Trace.args parsed_args)
+                   events items
+          | _ -> QCheck.Test.fail_report "no traceEvents array"))
+
+let test_export_invalid_utf8 () =
+  (* invalid bytes become U+FFFD, never invalid JSON *)
+  let e =
+    { Trace.name = "bad\xffname"; cat = "test"; ph = Trace.Instant;
+      cycles = 0L; wall_us = 0.0; args = [ ("k", Trace.Str "\xc3") ] }
+  in
+  let text = Export.chrome_json [ e ] in
+  match Export.parse_json text with
+  | Error err -> Alcotest.failf "export of invalid UTF-8 unparsable: %s" err
+  | Ok json -> (
+      match Export.member "traceEvents" json with
+      | Some (Export.Arr [ item ]) ->
+          (match Export.member "name" item with
+          | Some (Export.Jstr s) ->
+              Alcotest.(check string) "byte replaced" "bad\xef\xbf\xbdname" s
+          | _ -> Alcotest.fail "no name");
+          (match Export.member "args" item with
+          | Some (Export.Obj [ ("k", Export.Jstr s) ]) ->
+              Alcotest.(check string) "truncated seq replaced" "\xef\xbf\xbd" s
+          | _ -> Alcotest.fail "no args")
+      | _ -> Alcotest.fail "no traceEvents")
+
+let test_metrics_nonfinite_exposition () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge reg "weird" in
+  Metrics.set_gauge g Float.nan;
+  let text = Metrics.expose reg in
+  let mentions s =
+    let rec go i =
+      i + String.length s <= String.length text
+      && (String.sub text i (String.length s) = s || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "NaN uses the Prometheus spelling" true
+    (mentions "weird NaN");
+  Metrics.set_gauge g Float.infinity;
+  Alcotest.(check bool) "+Inf uses the Prometheus spelling" true
+    (let text = Metrics.expose reg in
+     let rec go i =
+       i + 9 <= String.length text
+       && (String.sub text i 9 = "weird +In" || go (i + 1))
+     in
+     go 0)
+
+(* ------------------------------------------------------------------ *)
+(* Domain safety                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* N domains hammer one registry and emit into their own per-domain
+   rings; nothing is lost, and the canonical merged stream is identical
+   across runs — the determinism oracle holds under parallelism *)
+let test_domain_stress () =
+  let domains = 4 and per_domain = 250 in
+  let run () =
+    with_trace @@ fun () ->
+    let reg = Metrics.create () in
+    let workers =
+      Array.init domains (fun d ->
+          Domain.spawn (fun () ->
+              let c = Metrics.counter reg "hits_total" in
+              let h = Metrics.histogram reg "lat" in
+              for i = 0 to per_domain - 1 do
+                Metrics.inc c;
+                Metrics.observe h (float_of_int i);
+                Trace.instant
+                  ~cycles:(Int64.of_int ((d * 100_000) + i))
+                  ~cat:"stress"
+                  (Printf.sprintf "d%d_i%d" d i)
+              done))
+    in
+    Array.iter Domain.join workers;
+    ( Metrics.counter_value (Metrics.counter reg "hits_total"),
+      Metrics.histogram_count (Metrics.histogram reg "lat"),
+      Trace.length (),
+      Trace.ring_count (),
+      Trace.to_canonical_string () )
+  in
+  let hits1, lat1, len1, rings1, stream1 = run () in
+  let hits2, _, _, _, stream2 = run () in
+  Alcotest.(check int) "no lost counter increments" (domains * per_domain) hits1;
+  Alcotest.(check int) "no lost observations" (domains * per_domain) lat1;
+  Alcotest.(check int) "no lost trace events" (domains * per_domain) len1;
+  Alcotest.(check bool) "one ring per emitting domain" true (rings1 >= domains);
+  Alcotest.(check int) "same totals across runs" hits1 hits2;
+  Alcotest.(check string) "deterministic merged stream" stream1 stream2
+
 (* ------------------------------------------------------------------ *)
 (* Engine integration                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -292,8 +460,17 @@ let test_log_levels () =
 
 let suite =
   List.map QCheck_alcotest.to_alcotest
-    [ test_ring_bounds (); test_histogram_sums (); test_chrome_roundtrip () ]
+    [
+      test_ring_bounds (); test_histogram_sums (); test_chrome_roundtrip ();
+      test_chrome_args_roundtrip ();
+    ]
   @ [
+      Alcotest.test_case "export: invalid UTF-8 becomes U+FFFD" `Quick
+        test_export_invalid_utf8;
+      Alcotest.test_case "metrics: non-finite exposition spellings" `Quick
+        test_metrics_nonfinite_exposition;
+      Alcotest.test_case "domains: shared registry + merged rings" `Quick
+        test_domain_stress;
       Alcotest.test_case "disabled tracing emits nothing" `Quick
         test_disabled_emits_nothing;
       Alcotest.test_case "registry: idempotent, kind-checked, exposed" `Quick

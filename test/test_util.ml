@@ -3,6 +3,7 @@ module Stats = Tessera_util.Stats
 module Bitset = Tessera_util.Bitset
 module Codec = Tessera_util.Codec
 module Crc32 = Tessera_util.Crc32
+module Pool = Tessera_util.Pool
 
 let test_prng_determinism () =
   let a = Prng.create 99L and b = Prng.create 99L in
@@ -143,6 +144,53 @@ let test_crc32_vectors () =
   Alcotest.(check bool) "sensitive to change" true
     (Crc32.string "abc" <> Crc32.string "abd")
 
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_matches_sequential () =
+  let f i = (i * i) + 3 in
+  let expected = Array.init 100 f in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "init at -j %d" jobs)
+        expected
+        (Pool.init ~jobs 100 f))
+    [ 1; 2; 3; 8; 200 ];
+  let items = Array.init 37 (fun i -> i * 5) in
+  Alcotest.(check (array int)) "map_array order" (Array.map f items)
+    (Pool.map_array ~jobs:4 f items);
+  Alcotest.(check (list int)) "run_list order" (List.init 19 f)
+    (Pool.run_list ~jobs:4 f (List.init 19 Fun.id))
+
+let test_pool_edges () =
+  Alcotest.(check (array int)) "empty input" [||]
+    (Pool.init ~jobs:4 0 (fun i -> i));
+  Alcotest.(check (array int)) "more jobs than items" [| 10 |]
+    (Pool.init ~jobs:16 1 (fun i -> i + 10));
+  Alcotest.check_raises "negative length"
+    (Invalid_argument "Pool.init: negative length") (fun () ->
+      ignore (Pool.init (-1) (fun i -> i)));
+  Alcotest.(check bool) "default_jobs positive" true (Pool.default_jobs () >= 1)
+
+exception Boom of int
+
+let test_pool_exception () =
+  (* the exception of the lowest failing index propagates, whatever the
+     scheduling *)
+  match Pool.init ~jobs:4 50 (fun i -> if i mod 7 = 3 then raise (Boom i) else i) with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i -> Alcotest.(check int) "lowest failing index" 3 i
+
+let test_pool_nested () =
+  (* a Pool call from inside a worker falls back to sequential instead
+     of spawning domains recursively *)
+  let inner i = Array.fold_left ( + ) 0 (Pool.init ~jobs:4 8 (fun j -> i * j)) in
+  let expected = Array.init 8 (fun i -> i * 28) in
+  Alcotest.(check (array int)) "nested pool" expected
+    (Pool.init ~jobs:4 8 inner)
+
 let suite =
   [
     Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
@@ -161,4 +209,11 @@ let suite =
     Alcotest.test_case "codec primitives" `Quick test_codec_primitives;
     Alcotest.test_case "codec truncation" `Quick test_codec_truncation;
     Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
+    Alcotest.test_case "pool: results match sequential at every -j" `Quick
+      test_pool_matches_sequential;
+    Alcotest.test_case "pool: empty, singleton, invalid" `Quick test_pool_edges;
+    Alcotest.test_case "pool: lowest-index exception propagates" `Quick
+      test_pool_exception;
+    Alcotest.test_case "pool: nested calls run sequentially" `Quick
+      test_pool_nested;
   ]
