@@ -11,8 +11,14 @@
      dune exec bench/main.exe cache      -- warm vs cold start-up (BENCH_cache.json)
      dune exec bench/main.exe obs        -- tracing overhead (BENCH_obs.json)
      dune exec bench/main.exe parallel   -- -j determinism + speedup (BENCH_parallel.json)
+     dune exec bench/main.exe serve      -- concurrent serving fleet (BENCH_serve.json)
      dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
      dune exec bench/main.exe quick      -- down-scaled smoke of everything
+
+   "serve" drives an in-process fleet of simulated clients (honest, slow,
+   and byzantine) against the concurrent serving engine; with
+   "--socket PATH [--clients N] [--requests R]" it instead attaches real
+   Unix-socket clients to a running tessera_server (the CI smoke).
 
    "quick" composes with any subcommand (e.g. "figures quick"), and
    "-j N" sets the evaluation-pool domain count (default: the number of
@@ -729,6 +735,410 @@ let run_obs cfg =
   Format.fprintf fmt "[wrote BENCH_obs.json]@.@."
 
 (* ------------------------------------------------------------------ *)
+(* Concurrent serving under load (BENCH_serve.json)                     *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Tessera_protocol.Serve
+module Conn = Tessera_protocol.Conn
+module Channel = Tessera_protocol.Channel
+module Message = Tessera_protocol.Message
+module Injector = Tessera_faults.Injector
+module Spec = Tessera_faults.Spec
+
+type sim_role = Honest | Slow | Byzantine
+
+(* One simulated client of the serving engine.  [rx] reuses the server's
+   own Conn state machine for reply reassembly — frames are symmetric,
+   and byzantine channels corrupt the response direction too. *)
+type sim_client = {
+  s_idx : int;
+  s_role : sim_role;
+  s_tx : Channel.t;
+  s_rx : Conn.t;
+  mutable s_sent : int;
+  mutable s_preds : int;
+  mutable s_sheds : int;
+  mutable s_errors : int;
+  mutable s_inflight : bool;
+  mutable s_sent_t : float;
+  mutable s_lats : float list;
+  mutable s_dead : bool;
+}
+
+let pump_sim_client cl =
+  if not cl.s_dead then
+    List.iter
+      (fun ev ->
+        match ev with
+        | Conn.Msg (Message.Prediction _) ->
+            cl.s_preds <- cl.s_preds + 1;
+            if cl.s_inflight then begin
+              cl.s_inflight <- false;
+              cl.s_lats <- (Unix.gettimeofday () -. cl.s_sent_t) :: cl.s_lats
+            end
+        | Conn.Msg Message.Overloaded ->
+            cl.s_sheds <- cl.s_sheds + 1;
+            cl.s_inflight <- false
+        | Conn.Msg (Message.Error_msg _) ->
+            cl.s_errors <- cl.s_errors + 1;
+            cl.s_inflight <- false
+        | Conn.Msg _ -> () (* Init_ok handshake answer *)
+        | Conn.Strike _ -> ()
+        | Conn.Eof -> cl.s_dead <- true)
+      (Conn.pump cl.s_rx)
+
+let sim_features i =
+  Array.init Tessera_features.Features.dim (fun k ->
+      float_of_int (((i * 7) + (k * 3)) mod 97))
+
+let serve_json ~mode ~quick ~clients ~requests ~fields =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"mode\": %S,\n  \"quick\": %b,\n  \"clients\": %d,\n\
+       \  \"requests_per_client\": %d,\n"
+       mode quick clients requests);
+  List.iteri
+    (fun i (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %S: %s%s\n" k v
+           (if i < List.length fields - 1 then "," else "")))
+    fields;
+  Buffer.add_string buf "}\n";
+  Tessera_util.Fileio.atomic_write ~path:"BENCH_serve.json" (Buffer.contents buf);
+  Format.fprintf fmt "[wrote BENCH_serve.json]@.@."
+
+let lat_stats lats =
+  match Array.of_list lats with
+  | [||] -> (0.0, 0.0)
+  | a -> (Stats.percentile a 50.0 *. 1e3, Stats.percentile a 99.0 *. 1e3)
+
+(* The in-process fleet: thousands of clients over in-memory channels,
+   run in lockstep with Serve.tick so the schedule is deterministic
+   enough to assert on.  The mix is ~80% honest (closed loop, window 1),
+   10% slow (send and read rarely), 10% byzantine (fault-injected
+   channels plus contextually-wrong frames).  A worker crash is injected
+   mid-run to exercise the supervisor.  Asserts: every honest request is
+   answered, overload is answered with Overloaded (not silence), the
+   byzantine peers are struck out, and the final drain beats its
+   deadline. *)
+let run_serve ~jobs ?clients cfg =
+  section "Concurrent serving: mixed fleet, backpressure, shedding, drain";
+  let outcomes = get_outcomes ~jobs cfg in
+  let ms = Harness.Training.train_on_all ~name:"serve" outcomes in
+  let quick = cfg == Harness.Expconfig.quick in
+  let n_clients =
+    match clients with Some n -> n | None -> if quick then 250 else 1200
+  in
+  let requests = 20 in
+  let rounds = if quick then 30 else 60 in
+  let crash_armed = ref true in
+  let calls = ref 0 in
+  let make_predictor _wid =
+    let real = Harness.Modelset.server_batch_predictor ms in
+    fun ~level rows ->
+      incr calls;
+      if !crash_armed && !calls > 3 then begin
+        crash_armed := false;
+        failwith "injected worker crash (bench serve)"
+      end;
+      real ~level rows
+  in
+  let config =
+    {
+      Serve.default_config with
+      Serve.max_conns = n_clients + 8;
+      per_conn_queue = 4;
+      queue_hwm = (if quick then 64 else 256);
+      max_protocol_errors = 8;
+      workers = 2;
+    }
+  in
+  let engine = Serve.create ~config ~make_predictor () in
+  let byz_spec =
+    { Spec.default with Spec.corrupt = 0.25; garbage = 0.1; drop = 0.05 }
+  in
+  let mk_client i =
+    let server_end, client_end = Channel.pipe_pair () in
+    let role =
+      match i mod 10 with 8 -> Slow | 9 -> Byzantine | _ -> Honest
+    in
+    let server_ch =
+      match role with
+      | Byzantine ->
+          Injector.wrap_channel
+            (Injector.create
+               ~sleep:(fun _ -> ())
+               ~spec:byz_spec
+               ~seed:(Int64.of_int (1000 + i))
+               ())
+            server_end
+      | Honest | Slow -> server_end
+    in
+    (match Serve.accept engine server_ch with
+    | Some _ -> ()
+    | None -> failwith "bench serve: accept refused below max_conns");
+    Message.send client_end (Message.Init { model_name = "serve" });
+    {
+      s_idx = i;
+      s_role = role;
+      s_tx = client_end;
+      s_rx = Conn.create ~id:i client_end;
+      s_sent = 0;
+      s_preds = 0;
+      s_sheds = 0;
+      s_errors = 0;
+      s_inflight = false;
+      s_sent_t = 0.0;
+      s_lats = [];
+      s_dead = false;
+    }
+  in
+  let fleet = Array.init n_clients mk_client in
+  let count role =
+    Array.fold_left
+      (fun n cl -> if cl.s_role = role then n + 1 else n)
+      0 fleet
+  in
+  Format.fprintf fmt "fleet: %d clients (%d honest, %d slow, %d byzantine)@."
+    n_clients (count Honest) (count Slow) (count Byzantine);
+  let levels = [| Plan.Cold; Plan.Warm; Plan.Hot |] in
+  let send_predict cl =
+    try
+      Message.send cl.s_tx
+        (Message.Predict
+           { level = levels.(cl.s_sent mod 3); features = sim_features cl.s_idx });
+      cl.s_sent <- cl.s_sent + 1;
+      cl.s_inflight <- true;
+      cl.s_sent_t <- Unix.gettimeofday ()
+    with Channel.Closed -> cl.s_dead <- true
+  in
+  let t0 = Unix.gettimeofday () in
+  for round = 1 to rounds do
+    Array.iter
+      (fun cl ->
+        if not cl.s_dead then
+          match cl.s_role with
+          | Honest ->
+              if (not cl.s_inflight) && cl.s_sent < requests then
+                send_predict cl
+          | Slow ->
+              if
+                (not cl.s_inflight)
+                && cl.s_sent < requests
+                && round mod 6 = cl.s_idx mod 6
+              then send_predict cl
+          | Byzantine -> (
+              (* no window, no manners: floods Predicts to hit the
+                 per-connection bound, and every third frame is a
+                 contextually-wrong Pong (a semantic strike) *)
+              try
+                if round mod 3 = 0 then Message.send cl.s_tx Message.Pong
+                else send_predict cl
+              with Channel.Closed -> cl.s_dead <- true))
+      fleet;
+    ignore (Serve.tick engine);
+    Array.iter
+      (fun cl ->
+        (* slow clients read their replies rarely — they must not wedge
+           anyone else *)
+        if cl.s_role <> Slow || round mod 4 = 0 then pump_sim_client cl)
+      fleet
+  done;
+  (* settle: stop offering load; every in-flight honest request must be
+     answered (Prediction, Overloaded, or Error_msg — never silence) *)
+  let unsettled () =
+    Array.exists
+      (fun cl -> cl.s_role <> Byzantine && (not cl.s_dead) && cl.s_inflight)
+      fleet
+  in
+  let settle = ref 0 in
+  while unsettled () && !settle < 500 do
+    incr settle;
+    ignore (Serve.tick engine);
+    Array.iter pump_sim_client fleet
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let clean = Serve.finish_drain engine in
+  let c = Serve.counters engine in
+  Format.fprintf fmt "%a@." Serve.pp_counters c;
+  let honest_lats =
+    Array.fold_left
+      (fun acc cl -> if cl.s_role = Honest then cl.s_lats @ acc else acc)
+      [] fleet
+  in
+  let p50_ms, p99_ms = lat_stats honest_lats in
+  let lost =
+    Array.fold_left
+      (fun n cl ->
+        if cl.s_role <> Byzantine && (cl.s_dead || cl.s_inflight) then n + 1
+        else n)
+      0 fleet
+  in
+  let pps = float_of_int c.Serve.predictions /. Float.max 1e-9 wall in
+  Format.fprintf fmt
+    "%.0f predictions/s over %.2fs; honest latency p50 %.3f ms, p99 %.3f \
+     ms; settle rounds %d@."
+    pps wall p50_ms p99_ms !settle;
+  let failures = ref [] in
+  let check cond what = if not cond then failures := what :: !failures in
+  check (lost = 0)
+    (Printf.sprintf "%d honest/slow clients lost a request or their \
+                     connection" lost);
+  check (c.Serve.shed > 0) "overload was never exercised (no shed answers)";
+  check
+    (c.Serve.worker_restarts >= 1)
+    "the injected worker crash did not trigger a supervisor restart";
+  check (c.Serve.struck_out >= 1) "no byzantine connection was struck out";
+  check clean "drain missed its deadline";
+  serve_json ~mode:"in_process" ~quick ~clients:n_clients ~requests
+    ~fields:
+      [
+        ("honest", string_of_int (count Honest));
+        ("slow", string_of_int (count Slow));
+        ("byzantine", string_of_int (count Byzantine));
+        ("rounds", string_of_int rounds);
+        ("wall_s", Printf.sprintf "%.4f" wall);
+        ("predictions", string_of_int c.Serve.predictions);
+        ("predictions_per_sec", Printf.sprintf "%.1f" pps);
+        ("shed", string_of_int c.Serve.shed);
+        ("strikes", string_of_int c.Serve.strikes);
+        ("struck_out", string_of_int c.Serve.struck_out);
+        ("worker_restarts", string_of_int c.Serve.worker_restarts);
+        ("dropped", string_of_int c.Serve.dropped);
+        ("honest_lost", string_of_int lost);
+        ("latency_p50_ms", Printf.sprintf "%.4f" p50_ms);
+        ("latency_p99_ms", Printf.sprintf "%.4f" p99_ms);
+        ("drain_clean", string_of_bool clean);
+        ( "failures",
+          "["
+          ^ String.concat ", "
+              (List.map (Printf.sprintf "%S") (List.rev !failures))
+          ^ "]" );
+      ];
+  if !failures <> [] then begin
+    List.iter (Format.fprintf fmt "FAILED: %s@.") (List.rev !failures);
+    exit 1
+  end
+
+(* Attach mode for the CI smoke: drive an already-running
+   [tessera_server --socket PATH] with honest window-1 clients over real
+   Unix sockets.  The server may be fault-injected, so lost requests are
+   timed out, retried once, and reported rather than asserted away; the
+   smoke's hard assertion is the server's own clean-drain exit code. *)
+let run_serve_attach ~path ~clients ~requests =
+  section (Printf.sprintf "Serving smoke: %d clients against %s" clients path);
+  let connect i =
+    let rec go tries =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> fd
+      | exception
+          Unix.Unix_error
+            ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EINTR), _, _)
+        when tries < 200 ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Unix.sleepf 0.05;
+          go (tries + 1)
+    in
+    let fd = go 0 in
+    let ch = Channel.of_fds fd fd in
+    Message.send ch (Message.Init { model_name = "smoke" });
+    {
+      s_idx = i;
+      s_role = Honest;
+      s_tx = ch;
+      s_rx = Conn.create ~id:i ch;
+      s_sent = 0;
+      s_preds = 0;
+      s_sheds = 0;
+      s_errors = 0;
+      s_inflight = false;
+      s_sent_t = 0.0;
+      s_lats = [];
+      s_dead = false;
+    }
+  in
+  let fleet = Array.init clients connect in
+  let timeouts = ref 0 in
+  let deadline = Unix.gettimeofday () +. 120.0 in
+  let active cl = (not cl.s_dead) && (cl.s_sent < requests || cl.s_inflight) in
+  while
+    Array.exists active fleet && Unix.gettimeofday () < deadline
+  do
+    let progressed = ref false in
+    Array.iter
+      (fun cl ->
+        if not cl.s_dead then begin
+          if (not cl.s_inflight) && cl.s_sent < requests then begin
+            (try
+               Message.send cl.s_tx
+                 (Message.Predict
+                    {
+                      level = Plan.Hot;
+                      features = sim_features cl.s_idx;
+                    });
+               cl.s_sent <- cl.s_sent + 1;
+               cl.s_inflight <- true;
+               cl.s_sent_t <- Unix.gettimeofday ()
+             with Channel.Closed -> cl.s_dead <- true);
+            progressed := true
+          end
+          else if
+            cl.s_inflight && Unix.gettimeofday () -. cl.s_sent_t > 2.0
+          then begin
+            (* a fault-injected server may have dropped the request or
+               the reply: give up on this one and move on *)
+            incr timeouts;
+            cl.s_inflight <- false;
+            progressed := true
+          end;
+          let before = cl.s_preds + cl.s_sheds + cl.s_errors in
+          pump_sim_client cl;
+          if cl.s_preds + cl.s_sheds + cl.s_errors > before then
+            progressed := true
+        end)
+      fleet;
+    if not !progressed then Unix.sleepf 0.002
+  done;
+  Array.iter
+    (fun cl ->
+      if not cl.s_dead then begin
+        (try Message.send cl.s_tx Message.Shutdown
+         with Channel.Closed -> ());
+        try Channel.close cl.s_tx with Channel.Closed -> ()
+      end)
+    fleet;
+  let sum f = Array.fold_left (fun n cl -> n + f cl) 0 fleet in
+  let preds = sum (fun cl -> cl.s_preds) in
+  let sheds = sum (fun cl -> cl.s_sheds) in
+  let errors = sum (fun cl -> cl.s_errors) in
+  let dead = sum (fun cl -> if cl.s_dead then 1 else 0) in
+  let lats = Array.fold_left (fun acc cl -> cl.s_lats @ acc) [] fleet in
+  let p50_ms, p99_ms = lat_stats lats in
+  Format.fprintf fmt
+    "predictions %d, shed %d, errors %d, timeouts %d, closed %d; latency \
+     p50 %.3f ms, p99 %.3f ms@."
+    preds sheds errors !timeouts dead p50_ms p99_ms;
+  serve_json ~mode:"socket" ~quick:false ~clients ~requests
+    ~fields:
+      [
+        ("socket", Printf.sprintf "%S" path);
+        ("predictions", string_of_int preds);
+        ("shed", string_of_int sheds);
+        ("errors", string_of_int errors);
+        ("timeouts", string_of_int !timeouts);
+        ("connections_closed_on_us", string_of_int dead);
+        ("latency_p50_ms", Printf.sprintf "%.4f" p50_ms);
+        ("latency_p99_ms", Printf.sprintf "%.4f" p99_ms);
+      ];
+  if preds = 0 then begin
+    Format.fprintf fmt "FAILED: not a single prediction was answered@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -798,10 +1208,19 @@ let run_micro ~jobs cfg =
 (* Entry point                                                          *)
 (* ------------------------------------------------------------------ *)
 
+let serve_socket = ref None
+let serve_clients = ref None
+let serve_requests = ref None
+
 let () =
   (* "<subcommand>" plus optional "quick" and "-j N" modifiers, in any
      order; a bare "quick" keeps its historical meaning of "everything,
      down-scaled" *)
+  let int_flag flag n =
+    match int_of_string_opt n with
+    | Some v when v >= 1 -> v
+    | _ -> failwith (Printf.sprintf "bad %s value %S" flag n)
+  in
   let rec parse (cmd, quick, jobs) = function
     | [] -> (cmd, quick, jobs)
     | "-j" :: n :: rest -> (
@@ -809,6 +1228,15 @@ let () =
         | Some j when j >= 1 -> parse (cmd, quick, j) rest
         | _ -> failwith (Printf.sprintf "bad -j value %S" n))
     | [ "-j" ] -> failwith "-j needs a domain count"
+    | "--socket" :: path :: rest ->
+        serve_socket := Some path;
+        parse (cmd, quick, jobs) rest
+    | "--clients" :: n :: rest ->
+        serve_clients := Some (int_flag "--clients" n);
+        parse (cmd, quick, jobs) rest
+    | "--requests" :: n :: rest ->
+        serve_requests := Some (int_flag "--requests" n);
+        parse (cmd, quick, jobs) rest
     | "quick" :: rest -> parse (cmd, true, jobs) rest
     | word :: rest -> parse (word, quick, jobs) rest
   in
@@ -832,6 +1260,13 @@ let () =
   | "cache" -> run_cache cfg
   | "obs" -> run_obs cfg
   | "parallel" -> run_parallel ~jobs cfg
+  | "serve" -> (
+      match !serve_socket with
+      | Some path ->
+          run_serve_attach ~path
+            ~clients:(Option.value ~default:100 !serve_clients)
+            ~requests:(Option.value ~default:20 !serve_requests)
+      | None -> run_serve ~jobs ?clients:!serve_clients cfg)
   | _ ->
       run_figures ~jobs cfg;
       run_kernels ~jobs cfg;
@@ -842,5 +1277,6 @@ let () =
       run_cache cfg;
       run_obs cfg;
       run_parallel ~jobs cfg;
+      run_serve ~jobs cfg;
       run_micro ~jobs cfg);
   Format.fprintf fmt "[total bench time %.1fs]@." (Unix.gettimeofday () -. t0)

@@ -1,16 +1,28 @@
-(* Model server: answers Predict requests over named pipes (Section 7 of
-   the paper).  The compiler side connects with
-   [Tessera_protocol.Channel.fifo_pair]'s endpoint A semantics:
-   the server reads requests from IN_FIFO and writes responses to
-   OUT_FIFO.
+(* Model server: answers Predict requests (Section 7 of the paper).
 
-   --fault-spec wraps the channel in a deterministic fault injector, so
-   the resilience of real (separate-process) clients can be exercised:
-   dropped/corrupted responses, delays, and a simulated crash. *)
+   Two deployment shapes:
+
+   - named pipes (default, the paper's setup): one blocking client over
+     IN_FIFO/OUT_FIFO via [Tessera_protocol.Server] — kept for the
+     two-process compiler integration and the pipe-overhead benchmark;
+
+   - --socket PATH: a concurrent multi-client service over a Unix
+     domain socket via [Tessera_protocol.Serve] — a select loop
+     multiplexing every connection, bounded queues with backpressure,
+     load-shedding (Overloaded) past the high-water mark, per-connection
+     error budgets, batched SVM prediction, supervised prediction
+     workers, and a deadline-bounded graceful drain on SIGTERM/SIGINT.
+
+   --fault-spec wraps the served channel(s) in deterministic fault
+   injectors (per-connection in socket mode), so the resilience of real
+   clients can be exercised: dropped/corrupted responses, delays, and a
+   simulated crash. *)
 
 open Cmdliner
 module Harness = Tessera_harness
 module Channel = Tessera_protocol.Channel
+module Server = Tessera_protocol.Server
+module Serve = Tessera_protocol.Serve
 module Spec = Tessera_faults.Spec
 module Injector = Tessera_faults.Injector
 module Codecache = Tessera_cache.Codecache
@@ -27,22 +39,25 @@ let scrub_code_cache dir capacity_mb readonly =
     (if readonly then " (readonly)" else "");
   Codecache.close c
 
-let run model_dir in_fifo out_fifo fault_spec fault_seed code_cache_dir
-    code_cache_mb code_cache_readonly metrics_out =
-  (* a client that vanishes mid-write must surface as Channel.Closed
-     (EPIPE), not kill the process *)
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+let dump_metrics metrics_out =
+  (* the same exposition a live client gets from a Stats_req, dumped for
+     post-mortem scraping *)
   Option.iter
-    (fun dir -> scrub_code_cache dir code_cache_mb code_cache_readonly)
-    code_cache_dir;
-  let ms = Harness.Modelset.load ~name:"server" ~dir:model_dir in
+    (fun path ->
+      Tessera_util.Fileio.atomic_write ~path
+        (Tessera_obs.Metrics.expose Tessera_obs.Metrics.default))
+    metrics_out
+
+(* ---------------- FIFO mode: one blocking client ------------------- *)
+
+let run_fifo ms in_fifo out_fifo fault_spec fault_seed resync_budget
+    max_protocol_errors metrics_out =
   List.iter
     (fun p ->
       (try Unix.unlink p with Unix.Unix_error _ -> ());
       Unix.mkfifo p 0o600)
     [ in_fifo; out_fifo ];
-  Printf.printf "serving %s: reading %s, writing %s\n%!" model_dir in_fifo
-    out_fifo;
+  Printf.printf "serving: reading %s, writing %s\n%!" in_fifo out_fifo;
   (* opening blocks until the client opens the other ends *)
   let fin = Unix.openfile in_fifo [ Unix.O_RDONLY ] 0 in
   let fout = Unix.openfile out_fifo [ Unix.O_WRONLY ] 0 in
@@ -64,15 +79,11 @@ let run model_dir in_fifo out_fifo fault_spec fault_seed code_cache_dir
     | None -> raw
     | Some inj -> Injector.wrap_channel inj raw
   in
-  (try Tessera_protocol.Server.serve ch (Harness.Modelset.server_predictor ms)
+  let session = Server.session ~resync_budget ~max_protocol_errors () in
+  (try
+     Server.serve ~session ch (Harness.Modelset.server_predictor ms)
    with Channel.Closed -> ());
-  (* the same exposition a live client gets from a Stats_req, dumped for
-     post-mortem scraping *)
-  Option.iter
-    (fun path ->
-      Tessera_util.Fileio.atomic_write ~path
-        (Tessera_obs.Metrics.expose Tessera_obs.Metrics.default))
-    metrics_out;
+  dump_metrics metrics_out;
   match injector with
   | Some inj when (Injector.stats inj).Injector.crashes > 0 ->
       Format.printf "simulated crash: %a@." Injector.pp_stats
@@ -85,17 +96,104 @@ let run model_dir in_fifo out_fifo fault_spec fault_seed code_cache_dir
       Printf.printf "shutdown\n";
       0
 
+(* ---------------- socket mode: many concurrent clients ------------- *)
+
+let run_socket ms path fault_spec fault_seed resync_budget
+    max_protocol_errors max_conns per_conn_queue queue_hwm workers
+    drain_deadline metrics_out =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen (Unix.ADDR_UNIX path);
+  Unix.listen listen 128;
+  let stop = ref false in
+  let on_signal _ = stop := true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  let config =
+    {
+      Serve.default_config with
+      Serve.resync_budget;
+      max_protocol_errors;
+      max_conns;
+      per_conn_queue;
+      queue_hwm;
+      workers;
+      drain_deadline_s = drain_deadline;
+    }
+  in
+  let engine =
+    Serve.create ~config
+      ~make_predictor:(fun _ -> Harness.Modelset.server_batch_predictor ms)
+      ()
+  in
+  (* each accepted connection gets its own deterministic injector, so a
+     faulty client's stream is independent of its neighbours' *)
+  let conn_count = ref 0 in
+  let wrap ch =
+    incr conn_count;
+    match fault_spec with
+    | None -> ch
+    | Some spec ->
+        let inj =
+          Injector.create ~sleep:Unix.sleepf ~spec
+            ~seed:(Int64.of_int (fault_seed + !conn_count)) ()
+        in
+        Injector.wrap_channel inj ch
+  in
+  Printf.printf "serving on %s (%d workers, hwm %d, error cap %d)\n%!" path
+    workers queue_hwm max_protocol_errors;
+  Option.iter
+    (fun spec ->
+      Printf.printf "injecting faults per connection: %s (base seed %d)\n%!"
+        (Spec.to_string spec) fault_seed)
+    fault_spec;
+  let clean = Serve.serve_fds engine ~listen ~wrap ~stop:(fun () -> !stop) in
+  (try Unix.close listen with Unix.Unix_error _ -> ());
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  dump_metrics metrics_out;
+  Format.printf "drain %s: %a@."
+    (if clean then "complete" else "DEADLINE EXCEEDED")
+    Serve.pp_counters (Serve.counters engine);
+  if clean then 0 else 1
+
+let run model_dir in_fifo out_fifo socket fault_spec fault_seed code_cache_dir
+    code_cache_mb code_cache_readonly resync_budget max_protocol_errors
+    max_conns per_conn_queue queue_hwm workers drain_deadline metrics_out =
+  (* a client that vanishes mid-write must surface as Channel.Closed
+     (EPIPE), not kill the process *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Option.iter
+    (fun dir -> scrub_code_cache dir code_cache_mb code_cache_readonly)
+    code_cache_dir;
+  let ms = Harness.Modelset.load ~name:"server" ~dir:model_dir in
+  match socket with
+  | Some path ->
+      run_socket ms path fault_spec fault_seed resync_budget
+        max_protocol_errors max_conns per_conn_queue queue_hwm workers
+        drain_deadline metrics_out
+  | None ->
+      run_fifo ms in_fifo out_fifo fault_spec fault_seed resync_budget
+        max_protocol_errors metrics_out
+
 let model_dir =
   Arg.(required & pos 0 (some dir) None & info [] ~docv:"MODEL_DIR"
          ~doc:"Model-set directory (from tessera_train).")
 
 let in_fifo =
   Arg.(value & opt string "/tmp/tessera.req" & info [ "in" ] ~docv:"FIFO"
-         ~doc:"Request pipe (created).")
+         ~doc:"Request pipe (created; FIFO mode only).")
 
 let out_fifo =
   Arg.(value & opt string "/tmp/tessera.res" & info [ "out" ] ~docv:"FIFO"
-         ~doc:"Response pipe (created).")
+         ~doc:"Response pipe (created; FIFO mode only).")
+
+let socket =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Serve many concurrent clients over a Unix domain socket at \
+               PATH instead of one blocking client over FIFOs.  SIGTERM \
+               drains gracefully: accepting stops, queued requests are \
+               answered, then connections close (exit 0 if the flush beat \
+               --drain-deadline).")
 
 let spec_conv =
   Arg.conv
@@ -105,12 +203,14 @@ let spec_conv =
 
 let fault_spec =
   Arg.(value & opt (some spec_conv) None & info [ "fault-spec" ] ~docv:"SPEC"
-         ~doc:"Inject faults into the served channel, e.g. \
-               drop:0.02,corrupt:0.01,crash_after:500.")
+         ~doc:"Inject faults into the served channel(s), e.g. \
+               drop:0.02,corrupt:0.01,crash_after:500.  In socket mode each \
+               connection gets an independent injector.")
 
 let fault_seed =
   Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N"
-         ~doc:"PRNG seed of the fault injector.")
+         ~doc:"PRNG seed of the fault injector (socket mode: base seed; \
+               connection k uses seed N+k).")
 
 let code_cache_dir =
   Arg.(value & opt (some string) None & info [ "code-cache" ] ~docv:"DIR"
@@ -125,6 +225,40 @@ let code_cache_readonly =
   Arg.(value & flag & info [ "code-cache-readonly" ]
          ~doc:"Verify the code cache without rewriting it.")
 
+let resync_budget =
+  Arg.(value & opt int 4096 & info [ "resync-budget" ] ~docv:"BYTES"
+         ~doc:"Bytes scanned for the next frame magic after malformed input \
+               before a connection is declared unsalvageable and closed.")
+
+let max_protocol_errors =
+  Arg.(value & opt int 16 & info [ "max-protocol-errors" ] ~docv:"N"
+         ~doc:"Protocol errors (malformed frames, unexpected messages) a \
+               connection may accumulate before it is closed.")
+
+let max_conns =
+  Arg.(value & opt int 4096 & info [ "max-conns" ] ~docv:"N"
+         ~doc:"Connection cap; accepts past it are answered Overloaded and \
+               closed (socket mode).")
+
+let per_conn_queue =
+  Arg.(value & opt int 8 & info [ "per-conn-queue" ] ~docv:"N"
+         ~doc:"Per-connection queued-request bound; a connection at its \
+               bound is not read until replies drain (backpressure).")
+
+let queue_hwm =
+  Arg.(value & opt int 1024 & info [ "queue-hwm" ] ~docv:"N"
+         ~doc:"Global queue high-water mark; Predict requests above it are \
+               answered Overloaded (load shedding).")
+
+let workers =
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+         ~doc:"Supervised prediction workers; a crashed worker is restarted \
+               without dropping connections (socket mode).")
+
+let drain_deadline =
+  Arg.(value & opt float 5.0 & info [ "drain-deadline" ] ~docv:"SECONDS"
+         ~doc:"Bound on the graceful drain after SIGTERM (socket mode).")
+
 let metrics_out =
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
          ~doc:"Write the server's Prometheus metrics exposition to FILE at \
@@ -134,8 +268,10 @@ let metrics_out =
 let cmd =
   Cmd.v
     (Cmd.info "tessera_server"
-       ~doc:"Serve a trained model set over named pipes")
-    Term.(const run $ model_dir $ in_fifo $ out_fifo $ fault_spec $ fault_seed
-          $ code_cache_dir $ code_cache_mb $ code_cache_readonly $ metrics_out)
+       ~doc:"Serve a trained model set over named pipes or a Unix socket")
+    Term.(const run $ model_dir $ in_fifo $ out_fifo $ socket $ fault_spec
+          $ fault_seed $ code_cache_dir $ code_cache_mb $ code_cache_readonly
+          $ resync_budget $ max_protocol_errors $ max_conns $ per_conn_queue
+          $ queue_hwm $ workers $ drain_deadline $ metrics_out)
 
 let () = exit (Cmd.eval' cmd)

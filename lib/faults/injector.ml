@@ -145,10 +145,16 @@ let on_read t base ~deadline n =
   t.stats.reads <- t.stats.reads + 1;
   Channel.read_exact ?deadline base n
 
+let on_read_avail t base n =
+  check_crash t base;
+  t.stats.reads <- t.stats.reads + 1;
+  Channel.read_avail base n
+
 let wrap_channel t ch =
   Channel.wrap
     ~on_write:(fun base s -> on_write t base s)
     ~on_read:(fun base ~deadline n -> on_read t base ~deadline n)
+    ~on_read_avail:(fun base n -> on_read_avail t base n)
     ch
 
 let compile_fault t ~meth_id =

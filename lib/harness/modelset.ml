@@ -80,6 +80,19 @@ let server_predictor t ~level ~features =
       Trainset.predictor ~scaling:lm.scaling ~labels:lm.labels ~model:lm.model
         (Features.of_array raw)
 
+let server_batch_predictor t ~level rows =
+  (* one level-model lookup for the whole batch: the serving engine
+     groups its queue by level before calling *)
+  match find t level with
+  | None -> Array.map (fun _ -> Modifier.null) rows
+  | Some lm ->
+      Array.map
+        (fun features ->
+          let raw = Array.map int_of_float features in
+          Trainset.predictor ~scaling:lm.scaling ~labels:lm.labels
+            ~model:lm.model (Features.of_array raw))
+        rows
+
 let level_file dir what level ext =
   Filename.concat dir
     (Printf.sprintf "%s_%s.%s" what (Plan.level_name level) ext)

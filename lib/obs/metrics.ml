@@ -131,12 +131,38 @@ let float_str f =
     Printf.sprintf "%.0f" f
   else Printf.sprintf "%g" f
 
+(* Prometheus text-format escaping: a help string (or label value)
+   containing a newline would otherwise split the exposition mid-line
+   and fail every strict scrape parser.  HELP text escapes backslash and
+   newline; label values additionally escape the double quote. *)
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let expose t =
   locked t @@ fun () ->
   let buf = Buffer.create 1024 in
   let header name help kind =
     if help <> "" then
-      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
     Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
   in
   List.iter
@@ -160,7 +186,8 @@ let expose t =
                 else "+Inf"
               in
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" h.h_name le !cum))
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" h.h_name
+                   (escape_label_value le) !cum))
             h.h_counts;
           Buffer.add_string buf
             (Printf.sprintf "%s_sum %s\n" h.h_name (float_str h.h_sum));

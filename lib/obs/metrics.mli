@@ -80,5 +80,12 @@ val expose : t -> string
 val names : t -> string list
 (** Sorted. *)
 
+val escape_help : string -> string
+(** Prometheus text-format HELP escaping: [\\] → [\\\\], newline →
+    [\\n].  Applied by {!expose}; exposed for property tests. *)
+
+val escape_label_value : string -> string
+(** Label-value escaping: HELP escaping plus ["] → [\\"]. *)
+
 val reset : t -> unit
 (** Zero every instrument (keeps registrations); for tests. *)

@@ -18,6 +18,7 @@ type t =
       base : t;
       on_write : t -> string -> unit;
       on_read : t -> deadline:float option -> int -> string;
+      on_read_avail : t -> int -> string;
       on_close : t -> unit;
     }
 
@@ -96,6 +97,39 @@ let read_exact ?deadline t n =
       Bytes.to_string buf
   | Wrapped w -> w.on_read w.base ~deadline n
 
+(* Up to [n] bytes of whatever is already available, without blocking:
+   the read primitive of a multiplexing poll loop.  "" means nothing is
+   buffered right now; [Closed] is raised only once the stream is both
+   exhausted and at end of stream, so buffered bytes written before a
+   close are still delivered. *)
+let read_avail t n =
+  if n <= 0 then ""
+  else
+    match t with
+    | Mem m ->
+        if m.incoming.pending = 0 then
+          if m.incoming.closed then raise Closed else ""
+        else begin
+          let take = min m.incoming.pending n in
+          let buf = Buffer.create take in
+          mem_take m.incoming buf take;
+          Buffer.contents buf
+        end
+    | Fd f ->
+        if not f.open_ then raise Closed;
+        let readable, _, _ = Unix.select [ f.fin ] [] [] 0.0 in
+        if readable = [] then ""
+        else begin
+          let buf = Bytes.create n in
+          match Unix.read f.fin buf 0 n with
+          | 0 -> raise Closed
+          | r -> Bytes.sub_string buf 0 r
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              ""
+        end
+    | Wrapped w -> w.on_read_avail w.base n
+
 let rec drain t =
   match t with
   | Mem m ->
@@ -141,7 +175,7 @@ let close = function
       end
   | Wrapped w -> w.on_close w.base
 
-let wrap ?on_write ?on_read ?on_close base =
+let wrap ?on_write ?on_read ?on_read_avail ?on_close base =
   Wrapped
     {
       base;
@@ -150,10 +184,20 @@ let wrap ?on_write ?on_read ?on_close base =
         (match on_read with
         | Some f -> f
         | None -> fun b ~deadline n -> read_exact ?deadline b n);
+      on_read_avail =
+        (match on_read_avail with Some f -> f | None -> read_avail);
       on_close = (match on_close with Some f -> f | None -> close);
     }
 
 let of_fds fin fout = Fd { fin; fout; open_ = true }
+
+(* The read descriptor under a channel, when there is one: what a select
+   loop registers.  Wrappers delegate to their base, so a fault-injected
+   socket connection is still pollable. *)
+let rec read_fd = function
+  | Mem _ -> None
+  | Fd f -> if f.open_ then Some f.fin else None
+  | Wrapped w -> read_fd w.base
 
 let pipe_pair () =
   let a_to_b = mem_stream () in

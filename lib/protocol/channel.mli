@@ -25,6 +25,20 @@ val read_exact : ?deadline:float -> t -> int -> string
     time; when given, a descriptor-backed read that cannot complete in
     time raises {!Timeout} instead of blocking forever. *)
 
+val read_avail : t -> int -> string
+(** [read_avail t n] returns up to [n] bytes of already-available input
+    without blocking — [""] when nothing is buffered (or [n <= 0]).
+    Raises {!Closed} only at end of stream with nothing left buffered,
+    so bytes written before a close are still delivered.  This is the
+    read primitive of the multiplexing server: it never commits the
+    caller to a byte count, so partially-arrived frames stay in the
+    caller's reassembly buffer instead of blocking a shared loop. *)
+
+val read_fd : t -> Unix.file_descr option
+(** The underlying read descriptor, for [select] registration; [None]
+    for in-memory channels (poll those with {!read_avail}).  Wrapped
+    channels report their base's descriptor. *)
+
 val drain : t -> int
 (** Discards whatever input is currently buffered without blocking and
     returns the number of bytes thrown away.  The resilient client uses
@@ -39,6 +53,7 @@ val of_fds : Unix.file_descr -> Unix.file_descr -> t
 val wrap :
   ?on_write:(t -> string -> unit) ->
   ?on_read:(t -> deadline:float option -> int -> string) ->
+  ?on_read_avail:(t -> int -> string) ->
   ?on_close:(t -> unit) ->
   t ->
   t

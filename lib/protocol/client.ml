@@ -3,13 +3,20 @@ module Prng = Tessera_util.Prng
 module Trace = Tessera_obs.Trace
 module Log = Tessera_obs.Log
 
-type failure = Timeout | Malformed | Closed | Server_error | Unexpected_reply
+type failure =
+  | Timeout
+  | Malformed
+  | Closed
+  | Server_error
+  | Overloaded
+  | Unexpected_reply
 
 let failure_name = function
   | Timeout -> "timeout"
   | Malformed -> "malformed response"
   | Closed -> "channel closed"
   | Server_error -> "server error reply"
+  | Overloaded -> "overloaded (request shed by the server)"
   | Unexpected_reply -> "unexpected reply"
 
 type outcome =
@@ -58,6 +65,7 @@ type counters = {
   mutable malformed : int;
   mutable closed : int;
   mutable server_errors : int;
+  mutable overloaded : int;
   mutable unexpected : int;
   mutable breaker_skips : int;
   mutable breaker_trips : int;
@@ -75,6 +83,7 @@ let fresh_counters () =
     malformed = 0;
     closed = 0;
     server_errors = 0;
+    overloaded = 0;
     unexpected = 0;
     breaker_skips = 0;
     breaker_trips = 0;
@@ -100,11 +109,11 @@ let breaker_state t = t.breaker
 let pp_counters fmt c =
   Format.fprintf fmt
     "requests=%d predicted=%d fallbacks=%d retries=%d timeouts=%d \
-     malformed=%d closed=%d server_errors=%d unexpected=%d breaker_skips=%d \
-     trips=%d half_opens=%d recoveries=%d"
+     malformed=%d closed=%d server_errors=%d overloaded=%d unexpected=%d \
+     breaker_skips=%d trips=%d half_opens=%d recoveries=%d"
     c.requests c.predicted c.fallbacks c.retries c.timeouts c.malformed
-    c.closed c.server_errors c.unexpected c.breaker_skips c.breaker_trips
-    c.breaker_half_opens c.breaker_recoveries
+    c.closed c.server_errors c.overloaded c.unexpected c.breaker_skips
+    c.breaker_trips c.breaker_half_opens c.breaker_recoveries
 
 let record_failure t f =
   if !Trace.enabled then
@@ -117,6 +126,7 @@ let record_failure t f =
   | Malformed -> c.malformed <- c.malformed + 1
   | Closed -> c.closed <- c.closed + 1
   | Server_error -> c.server_errors <- c.server_errors + 1
+  | Overloaded -> c.overloaded <- c.overloaded + 1
   | Unexpected_reply -> c.unexpected <- c.unexpected + 1);
   if not (Hashtbl.mem t.logged f) then begin
     Hashtbl.add t.logged f ();
@@ -241,6 +251,15 @@ let predict_result t ~level ~features =
           note_failure t;
           c.fallbacks <- c.fallbacks + 1;
           Fallback Server_error
+      | Ok Message.Overloaded ->
+          (* the server shed this request: do not retry into the
+             overload — fall back now and let consecutive sheds trip the
+             breaker, which is exactly the relief valve the server is
+             asking for *)
+          record_failure t Overloaded;
+          note_failure t;
+          c.fallbacks <- c.fallbacks + 1;
+          Fallback Overloaded
       | Ok _ ->
           record_failure t Unexpected_reply;
           note_failure t;

@@ -14,6 +14,10 @@ type failure =
   | Malformed  (** a response arrived but failed frame validation *)
   | Closed  (** the channel is closed / the peer is gone *)
   | Server_error  (** the server answered [Error_msg] *)
+  | Overloaded
+      (** the server shed this request ([Message.Overloaded]); not
+          retried — consecutive sheds trip the breaker, backing the
+          client off exactly when the server asks for relief *)
   | Unexpected_reply  (** a valid but contextually wrong message *)
 
 val failure_name : failure -> string
@@ -56,6 +60,7 @@ type counters = {
   mutable malformed : int;
   mutable closed : int;
   mutable server_errors : int;
+  mutable overloaded : int;
   mutable unexpected : int;
   mutable breaker_skips : int;
   mutable breaker_trips : int;

@@ -1,0 +1,70 @@
+(** One server-side connection: a transport-agnostic state machine over
+    a {!Channel}, pumped by a shared non-blocking loop.
+
+    A connection owns a reassembly buffer (frames may arrive in pieces
+    over sockets, or interleaved with garbage from byzantine peers), a
+    per-connection resync budget — bytes it may scan for the next frame
+    magic between two good frames before the stream is declared
+    unsalvageable — and a strike counter of protocol errors that the
+    serving engine caps (error budget: a peer that keeps sending
+    malformed or contextually wrong frames is closed, not answered
+    forever).  The same machinery works for the client side of a
+    simulated fleet: frames are symmetric. *)
+
+type state =
+  | Active
+  | Draining  (** peer sent [Shutdown]; flush queued replies, then close *)
+  | Closed
+
+type event =
+  | Msg of Message.t  (** one complete, checksum-valid frame *)
+  | Strike of string
+      (** a protocol error: garbage bytes, a malformed frame, or resync
+          exhaustion.  The engine counts these toward the error cap. *)
+  | Eof  (** the connection is closed (peer gone or unsalvageable) *)
+
+type t
+
+val create : ?resync_budget:int -> id:int -> Channel.t -> t
+(** [resync_budget] (default 4096) bounds the bytes scanned for a frame
+    magic between two successfully decoded frames. *)
+
+val id : t -> int
+val state : t -> state
+val strikes : t -> int
+(** Total protocol errors seen on this connection. *)
+
+val note_strike : t -> unit
+(** Count a semantic protocol error (a well-formed but contextually
+    wrong frame) against the same budget as framing errors. *)
+
+val read_fd : t -> Unix.file_descr option
+(** The transport's read descriptor, for [select] loops. *)
+
+val pump : ?max_bytes:int -> ?max_frames:int -> t -> event list
+(** Read whatever input is available (never blocking, at most
+    [max_bytes] per call) and decode it: complete frames become [Msg]
+    events, protocol errors become [Strike]s, and end of stream or
+    resync exhaustion closes the connection and ends the list with
+    [Eof].  Returns [[]] when nothing arrived (or already closed).
+    [max_frames] caps the number of [Msg] events decoded per call;
+    excess complete frames stay buffered for the next pump — this is
+    how the serving engine backpressures a connection at its queue
+    bound instead of shedding requests the peer merely batched. *)
+
+val send : t -> Message.t -> unit
+(** Write one frame; a dead peer closes the connection instead of
+    raising. *)
+
+val start_draining : t -> unit
+val close : t -> unit
+(** Idempotent. *)
+
+(** Bookkeeping fields maintained by the serving engine: *)
+
+val queued : t -> int
+val set_queued : t -> int -> unit
+val served : t -> int
+val note_served : t -> unit
+val shed : t -> int
+val note_shed : t -> unit

@@ -14,6 +14,7 @@ type t =
   | Error_msg of string
   | Stats_req
   | Stats_text of string
+  | Overloaded
 
 exception Malformed of string
 
@@ -28,12 +29,13 @@ let tag = function
   | Error_msg _ -> 8
   | Stats_req -> 9
   | Stats_text _ -> 10
+  | Overloaded -> 11
 
 let payload m =
   let buf = Buffer.create 64 in
   (match m with
   | Init { model_name } -> Codec.write_string buf model_name
-  | Init_ok | Ping | Pong | Shutdown | Stats_req -> ()
+  | Init_ok | Ping | Pong | Shutdown | Stats_req | Overloaded -> ()
   | Stats_text s -> Codec.write_string buf s
   | Predict { level; features } ->
       Codec.write_varint buf (Plan.level_index level);
@@ -77,18 +79,9 @@ let read_varint_from ?deadline ~raw ch =
   in
   go 0 0
 
-let decode_after_magic ?deadline ch =
-  let raw = Buffer.create 32 in
-  let tag_s = Channel.read_exact ?deadline ch 1 in
-  Buffer.add_string raw tag_s;
-  let tag = Char.code tag_s.[0] in
-  let len = read_varint_from ?deadline ~raw ch in
-  if len > 1 lsl 20 then raise (Malformed "oversized frame");
-  let body = Channel.read_exact ?deadline ch len in
-  Buffer.add_string raw body;
-  let crc = Channel.read_exact ?deadline ch 4 in
-  if not (String.equal crc (crc_bytes (Crc32.string (Buffer.contents raw))))
-  then raise (Malformed "frame checksum mismatch");
+let max_payload = 1 lsl 20
+
+let of_tagged_payload tag body =
   let r = Codec.reader_of_string body in
   try
     match tag with
@@ -107,10 +100,70 @@ let decode_after_magic ?deadline ch =
     | 8 -> Error_msg (Codec.read_string ~what:"error" r)
     | 9 -> Stats_req
     | 10 -> Stats_text (Codec.read_string ~what:"stats" r)
+    | 11 -> Overloaded
     | t -> raise (Malformed (Printf.sprintf "unknown tag %d" t))
   with
   | Codec.Truncated w -> raise (Malformed ("truncated payload: " ^ w))
   | Invalid_argument w -> raise (Malformed w)
+
+let decode_after_magic ?deadline ch =
+  let raw = Buffer.create 32 in
+  let tag_s = Channel.read_exact ?deadline ch 1 in
+  Buffer.add_string raw tag_s;
+  let tag = Char.code tag_s.[0] in
+  let len = read_varint_from ?deadline ~raw ch in
+  if len > max_payload then raise (Malformed "oversized frame");
+  let body = Channel.read_exact ?deadline ch len in
+  Buffer.add_string raw body;
+  let crc = Channel.read_exact ?deadline ch 4 in
+  if not (String.equal crc (crc_bytes (Crc32.string (Buffer.contents raw))))
+  then raise (Malformed "frame checksum mismatch");
+  of_tagged_payload tag body
+
+(* Incremental decoding over an in-memory byte buffer: what a
+   non-blocking connection pump uses.  [scan s ~pos] expects the frame
+   magic at [pos] and either yields the message plus the position one
+   past its frame, reports that the buffer holds only a frame prefix, or
+   rejects the bytes at [pos] (the caller then advances one byte and
+   hunts for the next magic, exactly like {!recv}'s resync). *)
+type scan =
+  | Scan_msg of t * int
+  | Scan_need_more
+  | Scan_bad of string
+
+let scan s ~pos =
+  let len = String.length s in
+  if pos >= len then Scan_need_more
+  else if s.[pos] <> magic then Scan_bad "bad frame magic"
+  else
+    (* varint payload length, bounds-checked byte by byte *)
+    let rec varint p shift acc =
+      if shift > 62 then Error (Scan_bad "frame length varint too long")
+      else if p >= len then Error Scan_need_more
+      else
+        let b = Char.code s.[p] in
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b land 0x80 = 0 then Ok (acc, p + 1) else varint (p + 1) (shift + 7) acc
+    in
+    if pos + 1 >= len then Scan_need_more
+    else
+      let tag = Char.code s.[pos + 1] in
+      match varint (pos + 2) 0 0 with
+      | Error e -> e
+      | Ok (plen, body_pos) ->
+          if plen > max_payload then Scan_bad "oversized frame"
+          else if body_pos + plen + 4 > len then Scan_need_more
+          else
+            (* checksum covers tag + length varint + payload *)
+            let checked = String.sub s (pos + 1) (body_pos + plen - pos - 1) in
+            let crc = String.sub s (body_pos + plen) 4 in
+            if not (String.equal crc (crc_bytes (Crc32.string checked))) then
+              Scan_bad "frame checksum mismatch"
+            else
+              let body = String.sub s body_pos plen in
+              (match of_tagged_payload tag body with
+              | m -> Scan_msg (m, body_pos + plen + 4)
+              | exception Malformed w -> Scan_bad w)
 
 let decode_from ?deadline ch =
   let m = Channel.read_exact ?deadline ch 1 in
@@ -148,6 +201,7 @@ let equal a b =
   | Error_msg x, Error_msg y -> String.equal x y
   | Stats_req, Stats_req -> true
   | Stats_text x, Stats_text y -> String.equal x y
+  | Overloaded, Overloaded -> true
   | _ -> false
 
 let pp fmt = function
@@ -164,3 +218,4 @@ let pp fmt = function
   | Error_msg e -> Format.fprintf fmt "Error(%s)" e
   | Stats_req -> Format.fprintf fmt "StatsReq"
   | Stats_text s -> Format.fprintf fmt "StatsText(%d bytes)" (String.length s)
+  | Overloaded -> Format.fprintf fmt "Overloaded"

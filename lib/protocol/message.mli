@@ -27,6 +27,10 @@ type t =
       (** ask the server for its metrics exposition (observability) *)
   | Stats_text of string
       (** Prometheus-style text exposition of the server's registry *)
+  | Overloaded
+      (** the server shed this request past its high-water mark; the
+          client should fall back (and let its circuit breaker trip)
+          rather than retry into the overload *)
 
 exception Malformed of string
 
@@ -48,6 +52,21 @@ val recv : ?deadline:float -> ?resync_budget:int -> Channel.t -> t
     stream. *)
 
 val send : Channel.t -> t -> unit
+
+(** {1 Incremental decoding} — for non-blocking connection pumps that
+    accumulate wire bytes in their own buffer *)
+
+type scan =
+  | Scan_msg of t * int  (** decoded message and the position past its frame *)
+  | Scan_need_more  (** the buffer ends inside the frame; read more bytes *)
+  | Scan_bad of string
+      (** the bytes at [pos] are not a valid frame; advance one byte and
+          rescan for the next magic (costing resync budget) *)
+
+val scan : string -> pos:int -> scan
+(** Decode at most one frame starting at [pos] (which must hold the
+    frame magic for anything but [Scan_bad]).  Never raises; never
+    consumes past the returned position. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+(** Concurrent multi-client model serving.
+
+    Where {!Server} answers one blocking channel, [Serve] multiplexes
+    many {!Conn}s through a non-blocking engine designed around
+    robustness: bounded per-connection and global request queues with
+    real backpressure (a connection at its bound is simply not read),
+    load-shedding past a high-water mark (answered with
+    {!Message.Overloaded}, never silence, so client circuit breakers
+    trip cleanly), per-connection error budgets (a byzantine peer is
+    closed after [max_protocol_errors] strikes or resync exhaustion,
+    not argued with forever), batched SVM prediction across the queued
+    feature vectors of all clients, supervised prediction workers that
+    are restarted from a factory on crash without dropping any
+    connection, and a deadline-bounded graceful drain.
+
+    The engine is driven by {!tick} — one bounded scheduling round —
+    so in-process fleets (tests, [bench serve]) run it deterministically
+    in lockstep, while {!serve_fds} wraps it in a [select] accept loop
+    for socket deployments.  Everything is instrumented through
+    {!Tessera_obs.Metrics.default} ([serve_*] gauges, counters, and the
+    [serve_latency_seconds] histogram). *)
+
+type batch_predictor =
+  level:Tessera_opt.Plan.level ->
+  float array array ->
+  Tessera_modifiers.Modifier.t array
+(** One SVM pass over a batch of raw (unnormalized) feature vectors of
+    one level; must return one modifier per input row. *)
+
+type config = {
+  max_conns : int;  (** accept refuses (with [Overloaded]) past this *)
+  per_conn_queue : int;  (** per-connection queued-request bound *)
+  queue_hwm : int;  (** global queue high-water mark: shed above *)
+  max_batch : int;  (** requests handed to a worker per batch *)
+  max_protocol_errors : int;  (** strikes before a connection is closed *)
+  resync_budget : int;  (** per-connection {!Conn} resync budget *)
+  drain_deadline_s : float;  (** default {!finish_drain} bound *)
+  workers : int;  (** supervised prediction workers (≥ 1) *)
+  now : unit -> float;
+      (** clock used for latency histograms and drain deadlines;
+          defaults to [Unix.gettimeofday] — tests pass virtual clocks *)
+  stats : unit -> string;  (** [Stats_req] answer; defaults to the
+                               default-registry exposition *)
+}
+
+val default_config : config
+
+type counters = {
+  mutable accepted : int;
+  mutable refused : int;  (** connections refused at capacity/drain *)
+  mutable conns_closed : int;
+  mutable requests : int;  (** messages handled *)
+  mutable predictions : int;
+  mutable shed : int;  (** [Overloaded] answers *)
+  mutable errors : int;  (** [Error_msg] answers *)
+  mutable strikes : int;
+  mutable struck_out : int;  (** connections closed over the error cap *)
+  mutable dropped : int;  (** queued requests whose connection died *)
+  mutable worker_restarts : int;
+}
+
+val pp_counters : Format.formatter -> counters -> unit
+
+type t
+
+val create : ?config:config -> make_predictor:(int -> batch_predictor) -> unit -> t
+(** [make_predictor wid] builds (and, after a crash, rebuilds) the
+    predictor of worker [wid]. *)
+
+val accept : t -> Channel.t -> Conn.t option
+(** Register a connection.  [None] — after an [Overloaded] reply and a
+    close — when the engine is draining or at [max_conns]. *)
+
+val tick : t -> int
+(** One scheduling round: pump every connection with queue room, handle
+    decoded messages (control frames answered inline, predictions
+    queued, overload shed, strikes counted), then dispatch at most one
+    batch per worker and write the replies.  Returns the number of
+    events processed — 0 means the engine is idle. *)
+
+val drain : t -> unit
+(** Enter graceful drain: stop accepting and stop reading; queued
+    requests are still answered by subsequent {!tick}s. *)
+
+val drained : t -> bool
+val finish_drain : ?deadline_s:float -> t -> bool
+(** Drain, tick until the queue is flushed or the deadline passes, then
+    close every connection.  [true] iff the flush completed in time. *)
+
+val serve_fds :
+  ?select_timeout_s:float ->
+  t ->
+  listen:Unix.file_descr ->
+  wrap:(Channel.t -> Channel.t) ->
+  stop:(unit -> bool) ->
+  bool
+(** Accept/select loop over a listening socket until [stop ()], then
+    {!finish_drain}.  [wrap] interposes on every accepted channel (the
+    fault injector hooks in here).  Returns the drain verdict. *)
+
+val counters : t -> counters
+val queue_depth : t -> int
+val draining : t -> bool
+val connection_count : t -> int
+val connections : t -> Conn.t list
+(** Open connections, in accept order. *)

@@ -25,8 +25,34 @@ let m_errors =
 
 let default_stats () = Metrics.expose Metrics.default
 
-let step ?(resync_budget = 4096) ?(stats = default_stats) ch predictor =
-  match Message.recv ~resync_budget ch with
+type session = {
+  resync_budget : int;
+  max_protocol_errors : int;
+  mutable strikes : int;
+}
+
+let session ?(resync_budget = 4096) ?(max_protocol_errors = 64) () =
+  { resync_budget; max_protocol_errors; strikes = 0 }
+
+let strikes s = s.strikes
+
+(* one more protocol error on this connection; [false] once the error
+   budget is spent — a looping byzantine peer gets a bounded number of
+   [Error_msg] replies, then the connection, not the server, pays *)
+let strike session ch =
+  session.strikes <- session.strikes + 1;
+  if session.strikes > session.max_protocol_errors then begin
+    (try
+       Message.send ch (Message.Error_msg "protocol error budget exhausted")
+     with _ -> ());
+    (try Channel.close ch with _ -> ());
+    false
+  end
+  else true
+
+let step ?session:sess ?(stats = default_stats) ch predictor =
+  let sess = match sess with Some s -> s | None -> session () in
+  match Message.recv ~resync_budget:sess.resync_budget ch with
   | msg -> (
       Metrics.inc (Lazy.force m_requests);
       match msg with
@@ -55,10 +81,10 @@ let step ?(resync_budget = 4096) ?(stats = default_stats) ch predictor =
           true
       | Message.Shutdown -> false
       | Message.Init_ok | Message.Pong | Message.Prediction _
-      | Message.Error_msg _ | Message.Stats_text _ ->
+      | Message.Error_msg _ | Message.Stats_text _ | Message.Overloaded ->
           Metrics.inc (Lazy.force m_errors);
           Message.send ch (Message.Error_msg "unexpected client->server message");
-          true)
+          strike sess ch)
   | exception Message.Malformed w ->
       (* recv already tried to resynchronize; if it could not find a
          valid frame within its budget the stream is unsalvageable —
@@ -68,11 +94,12 @@ let step ?(resync_budget = 4096) ?(stats = default_stats) ch predictor =
       (try Channel.close ch with _ -> ());
       false
 
-let serve ?stats ch predictor =
+let serve ?session:sess ?stats ch predictor =
+  let sess = match sess with Some s -> s | None -> session () in
   let continue = ref true in
   (try
      while !continue do
-       match step ?stats ch predictor with
+       match step ~session:sess ?stats ch predictor with
        | c -> continue := c
        | exception Channel.Timeout ->
            (* nothing buffered and no way to block for more (in-memory

@@ -9,14 +9,32 @@ type predictor =
   features:float array ->
   Tessera_modifiers.Modifier.t
 
+type session
+(** Per-connection serving state: the resync budget applied to each
+    receive and the running strike count of protocol errors.  One
+    [session] spans one client's whole conversation, so a byzantine peer
+    that loops on contextually-wrong frames accumulates strikes across
+    {!step}s and is eventually closed instead of being answered
+    [Error_msg] forever. *)
+
+val session : ?resync_budget:int -> ?max_protocol_errors:int -> unit -> session
+(** Defaults: [resync_budget = 4096], [max_protocol_errors = 64]. *)
+
+val strikes : session -> int
+
 val step :
-  ?resync_budget:int -> ?stats:(unit -> string) -> Channel.t -> predictor -> bool
+  ?session:session -> ?stats:(unit -> string) -> Channel.t -> predictor -> bool
 (** Handle exactly one incoming message; [false] after [Shutdown].
     Malformed input is resynchronized via {!Message.recv}; if no valid
-    frame can be found within [resync_budget] the channel is closed and
-    [false] is returned (resync-or-close — the loop never continues from
-    a desynced stream).  [Channel.Timeout] propagates to the caller
-    (lockstep harnesses treat it as "no request pending").
+    frame can be found within the session's resync budget the channel is
+    closed and [false] is returned (resync-or-close — the loop never
+    continues from a desynced stream).  An unexpected (server→client)
+    message is answered [Error_msg] {e and} counted as a strike against
+    the session; past [max_protocol_errors] the channel is closed and
+    [false] returned.  Omitting [session] makes a fresh one per call
+    (strikes then never accumulate — lockstep tests).  [Channel.Timeout]
+    propagates to the caller (lockstep harnesses treat it as "no request
+    pending").
 
     A [Stats_req] is answered with [Stats_text (stats ())]; [stats]
     defaults to the Prometheus exposition of
@@ -24,6 +42,8 @@ val step :
     [server_requests_total], [server_predictions_total], and
     [server_errors_total]. *)
 
-val serve : ?stats:(unit -> string) -> Channel.t -> predictor -> unit
-(** Run {!step} until shutdown, channel close, or a timeout (which, with
-    no way to block for more input, means no progress is possible). *)
+val serve :
+  ?session:session -> ?stats:(unit -> string) -> Channel.t -> predictor -> unit
+(** Run {!step} with one shared session until shutdown, channel close,
+    strike-budget exhaustion, or a timeout (which, with no way to block
+    for more input, means no progress is possible). *)

@@ -5,6 +5,7 @@ let () =
          illegal once any suite has spawned a domain (the pool and
          obs domain-safety tests do) *)
       ("protocol", Test_protocol.suite);
+      ("serve", Test_serve.suite);
       ("util", Test_util.suite);
       ("il", Test_il.suite);
       ("vm", Test_vm.suite);

@@ -458,17 +458,90 @@ let test_log_levels () =
                  e.Trace.cat = "log" && e.Trace.name = "traced")
                evs)))
 
+(* ------------------------------------------------------------------ *)
+(* Prometheus text-format escaping                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* the inverse of the exposition escaping, written independently here:
+   escape must round-trip any string and never leak a raw newline (which
+   would split the exposition mid-line) or, for label values, a raw
+   double quote (which would end the label early) *)
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char buf '\n'
+       | '\\' -> Buffer.add_char buf '\\'
+       | '"' -> Buffer.add_char buf '"'
+       | c ->
+           Buffer.add_char buf '\\';
+           Buffer.add_char buf c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char buf s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents buf
+
+let test_metrics_escaping_roundtrip () =
+  QCheck.Test.make ~count:300
+    ~name:"exposition escaping round-trips and never leaks raw breaks"
+    QCheck.(string_gen (QCheck.Gen.oneofl [ 'a'; 'z'; '\\'; '\n'; '"'; ' '; 'x' ]))
+    (fun s ->
+      let h = Metrics.escape_help s in
+      let l = Metrics.escape_label_value s in
+      if String.contains h '\n' then
+        QCheck.Test.fail_report "escaped HELP contains a raw newline";
+      if String.contains l '\n' then
+        QCheck.Test.fail_report "escaped label contains a raw newline";
+      (* an unescaped quote in a label value ends the label early *)
+      let rec quote_unescaped i =
+        match String.index_from_opt l i '"' with
+        | None -> false
+        | Some j ->
+            let rec backslashes k n =
+              if k >= 0 && l.[k] = '\\' then backslashes (k - 1) (n + 1) else n
+            in
+            if backslashes (j - 1) 0 mod 2 = 0 then true
+            else quote_unescaped (j + 1)
+      in
+      if quote_unescaped 0 then
+        QCheck.Test.fail_report "escaped label leaks a raw double quote";
+      String.equal (unescape h) s && String.equal (unescape l) s)
+
+let test_metrics_escaped_exposition () =
+  let r = Metrics.create () in
+  let evil = "line one\nline two \\ \"quoted\"" in
+  ignore (Metrics.counter r ~help:evil "evil_total");
+  let text = Metrics.expose r in
+  let lines = String.split_on_char '\n' (String.trim text) in
+  Alcotest.(check int) "one HELP, one TYPE, one sample" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "every line is a comment or a sample" true
+        (String.length line > 0
+        && (line.[0] = '#' || String.length line >= 4
+            && String.sub line 0 4 = "evil")))
+    lines
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
       test_ring_bounds (); test_histogram_sums (); test_chrome_roundtrip ();
-      test_chrome_args_roundtrip ();
+      test_chrome_args_roundtrip (); test_metrics_escaping_roundtrip ();
     ]
   @ [
       Alcotest.test_case "export: invalid UTF-8 becomes U+FFFD" `Quick
         test_export_invalid_utf8;
       Alcotest.test_case "metrics: non-finite exposition spellings" `Quick
         test_metrics_nonfinite_exposition;
+      Alcotest.test_case "metrics: evil HELP text stays line-structured"
+        `Quick test_metrics_escaped_exposition;
       Alcotest.test_case "domains: shared registry + merged rings" `Quick
         test_domain_stress;
       Alcotest.test_case "disabled tracing emits nothing" `Quick

@@ -1,0 +1,433 @@
+(* The concurrent serving layer: Conn's incremental decoder, the Serve
+   engine's backpressure / shedding / error-budget / drain behaviour,
+   the supervised workers, and the interleaving property that concurrent
+   fault-injected connections never corrupt each other's replies. *)
+
+module Channel = Tessera_protocol.Channel
+module Message = Tessera_protocol.Message
+module Conn = Tessera_protocol.Conn
+module Serve = Tessera_protocol.Serve
+module Server = Tessera_protocol.Server
+module Client = Tessera_protocol.Client
+module Spec = Tessera_faults.Spec
+module Injector = Tessera_faults.Injector
+module Modifier = Tessera_modifiers.Modifier
+module Plan = Tessera_opt.Plan
+module Prng = Tessera_util.Prng
+
+let msg_testable = Alcotest.testable Message.pp Message.equal
+
+let null_predictor _wid ~level:_ rows =
+  Array.map (fun (_ : float array) -> Modifier.null) rows
+
+(* a predictor that echoes features.(0) back inside the modifier, so a
+   reply's owner is checkable end to end *)
+let echo_predictor _wid ~level:_ rows =
+  Array.map
+    (fun (f : float array) ->
+      Modifier.of_bits (Int64.of_float (if Array.length f > 0 then f.(0) else 0.0)))
+    rows
+
+let predict ?(tag = 0.0) level =
+  Message.Predict { level; features = [| tag; 1.0; 2.0 |] }
+
+(* ------------------------------------------------------------------ *)
+(* Conn                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_conn_partial_frames () =
+  let a, b = Channel.pipe_pair () in
+  let conn = Conn.create ~id:0 b in
+  let wire = Message.encode (predict Plan.Hot) in
+  let half = String.length wire / 2 in
+  Channel.write a (String.sub wire 0 half);
+  Alcotest.(check int) "half a frame yields nothing" 0
+    (List.length (Conn.pump conn));
+  Channel.write a (String.sub wire half (String.length wire - half));
+  (match Conn.pump conn with
+  | [ Conn.Msg m ] ->
+      Alcotest.check msg_testable "reassembled" (predict Plan.Hot) m
+  | evs -> Alcotest.fail (Printf.sprintf "expected 1 Msg, got %d events"
+                            (List.length evs)));
+  Alcotest.(check int) "no strikes" 0 (Conn.strikes conn)
+
+let test_conn_garbage_resync () =
+  let a, b = Channel.pipe_pair () in
+  let conn = Conn.create ~id:0 b in
+  Channel.write a "this is not a frame";
+  Channel.write a (Message.encode Message.Ping);
+  let events = Conn.pump conn in
+  let msgs =
+    List.filter_map (function Conn.Msg m -> Some m | _ -> None) events
+  in
+  let strikes =
+    List.length
+      (List.filter (function Conn.Strike _ -> true | _ -> false) events)
+  in
+  Alcotest.(check (list msg_testable)) "frame after garbage decodes"
+    [ Message.Ping ] msgs;
+  Alcotest.(check bool) "garbage struck" true (strikes >= 1);
+  Alcotest.(check bool) "still active" true (Conn.state conn = Conn.Active)
+
+let test_conn_resync_exhaustion () =
+  let a, b = Channel.pipe_pair () in
+  let conn = Conn.create ~resync_budget:8 ~id:0 b in
+  Channel.write a (String.make 64 'x');
+  let events = Conn.pump conn in
+  Alcotest.(check bool) "ends with Eof" true
+    (match List.rev events with Conn.Eof :: _ -> true | _ -> false);
+  Alcotest.(check bool) "closed" true (Conn.state conn = Conn.Closed);
+  Alcotest.(check (list msg_testable)) "nothing decoded after close" []
+    (List.filter_map (function Conn.Msg m -> Some m | _ -> None)
+       (Conn.pump conn))
+
+let test_conn_frame_cap () =
+  let a, b = Channel.pipe_pair () in
+  let conn = Conn.create ~id:0 b in
+  for _ = 1 to 5 do Message.send a Message.Ping done;
+  Alcotest.(check int) "capped at 2 frames" 2
+    (List.length (Conn.pump ~max_frames:2 conn));
+  Alcotest.(check int) "rest stays buffered" 3
+    (List.length (Conn.pump conn))
+
+(* ------------------------------------------------------------------ *)
+(* Serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mk_engine ?(config = Serve.default_config) ?(predictor = null_predictor) ()
+    =
+  Serve.create ~config ~make_predictor:predictor ()
+
+let attach engine =
+  let server_end, client_end = Channel.pipe_pair () in
+  match Serve.accept engine server_end with
+  | Some conn -> (conn, client_end)
+  | None -> Alcotest.fail "accept refused"
+
+let drain_replies ch =
+  let rx = Conn.create ~id:999 ch in
+  List.filter_map (function Conn.Msg m -> Some m | _ -> None) (Conn.pump rx)
+
+let tick_n engine n = for _ = 1 to n do ignore (Serve.tick engine) done
+
+let test_serve_session () =
+  let engine = mk_engine () in
+  let _conn, ch = attach engine in
+  Message.send ch (Message.Init { model_name = "t" });
+  Message.send ch Message.Ping;
+  Message.send ch (predict Plan.Warm);
+  tick_n engine 3;
+  Alcotest.(check (list msg_testable)) "handshake, pong, prediction"
+    [ Message.Init_ok; Message.Pong;
+      Message.Prediction { modifier = Modifier.null } ]
+    (drain_replies ch);
+  Alcotest.(check int) "one prediction counted" 1
+    (Serve.counters engine).Serve.predictions
+
+let test_serve_backpressure_not_shed () =
+  (* a connection that batches 6 predicts at a 2-deep bound is decoded
+     two frames per tick — never shed, never lost *)
+  let config =
+    { Serve.default_config with Serve.per_conn_queue = 2; queue_hwm = 100 }
+  in
+  let engine = mk_engine ~config () in
+  let _conn, ch = attach engine in
+  for _ = 1 to 6 do Message.send ch (predict Plan.Hot) done;
+  tick_n engine 10;
+  let preds =
+    List.length
+      (List.filter
+         (function Message.Prediction _ -> true | _ -> false)
+         (drain_replies ch))
+  in
+  Alcotest.(check int) "all six answered" 6 preds;
+  Alcotest.(check int) "none shed" 0 (Serve.counters engine).Serve.shed
+
+let test_serve_global_hwm_sheds () =
+  let config =
+    {
+      Serve.default_config with
+      Serve.per_conn_queue = 8;
+      queue_hwm = 2;
+      workers = 1;
+      max_batch = 2;
+    }
+  in
+  let engine = mk_engine ~config () in
+  let chans = List.init 6 (fun _ -> snd (attach engine)) in
+  List.iter (fun ch -> Message.send ch (predict Plan.Hot)) chans;
+  ignore (Serve.tick engine);
+  let replies = List.concat_map drain_replies chans in
+  let count p = List.length (List.filter p replies) in
+  Alcotest.(check int) "overload answered, not silent" 4
+    (count (function Message.Overloaded -> true | _ -> false));
+  Alcotest.(check int) "shed counter agrees" 4
+    (Serve.counters engine).Serve.shed;
+  tick_n engine 3;
+  Alcotest.(check int) "queued two still answered" 2
+    ((Serve.counters engine).Serve.predictions)
+
+let test_serve_error_budget () =
+  let config = { Serve.default_config with Serve.max_protocol_errors = 3 } in
+  let engine = mk_engine ~config () in
+  let conn, ch = attach engine in
+  (* client->server Pong is well-formed but contextually wrong *)
+  for _ = 1 to 3 do
+    Message.send ch Message.Pong;
+    ignore (Serve.tick engine)
+  done;
+  Alcotest.(check bool) "still open inside the budget" true
+    (Conn.state conn <> Conn.Closed);
+  Message.send ch Message.Pong;
+  ignore (Serve.tick engine);
+  Alcotest.(check bool) "struck out past the budget" true
+    (Conn.state conn = Conn.Closed);
+  Alcotest.(check int) "struck_out counted" 1
+    (Serve.counters engine).Serve.struck_out;
+  let errors =
+    List.filter
+      (function Message.Error_msg _ -> true | _ -> false)
+      (drain_replies ch)
+  in
+  Alcotest.(check bool) "every strike was answered" true
+    (List.length errors >= 4)
+
+let test_serve_worker_restart () =
+  let generation = ref 0 in
+  let make_predictor _wid =
+    incr generation;
+    let gen = !generation in
+    fun ~level:_ rows ->
+      if gen = 1 then failwith "injected crash";
+      Array.map (fun (_ : float array) -> Modifier.null) rows
+  in
+  let config = { Serve.default_config with Serve.workers = 1 } in
+  let engine = Serve.create ~config ~make_predictor () in
+  let _conn, ch = attach engine in
+  Message.send ch (predict Plan.Hot);
+  tick_n engine 3;
+  Alcotest.(check int) "restarted once" 1
+    (Serve.counters engine).Serve.worker_restarts;
+  Alcotest.(check (list msg_testable)) "retried on the fresh worker"
+    [ Message.Prediction { modifier = Modifier.null } ]
+    (drain_replies ch)
+
+let test_serve_conn_shutdown () =
+  let engine = mk_engine () in
+  let conn, ch = attach engine in
+  Message.send ch (predict Plan.Hot);
+  Message.send ch Message.Shutdown;
+  tick_n engine 3;
+  Alcotest.(check (list msg_testable)) "queued predict answered before close"
+    [ Message.Prediction { modifier = Modifier.null } ]
+    (drain_replies ch);
+  Alcotest.(check bool) "connection retired" true
+    (Conn.state conn = Conn.Closed);
+  Alcotest.(check int) "engine roster empty" 0 (Serve.connection_count engine);
+  Alcotest.(check int) "retirement counted exactly once" 1
+    (Serve.counters engine).Serve.conns_closed
+
+let test_serve_graceful_drain () =
+  let config =
+    { Serve.default_config with Serve.workers = 1; max_batch = 1 }
+  in
+  let engine = mk_engine ~config () in
+  let clients = List.init 4 (fun _ -> attach engine) in
+  List.iter (fun (_, ch) -> Message.send ch (predict Plan.Cold)) clients;
+  ignore (Serve.tick engine) (* requests are queued *);
+  Serve.drain engine;
+  (* new connections are refused during drain, queued work is answered *)
+  Alcotest.(check bool) "accept refused while draining" true
+    (Serve.accept engine (fst (Channel.pipe_pair ())) = None);
+  Alcotest.(check bool) "drain finishes in time" true
+    (Serve.finish_drain ~deadline_s:5.0 engine);
+  List.iter
+    (fun (_, ch) ->
+      let preds =
+        List.filter
+          (function Message.Prediction _ -> true | _ -> false)
+          (drain_replies ch)
+      in
+      Alcotest.(check int) "queued request answered through drain" 1
+        (List.length preds))
+    clients;
+  Alcotest.(check int) "every connection closed" 0
+    (Serve.connection_count engine)
+
+let test_serve_drain_deadline () =
+  (* a virtual clock that jumps far past the deadline on every read
+     makes the flush impossible: finish_drain must report false, not
+     spin *)
+  let vnow = ref 0.0 in
+  let config =
+    {
+      Serve.default_config with
+      Serve.workers = 1;
+      max_batch = 1;
+      now = (fun () -> vnow := !vnow +. 10.0; !vnow);
+    }
+  in
+  let engine = mk_engine ~config () in
+  let _conn, ch = attach engine in
+  for _ = 1 to 4 do Message.send ch (predict Plan.Hot) done;
+  ignore (Serve.tick engine);
+  Alcotest.(check bool) "deadline exceeded is reported" false
+    (Serve.finish_drain ~deadline_s:5.0 engine)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-connection isolation (the satellite qcheck property)           *)
+(* ------------------------------------------------------------------ *)
+
+(* N concurrent connections, each with an independent fault spec, each
+   tagging its requests with its own id: every Prediction a client
+   manages to decode must carry its own tag — faults on neighbouring
+   connections (or on its own!) may lose replies but never cross wires
+   or corrupt a decoded one. *)
+let test_isolation_property () =
+  QCheck.Test.make ~count:40
+    ~name:"fault-injected connections never corrupt each other's replies"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int seed) in
+      let n = 2 + Prng.int rng 6 in
+      let config =
+        { Serve.default_config with Serve.workers = 1 + Prng.int rng 3 }
+      in
+      let engine = Serve.create ~config ~make_predictor:echo_predictor () in
+      let clients =
+        Array.init n (fun i ->
+            let server_end, client_end = Channel.pipe_pair () in
+            let spec =
+              {
+                Spec.default with
+                Spec.corrupt = Prng.float rng 0.4;
+                garbage = Prng.float rng 0.3;
+                drop = Prng.float rng 0.3;
+              }
+            in
+            let wrapped =
+              if i mod 2 = 0 then
+                Injector.wrap_channel
+                  (Injector.create
+                     ~sleep:(fun _ -> ())
+                     ~spec
+                     ~seed:(Int64.of_int (seed + i))
+                     ())
+                  server_end
+              else server_end
+            in
+            (match Serve.accept engine wrapped with
+            | Some _ -> ()
+            | None -> QCheck.Test.fail_report "accept refused");
+            (client_end, Conn.create ~id:i client_end))
+      in
+      let ok = ref true in
+      let rounds = 12 in
+      for _ = 1 to rounds do
+        Array.iteri
+          (fun i (ch, _) ->
+            try
+              Message.send ch
+                (Message.Predict
+                   {
+                     level = Plan.Hot;
+                     features = [| float_of_int (i + 1); 0.0 |];
+                   })
+            with Channel.Closed -> ())
+          clients;
+        ignore (Serve.tick engine);
+        Array.iteri
+          (fun i (_, rx) ->
+            List.iter
+              (function
+                | Conn.Msg (Message.Prediction { modifier }) ->
+                    if Modifier.to_bits modifier <> Int64.of_int (i + 1) then
+                      ok := false
+                | _ -> ())
+              (Conn.pump rx))
+          clients
+      done;
+      ignore (Serve.finish_drain ~deadline_s:5.0 engine);
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Server (single-channel) session strikes and client Overloaded        *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_step_session_strikes () =
+  let server_ch, client_ch = Channel.pipe_pair () in
+  let predictor ~level:_ ~features:_ = Modifier.null in
+  let session = Server.session ~max_protocol_errors:2 () in
+  (* two unexpected messages are answered and tolerated *)
+  Message.send client_ch Message.Pong;
+  Alcotest.(check bool) "first strike tolerated" true
+    (Server.step ~session server_ch predictor);
+  Message.send client_ch Message.Pong;
+  Alcotest.(check bool) "second strike tolerated" true
+    (Server.step ~session server_ch predictor);
+  (* the third exhausts the budget: the step loop ends *)
+  Message.send client_ch Message.Pong;
+  Alcotest.(check bool) "third strike ends the session" false
+    (Server.step ~session server_ch predictor);
+  Alcotest.(check int) "strikes counted" 3 (Server.strikes session);
+  (* three "unexpected message" answers plus the final "budget
+     exhausted" goodbye *)
+  let replies = drain_replies client_ch in
+  Alcotest.(check int) "every strike answered with Error_msg" 4
+    (List.length
+       (List.filter
+          (function Message.Error_msg _ -> true | _ -> false)
+          replies))
+
+let test_client_overloaded_fallback () =
+  let server_ch, client_ch = Channel.pipe_pair () in
+  (* a server that answers the handshake but sheds every prediction *)
+  let lockstep () =
+    match Message.decode_from server_ch with
+    | Message.Init _ -> Message.send server_ch Message.Init_ok
+    | Message.Predict _ -> Message.send server_ch Message.Overloaded
+    | _ -> ()
+  in
+  let client = Client.connect ~model_name:"t" ~lockstep client_ch in
+  (match Client.predict_result client ~level:Plan.Hot ~features:[| 1.0 |] with
+  | Client.Fallback Client.Overloaded -> ()
+  | Client.Predicted _ -> Alcotest.fail "predicted instead of falling back"
+  | Client.Fallback f -> Alcotest.fail ("wrong failure: " ^ Client.failure_name f)
+  | Client.Breaker_skip -> Alcotest.fail "breaker skipped the request");
+  let c = Client.counters client in
+  Alcotest.(check int) "overloaded counted" 1 c.Client.overloaded;
+  Alcotest.(check int) "shed requests are not retried into the overload" 0
+    c.Client.retries
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest [ test_isolation_property () ]
+  @ [
+      Alcotest.test_case "conn: partial frames reassemble" `Quick
+        test_conn_partial_frames;
+      Alcotest.test_case "conn: garbage strikes, then resyncs" `Quick
+        test_conn_garbage_resync;
+      Alcotest.test_case "conn: resync exhaustion closes" `Quick
+        test_conn_resync_exhaustion;
+      Alcotest.test_case "conn: frame cap leaves input buffered" `Quick
+        test_conn_frame_cap;
+      Alcotest.test_case "serve: handshake, ping, predict" `Quick
+        test_serve_session;
+      Alcotest.test_case "serve: batched sends backpressure, not shed" `Quick
+        test_serve_backpressure_not_shed;
+      Alcotest.test_case "serve: global high-water mark sheds Overloaded"
+        `Quick test_serve_global_hwm_sheds;
+      Alcotest.test_case "serve: protocol error budget closes the peer"
+        `Quick test_serve_error_budget;
+      Alcotest.test_case "serve: crashed worker restarts, batch retried"
+        `Quick test_serve_worker_restart;
+      Alcotest.test_case "serve: per-connection shutdown flushes then closes"
+        `Quick test_serve_conn_shutdown;
+      Alcotest.test_case "serve: graceful drain answers queued work" `Quick
+        test_serve_graceful_drain;
+      Alcotest.test_case "serve: drain deadline is honoured" `Quick
+        test_serve_drain_deadline;
+      Alcotest.test_case "server: session strikes end the step loop" `Quick
+        test_server_step_session_strikes;
+      Alcotest.test_case "client: Overloaded reply reaches the wire" `Quick
+        test_client_overloaded_fallback;
+    ]
