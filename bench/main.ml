@@ -12,6 +12,7 @@
      dune exec bench/main.exe obs        -- tracing overhead (BENCH_obs.json)
      dune exec bench/main.exe parallel   -- -j determinism + speedup (BENCH_parallel.json)
      dune exec bench/main.exe serve      -- concurrent serving fleet (BENCH_serve.json)
+     dune exec bench/main.exe flat       -- flat-tier dispatch throughput (BENCH_flat.json)
      dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
      dune exec bench/main.exe quick      -- down-scaled smoke of everything
 
@@ -735,6 +736,201 @@ let run_obs cfg =
   Format.fprintf fmt "[wrote BENCH_obs.json]@.@."
 
 (* ------------------------------------------------------------------ *)
+(* Flat execution tier: dispatch throughput (BENCH_flat.json)           *)
+(* ------------------------------------------------------------------ *)
+
+module Il_program = Tessera_il.Program
+module Interp = Tessera_vm.Interp
+module Flat_prog = Tessera_flat.Prog
+module Flat_interp = Tessera_flat.Interp
+
+(* The flat tier's contract: bit-identical virtual cycles, less host
+   time per virtual cycle.  Run the same all-interpreted workload
+   through the tree walker, the flat dispatch loop, and the flat loop
+   with superinstructions; assert the three legs charge exactly the
+   same cycles; and emit BENCH_flat.json with the dispatch throughput
+   (virtual cycles retired per wall second) of each leg plus the
+   opcode-pair census behind the fusion table. *)
+let run_flat cfg =
+  section "Flat execution tier: tree walker vs threaded code";
+  let quick = cfg == Harness.Expconfig.quick in
+  let reps = if quick then 3 else 5 in
+  let fuel_budget = Engine.default_config.Engine.fuel_per_invocation in
+  let time_best f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let per_bench =
+    List.map
+      (fun name ->
+        let bench =
+          Suites.scale_bench
+            (Option.get (Suites.find name))
+            cfg.Harness.Expconfig.bench_scale
+        in
+        let program = Tessera_workloads.Generate.program bench.Suites.profile in
+        let n = Il_program.method_count program in
+        let base =
+          Array.init n (fun i -> Flat_prog.of_meth (Il_program.meth program i))
+        in
+        let fused = Array.map Flat_prog.fuse base in
+        (* one all-interpreted leg: a raw context whose invoke closure
+           recurses through the same dispatcher for every callee *)
+        let leg exec =
+          let cycles = ref 0L in
+          let fuel = ref 0 in
+          let rec ctx =
+            {
+              Interp.classes = program.Il_program.classes;
+              charge =
+                (fun c -> cycles := Int64.add !cycles (Int64.of_int c));
+              invoke = (fun id args -> exec ctx id args);
+              fuel;
+            }
+          in
+          let iteration () =
+            for j = 0 to bench.Suites.iteration_invocations - 1 do
+              fuel := fuel_budget;
+              try
+                ignore
+                  (exec ctx program.Il_program.entry
+                     [| Values.Int_v (Int64.of_int j) |])
+              with Values.Trap _ -> ()
+            done
+          in
+          iteration () (* warm the host code paths before timing *);
+          cycles := 0L;
+          iteration ();
+          let per_iter = !cycles in
+          (per_iter, time_best iteration)
+        in
+        let tree_cycles, tree_s =
+          leg (fun ctx id args -> Interp.run ctx (Il_program.meth program id) args)
+        in
+        let flat_cycles, flat_s =
+          leg (fun ctx id args -> Flat_interp.run ctx base.(id) args)
+        in
+        let super_cycles, super_s =
+          leg (fun ctx id args -> Flat_interp.run ctx fused.(id) args)
+        in
+        if tree_cycles <> flat_cycles || tree_cycles <> super_cycles then
+          failwith
+            (Printf.sprintf
+               "flat tier charged different cycles on %s: tree %Ld, flat \
+                %Ld, flat+super %Ld"
+               name tree_cycles flat_cycles super_cycles);
+        let fused_sites =
+          Array.fold_left (fun a p -> a + p.Flat_prog.fused_pairs) 0 fused
+        in
+        (* opcode-pair census over the unfused programs: the data the
+           compile-time fusion table was derived from *)
+        let pairs = Array.make (Flat_prog.kind_count * Flat_prog.kind_count) 0 in
+        let () =
+          let fuel = ref 0 in
+          let rec ctx =
+            {
+              Interp.classes = program.Il_program.classes;
+              charge = (fun _ -> ());
+              invoke =
+                (fun id args -> Flat_interp.run_counted ~pairs ctx base.(id) args);
+              fuel;
+            }
+          in
+          for j = 0 to bench.Suites.iteration_invocations - 1 do
+            fuel := fuel_budget;
+            try
+              ignore
+                (Flat_interp.run_counted ~pairs ctx base.(program.Il_program.entry)
+                   [| Values.Int_v (Int64.of_int j) |])
+            with Values.Trap _ -> ()
+          done
+        in
+        let top_pairs =
+          let all = ref [] in
+          Array.iteri
+            (fun i c -> if c > 0 then all := (i, c) :: !all)
+            pairs;
+          List.filteri
+            (fun i _ -> i < 8)
+            (List.sort (fun (_, a) (_, b) -> compare b a) !all)
+          |> List.map (fun (i, c) ->
+                 ( Flat_prog.kind_name (i / Flat_prog.kind_count),
+                   Flat_prog.kind_name (i mod Flat_prog.kind_count),
+                   c ))
+        in
+        Format.fprintf fmt
+          "%-10s %8.2fM cycles/iter | tree %7.2f Mcyc/s | flat %7.2f \
+           Mcyc/s (%.3fx) | +super %7.2f Mcyc/s (%.3fx, %d fused sites)@."
+          name
+          (Int64.to_float tree_cycles /. 1e6)
+          (Int64.to_float tree_cycles /. tree_s /. 1e6)
+          (Int64.to_float tree_cycles /. flat_s /. 1e6)
+          (tree_s /. flat_s)
+          (Int64.to_float tree_cycles /. super_s /. 1e6)
+          (tree_s /. super_s) fused_sites;
+        (name, tree_cycles, tree_s, flat_s, super_s, fused_sites, top_pairs))
+      [ "compress"; "db"; "jack" ]
+  in
+  let geomean f =
+    exp
+      (List.fold_left (fun a r -> a +. log (f r)) 0.0 per_bench
+      /. float_of_int (List.length per_bench))
+  in
+  let flat_speedup = geomean (fun (_, _, t, f, _, _, _) -> t /. f) in
+  let super_speedup = geomean (fun (_, _, t, _, s, _, _) -> t /. s) in
+  (* fraction of the flat tier's win contributed by superinstruction
+     fusion (0 = fusion does nothing, 1 = the whole win is fusion) *)
+  let super_share =
+    if super_speedup <= 1.0 then 0.0
+    else (super_speedup -. flat_speedup) /. (super_speedup -. 1.0)
+  in
+  Format.fprintf fmt
+    "geomean: flat %.3fx, flat+super %.3fx (superinstruction share \
+     %.1f%%)@."
+    flat_speedup super_speedup (super_share *. 100.0);
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"quick\": %b,\n  \"reps\": %d,\n  \"benchmarks\": [\n"
+       quick reps);
+  List.iteri
+    (fun i (name, cycles, tree_s, flat_s, super_s, fused_sites, top_pairs) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"cycles_per_iteration\": %Ld,\n\
+           \     \"tree_wall_s\": %.6f, \"flat_wall_s\": %.6f, \
+            \"flat_super_wall_s\": %.6f,\n\
+           \     \"flat_speedup\": %.4f, \"flat_super_speedup\": %.4f,\n\
+           \     \"fused_sites\": %d,\n\
+           \     \"top_pairs\": [" name cycles tree_s flat_s super_s
+           (tree_s /. flat_s) (tree_s /. super_s) fused_sites);
+      List.iteri
+        (fun j (a, b, c) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s{\"first\": %S, \"second\": %S, \"count\": %d}"
+               (if j > 0 then ", " else "")
+               a b c))
+        top_pairs;
+      Buffer.add_string buf
+        (Printf.sprintf "]}%s\n"
+           (if i < List.length per_bench - 1 then "," else "")))
+    per_bench;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"flat_speedup_geomean\": %.4f,\n\
+       \  \"flat_super_speedup_geomean\": %.4f,\n\
+       \  \"superinstruction_share\": %.4f\n}\n"
+       flat_speedup super_speedup super_share);
+  Tessera_util.Fileio.atomic_write ~path:"BENCH_flat.json" (Buffer.contents buf);
+  Format.fprintf fmt "[wrote BENCH_flat.json]@.@."
+
+(* ------------------------------------------------------------------ *)
 (* Concurrent serving under load (BENCH_serve.json)                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1238,6 +1434,9 @@ let () =
         serve_requests := Some (int_flag "--requests" n);
         parse (cmd, quick, jobs) rest
     | "quick" :: rest -> parse (cmd, true, jobs) rest
+    | "--no-flat" :: rest ->
+        Tessera_flat.Cache.set_enabled false;
+        parse (cmd, quick, jobs) rest
     | word :: rest -> parse (word, quick, jobs) rest
   in
   let cmd, quick, jobs =
@@ -1260,6 +1459,7 @@ let () =
   | "cache" -> run_cache cfg
   | "obs" -> run_obs cfg
   | "parallel" -> run_parallel ~jobs cfg
+  | "flat" -> run_flat cfg
   | "serve" -> (
       match !serve_socket with
       | Some path ->
@@ -1277,6 +1477,7 @@ let () =
       run_cache cfg;
       run_obs cfg;
       run_parallel ~jobs cfg;
+      run_flat cfg;
       run_serve ~jobs cfg;
       run_micro ~jobs cfg);
   Format.fprintf fmt "[total bench time %.1fs]@." (Unix.gettimeofday () -. t0)

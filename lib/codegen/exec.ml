@@ -49,8 +49,9 @@ let run ctx (c : compiled) args =
   while !result = None do
     if !pc < 0 || !pc >= npc then
       invalid_arg (c.method_name ^ ": pc out of code range");
-    decr ctx.fuel;
+    (* check-then-decrement, matching Vm.Interp's fuel discipline *)
     if !(ctx.fuel) <= 0 then raise Out_of_fuel;
+    decr ctx.fuel;
     let this_pc = !pc in
     ctx.charge c.costs.(this_pc);
     pc := this_pc + 1;

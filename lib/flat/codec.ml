@@ -1,0 +1,346 @@
+(* Binary codec for unfused flat programs, in the Isa_codec idiom:
+   u8 instruction tags, varint operands, a trailing integrity hash.
+   Fused programs are never persisted — fusion is a deterministic,
+   cheap rewrite applied after decode, so the on-disk form stays
+   independent of the (toggleable) fusion setting. *)
+
+module Codec = Tessera_util.Codec
+module Types = Tessera_il.Types
+module Opcode = Tessera_il.Opcode
+module Values = Tessera_vm.Values
+
+exception Malformed of string
+
+let fail what = raise (Malformed what)
+
+let format_version = 1
+
+let write_ty buf ty = Codec.write_u8 buf (Types.index ty)
+
+let read_ty ?(what = "type") r =
+  let i = Codec.read_u8 ~what r in
+  if i >= Types.count then fail (what ^ ": bad type index");
+  Types.of_index i
+
+let write_op buf op = Codec.write_string buf (Opcode.name op)
+
+let read_op ?(what = "opcode") r =
+  match Opcode.of_name (Codec.read_string ~what r) with
+  | Some op -> op
+  | None -> fail (what ^ ": unknown opcode")
+
+let cast_tag = function
+  | Opcode.C_byte -> 0
+  | Opcode.C_char -> 1
+  | Opcode.C_short -> 2
+  | Opcode.C_int -> 3
+  | Opcode.C_long -> 4
+  | Opcode.C_float -> 5
+  | Opcode.C_double -> 6
+  | Opcode.C_longdouble -> 7
+  | Opcode.C_address -> 8
+  | Opcode.C_object -> 9
+  | Opcode.C_packed -> 10
+  | Opcode.C_zoned -> 11
+  | Opcode.C_check -> 12
+
+let cast_of_tag = function
+  | 0 -> Opcode.C_byte
+  | 1 -> Opcode.C_char
+  | 2 -> Opcode.C_short
+  | 3 -> Opcode.C_int
+  | 4 -> Opcode.C_long
+  | 5 -> Opcode.C_float
+  | 6 -> Opcode.C_double
+  | 7 -> Opcode.C_longdouble
+  | 8 -> Opcode.C_address
+  | 9 -> Opcode.C_object
+  | 10 -> Opcode.C_packed
+  | 11 -> Opcode.C_zoned
+  | 12 -> Opcode.C_check
+  | _ -> fail "cast kind"
+
+let write_instr buf (i : Prog.instr) =
+  let tag t = Codec.write_u8 buf t in
+  let vint = Codec.write_varint buf in
+  match i with
+  | Prog.Enter -> tag 0
+  | Prog.Begin c ->
+      tag 1;
+      vint c
+  | Prog.Charge c ->
+      tag 2;
+      vint c
+  | Prog.Const (c, k) ->
+      tag 3;
+      vint c;
+      vint k
+  | Prog.Load_local (c, s) ->
+      tag 4;
+      vint c;
+      vint s
+  | Prog.Inc_local (c, s, d, ty) ->
+      tag 5;
+      vint c;
+      vint s;
+      Codec.write_i64 buf d;
+      write_ty buf ty
+  | Prog.New_obj (c, cls) ->
+      tag 6;
+      vint c;
+      vint cls
+  | Prog.Void_leaf c ->
+      tag 7;
+      vint c
+  | Prog.Store_local (s, ty) ->
+      tag 8;
+      vint s;
+      write_ty buf ty
+  | Prog.Field_load f ->
+      tag 9;
+      vint f
+  | Prog.Field_store f ->
+      tag 10;
+      vint f
+  | Prog.Elem_load -> tag 11
+  | Prog.Elem_store -> tag 12
+  | Prog.Binop (op, ty) ->
+      tag 13;
+      write_op buf op;
+      write_ty buf ty
+  | Prog.Negate ty ->
+      tag 14;
+      write_ty buf ty
+  | Prog.Cast_to (k, ty) ->
+      tag 15;
+      Codec.write_u8 buf (cast_tag k);
+      write_ty buf ty
+  | Prog.Checkcast cls ->
+      tag 16;
+      vint cls
+  | Prog.New_arr ty ->
+      tag 17;
+      write_ty buf ty
+  | Prog.New_multi ty ->
+      tag 18;
+      write_ty buf ty
+  | Prog.Instance_of cls ->
+      tag 19;
+      vint cls
+  | Prog.Monitor -> tag 20
+  | Prog.Drop_void -> tag 21
+  | Prog.Invoke (callee, argc) ->
+      tag 22;
+      vint callee;
+      vint argc
+  | Prog.Mixed (argc, ty) ->
+      tag 23;
+      vint argc;
+      write_ty buf ty
+  | Prog.Bounds_chk -> tag 24
+  | Prog.Arr_copy -> tag 25
+  | Prog.Arr_cmp -> tag 26
+  | Prog.Arr_len -> tag 27
+  | Prog.Pop -> tag 28
+  | Prog.Jmp t ->
+      tag 29;
+      vint t
+  | Prog.Cond_br (t, f) ->
+      tag 30;
+      vint t;
+      vint f
+  | Prog.Ret_void -> tag 31
+  | Prog.Ret_val -> tag 32
+  | Prog.Raise_user -> tag 33
+  | Prog.F_enter_begin _ | Prog.F_begin_begin _ | Prog.F_begin_load _
+  | Prog.F_begin_const _ | Prog.F_load_load _ | Prog.F_load_binop _
+  | Prog.F_const_binop _ | Prog.F_load_store _ | Prog.F_binop_store _
+  | Prog.F_store_pop _ | Prog.F_inc_pop _ | Prog.F_pop_begin _
+  | Prog.F_load_const _ | Prog.F_load_begin _ | Prog.F_binop_binop _ ->
+      fail "encode: fused program"
+
+let read_instr r : Prog.instr =
+  let vint what = Codec.read_varint ~what r in
+  match Codec.read_u8 ~what:"instr tag" r with
+  | 0 -> Prog.Enter
+  | 1 -> Prog.Begin (vint "charge")
+  | 2 -> Prog.Charge (vint "charge")
+  | 3 ->
+      let c = vint "charge" in
+      Prog.Const (c, vint "pool")
+  | 4 ->
+      let c = vint "charge" in
+      Prog.Load_local (c, vint "slot")
+  | 5 ->
+      let c = vint "charge" in
+      let s = vint "slot" in
+      let d = Codec.read_i64 ~what:"delta" r in
+      Prog.Inc_local (c, s, d, read_ty r)
+  | 6 ->
+      let c = vint "charge" in
+      Prog.New_obj (c, vint "class")
+  | 7 -> Prog.Void_leaf (vint "charge")
+  | 8 ->
+      let s = vint "slot" in
+      Prog.Store_local (s, read_ty r)
+  | 9 -> Prog.Field_load (vint "field")
+  | 10 -> Prog.Field_store (vint "field")
+  | 11 -> Prog.Elem_load
+  | 12 -> Prog.Elem_store
+  | 13 ->
+      let op = read_op r in
+      Prog.Binop (op, read_ty r)
+  | 14 -> Prog.Negate (read_ty r)
+  | 15 ->
+      let k = cast_of_tag (Codec.read_u8 ~what:"cast" r) in
+      Prog.Cast_to (k, read_ty r)
+  | 16 -> Prog.Checkcast (vint "class")
+  | 17 -> Prog.New_arr (read_ty r)
+  | 18 -> Prog.New_multi (read_ty r)
+  | 19 -> Prog.Instance_of (vint "class")
+  | 20 -> Prog.Monitor
+  | 21 -> Prog.Drop_void
+  | 22 ->
+      let callee = vint "callee" in
+      Prog.Invoke (callee, vint "argc")
+  | 23 ->
+      let argc = vint "argc" in
+      Prog.Mixed (argc, read_ty r)
+  | 24 -> Prog.Bounds_chk
+  | 25 -> Prog.Arr_copy
+  | 26 -> Prog.Arr_cmp
+  | 27 -> Prog.Arr_len
+  | 28 -> Prog.Pop
+  | 29 -> Prog.Jmp (vint "target")
+  | 30 ->
+      let t = vint "target" in
+      Prog.Cond_br (t, vint "target")
+  | 31 -> Prog.Ret_void
+  | 32 -> Prog.Ret_val
+  | 33 -> Prog.Raise_user
+  | _ -> fail "instr tag"
+
+let write_int_array buf a =
+  Codec.write_varint buf (Array.length a);
+  Array.iter (Codec.write_varint buf) a
+
+let read_int_array ?(what = "int array") r =
+  let n = Codec.read_varint ~what r in
+  Array.init n (fun _ -> Codec.read_varint ~what r)
+
+(* handler ids can be -1; shift by one into varint range *)
+let write_handler_array buf a =
+  Codec.write_varint buf (Array.length a);
+  Array.iter (fun h -> Codec.write_varint buf (h + 1)) a
+
+let read_handler_array r =
+  let n = Codec.read_varint ~what:"handler count" r in
+  Array.init n (fun _ -> Codec.read_varint ~what:"handler" r - 1)
+
+let encode buf (p : Prog.t) =
+  if p.Prog.fused_pairs > 0 then fail "encode: fused program";
+  Codec.write_u8 buf format_version;
+  Codec.write_string buf p.Prog.method_name;
+  Codec.write_varint buf (Array.length p.Prog.instrs);
+  Array.iter (write_instr buf) p.Prog.instrs;
+  Codec.write_varint buf (Array.length p.Prog.pool);
+  Array.iter
+    (fun v ->
+      match v with
+      | Values.Int_v i ->
+          Codec.write_u8 buf 0;
+          Codec.write_i64 buf i
+      | Values.Float_v f ->
+          Codec.write_u8 buf 1;
+          Codec.write_i64 buf (Int64.bits_of_float f)
+      | _ -> fail "encode: non-scalar pool value")
+    p.Prog.pool;
+  write_int_array buf p.Prog.block_of_pc;
+  write_int_array buf p.Prog.block_entry;
+  write_handler_array buf p.Prog.handler_of_block;
+  Codec.write_varint buf (Array.length p.Prog.local_types);
+  Array.iter
+    (fun ty -> Codec.write_u8 buf (Types.index ty))
+    p.Prog.local_types;
+  Array.iter
+    (fun b -> Codec.write_u8 buf (if b then 1 else 0))
+    p.Prog.local_is_arg;
+  write_ty buf p.Prog.ret;
+  Codec.write_varint buf p.Prog.sync_charge;
+  Codec.write_varint buf p.Prog.max_stack;
+  Codec.write_i64 buf p.Prog.source_fp;
+  Codec.write_i64 buf (Prog.hash p)
+
+let decode r : Prog.t =
+  let v = Codec.read_u8 ~what:"format version" r in
+  if v <> format_version then fail "format version";
+  let method_name = Codec.read_string ~what:"method name" r in
+  let ninstr = Codec.read_varint ~what:"instr count" r in
+  let instrs = Array.init ninstr (fun _ -> read_instr r) in
+  let npool = Codec.read_varint ~what:"pool count" r in
+  let pool =
+    Array.init npool (fun _ ->
+        match Codec.read_u8 ~what:"pool tag" r with
+        | 0 -> Values.Int_v (Codec.read_i64 ~what:"pool int" r)
+        | 1 ->
+            Values.Float_v
+              (Int64.float_of_bits (Codec.read_i64 ~what:"pool float" r))
+        | _ -> fail "pool tag")
+  in
+  let block_of_pc = read_int_array ~what:"block_of_pc" r in
+  let block_entry = read_int_array ~what:"block_entry" r in
+  let handler_of_block = read_handler_array r in
+  let nloc = Codec.read_varint ~what:"local count" r in
+  let local_types =
+    Array.init nloc (fun _ ->
+        let i = Codec.read_u8 ~what:"local type" r in
+        if i >= Types.count then fail "local type";
+        Types.of_index i)
+  in
+  let local_is_arg =
+    Array.init nloc (fun _ ->
+        match Codec.read_u8 ~what:"local kind" r with
+        | 0 -> false
+        | 1 -> true
+        | _ -> fail "local kind")
+  in
+  let ret = read_ty ~what:"return type" r in
+  let sync_charge = Codec.read_varint ~what:"sync charge" r in
+  let max_stack = Codec.read_varint ~what:"max stack" r in
+  let source_fp = Codec.read_i64 ~what:"source fingerprint" r in
+  let p =
+    {
+      Prog.method_name;
+      instrs;
+      pool;
+      block_of_pc;
+      block_entry;
+      handler_of_block;
+      local_types;
+      local_is_arg;
+      ret;
+      sync_charge;
+      max_stack;
+      fused_pairs = 0;
+      source_fp;
+    }
+  in
+  let stored_hash = Codec.read_i64 ~what:"hash" r in
+  if not (Int64.equal stored_hash (Prog.hash p)) then fail "hash mismatch";
+  (* the decoded form must stand on its own: re-verify structure and the
+     claimed stack bound before anyone executes it *)
+  (match Prog.verify p with
+  | Ok ms -> if ms <> max_stack then fail "max_stack mismatch"
+  | Error e -> fail e);
+  p
+
+let to_string p =
+  let buf = Buffer.create 512 in
+  encode buf p;
+  Buffer.contents buf
+
+let of_string s =
+  let r = Codec.reader_of_string s in
+  let p = decode r in
+  if not (Codec.at_end r) then fail "trailing bytes";
+  p

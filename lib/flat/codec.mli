@@ -1,0 +1,19 @@
+(** Binary codec for unfused flat programs ({!Prog.t}), in the
+    [Isa_codec] idiom: u8 tags, varint operands, trailing integrity
+    hash.  [decode] re-verifies the program (structure, stack bound,
+    hash) so corrupt bytes can never reach the dispatch loop.  Fused
+    programs are rejected — fusion is reapplied after decode. *)
+
+exception Malformed of string
+
+val format_version : int
+
+val encode : Buffer.t -> Prog.t -> unit
+val decode : Tessera_util.Codec.reader -> Prog.t
+
+val to_string : Prog.t -> string
+
+val of_string : string -> Prog.t
+(** Raises {!Malformed} or [Tessera_util.Codec.Truncated] on damage;
+    callers persisting through the code cache turn either into a
+    corrupt-entry drop. *)

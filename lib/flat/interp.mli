@@ -1,0 +1,24 @@
+(** Dispatch-loop interpreter over the flat form.
+
+    Shares [Vm.Interp.context] (and its [Out_of_fuel] exception) with
+    the tree walker so engines can switch tiers without re-plumbing.
+    Observable behaviour — result value, traps, every charged cycle and
+    fuel decrement in order — is bit-identical to [Vm.Interp.run] on
+    the source method; the speedup is purely host-side. *)
+
+type context = Tessera_vm.Interp.context
+
+val run : context -> Prog.t -> Tessera_vm.Values.t array -> Tessera_vm.Values.t
+(** Raises [Vm.Interp.Out_of_fuel] and [Values.Trap _] exactly like the
+    tree walker. *)
+
+val run_counted :
+  pairs:int array ->
+  context ->
+  Prog.t ->
+  Tessera_vm.Values.t array ->
+  Tessera_vm.Values.t
+(** Like [run] but tallies dynamically executed (kind, next-kind) pairs
+    into [pairs] (a [kind_count * kind_count] matrix, row = first kind).
+    This census is what the static fusion table in {!Prog.fuse} was
+    derived from.  Only accepts unfused programs. *)

@@ -1,0 +1,682 @@
+(* Flat bytecode form of a method: the tree IL of an [Il.Meth] lowered
+   to a single instruction array with resolved jump offsets, a constant
+   pool of prebuilt values, and precomputed cycle charges.
+
+   The lowering is cycle- and fuel-exact with respect to the tree
+   walker [Vm.Interp.run]: every point where the tree walker decrements
+   fuel or calls [ctx.charge] has a corresponding instruction here that
+   does the same, in the same order.  Interior nodes emit a [Begin]
+   prologue (one fuel event plus the node's dispatch+op charge) before
+   their children, leaves carry their charge inline, and block entries
+   emit [Enter] (fuel only) — so a trace of (fuel, charge) events is
+   bit-identical between the two tiers, which is what keeps learned-
+   model labels and the figures digest comparable. *)
+
+module Types = Tessera_il.Types
+module Opcode = Tessera_il.Opcode
+module Node = Tessera_il.Node
+module Block = Tessera_il.Block
+module Meth = Tessera_il.Meth
+module Symbol = Tessera_il.Symbol
+module Values = Tessera_vm.Values
+module Cost = Tessera_vm.Cost
+module H = Tessera_util.Hash64
+
+type instr =
+  (* fuel-event carriers: each mirrors exactly one fuel decrement of the
+     tree walker (block entry or node pre-order visit) *)
+  | Enter  (** block entry: fuel only, no charge *)
+  | Begin of int  (** interior-node prologue: fuel + charge *)
+  | Charge of int  (** charge without fuel (the If-terminator's 1 cycle) *)
+  (* leaves: fuel + charge + push, in one dispatch *)
+  | Const of int * int  (** charge, pool index *)
+  | Load_local of int * int  (** charge, slot *)
+  | Inc_local of int * int * int64 * Types.t  (** charge, slot, delta, ty *)
+  | New_obj of int * int  (** charge, class id *)
+  | Void_leaf of int  (** 0-arg Throw_op / Synchronization: push Void *)
+  (* post-order actions: operands on the stack, no fuel/charge of their
+     own (their node's charge was taken by the matching [Begin]) *)
+  | Store_local of int * Types.t
+  | Field_load of int
+  | Field_store of int
+  | Elem_load
+  | Elem_store
+  | Binop of Opcode.t * Types.t
+  | Negate of Types.t
+  | Cast_to of Opcode.cast_kind * Types.t
+  | Checkcast of int
+  | New_arr of Types.t
+  | New_multi of Types.t
+  | Instance_of of int
+  | Monitor
+  | Drop_void  (** 1-arg Throw_op: replace top with Void *)
+  | Invoke of int * int  (** callee, argc; charges interp_call_overhead *)
+  | Mixed of int * Types.t  (** argc, ty *)
+  | Bounds_chk
+  | Arr_copy
+  | Arr_cmp
+  | Arr_len
+  | Pop  (** statement-result discard *)
+  (* control *)
+  | Jmp of int
+  | Cond_br of int * int  (** pop; branch to fst if truthy else snd *)
+  | Ret_void
+  | Ret_val
+  | Raise_user
+  (* superinstructions: each executes the exact observable sequence of
+     its two halves in one dispatch.  The fused instruction replaces the
+     first slot; the second slot stays in place (never executed, never a
+     jump target) so offsets need no relocation.  The pair selection is
+     the static fusion table measured by [bench flat] — see [fuse]. *)
+  | F_enter_begin of int
+  | F_begin_begin of int * int
+  | F_begin_load of int * int * int
+  | F_begin_const of int * int * int
+  | F_load_load of int * int * int * int
+  | F_load_binop of int * int * Opcode.t * Types.t
+  | F_const_binop of int * int * Opcode.t * Types.t
+  | F_load_store of int * int * int * Types.t
+  | F_binop_store of Opcode.t * Types.t * int * Types.t
+  | F_store_pop of int * Types.t
+  | F_inc_pop of int * int * int64 * Types.t
+  | F_pop_begin of int
+  | F_load_const of int * int * int * int
+  | F_load_begin of int * int * int
+  | F_binop_binop of Opcode.t * Types.t * Opcode.t * Types.t
+
+type t = {
+  method_name : string;
+  instrs : instr array;
+  pool : Values.t array;  (** prebuilt constants (Int_v / Float_v) *)
+  block_of_pc : int array;  (** pc -> owning block, for trap dispatch *)
+  block_entry : int array;  (** block id -> entry pc (an [Enter]) *)
+  handler_of_block : int array;  (** -1 when the block has no handler *)
+  local_types : Types.t array;
+  local_is_arg : bool array;
+  ret : Types.t;
+  sync_charge : int;  (** synchronized-method prologue charge, else 0 *)
+  max_stack : int;  (** verified operand-stack bound *)
+  fused_pairs : int;  (** superinstruction sites (0 in the base form) *)
+  source_fp : int64;  (** [Meth.fingerprint] of the source method *)
+}
+
+let code_size p = Array.length p.instrs
+
+(* -- instruction kinds (for pair counting and hashing) -------------- *)
+
+let kind = function
+  | Enter -> 0
+  | Begin _ -> 1
+  | Charge _ -> 2
+  | Const _ -> 3
+  | Load_local _ -> 4
+  | Inc_local _ -> 5
+  | New_obj _ -> 6
+  | Void_leaf _ -> 7
+  | Store_local _ -> 8
+  | Field_load _ -> 9
+  | Field_store _ -> 10
+  | Elem_load -> 11
+  | Elem_store -> 12
+  | Binop _ -> 13
+  | Negate _ -> 14
+  | Cast_to _ -> 15
+  | Checkcast _ -> 16
+  | New_arr _ -> 17
+  | New_multi _ -> 18
+  | Instance_of _ -> 19
+  | Monitor -> 20
+  | Drop_void -> 21
+  | Invoke _ -> 22
+  | Mixed _ -> 23
+  | Bounds_chk -> 24
+  | Arr_copy -> 25
+  | Arr_cmp -> 26
+  | Arr_len -> 27
+  | Pop -> 28
+  | Jmp _ -> 29
+  | Cond_br _ -> 30
+  | Ret_void -> 31
+  | Ret_val -> 32
+  | Raise_user -> 33
+  | F_enter_begin _ -> 34
+  | F_begin_begin _ -> 35
+  | F_begin_load _ -> 36
+  | F_begin_const _ -> 37
+  | F_load_load _ -> 38
+  | F_load_binop _ -> 39
+  | F_const_binop _ -> 40
+  | F_load_store _ -> 41
+  | F_binop_store _ -> 42
+  | F_store_pop _ -> 43
+  | F_inc_pop _ -> 44
+  | F_pop_begin _ -> 45
+  | F_load_const _ -> 46
+  | F_load_begin _ -> 47
+  | F_binop_binop _ -> 48
+
+let kind_count = 49
+
+let kind_name = function
+  | 0 -> "enter"
+  | 1 -> "begin"
+  | 2 -> "charge"
+  | 3 -> "const"
+  | 4 -> "load_local"
+  | 5 -> "inc_local"
+  | 6 -> "new_obj"
+  | 7 -> "void_leaf"
+  | 8 -> "store_local"
+  | 9 -> "field_load"
+  | 10 -> "field_store"
+  | 11 -> "elem_load"
+  | 12 -> "elem_store"
+  | 13 -> "binop"
+  | 14 -> "negate"
+  | 15 -> "cast_to"
+  | 16 -> "checkcast"
+  | 17 -> "new_arr"
+  | 18 -> "new_multi"
+  | 19 -> "instance_of"
+  | 20 -> "monitor"
+  | 21 -> "drop_void"
+  | 22 -> "invoke"
+  | 23 -> "mixed"
+  | 24 -> "bounds_chk"
+  | 25 -> "arr_copy"
+  | 26 -> "arr_cmp"
+  | 27 -> "arr_len"
+  | 28 -> "pop"
+  | 29 -> "jmp"
+  | 30 -> "cond_br"
+  | 31 -> "ret_void"
+  | 32 -> "ret_val"
+  | 33 -> "raise_user"
+  | 34 -> "f_enter_begin"
+  | 35 -> "f_begin_begin"
+  | 36 -> "f_begin_load"
+  | 37 -> "f_begin_const"
+  | 38 -> "f_load_load"
+  | 39 -> "f_load_binop"
+  | 40 -> "f_const_binop"
+  | 41 -> "f_load_store"
+  | 42 -> "f_binop_store"
+  | 43 -> "f_store_pop"
+  | 44 -> "f_inc_pop"
+  | 45 -> "f_pop_begin"
+  | 46 -> "f_load_const"
+  | 47 -> "f_load_begin"
+  | 48 -> "f_binop_binop"
+  | _ -> "?"
+
+(* Superinstructions occupy two slots: the fused op plus the dead slot
+   of its second half, skipped at execution and verification time. *)
+let width i = if kind i >= 34 then 2 else 1
+
+(* -- verifier -------------------------------------------------------
+   Mirrors [Il.Validate]'s role for tree IL: structural soundness of the
+   flat form, checked after lowering, after fusion, and after decoding a
+   persisted form.  Also computes the exact operand-stack bound so the
+   interpreter can allocate a fixed-size stack with no overflow check. *)
+
+(* pops, pushes *)
+let stack_io = function
+  | Enter | Begin _ | Charge _ -> (0, 0)
+  | Const _ | Load_local _ | Inc_local _ | New_obj _ | Void_leaf _ -> (0, 1)
+  | Store_local _ | Field_load _ | Negate _ | Cast_to _ | Checkcast _
+  | New_arr _ | Instance_of _ | Monitor | Drop_void | Arr_len ->
+      (1, 1)
+  | Field_store _ | Elem_load | Binop _ | New_multi _ | Arr_cmp | Bounds_chk
+    ->
+      (2, 1)
+  | Elem_store | Arr_copy -> (3, 1)
+  | Invoke (_, argc) | Mixed (argc, _) -> (argc, 1)
+  | Pop -> (1, 0)
+  | Jmp _ -> (0, 0)
+  | Cond_br _ -> (1, 0)
+  | Ret_void -> (0, 0)
+  | Ret_val | Raise_user -> (1, 0)
+  | F_enter_begin _ | F_begin_begin _ | F_inc_pop _ -> (0, 0)
+  | F_begin_load _ | F_begin_const _ | F_load_store _ -> (0, 1)
+  | F_load_load _ | F_load_const _ -> (0, 2)
+  | F_load_begin _ -> (0, 1)
+  | F_load_binop _ | F_const_binop _ -> (1, 1)
+  | F_binop_store _ -> (2, 1)
+  | F_binop_binop _ -> (3, 1)
+  | F_store_pop _ | F_pop_begin _ -> (1, 0)
+
+let is_terminator = function
+  | Jmp _ | Cond_br _ | Ret_void | Ret_val | Raise_user -> true
+  | _ -> false
+
+let verify p =
+  let n = Array.length p.instrs in
+  let nb = Array.length p.block_entry in
+  let nloc = Array.length p.local_types in
+  let npool = Array.length p.pool in
+  let err fmt = Printf.ksprintf (fun s -> Error (p.method_name ^ ": " ^ s)) fmt in
+  let exception Bad of string in
+  let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  try
+    if n = 0 then bad "empty code";
+    if Array.length p.block_of_pc <> n then bad "block_of_pc length";
+    if Array.length p.handler_of_block <> nb then bad "handler_of_block length";
+    if Array.length p.local_is_arg <> nloc then bad "local_is_arg length";
+    let entry_set = Array.make n false in
+    Array.iteri
+      (fun b e ->
+        if e < 0 || e >= n then bad "block %d entry %d out of range" b e;
+        (match p.instrs.(e) with
+        | Enter | F_enter_begin _ -> ()
+        | _ -> bad "block %d entry is not Enter" b);
+        entry_set.(e) <- true)
+      p.block_entry;
+    Array.iteri
+      (fun b h ->
+        if h < -1 || h >= nb then bad "block %d handler %d out of range" b h)
+      p.handler_of_block;
+    let check_slot what s =
+      if s < 0 || s >= nloc then bad "%s: slot %d out of range" what s
+    in
+    let check_pool k =
+      if k < 0 || k >= npool then bad "pool index %d out of range" k
+    in
+    let check_target t =
+      if t < 0 || t >= n then bad "jump target %d out of range" t;
+      if not entry_set.(t) then bad "jump target %d is not a block entry" t
+    in
+    let check_operands = function
+      | Const (_, k) | F_begin_const (_, _, k) -> check_pool k
+      | Load_local (_, s) | Inc_local (_, s, _, _) | Store_local (s, _)
+      | F_store_pop (s, _) | F_inc_pop (_, s, _, _) | F_begin_load (_, _, s)
+      | F_load_binop (_, s, _, _) | F_load_begin (_, s, _) ->
+          check_slot "local" s
+      | F_load_const (_, s, _, k) ->
+          check_slot "local" s;
+          check_pool k
+      | F_load_load (_, s1, _, s2) | F_load_store (_, s1, s2, _) ->
+          check_slot "local" s1;
+          check_slot "local" s2
+      | F_binop_store (_, _, s, _) -> check_slot "local" s
+      | F_const_binop (_, k, _, _) -> check_pool k
+      | Invoke (_, argc) | Mixed (argc, _) ->
+          if argc < 0 then bad "negative arity"
+      | Jmp t -> check_target t
+      | Cond_br (t, f) ->
+          check_target t;
+          check_target f
+      | _ -> ()
+    in
+    let max_depth = ref 0 in
+    for b = 0 to nb - 1 do
+      let start = p.block_entry.(b) in
+      let stop = if b + 1 < nb then p.block_entry.(b + 1) else n in
+      if stop <= start then bad "block %d is empty" b;
+      let depth = ref 0 in
+      let i = ref start in
+      let terminated = ref false in
+      while !i < stop do
+        if !terminated then bad "code after terminator in block %d" b;
+        let ins = p.instrs.(!i) in
+        if p.block_of_pc.(!i) <> b then bad "block_of_pc mismatch at %d" !i;
+        check_operands ins;
+        let pops, pushes = stack_io ins in
+        if !depth < pops then bad "stack underflow at %d" !i;
+        depth := !depth - pops + pushes;
+        if !depth > !max_depth then max_depth := !depth;
+        if is_terminator ins then begin
+          terminated := true;
+          if !depth <> 0 then bad "nonzero stack depth (%d) at terminator" !depth
+        end;
+        i := !i + width ins
+      done;
+      if not !terminated then bad "block %d does not end in a terminator" b
+    done;
+    Ok !max_depth
+  with Bad s -> err "%s" s
+
+(* -- lowering ------------------------------------------------------- *)
+
+let node_charge (n : Node.t) = Cost.interp_dispatch + Cost.op_base n.op n.ty
+
+let of_meth (m : Meth.t) =
+  let buf = ref [] in
+  let bobs = ref [] in
+  let len = ref 0 in
+  let cur_block = ref 0 in
+  let emit i =
+    buf := i :: !buf;
+    bobs := !cur_block :: !bobs;
+    incr len
+  in
+  let pool = ref [] in
+  let pool_len = ref 0 in
+  let pool_memo = Hashtbl.create 16 in
+  let pool_idx v =
+    match Hashtbl.find_opt pool_memo v with
+    | Some k -> k
+    | None ->
+        let k = !pool_len in
+        pool := v :: !pool;
+        incr pool_len;
+        Hashtbl.add pool_memo v k;
+        k
+  in
+  let sym_ty s = m.Meth.symbols.(s).Symbol.ty in
+  let rec emit_node (n : Node.t) =
+    let c = node_charge n in
+    let a k = emit_node n.args.(k) in
+    match n.op with
+    | Opcode.Loadconst ->
+        let v =
+          if Types.is_floating n.ty then Values.Float_v (Node.const_float n)
+          else Values.Int_v n.const
+        in
+        emit (Const (c, pool_idx v))
+    | Opcode.Load -> (
+        match Array.length n.args with
+        | 0 -> emit (Load_local (c, n.sym))
+        | 1 ->
+            emit (Begin (c + 2));
+            a 0;
+            emit (Field_load n.sym)
+        | _ ->
+            emit (Begin (c + 3));
+            a 0;
+            a 1;
+            emit Elem_load)
+    | Opcode.Store -> (
+        match Array.length n.args with
+        | 1 ->
+            emit (Begin c);
+            a 0;
+            emit (Store_local (n.sym, sym_ty n.sym))
+        | 2 ->
+            emit (Begin (c + 2));
+            a 0;
+            a 1;
+            emit (Field_store n.sym)
+        | _ ->
+            emit (Begin (c + 3));
+            a 0;
+            a 1;
+            a 2;
+            emit Elem_store)
+    | Opcode.Inc -> emit (Inc_local (c, n.sym, n.const, sym_ty n.sym))
+    | Opcode.Neg ->
+        emit (Begin c);
+        a 0;
+        emit (Negate n.ty)
+    | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.Div | Opcode.Rem
+    | Opcode.Or | Opcode.And | Opcode.Xor | Opcode.Shift _ | Opcode.Compare _
+      ->
+        emit (Begin c);
+        a 0;
+        a 1;
+        emit (Binop (n.op, n.ty))
+    | Opcode.Cast Opcode.C_check ->
+        emit (Begin c);
+        a 0;
+        emit (Checkcast n.sym)
+    | Opcode.Cast k ->
+        emit (Begin c);
+        a 0;
+        emit (Cast_to (k, n.ty))
+    | Opcode.New -> emit (New_obj (c, n.sym))
+    | Opcode.Newarray ->
+        emit (Begin c);
+        a 0;
+        emit (New_arr (Types.of_index n.sym))
+    | Opcode.Newmultiarray ->
+        emit (Begin c);
+        a 0;
+        a 1;
+        emit (New_multi (Types.of_index n.sym))
+    | Opcode.Instanceof ->
+        emit (Begin c);
+        a 0;
+        emit (Instance_of n.sym)
+    | Opcode.Synchronization _ ->
+        if Array.length n.args > 0 then begin
+          emit (Begin c);
+          a 0;
+          emit Monitor
+        end
+        else emit (Void_leaf c)
+    | Opcode.Throw_op ->
+        if Array.length n.args > 0 then begin
+          emit (Begin c);
+          a 0;
+          emit Drop_void
+        end
+        else emit (Void_leaf c)
+    | Opcode.Branch_op ->
+        (* the child's value is the node's value *)
+        emit (Begin c);
+        a 0
+    | Opcode.Call ->
+        emit (Begin c);
+        Array.iter emit_node n.args;
+        emit (Invoke (n.sym, Array.length n.args))
+    | Opcode.Arrayop Opcode.Bounds_check ->
+        emit (Begin c);
+        a 0;
+        a 1;
+        emit Bounds_chk
+    | Opcode.Arrayop Opcode.Array_copy ->
+        emit (Begin c);
+        a 0;
+        a 1;
+        a 2;
+        emit Arr_copy
+    | Opcode.Arrayop Opcode.Array_cmp ->
+        emit (Begin c);
+        a 0;
+        a 1;
+        emit Arr_cmp
+    | Opcode.Arrayop Opcode.Array_length ->
+        emit (Begin c);
+        a 0;
+        emit Arr_len
+    | Opcode.Mixedop ->
+        emit (Begin c);
+        Array.iter emit_node n.args;
+        emit (Mixed (Array.length n.args, n.ty))
+  in
+  let nb = Array.length m.Meth.blocks in
+  let block_entry = Array.make nb 0 in
+  Array.iteri
+    (fun bi (b : Block.t) ->
+      cur_block := bi;
+      block_entry.(bi) <- !len;
+      emit Enter;
+      List.iter
+        (fun s ->
+          emit_node s;
+          emit Pop)
+        b.Block.stmts;
+      match b.Block.term with
+      | Block.Goto t -> emit (Jmp t) (* block id; patched below *)
+      | Block.If { cond; if_true; if_false } ->
+          emit (Charge 1);
+          emit_node cond;
+          emit (Cond_br (if_true, if_false))
+      | Block.Return None -> emit Ret_void
+      | Block.Return (Some v) ->
+          emit_node v;
+          emit Ret_val
+      | Block.Throw v ->
+          emit_node v;
+          emit Raise_user)
+    m.Meth.blocks;
+  let instrs = Array.of_list (List.rev !buf) in
+  let block_of_pc = Array.of_list (List.rev !bobs) in
+  (* resolve block ids to entry pcs *)
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Jmp b -> instrs.(i) <- Jmp block_entry.(b)
+      | Cond_br (t, f) -> instrs.(i) <- Cond_br (block_entry.(t), block_entry.(f))
+      | _ -> ())
+    instrs;
+  let handler_of_block =
+    Array.map
+      (fun (b : Block.t) ->
+        match b.Block.handler with None -> -1 | Some h -> h)
+      m.Meth.blocks
+  in
+  let p =
+    {
+      method_name = m.Meth.name;
+      instrs;
+      pool = Array.of_list (List.rev !pool);
+      block_of_pc;
+      block_entry;
+      handler_of_block;
+      local_types = Array.map (fun (s : Symbol.t) -> s.Symbol.ty) m.Meth.symbols;
+      local_is_arg =
+        Array.map (fun (s : Symbol.t) -> s.Symbol.kind = Symbol.Arg) m.Meth.symbols;
+      ret = m.Meth.ret;
+      sync_charge =
+        (if m.Meth.attrs.Meth.synchronized then
+           2
+           * Cost.op_base
+               (Opcode.Synchronization Opcode.Monitor_enter)
+               Types.Object_
+         else 0);
+      max_stack = 0;
+      fused_pairs = 0;
+      source_fp = Meth.fingerprint m;
+    }
+  in
+  match verify p with
+  | Ok max_stack -> { p with max_stack }
+  | Error e -> invalid_arg ("Flat.Prog.of_meth: " ^ e)
+
+(* -- superinstruction fusion ----------------------------------------
+   The pair table below is static but measured: `bench flat` counts
+   dynamically executed (kind, next kind) pairs over the standard
+   workload mix via [Interp.run_counted], and these fifteen are the
+   hottest pairs of that census (see DESIGN.md §12).  Fusion requires
+   the second slot not to be a jump target; since every branch in a
+   flat program lands on a block-entry [Enter], checking the entry set
+   suffices. *)
+
+let fuse p =
+  let n = Array.length p.instrs in
+  let is_entry = Array.make (n + 1) false in
+  Array.iter (fun e -> is_entry.(e) <- true) p.block_entry;
+  let out = Array.copy p.instrs in
+  let fused = ref 0 in
+  let i = ref 0 in
+  while !i < n - 1 do
+    let next = !i + 1 in
+    let pair =
+      if is_entry.(next) then None
+      else
+        match (p.instrs.(!i), p.instrs.(next)) with
+        | Enter, Begin c -> Some (F_enter_begin c)
+        | Begin c1, Begin c2 -> Some (F_begin_begin (c1, c2))
+        | Begin c1, Load_local (c2, s) -> Some (F_begin_load (c1, c2, s))
+        | Begin c1, Const (c2, k) -> Some (F_begin_const (c1, c2, k))
+        | Load_local (c1, s1), Load_local (c2, s2) ->
+            Some (F_load_load (c1, s1, c2, s2))
+        | Load_local (c, s), Binop (op, ty) -> Some (F_load_binop (c, s, op, ty))
+        | Const (c, k), Binop (op, ty) -> Some (F_const_binop (c, k, op, ty))
+        | Load_local (c, src), Store_local (dst, dty) ->
+            Some (F_load_store (c, src, dst, dty))
+        | Binop (op, ty), Store_local (dst, dty) ->
+            Some (F_binop_store (op, ty, dst, dty))
+        | Store_local (s, ty), Pop -> Some (F_store_pop (s, ty))
+        | Inc_local (c, s, d, ty), Pop -> Some (F_inc_pop (c, s, d, ty))
+        | Pop, Begin c -> Some (F_pop_begin c)
+        | Load_local (c1, s), Const (c2, k) -> Some (F_load_const (c1, s, c2, k))
+        | Load_local (c1, s), Begin c2 -> Some (F_load_begin (c1, s, c2))
+        | Binop (op1, ty1), Binop (op2, ty2) ->
+            Some (F_binop_binop (op1, ty1, op2, ty2))
+        | _ -> None
+    in
+    match pair with
+    | Some f ->
+        out.(!i) <- f;
+        incr fused;
+        i := !i + 2
+    | None -> incr i
+  done;
+  { p with instrs = out; fused_pairs = p.fused_pairs + !fused }
+
+(* -- identity -------------------------------------------------------
+   A stable hash of the whole flat form, used as the integrity check of
+   the binary codec and as a cheap identity for the flat array (the
+   memoized [Meth.fingerprint] keys the cache; this guards the bytes). *)
+
+let hash_instr acc ins =
+  let acc = H.byte acc (kind ins) in
+  match ins with
+  | Enter | Elem_load | Elem_store | Monitor | Drop_void | Bounds_chk
+  | Arr_copy | Arr_cmp | Arr_len | Pop | Ret_void | Ret_val | Raise_user ->
+      acc
+  | Begin c | Charge c | Void_leaf c | F_enter_begin c | F_pop_begin c ->
+      H.int acc c
+  | Const (c, k) -> H.int (H.int acc c) k
+  | Load_local (c, s) -> H.int (H.int acc c) s
+  | Inc_local (c, s, d, ty) ->
+      H.int (H.int64 (H.int (H.int acc c) s) d) (Types.index ty)
+  | New_obj (c, cls) -> H.int (H.int acc c) cls
+  | Store_local (s, ty) -> H.int (H.int acc s) (Types.index ty)
+  | Field_load f | Field_store f | Checkcast f | Instance_of f -> H.int acc f
+  | Binop (op, ty) -> H.int (H.string acc (Opcode.name op)) (Types.index ty)
+  | Negate ty | New_arr ty | New_multi ty -> H.int acc (Types.index ty)
+  | Cast_to (k, ty) ->
+      H.int (H.string acc (Opcode.name (Opcode.Cast k))) (Types.index ty)
+  | Invoke (callee, argc) -> H.int (H.int acc callee) argc
+  | Mixed (argc, ty) -> H.int (H.int acc argc) (Types.index ty)
+  | Jmp t -> H.int acc t
+  | Cond_br (t, f) -> H.int (H.int acc t) f
+  | F_begin_begin (c1, c2) -> H.int (H.int acc c1) c2
+  | F_begin_load (c1, c2, s) | F_begin_const (c1, c2, s) ->
+      H.int (H.int (H.int acc c1) c2) s
+  | F_load_load (c1, s1, c2, s2) ->
+      H.int (H.int (H.int (H.int acc c1) s1) c2) s2
+  | F_load_binop (c, s, op, ty) | F_const_binop (c, s, op, ty) ->
+      H.int (H.string (H.int (H.int acc c) s) (Opcode.name op)) (Types.index ty)
+  | F_load_store (c, src, dst, ty) ->
+      H.int (H.int (H.int (H.int acc c) src) dst) (Types.index ty)
+  | F_binop_store (op, ty, dst, dty) ->
+      H.int
+        (H.int (H.int (H.string acc (Opcode.name op)) (Types.index ty)) dst)
+        (Types.index dty)
+  | F_store_pop (s, ty) -> H.int (H.int acc s) (Types.index ty)
+  | F_inc_pop (c, s, d, ty) ->
+      H.int (H.int64 (H.int (H.int acc c) s) d) (Types.index ty)
+  | F_load_const (c1, s, c2, k) ->
+      H.int (H.int (H.int (H.int acc c1) s) c2) k
+  | F_load_begin (c1, s, c2) -> H.int (H.int (H.int acc c1) s) c2
+  | F_binop_binop (op1, ty1, op2, ty2) ->
+      H.int
+        (H.string
+           (H.int (H.string acc (Opcode.name op1)) (Types.index ty1))
+           (Opcode.name op2))
+        (Types.index ty2)
+
+let hash p =
+  let acc = H.string H.init p.method_name in
+  let acc = Array.fold_left hash_instr acc p.instrs in
+  let acc =
+    Array.fold_left
+      (fun acc v ->
+        match v with
+        | Values.Int_v i -> H.int64 (H.byte acc 0) i
+        | Values.Float_v f -> H.int64 (H.byte acc 1) (Int64.bits_of_float f)
+        | _ -> H.byte acc 2)
+      acc p.pool
+  in
+  let acc = Array.fold_left H.int acc p.block_entry in
+  let acc = Array.fold_left H.int acc p.handler_of_block in
+  let acc =
+    Array.fold_left (fun acc ty -> H.int acc (Types.index ty)) acc p.local_types
+  in
+  let acc = Array.fold_left H.bool acc p.local_is_arg in
+  let acc = H.int acc (Types.index p.ret) in
+  let acc = H.int acc p.sync_charge in
+  H.int64 acc p.source_fp

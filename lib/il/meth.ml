@@ -32,13 +32,17 @@ type t = {
   ret : Types.t;
   symbols : Symbol.t array;
   blocks : Block.t array;
+  (* fingerprint memo; every constructor below resets it, so a derived
+     method can never inherit a stale hash.  Concurrent writers race
+     benignly: both compute the same value. *)
+  mutable fp_memo : int64 option;
 }
 
 let make ?(attrs = default_attrs) ~name ~params ~ret ~symbols blocks =
-  { name; attrs; params; ret; symbols; blocks }
+  { name; attrs; params; ret; symbols; blocks; fp_memo = None }
 
-let with_blocks m blocks = { m with blocks }
-let with_symbols m symbols = { m with symbols }
+let with_blocks m blocks = { m with blocks; fp_memo = None }
+let with_symbols m symbols = { m with symbols; fp_memo = None }
 
 let arg_count m =
   Array.fold_left
@@ -76,7 +80,7 @@ let map_trees f m =
         { b with Block.stmts; term })
       m.blocks
   in
-  { m with blocks }
+  { m with blocks; fp_memo = None }
 
 let exception_handler_count m =
   let handlers = Hashtbl.create 4 in
@@ -114,7 +118,7 @@ let hash_term acc = function
   | Block.Return (Some n) -> hash_node (H.byte acc 4) n
   | Block.Throw n -> hash_node (H.byte acc 5) n
 
-let fingerprint m =
+let fingerprint_uncached m =
   let acc = H.string H.init m.name in
   let acc =
     List.fold_left H.bool acc
@@ -145,6 +149,14 @@ let fingerprint m =
       let acc = List.fold_left hash_node acc b.stmts in
       hash_term acc b.term)
     acc m.blocks
+
+let fingerprint m =
+  match m.fp_memo with
+  | Some fp -> fp
+  | None ->
+      let fp = fingerprint_uncached m in
+      m.fp_memo <- Some fp;
+      fp
 
 let term_equal (a : Block.terminator) (b : Block.terminator) =
   match (a, b) with

@@ -27,6 +27,10 @@ type t = {
   ret : Types.t;
   symbols : Symbol.t array;  (** arguments first, then temporaries *)
   blocks : Block.t array;  (** [blocks.(0)] is the entry block *)
+  mutable fp_memo : int64 option;
+      (** internal {!fingerprint} memo; construct methods through
+          {!make}/{!with_blocks}/{!with_symbols}/{!map_trees} (which
+          reset it) rather than record copies *)
 }
 
 val make :
@@ -72,7 +76,15 @@ val fingerprint : t -> int64
     regenerating the same IL yields the same fingerprint across
     processes).  This is the IL component of persistent code-cache keys:
     any change to the method body changes the fingerprint and
-    invalidates cached code. *)
+    invalidates cached code.
+
+    Memoized on the method record: computed once, reused until the
+    method is rebuilt through a constructor (each constructor resets
+    the memo). *)
+
+val fingerprint_uncached : t -> int64
+(** The raw tree-walking hash, bypassing the memo — exists so property
+    tests can assert the memoized and recomputed values agree. *)
 
 val equal : t -> t -> bool
 (** Structural equality of the whole method body (uids and flags

@@ -7,6 +7,8 @@ module Exec = Tessera_codegen.Exec
 module Plan = Tessera_opt.Plan
 module Modifier = Tessera_modifiers.Modifier
 module Codecache = Tessera_cache.Codecache
+module Flat_cache = Tessera_flat.Cache
+module Flat_interp = Tessera_flat.Interp
 module Trace = Tessera_obs.Trace
 module Metrics = Tessera_obs.Metrics
 
@@ -37,6 +39,9 @@ type config = {
   compile_cycle_budget : int option;
   code_cache : Codecache.t option;  (** persistent compiled-code cache *)
   aot_load_cycles : int;  (** cycles charged per cache hit (AOT load) *)
+  use_flat : bool;
+      (** run interpreted methods through the flat bytecode tier
+          (cycle-identical to the tree walker, much faster on the host) *)
 }
 
 let default_config =
@@ -54,6 +59,7 @@ let default_config =
     compile_cycle_budget = None;
     code_cache = None;
     aot_load_cycles = 2_000;
+    use_flat = true;
   }
 
 type t = {
@@ -80,6 +86,11 @@ type t = {
   m_queue_depth : Metrics.gauge;
   m_compile_hist : Metrics.histogram;
   fuel : int ref;
+  (* lazily flattened bytecode per method, for the flat interpreter
+     tier.  Per-engine (not process-wide) so that same-seed engines
+     produce byte-identical traces: each run flattens at the same
+     virtual-cycle points. *)
+  flat_forms : Tessera_flat.Prog.t option array;
   (* cycles consumed by direct callees of the currently-executing method,
      for exclusive (self-time) instrumentation samples *)
   mutable callee_acc : int64 ref;
@@ -169,6 +180,7 @@ let create ?(config = default_config) ?(callbacks = no_callbacks) program =
       Metrics.histogram metrics
         ~help:"simulated cycles per compiler run" "jit_compilation_cycles";
     fuel = ref 0;
+    flat_forms = Array.make (Program.method_count program) None;
     callee_acc = ref 0L;
   }
 
@@ -534,6 +546,32 @@ let adaptive_controller t meth_id =
 
 let instrumentation_overhead = 35 (* cycles per TR_jitPTTMethod{Enter,Exit} *)
 
+(* Memoized flat form of an interpreted method, optionally backed by the
+   persistent code cache (warm runs then skip re-flattening too).  The
+   unfused base form is what persists; fusion is reapplied per the
+   process-wide toggle. *)
+let flat_form t meth_id meth =
+  match t.flat_forms.(meth_id) with
+  | Some p -> p
+  | None ->
+      let base =
+        match t.config.code_cache with
+        | None -> Flat_cache.flatten meth
+        | Some cache -> (
+            match Codecache.lookup_flat cache ~meth with
+            | Some p -> p
+            | None ->
+                let p = Flat_cache.flatten meth in
+                Codecache.store_flat cache ~meth p;
+                p)
+      in
+      let p =
+        if Flat_cache.fuse_enabled () then Tessera_flat.Prog.fuse base
+        else base
+      in
+      t.flat_forms.(meth_id) <- Some p;
+      p
+
 let rec invoke t meth_id args =
   let st = t.states.(meth_id) in
   install_if_ready t meth_id st;
@@ -564,15 +602,18 @@ let rec invoke t meth_id args =
     try
       match st.impl with
       | Interpreted ->
-          Interp.run
+          let ictx =
             {
               Interp.classes = t.program.Program.classes;
               charge;
               invoke = (fun id args -> invoke t id args);
               fuel = t.fuel;
             }
-            (Program.meth t.program meth_id)
-            args
+          in
+          let meth = Program.meth t.program meth_id in
+          if t.config.use_flat && Flat_cache.enabled () then
+            Flat_interp.run ictx (flat_form t meth_id meth) args
+          else Interp.run ictx meth args
       | Compiled comp ->
           Exec.run
             {

@@ -23,8 +23,10 @@ let run ctx (m : Meth.t) args =
       else env.(i) <- default s.ty)
     m.symbols;
   let rec eval (n : Node.t) =
-    decr ctx.fuel;
+    (* check-then-decrement: a caller granting n fuel gets exactly n
+       fuel-charging steps (fuel=1 executes one node) *)
     if !(ctx.fuel) <= 0 then raise Out_of_fuel;
+    decr ctx.fuel;
     ctx.charge (Cost.interp_dispatch + Cost.op_base n.op n.ty);
     match n.op with
     | Opcode.Loadconst ->
@@ -119,8 +121,8 @@ let run ctx (m : Meth.t) args =
   let rec exec_block bid =
     (* block transitions consume fuel too: an empty self-loop must still
        trip the guard *)
-    decr ctx.fuel;
     if !(ctx.fuel) <= 0 then raise Out_of_fuel;
+    decr ctx.fuel;
     let b = Meth.block m bid in
     let outcome =
       try

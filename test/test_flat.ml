@@ -1,0 +1,404 @@
+(* The flat execution tier: fuel semantics, the differential oracle
+   against the tree walker (results AND charged cycles, the property the
+   whole tier rests on), the verifier, the binary codec, code-cache
+   persistence, and engine-level parity. *)
+
+module Program = Tessera_il.Program
+module Meth = Tessera_il.Meth
+module Values = Tessera_vm.Values
+module Interp = Tessera_vm.Interp
+module Prog = Tessera_flat.Prog
+module Flat_interp = Tessera_flat.Interp
+module Flat_codec = Tessera_flat.Codec
+module Codecache = Tessera_cache.Codecache
+module Engine = Tessera_jit.Engine
+module Parser = Tessera_lang.Parser
+module Plan = Tessera_opt.Plan
+
+(* ---- execution harnesses ------------------------------------------ *)
+
+(* Outcome including fuel exhaustion, so low-fuel runs can be compared
+   tier against tier too. *)
+type ext_outcome = Done of Helpers.outcome | Fuel
+
+let pp_ext fmt = function
+  | Done o -> Helpers.pp_outcome fmt o
+  | Fuel -> Format.fprintf fmt "Out_of_fuel"
+
+let ext_equal a b =
+  match (a, b) with
+  | Done x, Done y -> Helpers.outcome_equal x y
+  | Fuel, Fuel -> true
+  | _ -> false
+
+let ext_testable = Alcotest.testable pp_ext ext_equal
+
+(* Run every method of [program] in one fixed all-interpreted tier:
+   the tree walker, the flat loop, or the flat loop over fused code. *)
+let run_tier ?(fuel = 200_000_000) ?(transform = fun _id m -> m) ~tier
+    (program : Program.t) args =
+  let methods =
+    Array.mapi (fun id m -> transform id m) program.Program.methods
+  in
+  let flats =
+    match tier with
+    | `Tree -> [||]
+    | `Flat -> Array.map Prog.of_meth methods
+    | `Fused -> Array.map (fun m -> Prog.fuse (Prog.of_meth m)) methods
+  in
+  let cycles = ref 0 in
+  let charge n = cycles := !cycles + n in
+  let fuel_ref = ref fuel in
+  let rec invoke id args =
+    let ctx =
+      {
+        Interp.classes = program.Program.classes;
+        charge;
+        invoke;
+        fuel = fuel_ref;
+      }
+    in
+    match tier with
+    | `Tree -> Interp.run ctx methods.(id) args
+    | `Flat | `Fused -> Flat_interp.run ctx flats.(id) args
+  in
+  let outcome =
+    match invoke program.Program.entry args with
+    | v -> Done (Ok v)
+    | exception Values.Trap k -> Done (Error k)
+    | exception Interp.Out_of_fuel -> Fuel
+  in
+  (outcome, !cycles)
+
+let parse src = Parser.parse_program src
+
+(* ---- satellite: fuel off-by-one ----------------------------------- *)
+
+(* A bare [(return)] costs exactly one fuel unit (the block entry), so a
+   caller granting fuel=1 must see it complete; the historical
+   decrement-then-check discipline raised Out_of_fuel here. *)
+let ret_void_src =
+  {|
+program "f" entry 0
+method "F.m()V" () returns void {
+  block 0 {
+    (return)
+  }
+}
+|}
+
+let ret_const_src =
+  {|
+program "f" entry 0
+method "F.m()I" () returns int {
+  block 0 {
+    (return (loadconst int 7))
+  }
+}
+|}
+
+let test_fuel_boundary () =
+  let check ~fuel src expected =
+    let got, _ = run_tier ~fuel ~tier:`Tree (parse src) [||] in
+    Alcotest.check ext_testable (Printf.sprintf "fuel=%d" fuel) expected got
+  in
+  check ~fuel:1 ret_void_src (Done (Ok Values.Void_v));
+  check ~fuel:0 ret_void_src Fuel;
+  (* block entry + one node *)
+  check ~fuel:2 ret_const_src (Done (Ok (Values.Int_v 7L)));
+  check ~fuel:1 ret_const_src Fuel
+
+let test_fuel_boundary_flat () =
+  (* the flat tier inherits the same boundary exactly *)
+  List.iter
+    (fun tier ->
+      let run ~fuel src = fst (run_tier ~fuel ~tier (parse src) [||]) in
+      Alcotest.check ext_testable "fuel=1 void" (Done (Ok Values.Void_v))
+        (run ~fuel:1 ret_void_src);
+      Alcotest.check ext_testable "fuel=0 void" Fuel (run ~fuel:0 ret_void_src);
+      Alcotest.check ext_testable "fuel=2 const"
+        (Done (Ok (Values.Int_v 7L)))
+        (run ~fuel:2 ret_const_src);
+      Alcotest.check ext_testable "fuel=1 const" Fuel (run ~fuel:1 ret_const_src))
+    [ `Flat; `Fused ]
+
+(* ---- satellite: fingerprint memoization --------------------------- *)
+
+let test_fingerprint_memo () =
+  QCheck.Test.make ~count:30 ~name:"memoized fingerprint = uncached"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let program = Helpers.gen_program (Int64.of_int (seed + 11)) in
+      Array.for_all
+        (fun m ->
+          let fp = Meth.fingerprint m in
+          (* memo hit must return the same value *)
+          Int64.equal fp (Meth.fingerprint m)
+          && Int64.equal fp (Meth.fingerprint_uncached m)
+          &&
+          (* mutation points reset the memo: a rebuilt method computes a
+             fresh (equal, since the trees are equal) fingerprint *)
+          let m' = Meth.map_trees (fun n -> n) m in
+          ignore (Meth.fingerprint m);
+          Int64.equal (Meth.fingerprint m') (Meth.fingerprint_uncached m')
+          && Int64.equal (Meth.fingerprint m') fp
+          &&
+          let m'' = Meth.with_blocks m m.Meth.blocks in
+          Int64.equal (Meth.fingerprint m'') (Meth.fingerprint_uncached m''))
+        program.Program.methods)
+
+(* ---- tentpole: the differential oracle ---------------------------- *)
+
+let transform_of_level program = function
+  | 0 -> fun _id m -> m
+  | 1 ->
+      Helpers.optimize_all ~plan:(Plan.plan Plan.Cold)
+        ~enabled:(fun _ -> true)
+        program
+  | 2 ->
+      Helpers.optimize_all ~plan:(Plan.plan Plan.Hot)
+        ~enabled:(fun _ -> true)
+        program
+  | _ ->
+      Helpers.optimize_all ~plan:(Plan.plan Plan.Scorching)
+        ~enabled:(fun _ -> true)
+        program
+
+(* Generated whole programs, at every optimization level, with and
+   without superinstructions: the flat tier must produce bit-identical
+   results and charge bit-identical cycles to the tree walker. *)
+let test_differential () =
+  QCheck.Test.make ~count:60
+    ~name:"flat = tree: identical results and cycles"
+    QCheck.(triple (int_bound 10_000) (int_bound 3) (int_bound 50))
+    (fun (seed, lvl, arg) ->
+      let program = Helpers.gen_program (Int64.of_int (seed + 3)) in
+      let transform = transform_of_level program lvl in
+      let args = Helpers.entry_args arg in
+      let tree = run_tier ~transform ~tier:`Tree program args in
+      let flat = run_tier ~transform ~tier:`Flat program args in
+      let fused = run_tier ~transform ~tier:`Fused program args in
+      if not (ext_equal (fst tree) (fst flat) && snd tree = snd flat) then
+        QCheck.Test.fail_reportf "flat diverged: %a/%d vs %a/%d" pp_ext
+          (fst tree) (snd tree) pp_ext (fst flat) (snd flat);
+      if not (ext_equal (fst tree) (fst fused) && snd tree = snd fused) then
+        QCheck.Test.fail_reportf "fused diverged: %a/%d vs %a/%d" pp_ext
+          (fst tree) (snd tree) pp_ext (fst fused) (snd fused);
+      true)
+
+(* Near fuel exhaustion the superinstruction fast paths must not move
+   the out-of-fuel point or the cycles charged before it. *)
+let test_differential_low_fuel () =
+  QCheck.Test.make ~count:40
+    ~name:"flat = tree under any fuel budget (exhaustion point, cycles)"
+    QCheck.(pair (int_bound 10_000) (int_bound 2_000))
+    (fun (seed, fuel) ->
+      let program = Helpers.gen_program (Int64.of_int (seed + 17)) in
+      let args = Helpers.entry_args 1 in
+      let tree = run_tier ~fuel ~tier:`Tree program args in
+      let flat = run_tier ~fuel ~tier:`Flat program args in
+      let fused = run_tier ~fuel ~tier:`Fused program args in
+      ext_equal (fst tree) (fst flat)
+      && snd tree = snd flat
+      && ext_equal (fst tree) (fst fused)
+      && snd tree = snd fused)
+
+(* ---- verifier ----------------------------------------------------- *)
+
+let two_block_src =
+  {|
+program "g" entry 0
+method "G.m()I" () returns int {
+  block 0 {
+    (goto 1)
+  }
+  block 1 {
+    (return (loadconst int 3))
+  }
+}
+|}
+
+let flat_of_src src =
+  let p = parse src in
+  Prog.of_meth (Program.meth p p.Program.entry)
+
+let test_verifier_rejects_corruption () =
+  let p = flat_of_src two_block_src in
+  (match Prog.verify p with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "valid program rejected: %s" e);
+  (* a jump into the middle of a block is not a block entry *)
+  let bad_jump =
+    let instrs = Array.copy p.Prog.instrs in
+    Array.iteri
+      (fun i ins ->
+        match ins with Prog.Jmp t -> instrs.(i) <- Prog.Jmp (t + 1) | _ -> ())
+      instrs;
+    { p with Prog.instrs = instrs }
+  in
+  (match Prog.verify bad_jump with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt jump target accepted");
+  (* truncation desynchronizes the block tables *)
+  let truncated =
+    { p with Prog.instrs = Array.sub p.Prog.instrs 0 (Prog.code_size p - 1) }
+  in
+  match Prog.verify truncated with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated code accepted"
+
+(* ---- binary codec ------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  QCheck.Test.make ~count:30 ~name:"flat codec round-trips (hash-equal)"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let program = Helpers.gen_program (Int64.of_int (seed + 29)) in
+      Array.for_all
+        (fun m ->
+          let base = Prog.of_meth m in
+          let p' = Flat_codec.of_string (Flat_codec.to_string base) in
+          Int64.equal (Prog.hash p') (Prog.hash base)
+          && p'.Prog.max_stack = base.Prog.max_stack
+          && Int64.equal p'.Prog.source_fp base.Prog.source_fp)
+        program.Program.methods)
+
+let test_codec_rejects_corruption () =
+  QCheck.Test.make ~count:20
+    ~name:"flat codec: corrupt bytes raise, never decode wrong"
+    QCheck.(pair (int_bound 10_000) (int_bound 1_000))
+    (fun (seed, pos_seed) ->
+      let program = Helpers.gen_program (Int64.of_int (seed + 31)) in
+      let m = Program.meth program program.Program.entry in
+      let base = Prog.of_meth m in
+      let s = Flat_codec.to_string base in
+      let pos = pos_seed mod String.length s in
+      let corrupt = Bytes.of_string s in
+      Bytes.set corrupt pos (Char.chr (Char.code (Bytes.get corrupt pos) lxor 0x2a));
+      match Flat_codec.of_string (Bytes.to_string corrupt) with
+      | exception Flat_codec.Malformed _ -> true
+      | exception Tessera_util.Codec.Truncated _ -> true
+      | p' ->
+          (* the trailing integrity hash makes silent acceptance of a
+             damaged payload effectively impossible *)
+          Int64.equal (Prog.hash p') (Prog.hash base))
+
+let test_codec_rejects_fused () =
+  let p =
+    flat_of_src
+      {|
+program "s" entry 0
+method "S.m()I" () returns int {
+  temp "t" int
+  block 0 {
+    (store void $0 (loadconst int 1))
+    (return (loadconst int 2))
+  }
+}
+|}
+  in
+  let fused = Prog.fuse p in
+  Alcotest.(check bool) "source fuses at least one pair" true
+    (fused.Prog.fused_pairs > 0);
+  match Flat_codec.to_string fused with
+  | exception Flat_codec.Malformed _ -> ()
+  | _ -> Alcotest.fail "fused program encoded"
+
+(* ---- code-cache persistence --------------------------------------- *)
+
+let with_cache_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tessera_test_flat_%d" (Unix.getpid ()))
+  in
+  let clear () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  clear ();
+  Fun.protect ~finally:clear (fun () -> f dir)
+
+let test_codecache_flat_roundtrip () =
+  with_cache_dir (fun dir ->
+      let program = Helpers.gen_program 4242L in
+      let m = Program.meth program program.Program.entry in
+      let base = Prog.of_meth m in
+      let cache = Codecache.create ~dir () in
+      Alcotest.(check bool) "miss on empty" true
+        (Codecache.lookup_flat cache ~meth:m = None);
+      Codecache.store_flat cache ~meth:m base;
+      (match Codecache.lookup_flat cache ~meth:m with
+      | Some p' ->
+          Alcotest.(check bool) "hash-equal after reload" true
+            (Int64.equal (Prog.hash p') (Prog.hash base))
+      | None -> Alcotest.fail "stored flat form not found");
+      Codecache.close cache;
+      (* survives a reopen (true persistence, not the in-memory map) *)
+      let cache = Codecache.create ~dir () in
+      (match Codecache.lookup_flat cache ~meth:m with
+      | Some p' ->
+          Alcotest.(check bool) "hash-equal after reopen" true
+            (Int64.equal (Prog.hash p') (Prog.hash base))
+      | None -> Alcotest.fail "flat form lost across reopen");
+      Codecache.close cache)
+
+let test_codecache_flat_stale_dropped () =
+  with_cache_dir (fun dir ->
+      let program = Helpers.gen_program 777L in
+      let m = Program.meth program program.Program.entry in
+      let base = Prog.of_meth m in
+      (* an entry whose recorded source fingerprint disagrees with the
+         method must be dropped as stale, never returned *)
+      let stale = { base with Prog.source_fp = Int64.add base.Prog.source_fp 1L } in
+      let cache = Codecache.create ~dir () in
+      Codecache.store_flat cache ~meth:m stale;
+      Alcotest.(check bool) "stale entry dropped" true
+        (Codecache.lookup_flat cache ~meth:m = None);
+      Codecache.close cache)
+
+(* ---- engine-level parity ------------------------------------------ *)
+
+let test_engine_parity () =
+  let program = Helpers.gen_program 99L in
+  let run use_flat =
+    let engine =
+      Engine.create ~config:{ Engine.default_config with Engine.use_flat } program
+    in
+    let results =
+      List.init 8 (fun i -> Engine.invoke_entry engine (Helpers.entry_args i))
+    in
+    (results, Engine.app_cycles engine)
+  in
+  let flat_results, flat_cycles = run true in
+  let tree_results, tree_cycles = run false in
+  List.iter2
+    (fun a b -> Alcotest.check Helpers.outcome_testable "invocation result" a b)
+    tree_results flat_results;
+  Alcotest.(check int64) "app cycles" tree_cycles flat_cycles
+
+let suite =
+  [
+    Alcotest.test_case "fuel boundary (tree)" `Quick test_fuel_boundary;
+    Alcotest.test_case "fuel boundary (flat tiers)" `Quick
+      test_fuel_boundary_flat;
+    Alcotest.test_case "verifier rejects corruption" `Quick
+      test_verifier_rejects_corruption;
+    Alcotest.test_case "codec rejects fused programs" `Quick
+      test_codec_rejects_fused;
+    Alcotest.test_case "codecache flat round-trip" `Quick
+      test_codecache_flat_roundtrip;
+    Alcotest.test_case "codecache drops stale flat forms" `Quick
+      test_codecache_flat_stale_dropped;
+    Alcotest.test_case "engine parity flat vs tree" `Quick test_engine_parity;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        test_fingerprint_memo ();
+        test_differential ();
+        test_differential_low_fuel ();
+        test_codec_roundtrip ();
+        test_codec_rejects_corruption ();
+      ]

@@ -27,4 +27,5 @@ let () =
       ("harness", Test_harness.suite);
       ("cache", Test_cache.suite);
       ("obs", Test_obs.suite);
+      ("flat", Test_flat.suite);
     ]
