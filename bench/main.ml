@@ -1358,7 +1358,10 @@ let run_micro ~jobs cfg =
       Test.make ~name:"model prediction (compiler query path)"
         (Staged.stage (fun () ->
              ignore (Harness.Modelset.predict ms ~level:Plan.Hot features)));
-      Test.make ~name:"feature extraction (71 dims)"
+      Test.make
+        ~name:
+          (Printf.sprintf "feature extraction (%d dims)"
+             Tessera_features.Features.dim)
         (Staged.stage (fun () ->
              ignore (Tessera_features.Features.extract meth)));
       Test.make ~name:"JIT compilation, cold plan"
@@ -1407,6 +1410,7 @@ let run_micro ~jobs cfg =
 let serve_socket = ref None
 let serve_clients = ref None
 let serve_requests = ref None
+let lint_enabled = ref false
 
 let () =
   (* "<subcommand>" plus optional "quick" and "-j N" modifiers, in any
@@ -1436,6 +1440,13 @@ let () =
     | "quick" :: rest -> parse (cmd, true, jobs) rest
     | "--no-flat" :: rest ->
         Tessera_flat.Cache.set_enabled false;
+        parse (cmd, quick, jobs) rest
+    | "--lint" :: rest ->
+        (* audit every JIT pass application through the global hook; the
+           verdict prints after the run (and after any digest line, so
+           figure digests are unaffected) *)
+        lint_enabled := true;
+        Tessera_analysis.Lint.install ();
         parse (cmd, quick, jobs) rest
     | word :: rest -> parse (word, quick, jobs) rest
   in
@@ -1480,4 +1491,14 @@ let () =
       run_flat cfg;
       run_serve ~jobs cfg;
       run_micro ~jobs cfg);
-  Format.fprintf fmt "[total bench time %.1fs]@." (Unix.gettimeofday () -. t0)
+  Format.fprintf fmt "[total bench time %.1fs]@." (Unix.gettimeofday () -. t0);
+  if !lint_enabled then begin
+    let diags = Tessera_analysis.Lint.collected () in
+    Format.fprintf fmt "[lint: %d diagnostics]@." (List.length diags);
+    List.iter
+      (fun d ->
+        Format.fprintf fmt "DIAGNOSTIC %a@." Tessera_analysis.Lint.pp_diagnostic
+          d)
+      diags;
+    if diags <> [] then exit 1
+  end

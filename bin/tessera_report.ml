@@ -118,11 +118,102 @@ let timeline_cmd =
     Term.(const timeline $ timeline_target $ timeline_iterations
           $ timeline_model_dir)
 
+(* [lint]: translation-validation sweep.  Every optimizer pass is
+   audited over the workload corpus — each method at every opt level's
+   full plan, plus every catalogue pass in isolation — and any
+   diagnostic is treated as a miscompile (exit 1). *)
+let lint quick spec_count dacapo_count =
+  let module Program = Tessera_il.Program in
+  let module Catalog = Tessera_opt.Catalog in
+  let module Plan = Tessera_opt.Plan in
+  let module Manager = Tessera_opt.Manager in
+  let module Lint = Tessera_analysis.Lint in
+  let module Profile = Tessera_workloads.Profile in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let spec_count, dacapo_count =
+    if quick then (min spec_count 2, min dacapo_count 2)
+    else (spec_count, dacapo_count)
+  in
+  let benches =
+    take spec_count Suites.specjvm98 @ take dacapo_count Suites.dacapo
+  in
+  let applications = Array.make Catalog.count 0 in
+  let diag_count = Array.make Catalog.count 0 in
+  let all_diags = ref [] in
+  let methods_checked = ref 0 in
+  let fmt = Format.std_formatter in
+  List.iter
+    (fun (b : Suites.bench) ->
+      let name = b.Suites.profile.Profile.name in
+      let program = Tessera_workloads.Generate.program b.Suites.profile in
+      let on_diagnostic (d : Lint.diagnostic) =
+        diag_count.(d.Lint.pass_index) <- diag_count.(d.Lint.pass_index) + 1;
+        all_diags := (name, d) :: !all_diags
+      in
+      let audit_base = Lint.auditor ~on_diagnostic program in
+      let audit ~pass_index ~pass_name ~before ~after =
+        applications.(pass_index) <- applications.(pass_index) + 1;
+        audit_base ~pass_index ~pass_name ~before ~after
+      in
+      Array.iter
+        (fun m ->
+          incr methods_checked;
+          Array.iter
+            (fun level ->
+              ignore (Manager.optimize ~audit ~program ~plan:(Plan.plan level) m))
+            Plan.levels;
+          Array.iter
+            (fun (e : Catalog.entry) ->
+              ignore
+                (Manager.optimize ~audit ~program ~plan:[ e.Catalog.index ] m))
+            Catalog.all)
+        program.Program.methods;
+      Format.fprintf fmt "%-12s %3d methods audited@." name
+        (Array.length program.Program.methods))
+    benches;
+  Format.fprintf fmt "@.%-4s %-28s %12s %12s@." "idx" "transformation"
+    "applications" "diagnostics";
+  Array.iter
+    (fun (e : Catalog.entry) ->
+      Format.fprintf fmt "%-4d %-28s %12d %12d@." e.Catalog.index e.Catalog.name
+        applications.(e.Catalog.index)
+        diag_count.(e.Catalog.index))
+    Catalog.all;
+  let total_apps = Array.fold_left ( + ) 0 applications in
+  let total_diags = List.length !all_diags in
+  Format.fprintf fmt
+    "@.%d benchmarks, %d methods, %d audited pass applications, %d diagnostics@."
+    (List.length benches) !methods_checked total_apps total_diags;
+  List.iter
+    (fun (bench, d) ->
+      Format.fprintf fmt "DIAGNOSTIC %s: %a@." bench Lint.pp_diagnostic d)
+    (List.rev !all_diags);
+  if total_diags = 0 then 0 else 1
+
+let lint_quick =
+  Arg.(value & flag & info [ "quick" ]
+         ~doc:"Clamp the corpus to 2 SPECjvm98 + 2 DaCapo benchmarks.")
+
+let lint_spec =
+  Arg.(value & opt int 8 & info [ "spec" ] ~docv:"N"
+         ~doc:"Number of SPECjvm98 benchmarks to audit.")
+
+let lint_dacapo =
+  Arg.(value & opt int 12 & info [ "dacapo" ] ~docv:"N"
+         ~doc:"Number of DaCapo benchmarks to audit.")
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Audit every optimizer pass over the workload corpus with the \
+             translation-validation lint; exit 1 on any diagnostic")
+    Term.(const lint $ lint_quick $ lint_spec $ lint_dacapo)
+
 let cmd =
   Cmd.group ~default:paper_term
     (Cmd.info "tessera_report"
        ~doc:"Reproduce the paper's tables and figures, or inspect a traced \
              run")
-    [ paper_cmd; timeline_cmd ]
+    [ paper_cmd; timeline_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval' cmd)

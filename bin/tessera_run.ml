@@ -91,9 +91,11 @@ let run_target ~fmt ~model_dir ~iterations ~tir ~fault_spec ~fault_seed
           faulty_pipeline ~spec ~seed ~predictor
         in
         let choose engine ~meth_id ~level =
-          let m = Program.meth (Engine.program engine) meth_id in
+          let program = Engine.program engine in
+          let m = Program.meth program meth_id in
           let features =
-            Array.map float_of_int (Features.to_array (Features.extract m))
+            Array.map float_of_int
+              (Features.to_array (Features.extract ~program m))
           in
           Some (Client.predict client ~level ~features)
         in

@@ -1,0 +1,50 @@
+type t = { words : int array; bits : int }
+
+let word_bits = Sys.int_size
+
+let create bits =
+  { words = Array.make ((bits + word_bits - 1) / word_bits) 0; bits }
+
+let length t = t.bits
+
+let copy t = { t with words = Array.copy t.words }
+
+let set t i = t.words.(i / word_bits) <- t.words.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+let unset t i =
+  t.words.(i / word_bits) <- t.words.(i / word_bits) land lnot (1 lsl (i mod word_bits))
+
+let mem t i = t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let union_into ~into src =
+  if into.bits <> src.bits then invalid_arg "Bitset.union_into: width mismatch";
+  let changed = ref false in
+  Array.iteri
+    (fun w v ->
+      let u = into.words.(w) lor v in
+      if u <> into.words.(w) then begin
+        into.words.(w) <- u;
+        changed := true
+      end)
+    src.words;
+  !changed
+
+let diff_into ~into src =
+  if into.bits <> src.bits then invalid_arg "Bitset.diff_into: width mismatch";
+  Array.iteri (fun w v -> into.words.(w) <- into.words.(w) land lnot v) src.words
+
+let rec popcount v = if v = 0 then 0 else (v land 1) + popcount (v lsr 1)
+
+let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let equal a b = a.bits = b.bits && a.words = b.words
+
+let iter f t =
+  for i = 0 to t.bits - 1 do
+    if mem t i then f i
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun i -> acc := f !acc i) t;
+  !acc

@@ -1,0 +1,32 @@
+(** Fixed-width bitsets over [0, length): the set representation used by
+    the bit-vector dataflow analyses (liveness, reaching definitions). *)
+
+type t
+
+val create : int -> t
+(** All-zero set of the given width. *)
+
+val length : t -> int
+
+val copy : t -> t
+
+val set : t -> int -> unit
+val unset : t -> int -> unit
+val mem : t -> int -> bool
+
+val union_into : into:t -> t -> bool
+(** [union_into ~into s] ors [s] into [into]; returns whether [into]
+    changed.  Widths must match. *)
+
+val diff_into : into:t -> t -> unit
+(** Remove every member of the argument from [into]. *)
+
+val count : t -> int
+(** Population count. *)
+
+val equal : t -> t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Visit members in increasing order. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a

@@ -1,0 +1,44 @@
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+end
+
+module Make (L : LATTICE) = struct
+  let fixpoint ~n ~deps ~order ~init ~transfer ?max_steps () =
+    let max_steps =
+      match max_steps with Some s -> s | None -> 1024 * (n + 1)
+    in
+    let state = Array.init n init in
+    let rounds = Array.make n 0 in
+    let inq = Array.make n false in
+    let q = Queue.create () in
+    Array.iter
+      (fun b ->
+        if b >= 0 && b < n && not inq.(b) then begin
+          inq.(b) <- true;
+          Queue.add b q
+        end)
+      order;
+    let steps = ref 0 in
+    while not (Queue.is_empty q) do
+      let b = Queue.pop q in
+      inq.(b) <- false;
+      incr steps;
+      if !steps > max_steps then
+        failwith "Dataflow.fixpoint: no convergence (transfer not monotone?)";
+      let nu = transfer ~get:(fun i -> state.(i)) ~round:rounds.(b) b in
+      rounds.(b) <- rounds.(b) + 1;
+      if not (L.equal state.(b) nu) then begin
+        state.(b) <- nu;
+        Array.iter
+          (fun d ->
+            if not inq.(d) then begin
+              inq.(d) <- true;
+              Queue.add d q
+            end)
+          deps.(b)
+      end
+    done;
+    state
+end

@@ -1,0 +1,51 @@
+(** Method effect summaries: what a method may do to state outside its
+    own locals, per the VM's semantics.  Summaries are approximations
+    for {e type-correct} programs (the interpreter can additionally trap
+    on heap-poisoned values flowing into integer contexts; the summary
+    does not model that).
+
+    [of_program] computes the least fixpoint over the call graph, so
+    each returned summary is transitively closed: a method's flags
+    include everything reachable through its (possibly recursive)
+    callees, and [calls] is the set of methods transitively invoked. *)
+
+module Meth = Tessera_il.Meth
+module Program = Tessera_il.Program
+module Int_set : Set.S with type elt = int
+
+type t = {
+  reads_heap : bool;  (** field / array-element / array-metadata loads *)
+  writes_heap : bool;  (** field / array-element stores, array copies *)
+  allocates : bool;
+  sync : bool;  (** monitor enter/exit, synchronized attribute *)
+  may_trap : bool;  (** division, bounds/null/cast checks, allocation *)
+  throws : bool;  (** explicit [Throw] terminator *)
+  calls : Int_set.t;
+}
+
+val bottom : t
+val join : t -> t -> t
+val equal : t -> t -> bool
+
+val leq : t -> t -> bool
+(** Pointwise implication on flags plus [calls] inclusion: [leq a b]
+    means [a] promises no effect that [b] does not already allow. *)
+
+val is_pure : t -> bool
+(** No flags set (calls are irrelevant once a summary is closed). *)
+
+val of_meth : Meth.t -> t
+(** Direct (intraprocedural) effects over reachable blocks; [calls]
+    lists direct callees. *)
+
+val of_program : Program.t -> t array
+(** Transitively closed summary per method id. *)
+
+val close : summaries:t array -> t -> t
+(** One-level import of callee summaries: [direct ⊔ ⨆ summaries.(c)].
+    With closed [summaries] the result is itself closed. *)
+
+val describe : t -> string list
+(** Printable names of the set flags, for diagnostics. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+module Block = Tessera_il.Block
+module Meth = Tessera_il.Meth
+module Cfg = Tessera_opt.Cfg
+
+type t = {
+  n : int;
+  succs : int list array;
+  preds : int list array;
+  handler : int option array;
+  exc_preds : int list array;
+  reachable : bool array;
+  rpo : int array;
+}
+
+let of_meth (m : Meth.t) =
+  let cfg = Cfg.build m in
+  let n = Array.length m.Meth.blocks in
+  let handler = Array.map (fun (b : Block.t) -> b.Block.handler) m.Meth.blocks in
+  let exc_preds = Array.make n [] in
+  Array.iteri
+    (fun b -> function
+      | Some h -> exc_preds.(h) <- b :: exc_preds.(h)
+      | None -> ())
+    handler;
+  Array.iteri (fun h l -> exc_preds.(h) <- List.rev l) exc_preds;
+  {
+    n;
+    succs = cfg.Cfg.succs;
+    preds = cfg.Cfg.preds;
+    handler;
+    exc_preds;
+    reachable = cfg.Cfg.reachable;
+    rpo = cfg.Cfg.rpo;
+  }
+
+(* The rpo from Cfg covers blocks reachable over normal edges only;
+   handler-only blocks (and unreachable stragglers) are appended so every
+   block gets seeded into the worklist at least once. *)
+let forward_order t =
+  let seen = Array.make t.n false in
+  Array.iter (fun b -> seen.(b) <- true) t.rpo;
+  let extra = ref [] in
+  for b = t.n - 1 downto 0 do
+    if not seen.(b) then extra := b :: !extra
+  done;
+  Array.append t.rpo (Array.of_list !extra)
+
+let backward_order t =
+  let fwd = forward_order t in
+  let k = Array.length fwd in
+  Array.init k (fun i -> fwd.(k - 1 - i))
+
+let forward_deps t =
+  Array.init t.n (fun b ->
+      let ds = match t.handler.(b) with Some h -> h :: t.succs.(b) | None -> t.succs.(b) in
+      Array.of_list (List.sort_uniq compare ds))
+
+let backward_deps t =
+  Array.init t.n (fun b ->
+      Array.of_list (List.sort_uniq compare (t.preds.(b) @ t.exc_preds.(b))))

@@ -1,0 +1,34 @@
+(** The CFG view the dataflow analyses solve over: normal edges from
+    {!Tessera_opt.Cfg} plus the exceptional edges induced by per-block
+    trap handlers, which {!Tessera_opt.Cfg.build} folds into reachability
+    but does not expose as an edge relation. *)
+
+module Meth = Tessera_il.Meth
+
+type t = {
+  n : int;  (** number of blocks *)
+  succs : int list array;  (** normal successors *)
+  preds : int list array;  (** normal predecessors *)
+  handler : int option array;  (** per-block exception handler *)
+  exc_preds : int list array;
+      (** [exc_preds.(h)] = blocks whose handler is [h] *)
+  reachable : bool array;  (** via normal + exceptional edges, from entry *)
+  rpo : int array;  (** reverse post-order over normal edges *)
+}
+
+val of_meth : Meth.t -> t
+
+val forward_order : t -> int array
+(** Reverse post-order: a good initial worklist for forward problems.
+    Includes every block (handler-only blocks appended after the rpo). *)
+
+val backward_order : t -> int array
+(** Post-order: the forward order reversed. *)
+
+val forward_deps : t -> int array array
+(** [deps.(b)] = blocks whose forward transfer reads block [b]'s state:
+    normal successors plus [b]'s handler. *)
+
+val backward_deps : t -> int array array
+(** [deps.(b)] = blocks whose backward transfer reads [b]'s state:
+    normal predecessors plus blocks [b] handles for. *)

@@ -1,0 +1,132 @@
+module Types = Tessera_il.Types
+
+type t = Bot | Iv of int64 * int64 | Top
+
+let bot = Bot
+let top = Top
+let singleton v = Iv (v, v)
+
+let of_bounds lo hi = if Int64.compare lo hi > 0 then Bot else Iv (lo, hi)
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot | Top, Top -> true
+  | Iv (a1, a2), Iv (b1, b2) -> Int64.equal a1 b1 && Int64.equal a2 b2
+  | _ -> false
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Top, _ | _, Top -> Top
+  | Iv (a1, a2), Iv (b1, b2) ->
+      Iv ((if Int64.compare a1 b1 <= 0 then a1 else b1),
+          if Int64.compare a2 b2 >= 0 then a2 else b2)
+
+let is_singleton = function Iv (a, b) when Int64.equal a b -> Some a | _ -> None
+
+let mem v = function
+  | Bot -> false
+  | Top -> true
+  | Iv (lo, hi) -> Int64.compare lo v <= 0 && Int64.compare v hi <= 0
+
+let disjoint a b =
+  match (a, b) with
+  | Iv (a1, a2), Iv (b1, b2) ->
+      Int64.compare a2 b1 < 0 || Int64.compare b2 a1 < 0
+  | _ -> false
+
+let ty_range ty =
+  match ty with
+  | Types.Byte -> Iv (-128L, 127L)
+  | Types.Char -> Iv (0L, 65535L)
+  | Types.Short -> Iv (-32768L, 32767L)
+  | Types.Int -> Iv (Int64.of_int32 Int32.min_int, Int64.of_int32 Int32.max_int)
+  | _ -> Top
+
+let truncate_to ty iv =
+  match (ty_range ty, iv) with
+  | _, Bot -> Bot
+  | (Top | Bot), _ -> iv (* identity truncation; ty_range is never Bot *)
+  | (Iv (rlo, rhi) as range), Iv (lo, hi) ->
+      if Int64.compare rlo lo <= 0 && Int64.compare hi rhi <= 0 then iv
+      else range
+  | (Iv _ as range), Top -> range
+
+(* checked int64 arithmetic: [None] on wrap *)
+let add_checked a b =
+  let s = Int64.add a b in
+  if Int64.compare a 0L >= 0 = (Int64.compare b 0L >= 0)
+     && Int64.compare s 0L >= 0 <> (Int64.compare a 0L >= 0)
+  then None
+  else Some s
+
+let neg_checked a = if Int64.equal a Int64.min_int then None else Some (Int64.neg a)
+
+let sub_checked a b =
+  match neg_checked b with None -> None | Some nb -> add_checked a nb
+
+let mul_checked a b =
+  if Int64.equal a 0L || Int64.equal b 0L then Some 0L
+  else if
+    (Int64.equal a (-1L) && Int64.equal b Int64.min_int)
+    || (Int64.equal b (-1L) && Int64.equal a Int64.min_int)
+  then None
+  else
+    let p = Int64.mul a b in
+    if Int64.equal (Int64.div p b) a then Some p else None
+
+let lift2 f a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Top, _ | _, Top -> Top
+  | Iv (a1, a2), Iv (b1, b2) -> f (a1, a2) (b1, b2)
+
+let add a b =
+  lift2
+    (fun (a1, a2) (b1, b2) ->
+      match (add_checked a1 b1, add_checked a2 b2) with
+      | Some lo, Some hi -> Iv (lo, hi)
+      | _ -> Top)
+    a b
+
+let sub a b =
+  lift2
+    (fun (a1, a2) (b1, b2) ->
+      match (sub_checked a1 b2, sub_checked a2 b1) with
+      | Some lo, Some hi -> Iv (lo, hi)
+      | _ -> Top)
+    a b
+
+let mul a b =
+  lift2
+    (fun (a1, a2) (b1, b2) ->
+      let corners =
+        [ mul_checked a1 b1; mul_checked a1 b2; mul_checked a2 b1;
+          mul_checked a2 b2 ]
+      in
+      if List.exists (( = ) None) corners then Top
+      else
+        let vs = List.filter_map Fun.id corners in
+        let lo = List.fold_left min (List.hd vs) vs in
+        let hi = List.fold_left max (List.hd vs) vs in
+        Iv (lo, hi))
+    a b
+
+let neg = function
+  | Bot -> Bot
+  | Top -> Top
+  | Iv (lo, hi) -> (
+      match (neg_checked hi, neg_checked lo) with
+      | Some lo', Some hi' -> Iv (lo', hi')
+      | _ -> Top)
+
+let widen _ = Top
+
+let pp fmt = function
+  | Bot -> Format.fprintf fmt "⊥"
+  | Top -> Format.fprintf fmt "⊤"
+  | Iv (lo, hi) ->
+      if Int64.equal lo hi then Format.fprintf fmt "{%Ld}" lo
+      else Format.fprintf fmt "[%Ld,%Ld]" lo hi
+
+let to_string iv = Format.asprintf "%a" pp iv

@@ -1,0 +1,52 @@
+(** The interval abstract domain over [int64], mirroring the VM's
+    integer semantics ({!Tessera_vm.Values.truncate} wraps stores and
+    integral binop results to the node/symbol type).
+
+    [Bot] is "no value reaches here"; [Top] is "any int64".  [Iv]
+    carries inclusive finite bounds.  Arithmetic that may wrap around
+    int64 returns [Top] (or the target type's range after truncation):
+    the domain never claims more than the interpreter delivers. *)
+
+module Types = Tessera_il.Types
+
+type t = Bot | Iv of int64 * int64 | Top
+
+val bot : t
+val top : t
+val singleton : int64 -> t
+
+val of_bounds : int64 -> int64 -> t
+(** Normalizes an empty range ([lo > hi]) to [Bot]. *)
+
+val equal : t -> t -> bool
+val join : t -> t -> t
+
+val is_singleton : t -> int64 option
+val mem : int64 -> t -> bool
+
+val disjoint : t -> t -> bool
+(** Both sides carry finite, provable ranges with empty intersection —
+    the "contradiction" test of the lint.  [Bot] and [Top] are never
+    disjoint from anything. *)
+
+val ty_range : Types.t -> t
+(** Representable range of an integral type after {!Values.truncate}:
+    finite for Byte/Char/Short/Int, [Top] for the identity-truncated
+    types (Long, the BCD decimals), and [Top] for non-integral types. *)
+
+val truncate_to : Types.t -> t -> t
+(** Abstract counterpart of [Values.truncate ty]: the identity when the
+    interval already fits the type's range, else the type's range
+    (wrapping can land anywhere in it). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+
+val widen : t -> t
+(** Jump to [Top]; used by the solver after a few rounds on a
+    still-changing block. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

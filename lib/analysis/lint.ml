@@ -1,0 +1,338 @@
+module Opcode = Tessera_il.Opcode
+module Node = Tessera_il.Node
+module Block = Tessera_il.Block
+module Symbol = Tessera_il.Symbol
+module Meth = Tessera_il.Meth
+module Program = Tessera_il.Program
+module Validate = Tessera_il.Validate
+module Manager = Tessera_opt.Manager
+module String_set = Set.Make (String)
+
+type kind =
+  | Structural of Validate.error list
+  | Undefined_slot_use of { symbol : string }
+  | Handler_cycle of { blocks : int list }
+  | Inc_non_integral of { symbol : string }
+  | Effect_introduced of { effect_ : string }
+  | Const_contradiction of { before_ : Interval.t; after : Interval.t }
+  | Analysis_failure of string
+
+type diagnostic = {
+  pass_index : int;
+  pass_name : string;
+  meth : string;
+  block : int option;
+  node : int option;
+  kind : kind;
+}
+
+let describe_kind = function
+  | Structural errs ->
+      Printf.sprintf "structural: %s"
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Validate.pp_error) errs))
+  | Undefined_slot_use { symbol } ->
+      Printf.sprintf "use of never-defined temporary %S" symbol
+  | Handler_cycle { blocks } ->
+      Printf.sprintf "trap-handler cycle through blocks [%s]"
+        (String.concat "," (List.map string_of_int blocks))
+  | Inc_non_integral { symbol } ->
+      Printf.sprintf "Inc of non-integral symbol %S" symbol
+  | Effect_introduced { effect_ } ->
+      Printf.sprintf "effect introduced: %s" effect_
+  | Const_contradiction { before_; after } ->
+      Printf.sprintf "return interval contradiction: %s vs %s"
+        (Interval.to_string before_) (Interval.to_string after)
+  | Analysis_failure msg -> Printf.sprintf "analysis failure: %s" msg
+
+let pp_diagnostic fmt d =
+  Format.fprintf fmt "[pass %d %s] %s%s: %s" d.pass_index d.pass_name d.meth
+    (match (d.block, d.node) with
+    | Some b, Some n -> Printf.sprintf " (block %d, node %d)" b n
+    | Some b, None -> Printf.sprintf " (block %d)" b
+    | _ -> "")
+    (describe_kind d.kind)
+
+exception Violation of diagnostic
+
+(* Per-method facts the delta checks compare.  [first_*] remember a
+   witness site in the "after" method for diagnostics. *)
+type facts = {
+  undefined_used : String_set.t;  (** temps with a use but no def *)
+  inc_non_integral : String_set.t;
+  handler_cycles : int list list;
+  closed_eff : Effects.t;
+  ret_iv : Interval.t;
+}
+
+let sym_facts (m : Meth.t) =
+  let nsyms = Array.length m.Meth.symbols in
+  let used = Array.make nsyms false in
+  let defined = Array.make nsyms false in
+  let inc_bad = ref String_set.empty in
+  Meth.fold_nodes
+    (fun () (n : Node.t) ->
+      match n.Node.op with
+      | Opcode.Load when Array.length n.Node.args = 0 ->
+          if n.Node.sym >= 0 && n.Node.sym < nsyms then
+            used.(n.Node.sym) <- true
+      | Opcode.Store when Array.length n.Node.args = 1 ->
+          if n.Node.sym >= 0 && n.Node.sym < nsyms then
+            defined.(n.Node.sym) <- true
+      | Opcode.Inc ->
+          if n.Node.sym >= 0 && n.Node.sym < nsyms then begin
+            used.(n.Node.sym) <- true;
+            defined.(n.Node.sym) <- true;
+            let s = m.Meth.symbols.(n.Node.sym) in
+            if not (Tessera_il.Types.is_integral s.Symbol.ty) then
+              inc_bad := String_set.add s.Symbol.name !inc_bad
+          end
+      | _ -> ())
+    () m;
+  let undef = ref String_set.empty in
+  Array.iteri
+    (fun i (s : Symbol.t) ->
+      if s.Symbol.kind = Symbol.Temp && used.(i) && not defined.(i) then
+        undef := String_set.add s.Symbol.name !undef)
+    m.Meth.symbols;
+  (!undef, !inc_bad)
+
+(* Cycles in the handler-chain graph b -> handler(b).  Each block has at
+   most one outgoing edge, so a cycle is a rho-shaped chain tail. *)
+let handler_cycles (m : Meth.t) =
+  let n = Array.length m.Meth.blocks in
+  let handler b =
+    if b < 0 || b >= n then None else m.Meth.blocks.(b).Block.handler
+  in
+  (* color: 0 unvisited, 1 on current chain, 2 done *)
+  let color = Array.make n 0 in
+  let cycles = ref [] in
+  for b0 = 0 to n - 1 do
+    if color.(b0) = 0 then begin
+      let chain = ref [] in
+      let b = ref b0 in
+      let continue = ref true in
+      while !continue do
+        if !b < 0 || !b >= n then continue := false
+        else if color.(!b) = 1 then begin
+          (* found a new cycle: the chain suffix from !b *)
+          let rec suffix = function
+            | [] -> []
+            | x :: tl -> if x = !b then [ x ] else x :: suffix tl
+          in
+          cycles := List.rev (suffix !chain) :: !cycles;
+          continue := false
+        end
+        else if color.(!b) = 2 then continue := false
+        else begin
+          color.(!b) <- 1;
+          chain := !b :: !chain;
+          match handler !b with
+          | None -> continue := false
+          | Some h -> b := h
+        end
+      done;
+      List.iter (fun x -> color.(x) <- 2) !chain
+    end
+  done;
+  List.rev !cycles
+
+let facts_of ~summaries (m : Meth.t) =
+  let undefined_used, inc_non_integral = sym_facts m in
+  let cp = Constprop.analyze m in
+  {
+    undefined_used;
+    inc_non_integral;
+    handler_cycles = handler_cycles m;
+    closed_eff = Effects.close ~summaries (Effects.of_meth m);
+    ret_iv = cp.Constprop.ret;
+  }
+
+(* Witness site for a symbol-name diagnostic: first offending node in
+   the after method. *)
+let find_sym_site (m : Meth.t) ~name ~want_inc =
+  let site = ref None in
+  Array.iteri
+    (fun bi (b : Block.t) ->
+      List.iter
+        (fun tree ->
+          Node.fold
+            (fun () (n : Node.t) ->
+              if !site = None then
+                let matches =
+                  n.Node.sym >= 0
+                  && n.Node.sym < Array.length m.Meth.symbols
+                  && String.equal m.Meth.symbols.(n.Node.sym).Symbol.name name
+                  &&
+                  match n.Node.op with
+                  | Opcode.Inc -> true
+                  | Opcode.Load when not want_inc ->
+                      Array.length n.Node.args = 0
+                  | _ -> false
+                in
+                if matches then site := Some (bi, n.Node.uid))
+            () tree)
+        (b.Block.stmts @ Block.terminator_nodes b.Block.term))
+    m.Meth.blocks;
+  !site
+
+let effect_delta before after =
+  let names = Effects.describe after in
+  let had = Effects.describe before in
+  let introduced = List.filter (fun n -> not (List.mem n had)) names in
+  if Effects.Int_set.subset after.Effects.calls before.Effects.calls then
+    introduced
+  else
+    introduced
+    @ [
+        Printf.sprintf "calls {%s}"
+          (String.concat ","
+             (List.map string_of_int
+                (Effects.Int_set.elements
+                   (Effects.Int_set.diff after.Effects.calls
+                      before.Effects.calls))));
+      ]
+
+(* The structural check must run before any dataflow fact is computed:
+   the analyses assume well-formed IR (a broken terminator target would
+   crash CFG construction), and a structurally damaged method is a
+   single fatal diagnostic anyway. *)
+let structural_errors ~program (m : Meth.t) =
+  Validate.check_method ~classes:program.Program.classes
+    ~method_count:(Program.method_count program) m
+
+let check_with_facts ~pass_index ~pass_name ~(after : Meth.t) ~before_facts
+    ~after_facts =
+  let mk ?block ?node kind =
+    { pass_index; pass_name; meth = after.Meth.name; block; node; kind }
+  in
+  let diags = ref [] in
+  let bf = before_facts and af = after_facts in
+  String_set.iter
+    (fun s ->
+      if not (String_set.mem s bf.undefined_used) then begin
+        let block, node =
+          match find_sym_site after ~name:s ~want_inc:false with
+          | Some (b, u) -> (Some b, Some u)
+          | None -> (None, None)
+        in
+        diags := mk ?block ?node (Undefined_slot_use { symbol = s }) :: !diags
+      end)
+    af.undefined_used;
+  String_set.iter
+    (fun s ->
+      if not (String_set.mem s bf.inc_non_integral) then begin
+        let block, node =
+          match find_sym_site after ~name:s ~want_inc:true with
+          | Some (b, u) -> (Some b, Some u)
+          | None -> (None, None)
+        in
+        diags := mk ?block ?node (Inc_non_integral { symbol = s }) :: !diags
+      end)
+    af.inc_non_integral;
+  (match (bf.handler_cycles, af.handler_cycles) with
+  | [], c :: _ -> diags := mk (Handler_cycle { blocks = c }) :: !diags
+  | _ -> ());
+  (match effect_delta bf.closed_eff af.closed_eff with
+  | [] -> ()
+  | introduced ->
+      List.iter
+        (fun e -> diags := mk (Effect_introduced { effect_ = e }) :: !diags)
+        introduced);
+  if Interval.disjoint bf.ret_iv af.ret_iv then
+    diags :=
+      mk (Const_contradiction { before_ = bf.ret_iv; after = af.ret_iv })
+      :: !diags;
+  List.rev !diags
+
+let check_application ~program ~summaries ~pass_index ~pass_name ~before ~after
+    =
+  match structural_errors ~program after with
+  | _ :: _ as errs ->
+      [
+        {
+          pass_index;
+          pass_name;
+          meth = after.Meth.name;
+          block = None;
+          node = None;
+          kind = Structural errs;
+        };
+      ]
+  | [] ->
+      let before_facts = facts_of ~summaries before in
+      let after_facts = facts_of ~summaries after in
+      check_with_facts ~pass_index ~pass_name ~after ~before_facts ~after_facts
+
+let auditor ?(strict = false) ?(on_diagnostic = fun _ -> ()) program :
+    Manager.pass_audit =
+  let summaries = lazy (Summary.summaries_for program) in
+  (* pass i's after is pass i+1's before: memoize by physical identity *)
+  let last : (Meth.t * facts) option ref = ref None in
+  fun ~pass_index ~pass_name ~before ~after ->
+    let emit d = if strict then raise (Violation d) else on_diagnostic d in
+    match
+      match structural_errors ~program after with
+      | _ :: _ as errs ->
+          last := None;
+          [
+            {
+              pass_index;
+              pass_name;
+              meth = after.Meth.name;
+              block = None;
+              node = None;
+              kind = Structural errs;
+            };
+          ]
+      | [] ->
+          let summaries = Lazy.force summaries in
+          let before_facts =
+            match !last with
+            | Some (m, f) when m == before -> f
+            | _ -> facts_of ~summaries before
+          in
+          let after_facts = facts_of ~summaries after in
+          last := Some (after, after_facts);
+          check_with_facts ~pass_index ~pass_name ~after ~before_facts
+            ~after_facts
+    with
+    | diags -> List.iter emit diags
+    | exception Violation d -> raise (Violation d)
+    | exception exn ->
+        emit
+          {
+            pass_index;
+            pass_name;
+            meth = after.Meth.name;
+            block = None;
+            node = None;
+            kind = Analysis_failure (Printexc.to_string exn);
+          }
+
+(* -- global collecting hook ---------------------------------------- *)
+
+let collected_mutex = Mutex.create ()
+let collected_rev : diagnostic list ref = ref []
+
+let record d =
+  Mutex.lock collected_mutex;
+  collected_rev := d :: !collected_rev;
+  Mutex.unlock collected_mutex
+
+let install ?strict () =
+  Manager.lint_hook :=
+    Some (fun program -> auditor ?strict ~on_diagnostic:record program)
+
+let uninstall () = Manager.lint_hook := None
+
+let collected () =
+  Mutex.lock collected_mutex;
+  let l = List.rev !collected_rev in
+  Mutex.unlock collected_mutex;
+  l
+
+let reset () =
+  Mutex.lock collected_mutex;
+  collected_rev := [];
+  Mutex.unlock collected_mutex

@@ -1,0 +1,88 @@
+(** Translation-validation auditor for optimizer passes.
+
+    For every pass application the auditor compares the method before
+    and after, checking invariants stronger than {!Tessera_il.Validate}:
+
+    - structural well-formedness (the full [Validate] battery);
+    - no {e introduced} use of a never-defined temporary (keyed by
+      symbol name, since passes renumber symbols);
+    - no introduced cycle in the trap-handler chain (a trap inside such
+      a cycle would loop forever);
+    - no introduced [Inc] of a non-integral symbol;
+    - effect monotonicity: the transitively-closed effect summary after
+      the pass must stay below the one before (a pass may remove
+      effects, never add them);
+    - constant-analysis agreement: the provable return-value intervals
+      before and after must not be disjoint.
+
+    Checks are deltas against the "before" method wherever a pass may
+    legitimately leave residue (unreachable blocks after branch
+    folding, renumbered symbols), so a clean seed corpus stays clean
+    while genuine miscompiles surface. *)
+
+module Meth = Tessera_il.Meth
+module Program = Tessera_il.Program
+module Validate = Tessera_il.Validate
+module Manager = Tessera_opt.Manager
+
+type kind =
+  | Structural of Validate.error list
+  | Undefined_slot_use of { symbol : string }
+  | Handler_cycle of { blocks : int list }
+  | Inc_non_integral of { symbol : string }
+  | Effect_introduced of { effect_ : string }
+  | Const_contradiction of { before_ : Interval.t; after : Interval.t }
+  | Analysis_failure of string
+      (** the auditor itself failed; never raised into the engine *)
+
+type diagnostic = {
+  pass_index : int;  (** {!Tessera_opt.Catalog} index *)
+  pass_name : string;
+  meth : string;
+  block : int option;
+  node : int option;  (** node uid *)
+  kind : kind;
+}
+
+val describe_kind : kind -> string
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+exception Violation of diagnostic
+
+val check_application :
+  program:Program.t ->
+  summaries:Effects.t array ->
+  pass_index:int ->
+  pass_name:string ->
+  before:Meth.t ->
+  after:Meth.t ->
+  diagnostic list
+(** Pure one-shot check of a single pass application.  [summaries] are
+    the pristine program's closed effect summaries
+    ({!Effects.of_program}), the reference frame for monotonicity. *)
+
+val auditor :
+  ?strict:bool ->
+  ?on_diagnostic:(diagnostic -> unit) ->
+  Program.t ->
+  Manager.pass_audit
+(** Stateful auditor for one {!Manager.optimize} run: memoizes the
+    "before"-side facts across consecutive passes (pass [i]'s after is
+    pass [i+1]'s before) and computes program summaries lazily.  With
+    [strict] it raises {!Violation} on the first diagnostic; otherwise
+    it reports through [on_diagnostic] and never raises. *)
+
+(** {1 Global hook} *)
+
+val install : ?strict:bool -> unit -> unit
+(** Point {!Manager.lint_hook} at a collecting auditor: every
+    subsequent [Manager.optimize] call without an explicit [?audit]
+    gets audited, and diagnostics accumulate (thread-safely) in
+    {!collected}. *)
+
+val uninstall : unit -> unit
+val collected : unit -> diagnostic list
+(** In audit order. *)
+
+val reset : unit -> unit
+(** Clear collected diagnostics (keeps the hook installed). *)

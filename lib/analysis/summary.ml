@@ -1,0 +1,97 @@
+module Opcode = Tessera_il.Opcode
+module Node = Tessera_il.Node
+module Meth = Tessera_il.Meth
+module Program = Tessera_il.Program
+module Loops = Tessera_opt.Loops
+
+type t = {
+  live_slot_pressure : int;
+  const_expr_pct : int;
+  pure_call_pct : int;
+  max_loop_depth : int;
+  reaching_def_density : int;
+}
+
+let names =
+  [|
+    "live_slot_pressure";
+    "const_expr_pct";
+    "pure_call_pct";
+    "max_loop_depth";
+    "reaching_def_density";
+  |]
+
+let count = Array.length names
+
+let sat v = if v < 0 then 0 else if v > 255 then 255 else v
+
+(* Program-wide effect summaries are expensive (call-graph fixpoint);
+   memoize by program identity.  Feature extraction runs from multiple
+   domains (compilation pool), so the cache is mutex-guarded. *)
+let summaries_mutex = Mutex.create ()
+let summaries_cache : (Program.t * Effects.t array) list ref = ref []
+let max_cached = 8
+
+let summaries_for (p : Program.t) =
+  Mutex.lock summaries_mutex;
+  let hit = List.find_opt (fun (q, _) -> q == p) !summaries_cache in
+  Mutex.unlock summaries_mutex;
+  match hit with
+  | Some (_, s) -> s
+  | None ->
+      let s = Effects.of_program p in
+      Mutex.lock summaries_mutex;
+      (if not (List.exists (fun (q, _) -> q == p) !summaries_cache) then
+         let kept =
+           if List.length !summaries_cache >= max_cached then
+             List.filteri (fun i _ -> i < max_cached - 1) !summaries_cache
+           else !summaries_cache
+         in
+         summaries_cache := (p, s) :: kept);
+      Mutex.unlock summaries_mutex;
+      s
+
+let pure_call_pct ?program (m : Meth.t) =
+  match program with
+  | None -> 0
+  | Some p ->
+      let summaries = summaries_for p in
+      let total = ref 0 and pure = ref 0 in
+      Meth.iter_trees
+        (fun tree ->
+          ignore
+            (Node.fold
+               (fun () (n : Node.t) ->
+                 if Opcode.equal n.Node.op Opcode.Call then begin
+                   incr total;
+                   if
+                     n.Node.sym >= 0
+                     && n.Node.sym < Array.length summaries
+                     && Effects.is_pure summaries.(n.Node.sym)
+                   then incr pure
+                 end)
+               () tree))
+        m;
+      if !total = 0 then 0 else 100 * !pure / !total
+
+let of_meth ?program (m : Meth.t) =
+  let live = Live.analyze m in
+  let reach = Reach.analyze m in
+  let cp = Constprop.analyze m in
+  let loops = Loops.analyze m in
+  {
+    live_slot_pressure = sat (Live.pressure live);
+    const_expr_pct = sat (Constprop.const_fraction_pct cp);
+    pure_call_pct = sat (pure_call_pct ?program m);
+    max_loop_depth = sat (Loops.max_depth loops);
+    reaching_def_density = sat (Reach.density reach);
+  }
+
+let to_array t =
+  [|
+    t.live_slot_pressure;
+    t.const_expr_pct;
+    t.pure_call_pct;
+    t.max_loop_depth;
+    t.reaching_def_density;
+  |]

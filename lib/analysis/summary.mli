@@ -1,0 +1,31 @@
+(** Analysis-derived method features, bridging the dataflow analyses to
+    {!Tessera_features.Features}.  Each component is saturated to
+    [0, 255] so downstream feature encoding stays byte-sized. *)
+
+module Meth = Tessera_il.Meth
+module Program = Tessera_il.Program
+
+type t = {
+  live_slot_pressure : int;  (** max simultaneously-live locals *)
+  const_expr_pct : int;  (** % of nodes with a provable constant value *)
+  pure_call_pct : int;  (** % of call sites whose callee is provably pure *)
+  max_loop_depth : int;  (** deepest natural-loop nesting *)
+  reaching_def_density : int;  (** mean reaching defs per block *)
+}
+
+val names : string array
+(** Component names, in vector order. *)
+
+val count : int
+
+val summaries_for : Program.t -> Effects.t array
+(** Memoized (by program identity, mutex-guarded) transitively-closed
+    effect summaries — {!Effects.of_program} paid once per program. *)
+
+val of_meth : ?program:Program.t -> Meth.t -> t
+(** [program] enables the interprocedural pure-call share (0 without
+    it).  Program effect summaries are memoized per program identity,
+    so repeated extraction over one program pays the call-graph fixpoint
+    once; the cache is safe under domain parallelism. *)
+
+val to_array : t -> int array

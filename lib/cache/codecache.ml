@@ -23,6 +23,20 @@ type t = Store.t
 let format_version = 1
 let file_name = "code.tscc"
 
+exception Stale_schema
+
+(* The feature-vector layout is versioned by its dimension, written as
+   the first varint of every entry payload.  Entries written under an
+   older layout decode as a clean stale miss (dropped and recounted as
+   [stale]) rather than a decode error.  Deliberately NOT folded into
+   [format_version]: that value salts the key fingerprint, so bumping it
+   would turn old entries into silent misses that linger in the file
+   instead of being reclaimed.  Historical note: the first shipped
+   layout had no schema varint and began with a u8 plan level (0..4) —
+   values a [Features.dim]-valued varint can never take, so pre-schema
+   entries are detected as stale too. *)
+let feature_schema = Features.dim
+
 let create ~dir ?(capacity_mb = 64) ?(readonly = false) () =
   if (not readonly) && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   Store.open_
@@ -40,6 +54,7 @@ let fingerprint ~target ~level ~modifier m =
 
 let encode_entry e =
   let buf = Buffer.create 512 in
+  Codec.write_varint buf feature_schema;
   Codec.write_u8 buf (Plan.level_index e.level);
   Codec.write_i64 buf (Modifier.to_bits e.modifier);
   let fs = Features.to_array e.features in
@@ -53,6 +68,8 @@ let encode_entry e =
 
 let decode_entry s =
   let r = Codec.reader_of_string s in
+  let schema = Codec.read_varint ~what:"feature schema" r in
+  if schema <> feature_schema then raise Stale_schema;
   let li = Codec.read_u8 ~what:"level" r in
   if li >= Array.length Plan.levels then
     raise (Isa_codec.Malformed "entry: bad level");
@@ -78,6 +95,11 @@ let lookup t ~key ~level ~modifier =
   | None -> None
   | Some bytes -> (
       match decode_entry bytes with
+      | exception Stale_schema ->
+          (* written under an older feature layout: a clean generational
+             miss, not damage *)
+          Store.drop_stale t key;
+          None
       | exception _ ->
           (* CRC-clean but undecodable: treat exactly like disk damage *)
           Store.drop_corrupt t key;

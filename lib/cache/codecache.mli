@@ -41,6 +41,15 @@ val format_version : int
 (** Bump on any codec or fingerprint change; old files then read as
     stale (version byte) or simply never hit (fingerprint salt). *)
 
+val feature_schema : int
+(** Feature-layout version written as the first varint of every entry
+    payload (currently {!Features.dim}).  An entry carrying a different
+    value — including pre-schema entries, which begin with a plan-level
+    byte in [0..4] — decodes as a clean stale miss: dropped, counted
+    under [stale], recompiled.  Kept out of {!format_version} on
+    purpose, since that salts the lookup key and old entries would
+    otherwise linger unreclaimed. *)
+
 val file_name : string
 (** Name of the store file inside the cache directory. *)
 

@@ -6,11 +6,13 @@ module Meth = Tessera_il.Meth
 
 type t = int array
 
+module Summary = Tessera_analysis.Summary
+
 let scalar_count = 19
 
-let dim = scalar_count + Types.count + Opcode.group_count
+let analysis_count = Summary.count
 
-let () = assert (dim = 71)
+let dim = scalar_count + Types.count + Opcode.group_count + analysis_count
 
 let many_iteration_nest_threshold = 2
 
@@ -56,7 +58,7 @@ let loop_attributes m =
 
 let sat limit v = if v > limit then limit else v
 
-let extract (m : Meth.t) : t =
+let extract ?program (m : Meth.t) : t =
   let f = Array.make dim 0 in
   let b v = if v then 1 else 0 in
   let a = m.Meth.attrs in
@@ -93,6 +95,9 @@ let extract (m : Meth.t) : t =
     () m;
   f.(13) <- b !allocates;
   f.(18) <- b !uses_fp;
+  let analysis = Summary.to_array (Summary.of_meth ?program m) in
+  Array.blit analysis 0 f (scalar_count + Types.count + Opcode.group_count)
+    analysis_count;
   f
 
 let get (f : t) i = f.(i)
@@ -117,7 +122,11 @@ let component_name i =
   else if i < scalar_count then scalar_names.(i)
   else if i < scalar_count + Types.count then
     "type:" ^ Types.name (Types.of_index (i - scalar_count))
-  else "op:" ^ Opcode.group_name (i - scalar_count - Types.count)
+  else if i < scalar_count + Types.count + Opcode.group_count then
+    "op:" ^ Opcode.group_name (i - scalar_count - Types.count)
+  else
+    "dataflow:"
+    ^ Summary.names.(i - scalar_count - Types.count - Opcode.group_count)
 
 let equal (a : t) (b : t) = a = b
 
@@ -131,3 +140,20 @@ let pp fmt (f : t) =
     (fun i v -> if v <> 0 then Format.fprintf fmt " %s=%d" (component_name i) v)
     f;
   Format.fprintf fmt " ]"
+
+(* Layout self-check, replacing the former [assert (dim = 71)] magic
+   number: the named components must tile the whole vector with no
+   gaps or collisions, whatever the section sizes are. *)
+let () =
+  let seen = Hashtbl.create dim in
+  for i = 0 to dim - 1 do
+    let name = component_name i in
+    if String.length name = 0 then
+      invalid_arg (Printf.sprintf "Features: component %d has an empty name" i);
+    match Hashtbl.find_opt seen name with
+    | Some j ->
+        invalid_arg
+          (Printf.sprintf "Features: components %d and %d share the name %S" j
+             i name)
+    | None -> Hashtbl.add seen name i
+  done

@@ -15,20 +15,31 @@
       saturating counters.
 
     The distributions are computed in a single pass over the tree-based
-    representation of the method. *)
+    representation of the method.
+
+    On top of the paper's 71 attributes this implementation appends
+    {!analysis_count} dataflow-derived components from
+    {!Tessera_analysis.Summary} (live-slot pressure, provably-constant
+    expression fraction, pure-call share, loop-nest depth, reaching-def
+    density), each saturated to a byte. *)
 
 type t = private int array
 (** Always of length {!dim}; component order is scalars, then type
-    distributions, then operation distributions. *)
+    distributions, then operation distributions, then the
+    analysis-derived components. *)
 
 val dim : int
-(** 71. *)
+(** 76: the paper's 71 plus {!analysis_count}. *)
 
 val scalar_count : int
 (** 19. *)
 
-val extract : Tessera_il.Meth.t -> t
-(** Deterministic; does not modify the method. *)
+val analysis_count : int
+(** 5 dataflow-analysis components appended after the distributions. *)
+
+val extract : ?program:Tessera_il.Program.t -> Tessera_il.Meth.t -> t
+(** Deterministic; does not modify the method.  [program] enables the
+    interprocedural pure-call-share component (0 when absent). *)
 
 val get : t -> int -> int
 
@@ -40,7 +51,8 @@ val of_array : int array -> t
 
 val component_name : int -> string
 (** Human-readable name of a feature index, e.g. ["treeNodes"],
-    ["type:double"], ["op:loadconst"]. *)
+    ["type:double"], ["op:loadconst"],
+    ["dataflow:live_slot_pressure"]. *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int

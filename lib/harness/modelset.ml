@@ -68,8 +68,9 @@ let predict t ~level features =
         features
 
 let choose_modifier t engine ~meth_id ~level =
-  let m = Program.meth (Engine.program engine) meth_id in
-  Some (predict t ~level (Features.extract m))
+  let program = Engine.program engine in
+  let m = Program.meth program meth_id in
+  Some (predict t ~level (Features.extract ~program m))
 
 let server_predictor t ~level ~features =
   match find t level with

@@ -26,7 +26,7 @@ let () =
     | _ -> None)
 
 let compile_exn ~modifier ~target ~program ~level (m : Meth.t) =
-  let features = Features.extract m in
+  let features = Features.extract ~program m in
   let quality_floor =
     match level with
     | Plan.Cold | Plan.Warm -> Tessera_vm.Cost.Q_base

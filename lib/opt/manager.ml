@@ -15,13 +15,30 @@ type result = {
 
 let total_cycles r = r.opt_cycles + r.front_cycles + r.back_cycles
 
+type pass_audit =
+  pass_index:int ->
+  pass_name:string ->
+  before:Meth.t ->
+  after:Meth.t ->
+  unit
+
+(* Dependency inversion: the lint auditor lives in [tessera.analysis],
+   which sits above this library.  [Tessera_analysis.Lint.install] sets
+   the hook; [optimize] consults it when no explicit audit is passed. *)
+let lint_hook : (Program.t -> pass_audit) option ref = ref None
+
 let quality_of_hints h =
   if h >= 2 then Cost.Q_full else if h = 1 then Cost.Q_regalloc else Cost.Q_base
 
 let max_quality a b = if Cost.quality_rank a >= Cost.quality_rank b then a else b
 
-let optimize ?(enabled = fun _ -> true) ?(validate = false)
+let optimize ?(enabled = fun _ -> true) ?(validate = false) ?audit
     ?(quality_floor = Cost.Q_base) ~program ~plan m =
+  let audit =
+    match audit with
+    | Some _ -> audit
+    | None -> Option.map (fun f -> f program) !lint_hook
+  in
   let ctx = { Catalog.program } in
   let meth = ref m in
   let cycles = ref 0 in
@@ -45,6 +62,11 @@ let optimize ?(enabled = fun _ -> true) ?(validate = false)
           cycles := !cycles + base + (per_node * traits.Catalog.nodes);
           hints := !hints + e.Catalog.quality_hint;
           let m' = e.Catalog.run ctx !meth in
+          (match audit with
+          | Some f ->
+              f ~pass_index:idx ~pass_name:e.Catalog.name ~before:!meth
+                ~after:m'
+          | None -> ());
           if validate then begin
             match
               Tessera_il.Validate.check_method

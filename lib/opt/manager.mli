@@ -19,9 +19,26 @@ val total_cycles : result -> int
 (** Front + optimizer + back cycles: the "compilation time" of the
     paper's figures. *)
 
+type pass_audit =
+  pass_index:int ->
+  pass_name:string ->
+  before:Meth.t ->
+  after:Meth.t ->
+  unit
+(** Called after each executed pass with the method before and after.
+    Must not raise in production paths (the engine quarantines compile
+    failures); the lint auditor collects instead. *)
+
+val lint_hook : (Program.t -> pass_audit) option ref
+(** Global fallback audit factory, consulted by {!optimize} when no
+    explicit [?audit] is given.  Set by [Tessera_analysis.Lint.install]
+    — a dependency inversion, since the analysis library sits above
+    this one. *)
+
 val optimize :
   ?enabled:(int -> bool) ->
   ?validate:bool ->
+  ?audit:pass_audit ->
   ?quality_floor:Tessera_vm.Cost.codegen_quality ->
   program:Program.t ->
   plan:int list ->
@@ -30,7 +47,9 @@ val optimize :
 (** [enabled i] says whether catalogue transformation [i] is enabled (the
     modifier bit of Section 5); defaults to all-enabled.  [validate]
     checks IR well-formedness after every pass and raises on violation —
-    used by tests to pinpoint a faulty transformation.  [quality_floor]
-    is the minimum back-end tier regardless of which hint transformations
-    ran — the higher optimization levels ship with a stronger baseline
-    register allocator that plan modifiers cannot turn off. *)
+    used by tests to pinpoint a faulty transformation.  [audit] observes
+    every executed pass (before/after); when omitted, {!lint_hook}
+    supplies one if installed.  [quality_floor] is the minimum back-end
+    tier regardless of which hint transformations ran — the higher
+    optimization levels ship with a stronger baseline register allocator
+    that plan modifiers cannot turn off. *)

@@ -456,6 +456,58 @@ let test_fault_matrix () =
   write_file path pristine
 
 (* ------------------------------------------------------------------ *)
+(* Feature-schema generations                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* An entry written by the first shipped layout — no feature-schema
+   varint, a u8 plan level first — must read back as a clean stale miss:
+   dropped, counted under [stale], never [corrupt], never an error. *)
+let test_pre_schema_entry_stale () =
+  with_store_dir @@ fun dir ->
+  let m =
+    Meth.make ~name:"Old.o()I" ~params:[||] ~ret:Types.Int ~symbols:[||]
+      [|
+        Tessera_il.Block.make 0 []
+          (Tessera_il.Block.Return (Some (Node.iconst Types.Int 7L)));
+      |]
+  in
+  let code = Tessera_codegen.Lower.compile m in
+  let old_bytes =
+    let module Codec = Tessera_util.Codec in
+    let buf = Buffer.create 256 in
+    Codec.write_u8 buf (Plan.level_index Plan.Cold);
+    Codec.write_i64 buf (Modifier.to_bits Modifier.null);
+    let fs = Features.to_array (Features.extract m) in
+    Codec.write_varint buf (Array.length fs);
+    Array.iter (fun v -> Codec.write_varint buf v) fs;
+    Codec.write_varint buf 123;
+    Codec.write_varint buf 4;
+    Codec.write_varint buf 5;
+    Isa_codec.encode buf code;
+    Buffer.contents buf
+  in
+  let key =
+    Codecache.fingerprint ~target:Target.zircon ~level:Plan.Cold
+      ~modifier:Modifier.null m
+  in
+  (* write the frame the way an old binary would have: through the
+     store, so the CRC and framing are perfectly valid *)
+  let path = Filename.concat dir Codecache.file_name in
+  let s = Store.open_ ~path ~capacity_bytes:1_000_000 ~readonly:false in
+  Store.add s key old_bytes;
+  Store.close s;
+  let cache = Codecache.create ~dir () in
+  Alcotest.(check int) "old entry loads" 1 (Codecache.entry_count cache);
+  Alcotest.(check bool) "pre-schema entry is a miss" true
+    (Option.is_none
+       (Codecache.lookup cache ~key ~level:Plan.Cold ~modifier:Modifier.null));
+  let c = Codecache.counters cache in
+  Alcotest.(check int) "counted stale" 1 c.Store.stale_entries;
+  Alcotest.(check int) "not corrupt" 0 c.Store.corrupt_entries;
+  Alcotest.(check int) "entry dropped" 0 (Codecache.entry_count cache);
+  Codecache.close cache
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   List.map QCheck_alcotest.to_alcotest
@@ -471,6 +523,8 @@ let suite =
         `Quick test_store_torn_tail;
       Alcotest.test_case "store: future format version reads as stale" `Quick
         test_store_version_stale;
+      Alcotest.test_case "codecache: pre-schema entry reads as stale" `Quick
+        test_pre_schema_entry_stale;
       Alcotest.test_case "engine: warm start replays without compiling" `Quick
         test_engine_warm_equivalence;
       Alcotest.test_case "fault matrix: every byte flip is survived" `Slow

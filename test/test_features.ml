@@ -7,11 +7,14 @@ module Symbol = Tessera_il.Symbol
 module Features = Tessera_features.Features
 
 let test_dimensions () =
-  Alcotest.(check int) "71 features" 71 Features.dim;
+  (* the paper's 71 plus the analysis-derived components *)
+  Alcotest.(check int) "76 features" 76 Features.dim;
   Alcotest.(check int) "19 scalars" 19 Features.scalar_count;
-  (* 19 + 14 + 38 = 71 *)
-  Alcotest.(check int) "scalar + types + ops"
-    (Features.scalar_count + Types.count + Opcode.group_count)
+  Alcotest.(check int) "5 analysis components" 5 Features.analysis_count;
+  (* 19 + 14 + 38 + 5 = 76 *)
+  Alcotest.(check int) "scalar + types + ops + analysis"
+    (Features.scalar_count + Types.count + Opcode.group_count
+   + Features.analysis_count)
     Features.dim
 
 let test_component_names_unique () =
@@ -25,7 +28,11 @@ let test_component_names_unique () =
   Alcotest.(check string) "3" "treeNodes" (Features.component_name 3);
   Alcotest.(check string) "19" "type:byte" (Features.component_name 19);
   Alcotest.(check string) "33" "op:add" (Features.component_name 33);
-  Alcotest.(check string) "70" "op:mixedops" (Features.component_name 70)
+  Alcotest.(check string) "70" "op:mixedops" (Features.component_name 70);
+  Alcotest.(check string) "71" "dataflow:live_slot_pressure"
+    (Features.component_name 71);
+  Alcotest.(check string) "75" "dataflow:reaching_def_density"
+    (Features.component_name 75)
 
 let handmade =
   let symbols = [| Symbol.arg "a" Types.Int; Symbol.temp "t" Types.Double |] in

@@ -52,7 +52,10 @@ let test_modelset_training () =
         (Tessera_dataproc.Labels.size lm.Harness.Modelset.labels >= 2))
     ms.Harness.Modelset.levels;
   (* scorching predictions are the null modifier (paper: no model there) *)
-  let f = Tessera_features.Features.of_array (Array.make 71 1) in
+  let f =
+    Tessera_features.Features.of_array
+      (Array.make Tessera_features.Features.dim 1)
+  in
   Alcotest.(check bool) "scorching predicts null" true
     (Tessera_modifiers.Modifier.is_null
        (Harness.Modelset.predict ms ~level:Plan.Scorching f))
@@ -76,7 +79,7 @@ let test_modelset_save_load () =
       (* loaded models predict identically *)
       let f =
         Tessera_features.Features.of_array
-          (Array.init 71 (fun i -> i mod 3))
+          (Array.init Tessera_features.Features.dim (fun i -> i mod 3))
       in
       List.iter
         (fun (lm : Harness.Modelset.level_model) ->

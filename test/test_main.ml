@@ -14,6 +14,7 @@ let () =
       ("lang", Test_lang.suite);
       ("lexer", Test_lexer.suite);
       ("opt", Test_opt.suite);
+      ("analysis", Test_analysis.suite);
       ("features", Test_features.suite);
       ("modifiers", Test_modifiers.suite);
       ("collect", Test_collect.suite);

@@ -445,3 +445,46 @@ let suite =
       Alcotest.test_case "overwritten-store elimination" `Quick
         test_overwritten_store_elim;
     ]
+
+(* Catalog-wide differential + lint oracle: every transformation, run
+   alone over every method of a generated program, must preserve the
+   interpreted result AND audit clean under the translation-validation
+   lint. *)
+let test_catalog_differential_with_lint () =
+  QCheck.Test.make ~count:4
+    ~name:"catalog: each pass preserves results and lint cleanliness"
+    (QCheck.make ~print:Int64.to_string
+       QCheck.Gen.(map Int64.of_int (int_range 0 1_000_000)))
+    (fun seed ->
+      let program = Helpers.gen_program seed in
+      let args = Helpers.entry_args 1 in
+      let baseline, _ = Helpers.run_program program args in
+      Array.for_all
+        (fun (e : Catalog.entry) ->
+          let diags = ref [] in
+          let audit =
+            Tessera_analysis.Lint.auditor
+              ~on_diagnostic:(fun d -> diags := d :: !diags)
+              program
+          in
+          let transform _id m =
+            (Manager.optimize ~audit ~program ~plan:[ e.Catalog.index ] m)
+              .Manager.meth
+          in
+          let outcome, _ = Helpers.run_program ~transform program args in
+          match !diags with
+          | d :: _ ->
+              QCheck.Test.fail_reportf "seed %Ld, pass %s: lint diagnostic %s"
+                seed e.Catalog.name
+                (Format.asprintf "%a" Tessera_analysis.Lint.pp_diagnostic d)
+          | [] ->
+              if Helpers.outcome_equal baseline outcome then true
+              else
+                QCheck.Test.fail_reportf
+                  "seed %Ld, pass %s: outcome changed from %a to %a" seed
+                  e.Catalog.name Helpers.pp_outcome baseline Helpers.pp_outcome
+                  outcome)
+        Catalog.all)
+
+let suite =
+  suite @ [ QCheck_alcotest.to_alcotest (test_catalog_differential_with_lint ()) ]
