@@ -13,6 +13,7 @@
      dune exec bench/main.exe parallel   -- -j determinism + speedup (BENCH_parallel.json)
      dune exec bench/main.exe serve      -- concurrent serving fleet (BENCH_serve.json)
      dune exec bench/main.exe flat       -- flat-tier dispatch throughput (BENCH_flat.json)
+     dune exec bench/main.exe profile    -- sampling profiler oracle (BENCH_profile.json)
      dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
      dune exec bench/main.exe quick      -- down-scaled smoke of everything
 
@@ -33,8 +34,8 @@ module Engine = Tessera_jit.Engine
 module Plan = Tessera_opt.Plan
 module Modifier = Tessera_modifiers.Modifier
 module Values = Tessera_vm.Values
-module Stats = Tessera_util.Stats
 module Pool = Tessera_util.Pool
+module Metrics = Tessera_obs.Metrics
 
 let fmt = Format.std_formatter
 
@@ -44,6 +45,14 @@ let section_on fmt title =
   Format.fprintf fmt "%s@." (String.make 78 '=')
 
 let section title = section_on fmt title
+
+(* host provenance, recorded in every BENCH_*.json artifact: wall-clock
+   numbers are only comparable between runs made on a known core budget
+   (the regress sentinel's tolerances assume like-for-like hosts) *)
+let host_cores = Domain.recommended_domain_count ()
+
+let host_json_fields ~jobs =
+  Printf.sprintf "  \"host_cores\": %d,\n  \"jobs\": %d,\n" host_cores jobs
 
 (* collect once, reuse across experiment groups *)
 let collected = ref None
@@ -146,6 +155,7 @@ let run_parallel ~jobs cfg =
     Printf.sprintf
       "{\n\
       \  \"quick\": %b,\n\
+      %s\
       \  \"seq_jobs\": 1,\n\
       \  \"par_jobs\": %d,\n\
       \  \"seq_wall_s\": %.3f,\n\
@@ -156,7 +166,7 @@ let run_parallel ~jobs cfg =
       \  \"par_digest\": %S\n\
        }\n"
       (cfg == Harness.Expconfig.quick)
-      par_jobs seq_s par_s
+      (host_json_fields ~jobs) par_jobs seq_s par_s
       (seq_s /. Float.max 1e-9 par_s)
       identical seq_digest par_digest
   in
@@ -569,7 +579,7 @@ module Codecache = Tessera_cache.Codecache
    cache dir), and warm read-only, and emit BENCH_cache.json with
    time-to-steady-state (app cycles at the end of iteration 1) and the
    total compile bill of each mode. *)
-let run_cache cfg =
+let run_cache ~jobs cfg =
   section "Warm-start vs cold-start (persistent code cache)";
   let bench =
     Suites.scale_bench
@@ -636,6 +646,7 @@ let run_cache cfg =
     Buffer.add_string buf
       (Printf.sprintf "  \"benchmark\": %S,\n  \"iterations\": %d,\n"
          bench.Suites.profile.Tessera_workloads.Profile.name iterations);
+    Buffer.add_string buf (host_json_fields ~jobs);
     Buffer.add_string buf "  \"runs\": {\n";
     List.iteri
       (fun i (name, (marks, compile_cycles, compilations, aot_loads)) ->
@@ -671,7 +682,7 @@ module Trace = Tessera_obs.Trace
    load-and-branch per event site.  Run the same workload with tracing
    off and on and emit BENCH_obs.json with the wall-clock overhead of
    the on state (budget: <3%). *)
-let run_obs cfg =
+let run_obs ~jobs cfg =
   section "Observability overhead (tracing off vs on)";
   let bench =
     Suites.scale_bench
@@ -723,14 +734,15 @@ let run_obs cfg =
       \  \"benchmark\": %S,\n\
       \  \"iterations\": %d,\n\
       \  \"reps\": %d,\n\
+      %s\
       \  \"disabled_wall_s\": %.6f,\n\
       \  \"enabled_wall_s\": %.6f,\n\
       \  \"overhead_pct\": %.4f,\n\
       \  \"events\": %d,\n\
       \  \"dropped\": %d\n\
        }\n"
-      bench.Suites.profile.Tessera_workloads.Profile.name iterations reps off_s
-      on_s overhead_pct events dropped
+      bench.Suites.profile.Tessera_workloads.Profile.name iterations reps
+      (host_json_fields ~jobs) off_s on_s overhead_pct events dropped
   in
   Tessera_util.Fileio.atomic_write ~path:"BENCH_obs.json" json;
   Format.fprintf fmt "[wrote BENCH_obs.json]@.@."
@@ -751,7 +763,7 @@ module Flat_interp = Tessera_flat.Interp
    same cycles; and emit BENCH_flat.json with the dispatch throughput
    (virtual cycles retired per wall second) of each leg plus the
    opcode-pair census behind the fusion table. *)
-let run_flat cfg =
+let run_flat ~jobs cfg =
   section "Flat execution tier: tree walker vs threaded code";
   let quick = cfg == Harness.Expconfig.quick in
   let reps = if quick then 3 else 5 in
@@ -896,8 +908,8 @@ let run_flat cfg =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
-    (Printf.sprintf "  \"quick\": %b,\n  \"reps\": %d,\n  \"benchmarks\": [\n"
-       quick reps);
+    (Printf.sprintf "  \"quick\": %b,\n  \"reps\": %d,\n%s  \"benchmarks\": [\n"
+       quick reps (host_json_fields ~jobs));
   List.iteri
     (fun i (name, cycles, tree_s, flat_s, super_s, fused_sites, top_pairs) ->
       Buffer.add_string buf
@@ -931,10 +943,173 @@ let run_flat cfg =
   Format.fprintf fmt "[wrote BENCH_flat.json]@.@."
 
 (* ------------------------------------------------------------------ *)
+(* Deterministic sampling profiler (BENCH_profile.json)                 *)
+(* ------------------------------------------------------------------ *)
+
+module Profile = Tessera_obs.Profile
+
+(* Three oracles over the sampling profiler:
+
+   - determinism: two same-seed runs must serialize to byte-identical
+     canonical profiles (the virtual clock is the sampling trigger, so
+     host speed cannot move a sample);
+   - attribution: the flat tier and the tree walker are two independent
+     interpreters charging the same virtual costs, so each one's
+     hottest method must appear among the other's top three;
+   - off-state cost: with the profiler off the interpreters select the
+     unwrapped charge closure, so the off state must be
+     indistinguishable — within the <3% observability budget, which
+     here bounds pure measurement noise — from a pristine run made
+     before the profiler was ever enabled in the process. *)
+let run_profile ~jobs cfg =
+  section "Sampling profiler: determinism, attribution, off-state cost";
+  let bench =
+    Suites.scale_bench
+      (Option.get (Suites.find "compress"))
+      cfg.Harness.Expconfig.bench_scale
+  in
+  let program = Tessera_workloads.Generate.program bench.Suites.profile in
+  let iterations = 3 in
+  let run () =
+    let engine = Engine.create program in
+    for it = 0 to iterations - 1 do
+      for j = 0 to bench.Suites.iteration_invocations - 1 do
+        ignore
+          (Engine.invoke_entry engine
+             [| Values.Int_v (Int64.of_int ((it * 31) + j)) |])
+      done
+    done;
+    Engine.app_cycles engine
+  in
+  let time_best reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  for _ = 1 to 4 do
+    ignore (run ()) (* warm host code paths and heap before timing *)
+  done;
+  let reps = 9 in
+  let period = 4096 in
+  (* the three timing legs run back to back with a normalized heap, so
+     slow drift of the host (GC heap growth, frequency scaling) cannot
+     masquerade as overhead: pristine (the profiler has never been
+     enabled in this process), off (after an enable/disable cycle — the
+     same unwrapped charge closure, so any measured difference is the
+     off-state cost plus noise), then on *)
+  let timed_leg f =
+    Gc.major ();
+    time_best reps f
+  in
+  let pristine_s = timed_leg run in
+  Profile.enable ~period ();
+  Profile.disable ();
+  Profile.reset ();
+  let off_s = timed_leg run in
+  Profile.enable ~period ();
+  let on_s = timed_leg run in
+  let off_overhead_pct = (off_s -. pristine_s) /. pristine_s *. 100.0 in
+  let on_overhead_pct = (on_s -. off_s) /. off_s *. 100.0 in
+  (* determinism oracle: two identical runs, byte-identical profiles *)
+  Profile.enable ~period ();
+  let app_cycles = run () in
+  let canon1 = Profile.to_canonical_string () in
+  let top_flat =
+    match Profile.hot_methods () with (m, _) :: _ -> m | [] -> ""
+  in
+  let top3_flat = List.filteri (fun i _ -> i < 3) (Profile.hot_methods ()) in
+  let profile_json = Profile.to_json () in
+  let total = Profile.total_samples () in
+  let sites = Profile.site_count () in
+  let dropped = Profile.dropped_samples () in
+  Profile.report fmt;
+  Profile.enable ~period ();
+  ignore (run ());
+  let canon2 = Profile.to_canonical_string () in
+  let deterministic = String.equal canon1 canon2 in
+  (* attribution cross-check on the other interpreter *)
+  Tessera_flat.Cache.set_enabled false;
+  Profile.enable ~period ();
+  ignore (run ());
+  let top_tree =
+    match Profile.hot_methods () with (m, _) :: _ -> m | [] -> ""
+  in
+  let top3_tree = List.filteri (fun i _ -> i < 3) (Profile.hot_methods ()) in
+  Tessera_flat.Cache.set_enabled true;
+  let top_matches =
+    List.mem_assoc top_flat top3_tree && List.mem_assoc top_tree top3_flat
+  in
+  Profile.disable ();
+  Profile.reset ();
+  let coverage =
+    float_of_int total *. float_of_int period /. Int64.to_float app_cycles
+  in
+  Format.fprintf fmt
+    "%-10s %d samples at period %d (%d sites, %d dropped); sample coverage \
+     %.3f of %.2fM charged cycles@."
+    bench.Suites.profile.Tessera_workloads.Profile.name total period sites
+    dropped coverage
+    (Int64.to_float app_cycles /. 1e6);
+  Format.fprintf fmt
+    "pristine %.2f ms, profiler-off %.2f ms (%+.2f%%), profiler-on %.2f ms \
+     (%+.2f%% over off)@."
+    (pristine_s *. 1e3) (off_s *. 1e3) off_overhead_pct (on_s *. 1e3)
+    on_overhead_pct;
+  Format.fprintf fmt
+    "determinism: %s; hottest method flat=%s tree=%s (%s)@.@."
+    (if deterministic then "byte-identical" else "DIVERGED")
+    top_flat top_tree
+    (if top_matches then "attribution agrees" else "ATTRIBUTION DISAGREES");
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": %S,\n\
+      \  \"iterations\": %d,\n\
+      \  \"reps\": %d,\n\
+      %s\
+      \  \"period_cycles\": %d,\n\
+      \  \"total_samples\": %d,\n\
+      \  \"sites\": %d,\n\
+      \  \"dropped\": %d,\n\
+      \  \"sample_coverage\": %.4f,\n\
+      \  \"pristine_wall_s\": %.6f,\n\
+      \  \"profiler_off_wall_s\": %.6f,\n\
+      \  \"profiler_on_wall_s\": %.6f,\n\
+      \  \"profiler_off_overhead_pct\": %.4f,\n\
+      \  \"profiler_on_overhead_pct\": %.4f,\n\
+      \  \"deterministic\": %b,\n\
+      \  \"top_method_flat\": %S,\n\
+      \  \"top_method_tree\": %S,\n\
+      \  \"top_method_matches\": %b,\n\
+      \  \"profile\": %s}\n"
+      bench.Suites.profile.Tessera_workloads.Profile.name iterations reps
+      (host_json_fields ~jobs) period total sites dropped coverage pristine_s
+      off_s on_s off_overhead_pct on_overhead_pct deterministic top_flat
+      top_tree top_matches profile_json
+  in
+  Tessera_util.Fileio.atomic_write ~path:"BENCH_profile.json" json;
+  Format.fprintf fmt "[wrote BENCH_profile.json]@.@.";
+  let failures = ref [] in
+  let check cond what = if not cond then failures := what :: !failures in
+  check deterministic "same-seed profiles were not byte-identical";
+  check top_matches
+    "flat-tier and tree-walker hot-method attributions disagree";
+  check (total > 0) "the profiled run produced no samples";
+  if !failures <> [] then begin
+    List.iter (Format.fprintf fmt "FAILED: %s@.") (List.rev !failures);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Concurrent serving under load (BENCH_serve.json)                     *)
 (* ------------------------------------------------------------------ *)
 
 module Serve = Tessera_protocol.Serve
+module Tracectx = Tessera_protocol.Tracectx
 module Conn = Tessera_protocol.Conn
 module Channel = Tessera_protocol.Channel
 module Message = Tessera_protocol.Message
@@ -987,7 +1162,7 @@ let sim_features i =
   Array.init Tessera_features.Features.dim (fun k ->
       float_of_int (((i * 7) + (k * 3)) mod 97))
 
-let serve_json ~mode ~quick ~clients ~requests ~fields =
+let serve_json ~mode ~quick ~jobs ~clients ~requests ~fields =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -995,6 +1170,7 @@ let serve_json ~mode ~quick ~clients ~requests ~fields =
        "  \"mode\": %S,\n  \"quick\": %b,\n  \"clients\": %d,\n\
        \  \"requests_per_client\": %d,\n"
        mode quick clients requests);
+  Buffer.add_string buf (host_json_fields ~jobs);
   List.iteri
     (fun i (k, v) ->
       Buffer.add_string buf
@@ -1005,10 +1181,22 @@ let serve_json ~mode ~quick ~clients ~requests ~fields =
   Tessera_util.Fileio.atomic_write ~path:"BENCH_serve.json" (Buffer.contents buf);
   Format.fprintf fmt "[wrote BENCH_serve.json]@.@."
 
+(* Client-side latency quantiles through the same histogram machinery
+   the serving engine itself exports: observe into a finely-bucketed
+   [Metrics] histogram and read it back with the exact-quantile
+   accessor, instead of ad-hoc percentile math over a sorted array.
+   Buckets are geometric from 1 µs to ~18 s, so the interpolation error
+   stays under one bucket ratio (30%) at any scale. *)
+let lat_buckets = Array.init 52 (fun i -> 1e-6 *. (1.38 ** float_of_int i))
+
 let lat_stats lats =
-  match Array.of_list lats with
-  | [||] -> (0.0, 0.0)
-  | a -> (Stats.percentile a 50.0 *. 1e3, Stats.percentile a 99.0 *. 1e3)
+  let reg = Metrics.create () in
+  let h =
+    Metrics.histogram reg ~buckets:lat_buckets "bench_client_latency_seconds"
+  in
+  List.iter (Metrics.observe h) lats;
+  if Metrics.histogram_count h = 0 then (0.0, 0.0)
+  else (Metrics.quantile h 0.5 *. 1e3, Metrics.quantile h 0.99 *. 1e3)
 
 (* The in-process fleet: thousands of clients over in-memory channels,
    run in lockstep with Serve.tick so the schedule is deterministic
@@ -1104,7 +1292,12 @@ let run_serve ~jobs ?clients cfg =
     try
       Message.send cl.s_tx
         (Message.Predict
-           { level = levels.(cl.s_sent mod 3); features = sim_features cl.s_idx });
+           {
+             level = levels.(cl.s_sent mod 3);
+             features = sim_features cl.s_idx;
+             trace =
+               (if !Trace.enabled then Tracectx.fresh () else Tracectx.none);
+           });
       cl.s_sent <- cl.s_sent + 1;
       cl.s_inflight <- true;
       cl.s_sent_t <- Unix.gettimeofday ()
@@ -1173,10 +1366,11 @@ let run_serve ~jobs ?clients cfg =
       0 fleet
   in
   let pps = float_of_int c.Serve.predictions /. Float.max 1e-9 wall in
+  let burn = Serve.slo_burn_rate engine in
   Format.fprintf fmt
     "%.0f predictions/s over %.2fs; honest latency p50 %.3f ms, p99 %.3f \
-     ms; settle rounds %d@."
-    pps wall p50_ms p99_ms !settle;
+     ms; settle rounds %d; slo burn rate %.3f@."
+    pps wall p50_ms p99_ms !settle burn;
   let failures = ref [] in
   let check cond what = if not cond then failures := what :: !failures in
   check (lost = 0)
@@ -1188,7 +1382,7 @@ let run_serve ~jobs ?clients cfg =
     "the injected worker crash did not trigger a supervisor restart";
   check (c.Serve.struck_out >= 1) "no byzantine connection was struck out";
   check clean "drain missed its deadline";
-  serve_json ~mode:"in_process" ~quick ~clients:n_clients ~requests
+  serve_json ~mode:"in_process" ~quick ~jobs ~clients:n_clients ~requests
     ~fields:
       [
         ("honest", string_of_int (count Honest));
@@ -1206,6 +1400,7 @@ let run_serve ~jobs ?clients cfg =
         ("honest_lost", string_of_int lost);
         ("latency_p50_ms", Printf.sprintf "%.4f" p50_ms);
         ("latency_p99_ms", Printf.sprintf "%.4f" p99_ms);
+        ("slo_burn_rate", Printf.sprintf "%.4f" burn);
         ("drain_clean", string_of_bool clean);
         ( "failures",
           "["
@@ -1216,7 +1411,52 @@ let run_serve ~jobs ?clients cfg =
   if !failures <> [] then begin
     List.iter (Format.fprintf fmt "FAILED: %s@.") (List.rev !failures);
     exit 1
-  end
+  end;
+  (* span-tree demo on a fresh engine: a handful of traced requests —
+     kept out of the measured fleet above so tracing cost cannot skew
+     the throughput numbers — rendered as the per-request critical-path
+     table and exported as Chrome trace JSON *)
+  Trace.reset ();
+  Trace.enable ();
+  let demo =
+    Serve.create
+      ~make_predictor:(fun _ -> Harness.Modelset.server_batch_predictor ms)
+      ()
+  in
+  Trace.set_cycle_source (fun () -> Serve.vcycles demo);
+  let demo_clients =
+    Array.init 4 (fun i ->
+        let server_end, client_end = Channel.pipe_pair () in
+        (match Serve.accept demo server_end with
+        | Some _ -> ()
+        | None -> failwith "bench serve: demo accept refused");
+        Message.send client_end (Message.Init { model_name = "serve" });
+        (client_end, Conn.create ~id:i client_end))
+  in
+  for round = 1 to 12 do
+    Array.iteri
+      (fun i (tx, _) ->
+        if round <= 3 then
+          Message.send tx
+            (Message.Predict
+               {
+                 level = levels.(i mod 3);
+                 features = sim_features i;
+                 trace = Tracectx.fresh ();
+               }))
+      demo_clients;
+    ignore (Serve.tick demo);
+    Array.iter (fun (_, rx) -> ignore (Conn.pump rx)) demo_clients
+  done;
+  ignore (Serve.finish_drain demo);
+  let events = Trace.events () in
+  Tessera_obs.Export.requests fmt events;
+  Tessera_util.Fileio.atomic_write ~path:"BENCH_serve_trace.json"
+    (Tessera_obs.Export.chrome_json events);
+  Format.fprintf fmt "[wrote BENCH_serve_trace.json]@.@.";
+  Trace.disable ();
+  Trace.reset ();
+  Trace.clear_cycle_source ()
 
 (* Attach mode for the CI smoke: drive an already-running
    [tessera_server --socket PATH] with honest window-1 clients over real
@@ -1274,6 +1514,7 @@ let run_serve_attach ~path ~clients ~requests =
                     {
                       level = Plan.Hot;
                       features = sim_features cl.s_idx;
+                      trace = Tracectx.none;
                     });
                cl.s_sent <- cl.s_sent + 1;
                cl.s_inflight <- true;
@@ -1317,7 +1558,7 @@ let run_serve_attach ~path ~clients ~requests =
     "predictions %d, shed %d, errors %d, timeouts %d, closed %d; latency \
      p50 %.3f ms, p99 %.3f ms@."
     preds sheds errors !timeouts dead p50_ms p99_ms;
-  serve_json ~mode:"socket" ~quick:false ~clients ~requests
+  serve_json ~mode:"socket" ~quick:false ~jobs:1 ~clients ~requests
     ~fields:
       [
         ("socket", Printf.sprintf "%S" path);
@@ -1377,7 +1618,11 @@ let run_micro ~jobs cfg =
         (Staged.stage (fun () ->
              Tessera_protocol.Message.send client_ch
                (Tessera_protocol.Message.Predict
-                  { level = Plan.Hot; features = wire_features });
+                  {
+                    level = Plan.Hot;
+                    features = wire_features;
+                    trace = Tessera_protocol.Tracectx.none;
+                  });
              ignore (Tessera_protocol.Server.step server_ch predictor);
              ignore (Tessera_protocol.Message.decode_from client_ch)));
       Test.make ~name:"progressive modifier generation"
@@ -1467,10 +1712,11 @@ let () =
   | "pipe" -> run_pipe_overhead ~jobs cfg
   | "crossover" -> run_crossover ~jobs cfg
   | "platform" -> run_platform ~jobs cfg
-  | "cache" -> run_cache cfg
-  | "obs" -> run_obs cfg
+  | "cache" -> run_cache ~jobs cfg
+  | "obs" -> run_obs ~jobs cfg
   | "parallel" -> run_parallel ~jobs cfg
-  | "flat" -> run_flat cfg
+  | "flat" -> run_flat ~jobs cfg
+  | "profile" -> run_profile ~jobs cfg
   | "serve" -> (
       match !serve_socket with
       | Some path ->
@@ -1485,10 +1731,11 @@ let () =
       run_crossover ~jobs cfg;
       run_ablations ~jobs cfg;
       run_platform ~jobs cfg;
-      run_cache cfg;
-      run_obs cfg;
+      run_cache ~jobs cfg;
+      run_obs ~jobs cfg;
       run_parallel ~jobs cfg;
-      run_flat cfg;
+      run_flat ~jobs cfg;
+      run_profile ~jobs cfg;
       run_serve ~jobs cfg;
       run_micro ~jobs cfg);
   Format.fprintf fmt "[total bench time %.1fs]@." (Unix.gettimeofday () -. t0);

@@ -62,10 +62,15 @@ let paper_cmd =
     paper_term
 
 (* [timeline BENCH]: run one benchmark under tracing and render the
-   per-method compilation timeline from the captured events. *)
-let timeline target iterations model_dir =
+   per-method compilation timeline from the captured events.  With
+   --serve the model predictions are routed through the real wire
+   protocol (resilient client -> in-memory pipe -> concurrent serving
+   engine), so every prediction renders as a traced request with its
+   queue_wait/batch_wait/predict/reply server-side breakdown. *)
+let timeline target iterations model_dir serve trace_out =
   let module Engine = Tessera_jit.Engine in
   let module Trace = Tessera_obs.Trace in
+  let module Export = Tessera_obs.Export in
   match Suites.find target with
   | None ->
       Printf.eprintf "unknown benchmark %S\n" target;
@@ -76,14 +81,56 @@ let timeline target iterations model_dir =
         Option.map (fun dir -> Harness.Modelset.load ~name:"cli" ~dir)
           model_dir
       in
+      let cleanup = ref (fun () -> ()) in
       let callbacks =
-        match modelset with
-        | None -> Engine.no_callbacks
-        | Some ms ->
-            {
-              Engine.no_callbacks with
-              Engine.choose_modifier = Some (Harness.Modelset.choose_modifier ms);
-            }
+        if not serve then
+          match modelset with
+          | None -> Engine.no_callbacks
+          | Some ms ->
+              {
+                Engine.no_callbacks with
+                Engine.choose_modifier =
+                  Some (Harness.Modelset.choose_modifier ms);
+              }
+        else begin
+          let module Serve = Tessera_protocol.Serve in
+          let module Client = Tessera_protocol.Client in
+          let module Channel = Tessera_protocol.Channel in
+          let make_predictor _ =
+            match modelset with
+            | Some ms -> Harness.Modelset.server_batch_predictor ms
+            | None ->
+                fun ~level:_ rows ->
+                  Array.map
+                    (fun _ -> Tessera_modifiers.Modifier.null)
+                    rows
+          in
+          let srv = Serve.create ~make_predictor () in
+          let server_end, client_end = Tessera_protocol.Channel.pipe_pair () in
+          (match Serve.accept srv server_end with
+          | Some _ -> ()
+          | None -> failwith "timeline --serve: accept refused");
+          let client =
+            Client.connect ~model_name:"timeline"
+              ~lockstep:(fun () ->
+                for _ = 1 to 4 do
+                  ignore (Serve.tick srv)
+                done)
+              client_end
+          in
+          cleanup := (fun () -> ignore (Serve.finish_drain srv));
+          let choose engine ~meth_id ~level =
+            let program = Engine.program engine in
+            let m = Tessera_il.Program.meth program meth_id in
+            let features =
+              Array.map float_of_int
+                (Tessera_features.Features.to_array
+                   (Tessera_features.Features.extract ~program m))
+            in
+            Some (Client.predict client ~level ~features)
+          in
+          { Engine.no_callbacks with Engine.choose_modifier = Some choose }
+        end
       in
       let program = Tessera_workloads.Generate.program b.Suites.profile in
       let engine = Engine.create ~callbacks program in
@@ -94,7 +141,19 @@ let timeline target iterations model_dir =
                [| Tessera_vm.Values.Int_v (Int64.of_int ((it * 31) + k)) |])
         done
       done;
-      Tessera_obs.Export.timeline Format.std_formatter (Trace.events ());
+      !cleanup ();
+      let events = Trace.events () in
+      Export.timeline Format.std_formatter events;
+      if
+        List.exists
+          (fun (e : Trace.event) -> e.Trace.cat = "serve" || e.Trace.cat = "protocol")
+          events
+      then Export.requests Format.std_formatter events;
+      Option.iter
+        (fun path ->
+          Tessera_util.Fileio.atomic_write ~path (Export.chrome_json events);
+          Format.printf "trace: %s (%d events)@." path (List.length events))
+        trace_out;
       0
 
 let timeline_target =
@@ -110,13 +169,113 @@ let timeline_model_dir =
          ~doc:"Model-set directory steering the JIT; omit for the \
                unmodified compiler.")
 
+let timeline_serve =
+  Arg.(value & flag & info [ "serve" ]
+         ~doc:"Route predictions through the wire protocol (resilient \
+               client, in-memory pipe, concurrent serving engine) so the \
+               timeline includes per-request spans with their server-side \
+               queue/batch/predict/reply breakdown.")
+
+let timeline_trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Also write the captured events as Chrome trace_event JSON \
+               (loadable in Perfetto or chrome://tracing).")
+
 let timeline_cmd =
   Cmd.v
     (Cmd.info "timeline"
        ~doc:"Trace one benchmark run and print its per-method compilation \
-             timeline")
+             timeline (and per-request critical paths with --serve)")
     Term.(const timeline $ timeline_target $ timeline_iterations
-          $ timeline_model_dir)
+          $ timeline_model_dir $ timeline_serve $ timeline_trace_out)
+
+(* [profile BENCH]: run one benchmark under the deterministic sampling
+   profiler and print the hot-method / hot-opcode report. *)
+let profile target iterations period json_out =
+  let module Engine = Tessera_jit.Engine in
+  let module Profile = Tessera_obs.Profile in
+  match Suites.find target with
+  | None ->
+      Printf.eprintf "unknown benchmark %S\n" target;
+      1
+  | Some b ->
+      Profile.enable ~period ();
+      let program = Tessera_workloads.Generate.program b.Suites.profile in
+      let engine = Engine.create program in
+      for it = 0 to iterations - 1 do
+        for k = 0 to b.Suites.iteration_invocations - 1 do
+          ignore
+            (Engine.invoke_entry engine
+               [| Tessera_vm.Values.Int_v (Int64.of_int ((it * 31) + k)) |])
+        done
+      done;
+      Profile.disable ();
+      Format.printf
+        "%s: %d samples at period %d (%d sites, %d dropped)@.@." target
+        (Profile.total_samples ()) (Profile.period ())
+        (Profile.site_count ())
+        (Profile.dropped_samples ());
+      Profile.report Format.std_formatter;
+      Option.iter
+        (fun path ->
+          Tessera_util.Fileio.atomic_write ~path (Profile.to_json ());
+          Format.printf "profile: %s@." path)
+        json_out;
+      0
+
+let profile_target =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH"
+         ~doc:"Benchmark name (e.g. compress).")
+
+let profile_iterations =
+  Arg.(value & opt int 1 & info [ "n"; "iterations" ] ~docv:"N"
+         ~doc:"Benchmark iterations to profile.")
+
+let profile_period =
+  Arg.(value & opt int 4096 & info [ "period" ] ~docv:"CYCLES"
+         ~doc:"Virtual-cycle sampling stride: one sample per CYCLES \
+               charged cycles.")
+
+let profile_json =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+         ~doc:"Also write the profile (hot methods, hot opcodes, flame \
+               lines) as JSON to FILE.")
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Sample one benchmark run on the virtual clock and print the \
+             hot-method and hot-opcode profile")
+    Term.(const profile $ profile_target $ profile_iterations
+          $ profile_period $ profile_json)
+
+(* [regress]: compare candidate BENCH_*.json artifacts against the
+   committed baselines with noise-aware thresholds; exit 1 on any
+   regression. *)
+let regress baseline_dir candidate_dir =
+  let results =
+    Harness.Regress.run ~baseline_dir ~candidate_dir ()
+  in
+  Harness.Regress.pp_results Format.std_formatter results;
+  if Harness.Regress.failed results then 1 else 0
+
+let regress_baseline =
+  Arg.(value & opt dir "." & info [ "baseline" ] ~docv:"DIR"
+         ~doc:"Directory holding the baseline BENCH_*.json artifacts \
+               (default: the current directory, i.e. the committed \
+               baselines).")
+
+let regress_candidate =
+  Arg.(value & opt dir "." & info [ "candidate" ] ~docv:"DIR"
+         ~doc:"Directory holding the candidate BENCH_*.json artifacts of \
+               the run under test.")
+
+let regress_cmd =
+  Cmd.v
+    (Cmd.info "regress"
+       ~doc:"Compare benchmark artifacts against committed baselines with \
+             noise-aware thresholds; exit 1 on any perf regression")
+    Term.(const regress $ regress_baseline $ regress_candidate)
 
 (* [lint]: translation-validation sweep.  Every optimizer pass is
    audited over the workload corpus — each method at every opt level's
@@ -214,6 +373,6 @@ let cmd =
     (Cmd.info "tessera_report"
        ~doc:"Reproduce the paper's tables and figures, or inspect a traced \
              run")
-    [ paper_cmd; timeline_cmd; lint_cmd ]
+    [ paper_cmd; timeline_cmd; profile_cmd; regress_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval' cmd)

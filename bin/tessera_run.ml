@@ -21,6 +21,7 @@ module Program = Tessera_il.Program
 module Modifier = Tessera_modifiers.Modifier
 module Codecache = Tessera_cache.Codecache
 module Trace = Tessera_obs.Trace
+module Profile = Tessera_obs.Profile
 module Metrics = Tessera_obs.Metrics
 module Export = Tessera_obs.Export
 module Fileio = Tessera_util.Fileio
@@ -46,7 +47,7 @@ let faulty_pipeline ~spec ~seed ~predictor =
 
 let run_target ~fmt ~model_dir ~iterations ~tir ~fault_spec ~fault_seed
     ~compile_budget ~code_cache_dir ~code_cache_mb ~code_cache_readonly
-    ~trace_out ~metrics_out target =
+    ~trace_out ~metrics_out ~profile_out target =
   let program =
     if tir then Tessera_lang.Parser.load_program target
     else
@@ -188,6 +189,16 @@ let run_target ~fmt ~model_dir ~iterations ~tir ~fault_spec ~fault_seed
       Format.fprintf fmt "trace              : %s (%d events, %d dropped)\n" path
         (Trace.length ()) (Trace.dropped ())
   | None -> ());
+  (match profile_out with
+  | Some path ->
+      Fileio.atomic_write ~path (Profile.to_json ());
+      Format.fprintf fmt
+        "profile            : %s (%d samples, %d sites, %d dropped, period \
+         %d)\n"
+        path (Profile.total_samples ()) (Profile.site_count ())
+        (Profile.dropped_samples ()) (Profile.period ());
+      Profile.report fmt
+  | None -> ());
   (match metrics_out with
   | Some path ->
       (* engine registry first, then the process-wide default registry
@@ -201,23 +212,28 @@ let run_target ~fmt ~model_dir ~iterations ~tir ~fault_spec ~fault_seed
 
 let run targets jobs model_dir iterations tir fault_spec fault_seed
     compile_budget code_cache_dir code_cache_mb code_cache_readonly trace_out
-    metrics_out no_flat =
+    metrics_out profile_out no_flat =
   if no_flat then Tessera_flat.Cache.set_enabled false;
   (* tracing must be live before the engine exists: Engine.create emits
      nothing itself, but it registers its clock as the trace cycle
      source, and the very first invocation already compiles *)
   if trace_out <> None then Trace.enable ();
+  (* same for the sampling profiler: the first invocation already charges
+     cycles through the interpreter's profiled charge closure *)
+  if profile_out <> None then Profile.enable ();
   let multi = List.length targets > 1 in
   let jobs =
-    (* the code-cache store and the trace/metrics output files are
-       shared across targets, so concurrent targets would race on them *)
+    (* the code-cache store and the trace/metrics/profile output files
+       are shared across targets, so concurrent targets would race on
+       them (and the profiler's credit counter is single-domain) *)
     if
       multi && jobs <> 1
-      && (code_cache_dir <> None || trace_out <> None || metrics_out <> None)
+      && (code_cache_dir <> None || trace_out <> None || metrics_out <> None
+         || profile_out <> None)
     then begin
       prerr_endline
-        "tessera_run: --code-cache/--trace-out/--metrics-out are shared \
-         across targets; forcing -j 1";
+        "tessera_run: --code-cache/--trace-out/--metrics-out/--profile-out \
+         are shared across targets; forcing -j 1";
       1
     end
     else jobs
@@ -232,7 +248,7 @@ let run targets jobs model_dir iterations tir fault_spec fault_seed
         if multi then Format.fprintf fmt "=== %s ===@." target;
         run_target ~fmt ~model_dir ~iterations ~tir ~fault_spec ~fault_seed
           ~compile_budget ~code_cache_dir ~code_cache_mb ~code_cache_readonly
-          ~trace_out ~metrics_out target;
+          ~trace_out ~metrics_out ~profile_out target;
         Format.pp_print_flush fmt ();
         Buffer.contents buf)
       targets
@@ -313,6 +329,12 @@ let metrics_out =
                default registry) in Prometheus text exposition format \
                after the run.")
 
+let profile_out =
+  Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE"
+         ~doc:"Sample the run with the deterministic virtual-cycle \
+               profiler and write the profile (hot methods, hot opcodes, \
+               collapsed-stack flame lines) as JSON to FILE.")
+
 let no_flat =
   Arg.(value & flag & info [ "no-flat" ]
          ~doc:"Interpret methods with the tree walker instead of the flat \
@@ -325,6 +347,6 @@ let cmd =
     Term.(const run $ targets $ jobs $ model_dir $ iterations $ tir
           $ fault_spec $ fault_seed $ compile_budget $ code_cache_dir
           $ code_cache_mb $ code_cache_readonly $ trace_out $ metrics_out
-          $ no_flat)
+          $ profile_out $ no_flat)
 
 let () = exit (Cmd.eval' cmd)

@@ -100,7 +100,7 @@ let run_fifo ms in_fifo out_fifo fault_spec fault_seed resync_budget
 
 let run_socket ms path fault_spec fault_seed resync_budget
     max_protocol_errors max_conns per_conn_queue queue_hwm workers
-    drain_deadline metrics_out =
+    drain_deadline slo_objective slo_target metrics_out =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen (Unix.ADDR_UNIX path);
@@ -119,6 +119,8 @@ let run_socket ms path fault_spec fault_seed resync_budget
       queue_hwm;
       workers;
       drain_deadline_s = drain_deadline;
+      slo_objective_s = slo_objective;
+      slo_target;
     }
   in
   let engine =
@@ -126,6 +128,9 @@ let run_socket ms path fault_spec fault_seed resync_budget
       ~make_predictor:(fun _ -> Harness.Modelset.server_batch_predictor ms)
       ()
   in
+  (* request spans are stamped on the serving engine's virtual clock;
+     register it so any other events this process emits share the axis *)
+  Tessera_obs.Trace.set_cycle_source (fun () -> Serve.vcycles engine);
   (* each accepted connection gets its own deterministic injector, so a
      faulty client's stream is independent of its neighbours' *)
   let conn_count = ref 0 in
@@ -154,12 +159,15 @@ let run_socket ms path fault_spec fault_seed resync_budget
   Format.printf "drain %s: %a@."
     (if clean then "complete" else "DEADLINE EXCEEDED")
     Serve.pp_counters (Serve.counters engine);
+  Format.printf "slo: objective %.4fs target %.3f, final burn rate %.3f@."
+    slo_objective slo_target
+    (Serve.slo_burn_rate engine);
   if clean then 0 else 1
 
 let run model_dir in_fifo out_fifo socket fault_spec fault_seed code_cache_dir
     code_cache_mb code_cache_readonly resync_budget max_protocol_errors
-    max_conns per_conn_queue queue_hwm workers drain_deadline metrics_out
-    no_flat =
+    max_conns per_conn_queue queue_hwm workers drain_deadline slo_objective
+    slo_target metrics_out no_flat =
   if no_flat then Tessera_flat.Cache.set_enabled false;
   (* a client that vanishes mid-write must surface as Channel.Closed
      (EPIPE), not kill the process *)
@@ -172,7 +180,7 @@ let run model_dir in_fifo out_fifo socket fault_spec fault_seed code_cache_dir
   | Some path ->
       run_socket ms path fault_spec fault_seed resync_budget
         max_protocol_errors max_conns per_conn_queue queue_hwm workers
-        drain_deadline metrics_out
+        drain_deadline slo_objective slo_target metrics_out
   | None ->
       run_fifo ms in_fifo out_fifo fault_spec fault_seed resync_budget
         max_protocol_errors metrics_out
@@ -261,6 +269,18 @@ let drain_deadline =
   Arg.(value & opt float 5.0 & info [ "drain-deadline" ] ~docv:"SECONDS"
          ~doc:"Bound on the graceful drain after SIGTERM (socket mode).")
 
+let slo_objective =
+  Arg.(value & opt float 0.01 & info [ "slo-objective" ] ~docv:"SECONDS"
+         ~doc:"Latency objective of the serving SLO: a request answered \
+               slower than this counts against the error budget (socket \
+               mode).")
+
+let slo_target =
+  Arg.(value & opt float 0.99 & info [ "slo-target" ] ~docv:"FRACTION"
+         ~doc:"Fraction of requests that must meet --slo-objective; the \
+               rolling burn rate (error fraction over budget) is exported \
+               as the serve_slo_burn_rate gauge and via stats requests.")
+
 let metrics_out =
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
          ~doc:"Write the server's Prometheus metrics exposition to FILE at \
@@ -280,6 +300,7 @@ let cmd =
     Term.(const run $ model_dir $ in_fifo $ out_fifo $ socket $ fault_spec
           $ fault_seed $ code_cache_dir $ code_cache_mb $ code_cache_readonly
           $ resync_budget $ max_protocol_errors $ max_conns $ per_conn_queue
-          $ queue_hwm $ workers $ drain_deadline $ metrics_out $ no_flat)
+          $ queue_hwm $ workers $ drain_deadline $ slo_objective $ slo_target
+          $ metrics_out $ no_flat)
 
 let () = exit (Cmd.eval' cmd)

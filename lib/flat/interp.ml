@@ -18,6 +18,7 @@ module Semantics = Tessera_vm.Semantics
 module Cost = Tessera_vm.Cost
 module Vm_interp = Tessera_vm.Interp
 module Trace = Tessera_obs.Trace
+module Profile = Tessera_obs.Profile
 open Values
 
 type context = Vm_interp.context
@@ -43,18 +44,29 @@ let run (ctx : context) (p : Prog.t) args =
     Array.unsafe_get stack !sp
   in
   let fuel = ctx.Vm_interp.fuel in
-  let charge = ctx.Vm_interp.charge in
   let[@inline] fuel_event () =
     if !fuel <= 0 then raise Vm_interp.Out_of_fuel;
     decr fuel
   in
-  if p.sync_charge > 0 then charge p.sync_charge;
   let instrs = p.instrs in
   let pool = p.pool in
   let classes = ctx.Vm_interp.classes in
   let pc = ref 0 in
   let cur = ref 0 in
   let steps = ref 0 in
+  (* the charge closure is selected once per run: with the profiler off
+     the hot loop pays exactly one branch here; with it on, every
+     charged cycle is attributed to the instruction at [cur] *)
+  let charge =
+    if !Profile.enabled then (fun c ->
+      Profile.charge ~meth:p.method_name
+        ~block:(Array.unsafe_get p.block_of_pc !cur)
+        ~op:(Prog.kind_name (Prog.kind (Array.unsafe_get instrs !cur)))
+        c;
+      ctx.Vm_interp.charge c)
+    else ctx.Vm_interp.charge
+  in
+  if p.sync_charge > 0 then charge p.sync_charge;
   let result = ref Void_v in
   let running = ref true in
   (* the trap handler lives outside the dispatch loop — zero cost per

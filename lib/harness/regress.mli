@@ -1,0 +1,39 @@
+(** Perf-regression sentinel: compare a candidate set of BENCH_*.json
+    artifacts against a committed baseline set with noise-aware
+    thresholds.
+
+    Three threshold families, picked per metric: relative tolerance for
+    wall-clock-derived speedups (run-to-run noise), an absolute budget
+    with slack for bounded metrics (observability overhead must stay
+    under the documented <3% budget regardless of the baseline), and
+    exact structural invariants (clean drain, identical digests, zero
+    lost requests).  A missing or unparseable artifact on either side,
+    or a serving-mode mismatch, downgrades the affected checks to
+    explicit skips — reported, never silently counted as passes. *)
+
+type outcome = Pass | Fail | Skip
+
+type result = {
+  r_file : string;
+  r_check : string;
+  r_outcome : outcome;
+  r_note : string;
+}
+
+val min_ratio_ok : baseline:float -> candidate:float -> tol:float -> bool
+(** Higher-is-better gate: [candidate >= baseline * (1 - tol)].
+    Non-finite values fail. *)
+
+val max_abs_ok :
+  baseline:float -> candidate:float -> floor:float -> slack:float -> bool
+(** Lower-is-better gate: [candidate <= max floor (baseline + slack)].
+    A non-finite candidate fails. *)
+
+val run : ?baseline_dir:string -> ?candidate_dir:string -> unit -> result list
+(** Evaluate every known BENCH_*.json spec; both directories default to
+    ["."]. *)
+
+val failed : result list -> bool
+(** Any [Fail] present — the exit-1 condition. *)
+
+val pp_results : Format.formatter -> result list -> unit

@@ -52,17 +52,25 @@ let chrome_json ?(cycles_per_us = 2000.0) events =
     (fun i (e : Trace.event) ->
       if i > 0 then Buffer.add_char buf ',';
       let ts = Int64.to_float e.Trace.cycles /. cycles_per_us in
+      (* a ["tid"] arg names the event's track: per-request spans carry
+         their trace id here, so each request renders as its own row
+         with properly nested B/E pairs instead of interleaving *)
+      let tid =
+        match List.assoc_opt "tid" e.Trace.args with
+        | Some (Trace.Int t) -> t
+        | _ -> 1L
+      in
       let args =
-        e.Trace.args
+        List.filter (fun (k, _) -> k <> "tid") e.Trace.args
         @ (if e.Trace.wall_us > 0.0 then [ ("wall_us", Trace.Float e.Trace.wall_us) ]
            else [])
       in
       Buffer.add_string buf
         (Printf.sprintf
-           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"pid\":1,\"tid\":1"
+           "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"pid\":1,\"tid\":%Ld"
            (escape e.Trace.name) (escape e.Trace.cat)
            (Trace.phase_name e.Trace.ph)
-           (json_float ts));
+           (json_float ts) tid);
       (match e.Trace.ph with
       | Trace.Instant -> Buffer.add_string buf ",\"s\":\"g\""
       | _ -> ());
@@ -283,6 +291,80 @@ type row = {
   level : string;
   detail : string;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Per-request critical path                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving engine emits queue_wait/batch_wait/predict/reply child
+   spans per traced request (cat "serve"); the client emits the
+   end-to-end "request" root span (cat "protocol").  Group by the
+   ["trace"] arg and pair each name's B/E to durations in virtual
+   cycles. *)
+let requests fmt events =
+  let traces : (int64, (string, int64 option * int64 option) Hashtbl.t) Hashtbl.t
+      =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.cat = "serve" || e.Trace.cat = "protocol" then
+        match find_int e.Trace.args "trace" with
+        | None -> ()
+        | Some trace ->
+            let spans =
+              match Hashtbl.find_opt traces trace with
+              | Some t -> t
+              | None ->
+                  let t = Hashtbl.create 8 in
+                  Hashtbl.add traces trace t;
+                  order := trace :: !order;
+                  t
+            in
+            let b, en =
+              Option.value ~default:(None, None)
+                (Hashtbl.find_opt spans e.Trace.name)
+            in
+            (match e.Trace.ph with
+            | Trace.Span_begin when b = None ->
+                Hashtbl.replace spans e.Trace.name (Some e.Trace.cycles, en)
+            | Trace.Span_end when en = None ->
+                Hashtbl.replace spans e.Trace.name (b, Some e.Trace.cycles)
+            | Trace.Instant ->
+                Hashtbl.replace spans e.Trace.name
+                  (Some e.Trace.cycles, Some e.Trace.cycles)
+            | _ -> ()))
+    events;
+  let order = List.rev !order in
+  if order = [] then
+    Format.fprintf fmt "no traced requests in the trace@."
+  else begin
+    let dur spans name =
+      match Hashtbl.find_opt spans name with
+      | Some (Some b, Some e) -> Printf.sprintf "%Ld" (Int64.sub e b)
+      | Some (Some _, None) -> "open"
+      | _ -> "-"
+    in
+    Format.fprintf fmt "%8s %10s %10s %10s %10s %10s  %s@." "trace" "request"
+      "queue" "batch" "predict" "reply" "note";
+    Format.fprintf fmt "%s@." (String.make 72 '-');
+    List.iter
+      (fun trace ->
+        let spans = Hashtbl.find traces trace in
+        let note =
+          if Hashtbl.mem spans "request_dropped" then "dropped"
+          else ""
+        in
+        Format.fprintf fmt "%8Ld %10s %10s %10s %10s %10s  %s@." trace
+          (dur spans "request") (dur spans "queue_wait")
+          (dur spans "batch_wait") (dur spans "predict") (dur spans "reply")
+          note)
+      order;
+    Format.fprintf fmt
+      "@.(durations in virtual cycles; \"request\" is the client's \
+       end-to-end span)@."
+  end
 
 let timeline fmt events =
   (* pair compile B/E by a stack (compiles are synchronous, so nesting

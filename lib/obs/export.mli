@@ -15,7 +15,10 @@
 val chrome_json : ?cycles_per_us:float -> Trace.event list -> string
 (** [cycles_per_us] defaults to 2000. (2 GHz virtual core, matching
     [Tessera_vm.Cost.cycles_per_ms] = 2,000,000).  When an event carries
-    a wall stamp it rides along as an arg. *)
+    a wall stamp it rides along as an arg.  An [Int] arg named ["tid"]
+    becomes the event's track id (and is dropped from the exported
+    args): per-request spans set it to their trace id so each request
+    renders as its own properly nested row in Perfetto. *)
 
 (** {1 Minimal JSON} *)
 
@@ -39,3 +42,10 @@ val timeline : Format.formatter -> Trace.event list -> unit
 (** Per-method compilation timeline: one row per compile span, AOT
     load, install, or degradation event, ordered by virtual time, with
     a per-method summary. *)
+
+val requests : Format.formatter -> Trace.event list -> unit
+(** Per-request critical path: one row per traced request (grouped by
+    the ["trace"] arg on cat ["serve"]/["protocol"] events) showing the
+    client's end-to-end span against the server's
+    [queue_wait]/[batch_wait]/[predict]/[reply] breakdown, in virtual
+    cycles. *)

@@ -114,6 +114,43 @@ let bucket_counts h =
 let histogram_sum h = h.h_sum
 let histogram_count h = h.h_count
 
+(* Quantiles are exact at bucket resolution: the containing bucket is
+   found by a cumulative walk and the position inside it interpolated
+   linearly, so two registries with identical counts report identical
+   quantiles (the determinism the bench and SLO monitor rely on).  The
+   +Inf bucket has no finite upper edge; observations landing there
+   report the largest finite bound. *)
+let quantile h q =
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Metrics.quantile";
+  if h.h_count = 0 then Float.nan
+  else
+    let nb = Array.length h.h_bounds in
+    let rank = q *. float_of_int h.h_count in
+    let rec go i cum =
+      if i >= nb then if nb = 0 then 0.0 else h.h_bounds.(nb - 1)
+      else
+        let here = h.h_counts.(i) in
+        let cum' = cum + here in
+        if here > 0 && float_of_int cum' >= rank then
+          let lo = if i = 0 then 0.0 else h.h_bounds.(i - 1) in
+          let hi = h.h_bounds.(i) in
+          let frac = (rank -. float_of_int cum) /. float_of_int here in
+          let frac = Float.max 0.0 (Float.min 1.0 frac) in
+          lo +. (frac *. (hi -. lo))
+        else go (i + 1) cum'
+    in
+    go 0 0
+
+let count_le h v =
+  let nb = Array.length h.h_bounds in
+  let total = ref 0 in
+  Array.iteri
+    (fun i c ->
+      let bound = if i < nb then h.h_bounds.(i) else infinity in
+      if bound <= v then total := !total + c)
+    h.h_counts;
+  !total
+
 let names_unlocked t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort String.compare
 

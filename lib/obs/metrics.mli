@@ -69,6 +69,22 @@ val bucket_counts : histogram -> (float * int) array
 val histogram_sum : histogram -> float
 val histogram_count : histogram -> int
 
+val quantile : histogram -> float -> float
+(** [quantile h q] with [q] in [\[0, 1\]] walks the cumulative bucket
+    counts to the bucket containing the [q·count]-th observation and
+    interpolates linearly inside it — exact at bucket resolution (feed a
+    histogram whose bounds are the distinct observed values for exact
+    answers), and deterministic: identical counts give identical
+    quantiles.  Returns [nan] on an empty histogram; observations in the
+    [+Inf] bucket report the largest finite bound.  Raises
+    [Invalid_argument] when [q] is outside [\[0, 1\]]. *)
+
+val count_le : histogram -> float -> int
+(** [count_le h v] is the number of observations in buckets whose upper
+    bound is [<= v] — a conservative (never over-counting) tally of
+    observations known to be [<= v], the primitive behind the serving
+    SLO monitor.  Exact when [v] is one of the bucket bounds. *)
+
 (** {1 Reporting} *)
 
 val expose : t -> string

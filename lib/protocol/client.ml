@@ -240,9 +240,29 @@ let predict_result t ~level ~features =
     Breaker_skip
   end
   else
+    (* client-side root span for the end-to-end request: the server
+       parents its queue/batch/predict/reply children under [ctx], so
+       the export renders this span's extent against the server's
+       breakdown.  Untraced (zero wire bytes) while tracing is off. *)
+    let ctx = if !Trace.enabled then Tracectx.fresh () else Tracectx.none in
+    let span ph name =
+      if not (Tracectx.is_none ctx) then
+        Trace.emit
+          ~args:
+            [
+              ("trace", Trace.Int (Int64.of_int ctx.trace_id));
+              ("tid", Trace.Int (Int64.of_int ctx.trace_id));
+            ]
+          ~cat:"protocol" ph name
+    in
+    span Trace.Span_begin "request";
+    let finish r =
+      span Trace.Span_end "request";
+      r
+    in
     let rec go attempt =
-      match round_trip t (Message.Predict { level; features }) with
-      | Ok (Message.Prediction { modifier }) ->
+      match round_trip t (Message.Predict { level; features; trace = ctx }) with
+      | Ok (Message.Prediction { modifier; trace = _ }) ->
           note_success t;
           c.predicted <- c.predicted + 1;
           Predicted modifier
@@ -283,7 +303,7 @@ let predict_result t ~level ~features =
             Fallback f
           end
     in
-    go 0
+    finish (go 0)
 
 let predict t ~level ~features =
   match predict_result t ~level ~features with

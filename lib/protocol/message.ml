@@ -6,8 +6,12 @@ module Crc32 = Tessera_util.Crc32
 type t =
   | Init of { model_name : string }
   | Init_ok
-  | Predict of { level : Plan.level; features : float array }
-  | Prediction of { modifier : Modifier.t }
+  | Predict of {
+      level : Plan.level;
+      features : float array;
+      trace : Tracectx.t;
+    }
+  | Prediction of { modifier : Modifier.t; trace : Tracectx.t }
   | Ping
   | Pong
   | Shutdown
@@ -37,11 +41,16 @@ let payload m =
   | Init { model_name } -> Codec.write_string buf model_name
   | Init_ok | Ping | Pong | Shutdown | Stats_req | Overloaded -> ()
   | Stats_text s -> Codec.write_string buf s
-  | Predict { level; features } ->
+  | Predict { level; features; trace } ->
       Codec.write_varint buf (Plan.level_index level);
       Codec.write_varint buf (Array.length features);
-      Array.iter (fun f -> Codec.write_f64 buf f) features
-  | Prediction { modifier } -> Codec.write_i64 buf (Modifier.to_bits modifier)
+      Array.iter (fun f -> Codec.write_f64 buf f) features;
+      (* trailing, optional: pre-tracing decoders never looked past the
+         feature vector, so traced frames stay backward compatible *)
+      if not (Tracectx.is_none trace) then Tracectx.write buf trace
+  | Prediction { modifier; trace } ->
+      Codec.write_i64 buf (Modifier.to_bits modifier);
+      if not (Tracectx.is_none trace) then Tracectx.write buf trace
   | Error_msg e -> Codec.write_string buf e);
   Buffer.contents buf
 
@@ -92,8 +101,10 @@ let of_tagged_payload tag body =
         let n = Codec.read_varint ~what:"feature count" r in
         if n > 4096 then raise (Malformed "feature vector too long");
         let features = Array.init n (fun _ -> Codec.read_f64 ~what:"feature" r) in
-        Predict { level; features }
-    | 4 -> Prediction { modifier = Modifier.of_bits (Codec.read_i64 ~what:"modifier" r) }
+        Predict { level; features; trace = Tracectx.read_opt r }
+    | 4 ->
+        let modifier = Modifier.of_bits (Codec.read_i64 ~what:"modifier" r) in
+        Prediction { modifier; trace = Tracectx.read_opt r }
     | 5 -> Ping
     | 6 -> Pong
     | 7 -> Shutdown
@@ -196,8 +207,11 @@ let equal a b =
   match (a, b) with
   | Init x, Init y -> x.model_name = y.model_name
   | Init_ok, Init_ok | Ping, Ping | Pong, Pong | Shutdown, Shutdown -> true
-  | Predict x, Predict y -> x.level = y.level && x.features = y.features
-  | Prediction x, Prediction y -> Modifier.equal x.modifier y.modifier
+  | Predict x, Predict y ->
+      x.level = y.level && x.features = y.features
+      && Tracectx.equal x.trace y.trace
+  | Prediction x, Prediction y ->
+      Modifier.equal x.modifier y.modifier && Tracectx.equal x.trace y.trace
   | Error_msg x, Error_msg y -> String.equal x y
   | Stats_req, Stats_req -> true
   | Stats_text x, Stats_text y -> String.equal x y
@@ -207,11 +221,17 @@ let equal a b =
 let pp fmt = function
   | Init { model_name } -> Format.fprintf fmt "Init(%s)" model_name
   | Init_ok -> Format.fprintf fmt "InitOk"
-  | Predict { level; features } ->
-      Format.fprintf fmt "Predict(%s, %d features)" (Plan.level_name level)
+  | Predict { level; features; trace } ->
+      Format.fprintf fmt "Predict(%s, %d features%t)" (Plan.level_name level)
         (Array.length features)
-  | Prediction { modifier } ->
-      Format.fprintf fmt "Prediction(%s)" (Modifier.to_string modifier)
+        (fun fmt ->
+          if not (Tracectx.is_none trace) then
+            Format.fprintf fmt ", %a" Tracectx.pp trace)
+  | Prediction { modifier; trace } ->
+      Format.fprintf fmt "Prediction(%s%t)" (Modifier.to_string modifier)
+        (fun fmt ->
+          if not (Tracectx.is_none trace) then
+            Format.fprintf fmt ", %a" Tracectx.pp trace)
   | Ping -> Format.fprintf fmt "Ping"
   | Pong -> Format.fprintf fmt "Pong"
   | Shutdown -> Format.fprintf fmt "Shutdown"

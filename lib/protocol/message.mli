@@ -17,8 +17,18 @@ module Modifier = Tessera_modifiers.Modifier
 type t =
   | Init of { model_name : string }
   | Init_ok
-  | Predict of { level : Plan.level; features : float array }
-  | Prediction of { modifier : Modifier.t }
+  | Predict of {
+      level : Plan.level;
+      features : float array;
+      trace : Tracectx.t;
+    }
+      (** [trace] is {!Tracectx.none} for untraced requests (zero wire
+          bytes); otherwise two trailing varints.  Decoding is lenient:
+          corrupted trace bytes in an otherwise well-formed frame yield
+          an untraced request, never a protocol error. *)
+  | Prediction of { modifier : Modifier.t; trace : Tracectx.t }
+      (** The server echoes the request's trace context so the client
+          can tie the reply to its root span. *)
   | Ping
   | Pong
   | Shutdown

@@ -17,6 +17,9 @@ type config = {
   workers : int;
   now : unit -> float;
   stats : unit -> string;
+  slo_objective_s : float;
+  slo_target : float;
+  slo_window : int;
 }
 
 let default_config =
@@ -31,6 +34,9 @@ let default_config =
     now = Unix.gettimeofday;
     workers = 2;
     stats = (fun () -> Metrics.expose Metrics.default);
+    slo_objective_s = 0.01;
+    slo_target = 0.99;
+    slo_window = 256;
   }
 
 type counters = {
@@ -74,6 +80,7 @@ type pending = {
   p_level : Plan.level;
   p_features : float array;
   p_t : float;
+  p_trace : Tracectx.t;  (* client trace context; none = untraced *)
 }
 
 type worker = { wid : int; mutable predict : batch_predictor }
@@ -114,6 +121,19 @@ let m_latency =
     (Metrics.histogram Metrics.default ~buckets:latency_buckets
        ~help:"request-to-reply latency in seconds" "serve_latency_seconds")
 
+let m_slo_burn =
+  lazy
+    (Metrics.gauge Metrics.default
+       ~help:
+         "rolling SLO error-budget burn rate (1.0 = burning exactly the \
+          declared budget)"
+       "serve_slo_burn_rate")
+
+let m_slo_objective =
+  lazy
+    (Metrics.gauge Metrics.default ~help:"declared latency objective in seconds"
+       "serve_slo_objective_seconds")
+
 let trace name =
   if !Trace.enabled then Trace.instant ~cat:"serve" name
 
@@ -128,9 +148,40 @@ type t = {
   mutable qlen : int;
   mutable draining : bool;
   c : counters;
+  (* the engine's virtual clock: advanced once per tick and once per
+     request-span emission, so span stamps are a pure function of the
+     scheduling sequence — deterministic traces without wall time *)
+  mutable vcycles : int64;
+  (* SLO monitor: a ring of (count, count<=objective) latency-histogram
+     snapshots, one per tick; burn rate is the windowed error fraction
+     over the declared error budget *)
+  slo_ring : (int * int) array;
+  mutable slo_pos : int;
+  mutable slo_len : int;
+  mutable slo_burn : float;
 }
 
+let bump_clock t =
+  t.vcycles <- Int64.add t.vcycles 1L;
+  t.vcycles
+
+(* one child span event of a traced request, stamped on the engine's
+   virtual clock and parented under the client's root span; the trace id
+   doubles as the Chrome/Perfetto [tid] so every request renders as its
+   own track *)
+let req_span t ph name (ctx : Tracectx.t) =
+  if !Trace.enabled && not (Tracectx.is_none ctx) then
+    Trace.emit ~cycles:(bump_clock t)
+      ~args:
+        [
+          ("trace", Trace.Int (Int64.of_int ctx.trace_id));
+          ("parent", Trace.Int (Int64.of_int ctx.span_id));
+          ("tid", Trace.Int (Int64.of_int ctx.trace_id));
+        ]
+      ~cat:"serve" ph name
+
 let create ?(config = default_config) ~make_predictor () =
+  Metrics.set_gauge (Lazy.force m_slo_objective) config.slo_objective_s;
   {
     cfg = config;
     make_predictor;
@@ -144,11 +195,37 @@ let create ?(config = default_config) ~make_predictor () =
     qlen = 0;
     draining = false;
     c = fresh_counters ();
+    vcycles = 0L;
+    slo_ring = Array.make (max 2 config.slo_window) (0, 0);
+    slo_pos = 0;
+    slo_len = 0;
+    slo_burn = 0.0;
   }
 
 let counters t = t.c
 let queue_depth t = t.qlen
 let draining t = t.draining
+let vcycles t = t.vcycles
+let slo_burn_rate t = t.slo_burn
+
+let update_slo t =
+  let h = Lazy.force m_latency in
+  let total = Metrics.histogram_count h in
+  let ok = Metrics.count_le h t.cfg.slo_objective_s in
+  let n = Array.length t.slo_ring in
+  t.slo_ring.(t.slo_pos) <- (total, ok);
+  t.slo_pos <- (t.slo_pos + 1) mod n;
+  if t.slo_len < n then t.slo_len <- t.slo_len + 1;
+  let o_total, o_ok = t.slo_ring.((t.slo_pos - t.slo_len + n) mod n) in
+  let d_total = total - o_total and d_ok = ok - o_ok in
+  let burn =
+    if d_total <= 0 then 0.0
+    else
+      let err = float_of_int (d_total - d_ok) /. float_of_int d_total in
+      err /. Float.max 1e-9 (1.0 -. t.cfg.slo_target)
+  in
+  t.slo_burn <- burn;
+  Metrics.set_gauge (Lazy.force m_slo_burn) burn
 
 let connections t =
   List.filter (fun c -> Conn.state c <> Conn.Closed) t.conns
@@ -226,17 +303,18 @@ let handle_msg t conn (m : Message.t) =
          the connection closes; other clients are unaffected *)
       Conn.start_draining conn;
       if Conn.queued conn = 0 then close_conn t conn
-  | Message.Predict { level; features } ->
+  | Message.Predict { level; features; trace } ->
       if Conn.state conn = Conn.Draining then note_semantic_strike t conn
       else if t.draining || t.qlen >= t.cfg.queue_hwm
               || Conn.queued conn >= t.cfg.per_conn_queue then shed t conn
       else begin
         Queue.add
           { p_conn = conn; p_level = level; p_features = features;
-            p_t = t.cfg.now () }
+            p_t = t.cfg.now (); p_trace = trace }
           t.queue;
         t.qlen <- t.qlen + 1;
-        Conn.set_queued conn (Conn.queued conn + 1)
+        Conn.set_queued conn (Conn.queued conn + 1);
+        req_span t Trace.Span_begin "queue_wait" trace
       end
   | Message.Init_ok | Message.Pong | Message.Prediction _
   | Message.Error_msg _ | Message.Stats_text _ | Message.Overloaded ->
@@ -265,9 +343,17 @@ let dispatch_batch t =
     let p = Queue.pop t.queue in
     t.qlen <- t.qlen - 1;
     Conn.set_queued p.p_conn (Conn.queued p.p_conn - 1);
-    if Conn.state p.p_conn = Conn.Closed then
-      t.c.dropped <- t.c.dropped + 1
-    else batch := p :: !batch
+    req_span t Trace.Span_end "queue_wait" p.p_trace;
+    if Conn.state p.p_conn = Conn.Closed then begin
+      t.c.dropped <- t.c.dropped + 1;
+      req_span t Trace.Instant "request_dropped" p.p_trace
+    end
+    else begin
+      batch := p :: !batch;
+      (* batch_wait: from leaving the queue to the worker call of the
+         request's level group *)
+      req_span t Trace.Span_begin "batch_wait" p.p_trace
+    end
   done;
   let batch = List.rev !batch in
   if batch = [] then 0
@@ -284,6 +370,11 @@ let dispatch_batch t =
           let feats =
             Array.of_list (List.map (fun p -> p.p_features) group)
           in
+          List.iter
+            (fun p ->
+              req_span t Trace.Span_end "batch_wait" p.p_trace;
+              req_span t Trace.Span_begin "predict" p.p_trace)
+            group;
           match supervised t worker ~level feats with
           | Ok modifiers ->
               List.iteri
@@ -293,14 +384,21 @@ let dispatch_batch t =
                   Conn.note_served p.p_conn;
                   Metrics.observe (Lazy.force m_latency)
                     (t.cfg.now () -. p.p_t);
+                  req_span t Trace.Span_end "predict" p.p_trace;
+                  req_span t Trace.Span_begin "reply" p.p_trace;
                   Conn.send p.p_conn
-                    (Message.Prediction { modifier = modifiers.(i) }))
+                    (Message.Prediction
+                       { modifier = modifiers.(i); trace = p.p_trace });
+                  req_span t Trace.Span_end "reply" p.p_trace)
                 group
           | Error why ->
               List.iter
                 (fun p ->
                   t.c.errors <- t.c.errors + 1;
-                  Conn.send p.p_conn (Message.Error_msg why))
+                  req_span t Trace.Span_end "predict" p.p_trace;
+                  req_span t Trace.Span_begin "reply" p.p_trace;
+                  Conn.send p.p_conn (Message.Error_msg why);
+                  req_span t Trace.Span_end "reply" p.p_trace)
                 group
         end)
       (Array.to_list Plan.levels);
@@ -318,6 +416,7 @@ let finalize_conns t =
     t.conns <- List.filter (fun c -> Conn.state c <> Conn.Closed) t.conns
 
 let tick t =
+  t.vcycles <- Int64.add t.vcycles 1L;
   let progress = ref 0 in
   (* 1. pump: read and decode from every connection that has queue room.
      A connection at its per-connection bound is simply not read — true
@@ -356,6 +455,7 @@ let tick t =
   finalize_conns t;
   Metrics.set_gauge (Lazy.force m_conns) (float_of_int (connection_count t));
   Metrics.set_gauge (Lazy.force m_queue) (float_of_int t.qlen);
+  update_slo t;
   !progress
 
 let drain t =

@@ -41,6 +41,15 @@ type config = {
           defaults to [Unix.gettimeofday] — tests pass virtual clocks *)
   stats : unit -> string;  (** [Stats_req] answer; defaults to the
                                default-registry exposition *)
+  slo_objective_s : float;
+      (** declared latency objective in seconds (default 10 ms);
+          exported as [serve_slo_objective_seconds] *)
+  slo_target : float;
+      (** fraction of requests that must meet the objective (default
+          0.99); the error budget is [1 - slo_target] *)
+  slo_window : int;
+      (** burn-rate window in ticks (default 256): one latency-histogram
+          snapshot is retained per {!tick} *)
 }
 
 val default_config : config
@@ -101,6 +110,26 @@ val serve_fds :
 val counters : t -> counters
 val queue_depth : t -> int
 val draining : t -> bool
+
+val vcycles : t -> int64
+(** The engine's virtual clock: advanced once per {!tick} and once per
+    request-span emission.  Register [fun () -> vcycles t] as the
+    {!Tessera_obs.Trace} cycle source so client-side spans share the
+    server's time base.
+
+    Traced requests (a non-none {!Tracectx.t} in the [Predict] frame)
+    emit [queue_wait] / [batch_wait] / [predict] / [reply] child spans
+    on this clock, category ["serve"], carrying [trace], [parent], and
+    [tid] args — the per-request critical path rendered by
+    [tessera_report timeline] and the Chrome export. *)
+
+val slo_burn_rate : t -> float
+(** Rolling error-budget burn rate: the fraction of recent requests
+    (over [slo_window] ticks) slower than [slo_objective_s], divided by
+    the budget [1 - slo_target].  1.0 means burning exactly the budget;
+    above 1.0 the objective is being missed.  Also exported as the
+    [serve_slo_burn_rate] gauge (and thus through [Stats_req]). *)
+
 val connection_count : t -> int
 val connections : t -> Conn.t list
 (** Open connections, in accept order. *)

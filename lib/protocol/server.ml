@@ -62,11 +62,11 @@ let step ?session:sess ?(stats = default_stats) ch predictor =
       | Message.Ping ->
           Message.send ch Message.Pong;
           true
-      | Message.Predict { level; features } ->
+      | Message.Predict { level; features; trace } ->
           (match predictor ~level ~features with
           | modifier ->
               Metrics.inc (Lazy.force m_predictions);
-              Message.send ch (Message.Prediction { modifier })
+              Message.send ch (Message.Prediction { modifier; trace })
           | exception e ->
               Metrics.inc (Lazy.force m_errors);
               Message.send ch (Message.Error_msg (Printexc.to_string e)));

@@ -1,0 +1,44 @@
+(* Compact trace context carried inside Predict/Prediction payloads: a
+   trace id naming the end-to-end request and the sender's span id, so
+   the server can parent its queue/batch/predict child spans under the
+   client's root span.  Encoded as two trailing varints — absent bytes
+   mean "untraced", and garbage bytes decode leniently to "untraced"
+   rather than poisoning an otherwise well-formed frame (a corrupted
+   trace context must never cost a protocol strike). *)
+
+module Codec = Tessera_util.Codec
+
+type t = { trace_id : int; span_id : int }
+
+let none = { trace_id = 0; span_id = 0 }
+let is_none c = c.trace_id = 0
+
+(* process-wide id source; ids are positive so 0 can mean "untraced" *)
+let counter = Atomic.make 1
+let fresh_id () = Atomic.fetch_and_add counter 1
+let reset_ids () = Atomic.set counter 1
+
+let fresh () =
+  let id = fresh_id () in
+  { trace_id = id; span_id = id }
+
+let child c = { c with span_id = fresh_id () }
+
+let write buf c =
+  Codec.write_varint buf c.trace_id;
+  Codec.write_varint buf c.span_id
+
+let read_opt r =
+  if Codec.at_end r then none
+  else
+    try
+      let trace_id = Codec.read_varint ~what:"trace id" r in
+      let span_id = Codec.read_varint ~what:"span id" r in
+      if trace_id <= 0 || span_id <= 0 then none else { trace_id; span_id }
+    with Codec.Truncated _ | Invalid_argument _ -> none
+
+let equal a b = a.trace_id = b.trace_id && a.span_id = b.span_id
+
+let pp fmt c =
+  if is_none c then Format.fprintf fmt "untraced"
+  else Format.fprintf fmt "trace=%d span=%d" c.trace_id c.span_id

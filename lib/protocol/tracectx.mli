@@ -1,0 +1,39 @@
+(** Compact request trace context: a positive trace id naming the
+    end-to-end request plus the sender's span id (the parent for any
+    child spans the receiver emits).  Rides inside [Predict] and
+    [Prediction] payloads as two trailing varints; {!none} (all zeros)
+    is never encoded, so untraced requests cost zero wire bytes. *)
+
+type t = { trace_id : int; span_id : int }
+
+val none : t
+(** The untraced context. *)
+
+val is_none : t -> bool
+
+val fresh : unit -> t
+(** A new trace with its root span, from a process-wide atomic id
+    source. *)
+
+val child : t -> t
+(** Same trace, fresh span id. *)
+
+val fresh_id : unit -> int
+(** A raw span id from the same source (for receivers minting child
+    spans). *)
+
+val reset_ids : unit -> unit
+(** Rewind the id source — for deterministic tests and benches only. *)
+
+val write : Buffer.t -> t -> unit
+(** Appends [trace_id] then [span_id] as varints.  Callers skip the call
+    entirely for {!none}. *)
+
+val read_opt : Tessera_util.Codec.reader -> t
+(** Lenient decode: end-of-payload, truncated or malformed varints, and
+    non-positive ids all yield {!none} ("untraced") — never an
+    exception.  This is what keeps a corrupted trace context from
+    costing a protocol strike. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

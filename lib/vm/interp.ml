@@ -3,6 +3,7 @@ module Opcode = Tessera_il.Opcode
 module Node = Tessera_il.Node
 module Block = Tessera_il.Block
 module Meth = Tessera_il.Meth
+module Profile = Tessera_obs.Profile
 open Values
 
 type context = {
@@ -15,6 +16,20 @@ type context = {
 exception Out_of_fuel
 
 let run ctx (m : Meth.t) args =
+  (* profiler hook: selected once per run, so the unprofiled walker pays
+     one branch here and nothing per node.  [cur_block]/[cur_op] track
+     the attribution site; the wrapped charge routes every charged cycle
+     through the sampler before the real meter. *)
+  let profiling = !Profile.enabled in
+  let cur_block = ref 0 in
+  let cur_op = ref "enter" in
+  let meth_name = if profiling then m.Meth.name else "" in
+  let charge =
+    if profiling then (fun c ->
+      Profile.charge ~meth:meth_name ~block:!cur_block ~op:!cur_op c;
+      ctx.charge c)
+    else ctx.charge
+  in
   let env = Array.make (Array.length m.symbols) Void_v in
   Array.iteri
     (fun i (s : Tessera_il.Symbol.t) ->
@@ -27,7 +42,8 @@ let run ctx (m : Meth.t) args =
        fuel-charging steps (fuel=1 executes one node) *)
     if !(ctx.fuel) <= 0 then raise Out_of_fuel;
     decr ctx.fuel;
-    ctx.charge (Cost.interp_dispatch + Cost.op_base n.op n.ty);
+    if profiling then cur_op := Opcode.name n.op;
+    charge (Cost.interp_dispatch + Cost.op_base n.op n.ty);
     match n.op with
     | Opcode.Loadconst ->
         if Types.is_floating n.ty then Float_v (Node.const_float n)
@@ -36,10 +52,10 @@ let run ctx (m : Meth.t) args =
         match Array.length n.args with
         | 0 -> env.(n.sym)
         | 1 ->
-            ctx.charge 2;
+            charge 2;
             Semantics.field_load (eval n.args.(0)) n.sym
         | _ ->
-            ctx.charge 3;
+            charge 3;
             Semantics.elem_load (eval n.args.(0)) (eval n.args.(1)))
     | Opcode.Store -> (
         match Array.length n.args with
@@ -48,13 +64,13 @@ let run ctx (m : Meth.t) args =
             env.(n.sym) <- Semantics.store_coerce m.symbols.(n.sym).ty v;
             Void_v
         | 2 ->
-            ctx.charge 2;
+            charge 2;
             let o = eval n.args.(0) in
             let v = eval n.args.(1) in
             Semantics.field_store o n.sym v;
             Void_v
         | _ ->
-            ctx.charge 3;
+            charge 3;
             let a = eval n.args.(0) in
             let i = eval n.args.(1) in
             let v = eval n.args.(2) in
@@ -94,7 +110,7 @@ let run ctx (m : Meth.t) args =
     | Opcode.Branch_op -> eval n.args.(0)
     | Opcode.Call ->
         let actuals = Array.map eval n.args in
-        ctx.charge Cost.interp_call_overhead;
+        charge Cost.interp_call_overhead;
         ctx.invoke n.sym actuals
     | Opcode.Arrayop Opcode.Bounds_check ->
         let a = eval n.args.(0) in
@@ -106,13 +122,13 @@ let run ctx (m : Meth.t) args =
         let d = eval n.args.(1) in
         let l = eval n.args.(2) in
         let copied = Semantics.array_copy s d l in
-        ctx.charge (copied * Cost.per_element_copy);
+        charge (copied * Cost.per_element_copy);
         Void_v
     | Opcode.Arrayop Opcode.Array_cmp ->
         let a = eval n.args.(0) in
         let b = eval n.args.(1) in
         let r, inspected = Semantics.array_cmp a b in
-        ctx.charge (inspected * Cost.per_element_copy);
+        charge (inspected * Cost.per_element_copy);
         r
     | Opcode.Arrayop Opcode.Array_length ->
         Semantics.array_length (eval n.args.(0))
@@ -123,6 +139,7 @@ let run ctx (m : Meth.t) args =
        trip the guard *)
     if !(ctx.fuel) <= 0 then raise Out_of_fuel;
     decr ctx.fuel;
+    if profiling then cur_block := bid;
     let b = Meth.block m bid in
     let outcome =
       try
@@ -130,7 +147,7 @@ let run ctx (m : Meth.t) args =
         match b.Block.term with
         | Block.Goto t -> `Jump t
         | Block.If { cond; if_true; if_false } ->
-            ctx.charge 1;
+            charge 1;
             if is_truthy (eval cond) then `Jump if_true else `Jump if_false
         | Block.Return None -> `Done Void_v
         | Block.Return (Some v) ->
@@ -144,10 +161,10 @@ let run ctx (m : Meth.t) args =
     | `Jump t -> exec_block t
     | `Done v -> v
     | `Trap k -> (
-        ctx.charge Cost.exception_unwind;
+        charge Cost.exception_unwind;
         match b.Block.handler with
         | Some h -> exec_block h
         | None -> raise (Trap k))
   in
-  if m.attrs.synchronized then ctx.charge (2 * Cost.op_base (Opcode.Synchronization Opcode.Monitor_enter) Types.Object_);
+  if m.attrs.synchronized then charge (2 * Cost.op_base (Opcode.Synchronization Opcode.Monitor_enter) Types.Object_);
   exec_block 0

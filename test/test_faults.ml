@@ -6,6 +6,7 @@
 open Helpers
 module Channel = Tessera_protocol.Channel
 module Message = Tessera_protocol.Message
+module Tracectx = Tessera_protocol.Tracectx
 module Server = Tessera_protocol.Server
 module Client = Tessera_protocol.Client
 module Spec = Tessera_faults.Spec
@@ -118,8 +119,11 @@ let test_bit_flips_never_decode () =
     [
       Message.Ping;
       Message.Init { model_name = "H3" };
-      Message.Predict { level = Plan.Hot; features = [| 0.25; -1.0; 3.5 |] };
-      Message.Prediction { modifier = Modifier.of_disabled [ 3; 41 ] };
+      Message.Predict
+        { level = Plan.Hot; features = [| 0.25; -1.0; 3.5 |];
+          trace = Tracectx.none };
+      Message.Prediction
+        { modifier = Modifier.of_disabled [ 3; 41 ]; trace = Tracectx.none };
     ]
   in
   List.iter

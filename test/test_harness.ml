@@ -260,3 +260,125 @@ let suite =
       Alcotest.test_case "campaign ignores stray files" `Slow
         test_persist_skips_strays;
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Perf-regression sentinel                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_regress_thresholds () =
+  Alcotest.(check bool) "within tolerance" true
+    (Harness.Regress.min_ratio_ok ~baseline:1.0 ~candidate:0.9 ~tol:0.15);
+  Alcotest.(check bool) "at the tolerance edge" true
+    (Harness.Regress.min_ratio_ok ~baseline:1.0 ~candidate:0.85 ~tol:0.15);
+  Alcotest.(check bool) "below tolerance" false
+    (Harness.Regress.min_ratio_ok ~baseline:1.0 ~candidate:0.8 ~tol:0.15);
+  Alcotest.(check bool) "improvement always passes" true
+    (Harness.Regress.min_ratio_ok ~baseline:1.0 ~candidate:2.0 ~tol:0.15);
+  Alcotest.(check bool) "nan candidate fails" false
+    (Harness.Regress.min_ratio_ok ~baseline:1.0 ~candidate:Float.nan
+       ~tol:0.15);
+  Alcotest.(check bool) "nan baseline fails" false
+    (Harness.Regress.min_ratio_ok ~baseline:Float.nan ~candidate:1.0
+       ~tol:0.15);
+  (* the floor admits small absolute values even when the baseline was
+     tiny; the slack absorbs run-to-run noise above it *)
+  Alcotest.(check bool) "under the floor passes a noisy baseline" true
+    (Harness.Regress.max_abs_ok ~baseline:0.1 ~candidate:2.9 ~floor:3.0
+       ~slack:2.0);
+  Alcotest.(check bool) "within slack of the baseline" true
+    (Harness.Regress.max_abs_ok ~baseline:4.0 ~candidate:5.5 ~floor:3.0
+       ~slack:2.0);
+  Alcotest.(check bool) "budget blown" false
+    (Harness.Regress.max_abs_ok ~baseline:4.0 ~candidate:6.5 ~floor:3.0
+       ~slack:2.0);
+  Alcotest.(check bool) "nan budget fails" false
+    (Harness.Regress.max_abs_ok ~baseline:4.0 ~candidate:Float.nan ~floor:3.0
+       ~slack:2.0)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "tessera_regress" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> Sys.remove (Filename.concat dir n))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let write_json dir name s =
+  Out_channel.with_open_text (Filename.concat dir name) (fun oc ->
+      Out_channel.output_string oc s)
+
+let count outcome results =
+  List.length
+    (List.filter (fun r -> r.Harness.Regress.r_outcome = outcome) results)
+
+let test_regress_run () =
+  with_temp_dir (fun base ->
+      with_temp_dir (fun cand ->
+          let obs = {|{"overhead_pct": 2.0, "dropped": 0}|} in
+          write_json base "BENCH_obs.json" obs;
+          write_json cand "BENCH_obs.json" obs;
+          let results =
+            Harness.Regress.run ~baseline_dir:base ~candidate_dir:cand ()
+          in
+          Alcotest.(check bool) "identical artifacts pass" false
+            (Harness.Regress.failed results);
+          Alcotest.(check bool) "present artifact yields passes" true
+            (count Harness.Regress.Pass results >= 2);
+          Alcotest.(check bool) "missing artifacts skip, not fail" true
+            (count Harness.Regress.Skip results > 0);
+          (* degraded candidate: budget blown and invariant broken *)
+          write_json cand "BENCH_obs.json"
+            {|{"overhead_pct": 9.0, "dropped": 3}|};
+          let results =
+            Harness.Regress.run ~baseline_dir:base ~candidate_dir:cand ()
+          in
+          Alcotest.(check bool) "degraded candidate fails" true
+            (Harness.Regress.failed results);
+          Alcotest.(check bool) "both checks fail" true
+            (count Harness.Regress.Fail results >= 2);
+          (* the report renders every row *)
+          let buf = Buffer.create 1024 in
+          let fmt = Format.formatter_of_buffer buf in
+          Harness.Regress.pp_results fmt results;
+          Format.pp_print_flush fmt ();
+          Alcotest.(check bool) "report renders" true (Buffer.length buf > 100)))
+
+let test_regress_mode_mismatch () =
+  with_temp_dir (fun base ->
+      with_temp_dir (fun cand ->
+          let serve mode pps =
+            Printf.sprintf
+              {|{"mode": "%s", "honest_lost": 0, "drain_clean": true, "predictions_per_sec": %f}|}
+              mode pps
+          in
+          (* same mode: the throughput ratio gate is live *)
+          write_json base "BENCH_serve.json" (serve "in_process" 1000.0);
+          write_json cand "BENCH_serve.json" (serve "in_process" 100.0);
+          let results =
+            Harness.Regress.run ~baseline_dir:base ~candidate_dir:cand ()
+          in
+          Alcotest.(check bool) "throughput collapse fails" true
+            (Harness.Regress.failed results);
+          (* mode mismatch: ratio checks downgrade to skips, invariants
+             still run *)
+          write_json cand "BENCH_serve.json" (serve "socket" 100.0);
+          let results =
+            Harness.Regress.run ~baseline_dir:base ~candidate_dir:cand ()
+          in
+          Alcotest.(check bool) "mode mismatch skips the ratio gate" false
+            (Harness.Regress.failed results)))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "regress threshold gates" `Quick
+        test_regress_thresholds;
+      Alcotest.test_case "regress run over artifact dirs" `Quick
+        test_regress_run;
+      Alcotest.test_case "regress serving-mode mismatch skips ratios" `Quick
+        test_regress_mode_mismatch;
+    ]

@@ -559,3 +559,121 @@ let suite =
       Alcotest.test_case "log: thresholds and trace mirroring" `Quick
         test_log_levels;
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Exact quantiles                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_quantile () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r ~buckets:[| 1.0; 2.0; 4.0; 8.0 |] "q_seconds" in
+  Alcotest.(check bool) "empty histogram quantile is nan" true
+    (Float.is_nan (Metrics.quantile h 0.5));
+  Alcotest.check_raises "q out of range rejected"
+    (Invalid_argument "Metrics.quantile") (fun () ->
+      ignore (Metrics.quantile h 1.5));
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 3.0; 6.0 ];
+  let p50 = Metrics.quantile h 0.5 in
+  Alcotest.(check bool) "p50 interpolates inside the second bucket" true
+    (p50 >= 1.0 && p50 <= 2.0);
+  Alcotest.(check bool) "quantile is monotone in q" true
+    (Metrics.quantile h 0.25 <= Metrics.quantile h 0.75
+    && Metrics.quantile h 0.75 <= Metrics.quantile h 1.0);
+  Alcotest.(check (float 1e-9)) "p100 is the top bucket edge" 8.0
+    (Metrics.quantile h 1.0);
+  (* an observation past every finite bound lands in the +Inf bucket
+     and reports the largest finite bound, never infinity *)
+  Metrics.observe h 1000.0;
+  Alcotest.(check (float 1e-9)) "overflow clamps to largest finite bound" 8.0
+    (Metrics.quantile h 1.0);
+  Alcotest.(check int) "count_le sees the finite buckets" 4
+    (Metrics.count_le h 8.0);
+  Alcotest.(check int) "count_le at an inner bound" 2 (Metrics.count_le h 2.0);
+  Alcotest.(check int) "count_le below every bound" 0 (Metrics.count_le h 0.5);
+  Alcotest.(check int) "count_le at infinity sees everything" 5
+    (Metrics.count_le h infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Sampling profiler                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Profile = Tessera_obs.Profile
+
+let with_profile ?period ?max_sites f =
+  Profile.enable ?period ?max_sites ();
+  Fun.protect
+    ~finally:(fun () ->
+      Profile.disable ();
+      Profile.reset ())
+    f
+
+let test_profile_weights () =
+  with_profile ~period:100 (fun () ->
+      (* one coarse cost crossing three period boundaries carries
+         weight 3, so samples × period accounts for every cycle *)
+      Profile.charge ~meth:"m" ~block:0 ~op:"add" 300;
+      Alcotest.(check int) "weight k for k periods" 3
+        (Profile.total_samples ());
+      Profile.charge ~meth:"m" ~block:0 ~op:"add" 99;
+      Alcotest.(check int) "no boundary, no sample" 3
+        (Profile.total_samples ());
+      Profile.charge ~meth:"m" ~block:1 ~op:"mul" 1;
+      Alcotest.(check int) "boundary crossing fires once" 4
+        (Profile.total_samples ());
+      Alcotest.(check int) "two sites" 2 (Profile.site_count ());
+      Alcotest.(check (list string)) "flame lines in canonical order"
+        [ "m;block_0;add 3"; "m;block_1;mul 1" ]
+        (Profile.flame_lines ());
+      Alcotest.(check (list (pair string int))) "hot methods aggregate"
+        [ ("m", 4) ]
+        (Profile.hot_methods ());
+      Alcotest.(check (list (pair string int))) "hot ops rank hottest first"
+        [ ("add", 3); ("mul", 1) ]
+        (Profile.hot_ops ()))
+
+let test_profile_determinism_and_bounds () =
+  let charge_sequence () =
+    for i = 0 to 199 do
+      Profile.charge
+        ~meth:(Printf.sprintf "m%d" (i mod 5))
+        ~block:(i mod 3)
+        ~op:(if i mod 2 = 0 then "load" else "store")
+        (17 + (i mod 7))
+    done
+  in
+  let capture () =
+    with_profile ~period:64 (fun () ->
+        charge_sequence ();
+        (match Export.parse_json (Profile.to_json ()) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "profile JSON unparseable: %s" e);
+        Profile.to_canonical_string ())
+  in
+  let canon1 = capture () in
+  let canon2 = capture () in
+  Alcotest.(check string) "identical charges, byte-identical profile" canon1
+    canon2;
+  Alcotest.(check bool) "profile is non-empty" true (String.length canon1 > 0);
+  (* bounded site table: overflow weight is counted, never silently lost *)
+  with_profile ~period:1 ~max_sites:2 (fun () ->
+      Profile.charge ~meth:"a" ~block:0 ~op:"x" 1;
+      Profile.charge ~meth:"b" ~block:0 ~op:"x" 1;
+      Profile.charge ~meth:"c" ~block:0 ~op:"x" 1;
+      Alcotest.(check int) "site table bounded" 2 (Profile.site_count ());
+      Alcotest.(check int) "overflow counted as dropped" 1
+        (Profile.dropped_samples ());
+      Alcotest.(check int) "retained weight" 2 (Profile.total_samples ()));
+  Alcotest.check_raises "non-positive period rejected"
+    (Invalid_argument "Profile.enable: period must be positive") (fun () ->
+      Profile.enable ~period:0 ())
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "metrics: exact quantiles and count_le" `Quick
+        test_metrics_quantile;
+      Alcotest.test_case "profile: period weights and rankings" `Quick
+        test_profile_weights;
+      Alcotest.test_case "profile: determinism and bounded table" `Quick
+        test_profile_determinism_and_bounds;
+    ]

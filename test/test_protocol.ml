@@ -1,5 +1,6 @@
 module Channel = Tessera_protocol.Channel
 module Message = Tessera_protocol.Message
+module Tracectx = Tessera_protocol.Tracectx
 module Server = Tessera_protocol.Server
 module Client = Tessera_protocol.Client
 module Modifier = Tessera_modifiers.Modifier
@@ -19,9 +20,12 @@ let test_message_roundtrips () =
     [
       Message.Init { model_name = "H3" };
       Message.Init_ok;
-      Message.Predict { level = Plan.Warm; features = [| 0.0; 0.5; 1.0 |] };
-      Message.Predict { level = Plan.Cold; features = [||] };
-      Message.Prediction { modifier = Modifier.of_disabled [ 0; 17; 57 ] };
+      Message.Predict
+        { level = Plan.Warm; features = [| 0.0; 0.5; 1.0 |];
+          trace = Tracectx.none };
+      Message.Predict { level = Plan.Cold; features = [||]; trace = Tracectx.none };
+      Message.Prediction
+        { modifier = Modifier.of_disabled [ 0; 17; 57 ]; trace = Tracectx.none };
       Message.Ping;
       Message.Pong;
       Message.Shutdown;
@@ -38,6 +42,7 @@ let test_message_random_roundtrips () =
           {
             level = Prng.choose rng Plan.levels;
             features = Array.init (Prng.int rng 71) (fun _ -> Prng.float rng 1.0);
+            trace = Tracectx.none;
           }
       in
       Message.equal m (roundtrip m))
@@ -73,7 +78,8 @@ let test_server_client_session () =
   (* a predictor exception becomes Error_msg and the client falls back *)
   let failing ~level:_ ~features:_ = failwith "model exploded" in
   let lockstep_fail () = ignore (Server.step server_ch failing) in
-  Message.send client_ch (Message.Predict { level = Plan.Hot; features = [||] });
+  Message.send client_ch
+    (Message.Predict { level = Plan.Hot; features = [||]; trace = Tracectx.none });
   lockstep_fail ();
   (match Message.decode_from client_ch with
   | Message.Error_msg _ -> ()
@@ -124,3 +130,99 @@ let suite =
     Alcotest.test_case "two-process FIFO" `Quick test_fifo_two_process;
     Alcotest.test_case "channel close" `Quick test_channel_close;
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace context                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Codec = Tessera_util.Codec
+
+let test_tracectx_roundtrip () =
+  let t = Tracectx.fresh () in
+  let c = Tracectx.child t in
+  Alcotest.(check bool) "fresh is traced" false (Tracectx.is_none t);
+  Alcotest.(check bool) "child keeps the trace id" true
+    (c.Tracectx.trace_id = t.Tracectx.trace_id);
+  Alcotest.(check bool) "child gets a new span id" true
+    (c.Tracectx.span_id <> t.Tracectx.span_id);
+  List.iter
+    (fun ctx ->
+      let buf = Buffer.create 16 in
+      Tracectx.write buf ctx;
+      let r = Codec.reader_of_string (Buffer.contents buf) in
+      Alcotest.(check bool) "write/read_opt roundtrip" true
+        (Tracectx.equal ctx (Tracectx.read_opt r)))
+    [ t; c ];
+  let r = Codec.reader_of_string "" in
+  Alcotest.(check bool) "end of payload reads as untraced" true
+    (Tracectx.is_none (Tracectx.read_opt r))
+
+let test_traced_message_roundtrips () =
+  let ctx = Tracectx.fresh () in
+  List.iter
+    (fun m -> Alcotest.check msg_testable "traced roundtrip" m (roundtrip m))
+    [
+      Message.Predict { level = Plan.Warm; features = [| 1.0 |]; trace = ctx };
+      Message.Prediction
+        { modifier = Modifier.null; trace = Tracectx.child ctx };
+    ]
+
+(* A CRC-valid frame whose trailing trace bytes are garbage must decode
+   as an untraced request — never a strike.  The frame is hand-built
+   here (magic, tag, length varint, payload, CRC-32 LE) so the trace
+   bytes can be corrupted while the checksum stays honest. *)
+let predict_frame_with_tail tail =
+  let payload = Buffer.create 32 in
+  Codec.write_varint payload (Plan.level_index Plan.Warm);
+  Codec.write_varint payload 2;
+  Codec.write_f64 payload 1.5;
+  Codec.write_f64 payload 2.5;
+  Buffer.add_string payload tail;
+  let p = Buffer.contents payload in
+  let body = Buffer.create 64 in
+  Codec.write_u8 body 3;
+  Codec.write_varint body (String.length p);
+  Buffer.add_string body p;
+  let body = Buffer.contents body in
+  let crc = Tessera_util.Crc32.string body in
+  let crc_le =
+    String.init 4 (fun i ->
+        Char.chr
+          (Int32.to_int
+             (Int32.logand (Int32.shift_right_logical crc (8 * i)) 0xFFl)))
+  in
+  "\xa7" ^ body ^ crc_le
+
+let test_garbage_trace_degrades () =
+  List.iter
+    (fun (what, tail) ->
+      let frame = predict_frame_with_tail tail in
+      match Message.scan frame ~pos:0 with
+      | Message.Scan_msg (Message.Predict { features; trace; _ }, consumed) ->
+          Alcotest.(check int) (what ^ ": whole frame consumed")
+            (String.length frame) consumed;
+          Alcotest.(check int) (what ^ ": features intact") 2
+            (Array.length features);
+          Alcotest.(check bool) (what ^ ": degrades to untraced") true
+            (Tracectx.is_none trace)
+      | Message.Scan_msg (m, _) ->
+          Alcotest.failf "%s: unexpected message %s" what
+            (Format.asprintf "%a" Message.pp m)
+      | Message.Scan_need_more -> Alcotest.failf "%s: need more" what
+      | Message.Scan_bad e -> Alcotest.failf "%s: struck: %s" what e)
+    [
+      ("truncated varint", "\xff\xff\xff");
+      ("zero trace id", "\x00\x05");
+      ("half a context", "\x07");
+    ]
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "trace context roundtrip" `Quick
+        test_tracectx_roundtrip;
+      Alcotest.test_case "traced messages roundtrip" `Quick
+        test_traced_message_roundtrips;
+      Alcotest.test_case "garbage trace context degrades to untraced" `Quick
+        test_garbage_trace_degrades;
+    ]

@@ -5,6 +5,7 @@
 
 module Channel = Tessera_protocol.Channel
 module Message = Tessera_protocol.Message
+module Tracectx = Tessera_protocol.Tracectx
 module Conn = Tessera_protocol.Conn
 module Serve = Tessera_protocol.Serve
 module Server = Tessera_protocol.Server
@@ -29,7 +30,8 @@ let echo_predictor _wid ~level:_ rows =
     rows
 
 let predict ?(tag = 0.0) level =
-  Message.Predict { level; features = [| tag; 1.0; 2.0 |] }
+  Message.Predict
+    { level; features = [| tag; 1.0; 2.0 |]; trace = Tracectx.none }
 
 (* ------------------------------------------------------------------ *)
 (* Conn                                                                *)
@@ -119,7 +121,7 @@ let test_serve_session () =
   tick_n engine 3;
   Alcotest.(check (list msg_testable)) "handshake, pong, prediction"
     [ Message.Init_ok; Message.Pong;
-      Message.Prediction { modifier = Modifier.null } ]
+      Message.Prediction { modifier = Modifier.null; trace = Tracectx.none } ]
     (drain_replies ch);
   Alcotest.(check int) "one prediction counted" 1
     (Serve.counters engine).Serve.predictions
@@ -209,7 +211,7 @@ let test_serve_worker_restart () =
   Alcotest.(check int) "restarted once" 1
     (Serve.counters engine).Serve.worker_restarts;
   Alcotest.(check (list msg_testable)) "retried on the fresh worker"
-    [ Message.Prediction { modifier = Modifier.null } ]
+    [ Message.Prediction { modifier = Modifier.null; trace = Tracectx.none } ]
     (drain_replies ch)
 
 let test_serve_conn_shutdown () =
@@ -219,7 +221,7 @@ let test_serve_conn_shutdown () =
   Message.send ch Message.Shutdown;
   tick_n engine 3;
   Alcotest.(check (list msg_testable)) "queued predict answered before close"
-    [ Message.Prediction { modifier = Modifier.null } ]
+    [ Message.Prediction { modifier = Modifier.null; trace = Tracectx.none } ]
     (drain_replies ch);
   Alcotest.(check bool) "connection retired" true
     (Conn.state conn = Conn.Closed);
@@ -332,6 +334,7 @@ let test_isolation_property () =
                    {
                      level = Plan.Hot;
                      features = [| float_of_int (i + 1); 0.0 |];
+                     trace = Tracectx.none;
                    })
             with Channel.Closed -> ())
           clients;
@@ -340,7 +343,7 @@ let test_isolation_property () =
           (fun i (_, rx) ->
             List.iter
               (function
-                | Conn.Msg (Message.Prediction { modifier }) ->
+                | Conn.Msg (Message.Prediction { modifier; _ }) ->
                     if Modifier.to_bits modifier <> Int64.of_int (i + 1) then
                       ok := false
                 | _ -> ())
@@ -430,4 +433,200 @@ let suite =
         test_server_step_session_strikes;
       Alcotest.test_case "client: Overloaded reply reaches the wire" `Quick
         test_client_overloaded_fallback;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Request tracing through the serving engine                           *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Tessera_obs.Trace
+
+let with_trace f =
+  Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ();
+      Trace.clear_cycle_source ())
+    f
+
+let trace_arg e =
+  match List.assoc_opt "trace" e.Trace.args with
+  | Some (Trace.Int i) -> Some (Int64.to_int i)
+  | _ -> None
+
+let rec cycles_monotone = function
+  | a :: (b :: _ as rest) ->
+      Int64.compare a.Trace.cycles b.Trace.cycles <= 0 && cycles_monotone rest
+  | _ -> true
+
+(* One lockstep client over one engine: the client's end-to-end
+   [request] root and the server's queue/batch/predict/reply children
+   share a trace id and the engine's virtual clock. *)
+let test_traced_request_full_tree () =
+  with_trace (fun () ->
+      let engine = mk_engine () in
+      Trace.set_cycle_source (fun () -> Serve.vcycles engine);
+      let _conn, ch = attach engine in
+      let client =
+        Client.connect ~model_name:"traced"
+          ~lockstep:(fun () -> tick_n engine 4)
+          ch
+      in
+      ignore (Client.predict client ~level:Plan.Warm ~features:[| 1.0; 2.0 |]);
+      let events = Trace.events () in
+      let roots =
+        List.filter
+          (fun e -> e.Trace.cat = "protocol" && e.Trace.name = "request")
+          events
+      in
+      (match roots with
+      | [ b; e ] ->
+          Alcotest.(check bool) "root opens then closes" true
+            (b.Trace.ph = Trace.Span_begin && e.Trace.ph = Trace.Span_end)
+      | l ->
+          Alcotest.failf "expected one request B/E pair, got %d events"
+            (List.length l));
+      let root_trace =
+        match trace_arg (List.hd roots) with
+        | Some id -> id
+        | None -> Alcotest.fail "request span carries no trace id"
+      in
+      List.iter
+        (fun name ->
+          let spans =
+            List.filter
+              (fun e -> e.Trace.cat = "serve" && e.Trace.name = name)
+              events
+          in
+          Alcotest.(check int) (name ^ " has a B/E pair") 2
+            (List.length spans);
+          List.iter
+            (fun e ->
+              Alcotest.(check (option int)) (name ^ " shares the trace id")
+                (Some root_trace) (trace_arg e))
+            spans)
+        [ "queue_wait"; "batch_wait"; "predict"; "reply" ];
+      Alcotest.(check bool) "server spans ride a monotone virtual clock" true
+        (cycles_monotone
+           (List.filter (fun e -> e.Trace.cat = "serve") events)))
+
+(* qcheck: across a mixed fleet (several clients, varying request
+   counts, optional garbage preamble, untraced traffic interleaved),
+   every accepted traced request yields exactly one well-formed span
+   tree, and untraced requests emit nothing. *)
+let test_span_tree_property () =
+  QCheck.Test.make ~count:25
+    ~name:"every accepted traced request yields a well-formed span tree"
+    QCheck.(pair (list_of_size Gen.(1 -- 4) (int_bound 3)) bool)
+    (fun (fleet, garbage) ->
+      with_trace (fun () ->
+          let engine = mk_engine ~predictor:echo_predictor () in
+          Trace.set_cycle_source (fun () -> Serve.vcycles engine);
+          let sent = ref [] in
+          List.iteri
+            (fun i n ->
+              let _conn, ch = attach engine in
+              if garbage && i = 0 then Channel.write ch "not a frame at all";
+              for k = 1 to n do
+                let ctx = Tracectx.fresh () in
+                sent := ctx.Tracectx.trace_id :: !sent;
+                Message.send ch
+                  (Message.Predict
+                     {
+                       level = Plan.levels.(k mod Array.length Plan.levels);
+                       features = [| float_of_int k; 1.0 |];
+                       trace = ctx;
+                     })
+              done;
+              (* untraced traffic must not emit serve spans *)
+              Message.send ch (predict Plan.Cold))
+            fleet;
+          tick_n engine 40;
+          let serve_evs =
+            List.filter (fun e -> e.Trace.cat = "serve") (Trace.events ())
+          in
+          let ids =
+            List.sort_uniq compare (List.filter_map trace_arg serve_evs)
+          in
+          let expected = List.sort_uniq compare !sent in
+          if ids <> expected then
+            QCheck.Test.fail_reportf
+              "span trace ids disagree with sent ids: %d vs %d"
+              (List.length ids) (List.length expected)
+          else
+            List.for_all
+              (fun id ->
+                let evs =
+                  List.filter (fun e -> trace_arg e = Some id) serve_evs
+                in
+                let count name ph =
+                  List.length
+                    (List.filter
+                       (fun e -> e.Trace.name = name && e.Trace.ph = ph)
+                       evs)
+                in
+                let pair_of name =
+                  count name Trace.Span_begin = 1
+                  && count name Trace.Span_end = 1
+                in
+                let starts_queued =
+                  match evs with
+                  | e :: _ ->
+                      e.Trace.name = "queue_wait"
+                      && e.Trace.ph = Trace.Span_begin
+                  | [] -> false
+                in
+                pair_of "queue_wait" && pair_of "batch_wait"
+                && pair_of "predict" && pair_of "reply"
+                && count "request_dropped" Trace.Instant = 0
+                && starts_queued && cycles_monotone evs)
+              expected))
+
+(* ------------------------------------------------------------------ *)
+(* SLO burn rate                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The burn-rate window is a delta against the oldest retained
+   latency-histogram snapshot, so requests must land after the first
+   tick to be counted — spread them over rounds. *)
+let run_slo_fleet advance =
+  let now = ref 0.0 in
+  let config =
+    {
+      Serve.default_config with
+      Serve.now =
+        (fun () ->
+          let t = !now in
+          now := t +. advance;
+          t);
+      slo_objective_s = 0.01;
+      slo_target = 0.9;
+      slo_window = 16;
+    }
+  in
+  let engine = mk_engine ~config () in
+  let _conn, ch = attach engine in
+  for _ = 1 to 4 do
+    Message.send ch (predict Plan.Warm);
+    Message.send ch (predict Plan.Warm);
+    ignore (Serve.tick engine)
+  done;
+  ignore (Serve.tick engine);
+  Serve.slo_burn_rate engine
+
+let test_slo_burn_rate () =
+  Alcotest.(check (float 1e-9)) "fast answers burn nothing" 0.0
+    (run_slo_fleet 1e-6);
+  Alcotest.(check bool) "slow answers burn past the budget" true
+    (run_slo_fleet 0.05 > 1.0)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "traced request renders a full span tree" `Quick
+        test_traced_request_full_tree;
+      QCheck_alcotest.to_alcotest (test_span_tree_property ());
+      Alcotest.test_case "slo burn rate tracks the latency objective"
+        `Quick test_slo_burn_rate;
     ]
