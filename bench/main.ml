@@ -11,6 +11,7 @@
      dune exec bench/main.exe cache      -- warm vs cold start-up (BENCH_cache.json)
      dune exec bench/main.exe obs        -- tracing overhead (BENCH_obs.json)
      dune exec bench/main.exe parallel   -- -j determinism + speedup (BENCH_parallel.json)
+     dune exec bench/main.exe fork       -- forking collector economy + oracle (BENCH_fork.json)
      dune exec bench/main.exe serve      -- concurrent serving fleet (BENCH_serve.json)
      dune exec bench/main.exe flat       -- flat-tier dispatch throughput (BENCH_flat.json)
      dune exec bench/main.exe profile    -- sampling profiler oracle (BENCH_profile.json)
@@ -175,6 +176,175 @@ let run_parallel ~jobs cfg =
   if not identical then begin
     Format.fprintf fmt
       "FAILED: parallel evaluation diverged from the sequential baseline@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Compilation forking: the full training matrix from one warm run      *)
+(* (BENCH_fork.json)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Two legs: (1) records-per-trunk-invocation of the forking collector
+   vs the sweep (queue) collector over the whole training set — the
+   forking paper's headline economy; (2) the differential oracle — the
+   snapshot-based branches must produce an archive record-for-record
+   equal to branches measured from a fully re-executed fork point. *)
+let run_fork_bench ~jobs cfg =
+  section
+    "Compilation forking: full training matrix from one warm run \
+     (BENCH_fork.json)";
+  let quick = cfg == Harness.Expconfig.quick in
+  (* Both collectors run over the same two training benchmarks at half
+     workload scale — enough diversity for a fair records-per-invocation
+     comparison without paying for the whole suite — and the forking
+     side measures the {e default} fan-out (the full candidate set whose
+     one-warm-run economy is the point), whatever the quick scaling says. *)
+  let cfg =
+    {
+      cfg with
+      Harness.Expconfig.bench_scale = cfg.Harness.Expconfig.bench_scale *. 0.5;
+      fork_fanout = Harness.Expconfig.default.Harness.Expconfig.fork_fanout;
+    }
+  in
+  let benches = List.filteri (fun i _ -> i < 2) Suites.training_set in
+  let totals outcomes =
+    List.fold_left
+      (fun (recs, invs) (o : Harness.Collection.outcome) ->
+        ( recs
+          + List.length
+              o.Harness.Collection.merged.Tessera_collect.Archive.records,
+          invs
+          + List.fold_left
+              (fun a (s : Tessera_collect.Collector.stats) ->
+                a + s.Tessera_collect.Collector.entry_invocations)
+              0 o.Harness.Collection.stats ))
+      (0, 0) outcomes
+  in
+  let t0 = Unix.gettimeofday () in
+  let sweep =
+    Pool.run_list ~jobs (Harness.Collection.collect_bench ~cfg) benches
+  in
+  let sweep_s = Unix.gettimeofday () -. t0 in
+  let sweep_records, sweep_invs = totals sweep in
+  let t0 = Unix.gettimeofday () in
+  let forked =
+    List.map
+      (Harness.Collection.collect_bench ~cfg ~fork:true ~fork_jobs:jobs)
+      benches
+  in
+  let fork_s = Unix.gettimeofday () -. t0 in
+  let fork_records, fork_invs = totals forked in
+  let fork_stat f =
+    List.fold_left
+      (fun a (o : Harness.Collection.outcome) ->
+        List.fold_left
+          (fun a (s : Tessera_collect.Collector.stats) -> a + f s)
+          a o.Harness.Collection.stats)
+      0 forked
+  in
+  let forks = fork_stat (fun s -> s.Tessera_collect.Collector.forks) in
+  let branches = fork_stat (fun s -> s.Tessera_collect.Collector.branches) in
+  let branch_invs =
+    fork_stat (fun s -> s.Tessera_collect.Collector.branch_invocations)
+  in
+  let skipped =
+    fork_stat (fun s -> s.Tessera_collect.Collector.skipped_decisions)
+  in
+  let rpi records invs = float_of_int records /. float_of_int (max 1 invs) in
+  let sweep_rpi = rpi sweep_records sweep_invs in
+  let fork_rpi = rpi fork_records fork_invs in
+  let gain = fork_rpi /. Float.max 1e-9 sweep_rpi in
+  Format.fprintf fmt
+    "sweep collector : %5d records / %5d invocations = %.3f records/inv \
+     (%.1fs)@."
+    sweep_records sweep_invs sweep_rpi sweep_s;
+  Format.fprintf fmt
+    "fork collector  : %5d records / %5d trunk invocations = %.3f \
+     records/inv (%.1fs)@."
+    fork_records fork_invs fork_rpi fork_s;
+  Format.fprintf fmt
+    "                  %d fork points, %d branches, %d branch invocations, \
+     %d skipped@."
+    forks branches branch_invs skipped;
+  Format.fprintf fmt "records-per-invocation gain: %.1fx (target >= 5x)@." gain;
+  (* -- differential oracle on the first training benchmark, down-scaled:
+     correctness, not a timing figure -- *)
+  let oracle_bench =
+    Suites.scale_bench (List.hd Suites.training_set)
+      cfg.Harness.Expconfig.bench_scale
+  in
+  let program = Tessera_workloads.Generate.program oracle_bench.Suites.profile in
+  let run_oracle reexec =
+    Tessera_collect.Collector.run
+      ~config:
+        {
+          Tessera_collect.Collector.default_config with
+          Tessera_collect.Collector.search =
+            Tessera_collect.Collector.Fork
+              {
+                strategy = Tessera_modifiers.Queue_ctrl.Progressive { l = 30 };
+                fanout = 4;
+                jobs;
+                reexec;
+              };
+          uses_per_modifier = min 4 cfg.Harness.Expconfig.uses_per_modifier;
+          seed = Int64.add cfg.Harness.Expconfig.seed 2L;
+          max_entry_invocations =
+            min 60 cfg.Harness.Expconfig.collect_invocations;
+        }
+      ~program ~benchmark:"fork-oracle"
+      ~entry_args:(fun k -> [| Values.Int_v (Int64.of_int k) |])
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let snap_archive, snap_stats = run_oracle false in
+  let snap_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let reexec_archive, _ = run_oracle true in
+  let reexec_s = Unix.gettimeofday () -. t0 in
+  let oracle_ok = Tessera_collect.Archive.equal snap_archive reexec_archive in
+  Format.fprintf fmt
+    "oracle          : snapshot %.2fs vs re-execution %.2fs over %d records \
+     -> %s@."
+    snap_s reexec_s
+    (List.length snap_archive.Tessera_collect.Archive.records)
+    (if oracle_ok then "identical archives" else "MISMATCH");
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"quick\": %b,\n\
+       %s\
+      \  \"sweep_records\": %d,\n\
+      \  \"sweep_invocations\": %d,\n\
+      \  \"sweep_wall_s\": %.3f,\n\
+      \  \"fork_records\": %d,\n\
+      \  \"fork_trunk_invocations\": %d,\n\
+      \  \"fork_points\": %d,\n\
+      \  \"fork_branches\": %d,\n\
+      \  \"fork_branch_invocations\": %d,\n\
+      \  \"fork_skipped_decisions\": %d,\n\
+      \  \"fork_wall_s\": %.3f,\n\
+      \  \"records_per_invocation_sweep\": %.4f,\n\
+      \  \"records_per_invocation_fork\": %.4f,\n\
+      \  \"records_per_invocation_gain\": %.4f,\n\
+      \  \"oracle_records\": %d,\n\
+      \  \"oracle_branches\": %d,\n\
+      \  \"oracle_snapshot_wall_s\": %.3f,\n\
+      \  \"oracle_reexec_wall_s\": %.3f,\n\
+      \  \"oracle_ok\": %b\n\
+       }\n"
+      quick
+      (host_json_fields ~jobs) sweep_records sweep_invs sweep_s fork_records
+      fork_invs forks branches branch_invs skipped fork_s sweep_rpi fork_rpi
+      gain
+      (List.length snap_archive.Tessera_collect.Archive.records)
+      snap_stats.Tessera_collect.Collector.branches snap_s reexec_s oracle_ok
+  in
+  Tessera_util.Fileio.atomic_write ~path:"BENCH_fork.json" json;
+  Format.fprintf fmt "[wrote BENCH_fork.json]@.@.";
+  if not oracle_ok then begin
+    Format.fprintf fmt
+      "FAILED: forked archive diverged from the re-executed baseline@.";
     exit 1
   end
 
@@ -1715,6 +1885,7 @@ let () =
   | "cache" -> run_cache ~jobs cfg
   | "obs" -> run_obs ~jobs cfg
   | "parallel" -> run_parallel ~jobs cfg
+  | "fork" -> run_fork_bench ~jobs cfg
   | "flat" -> run_flat ~jobs cfg
   | "profile" -> run_profile ~jobs cfg
   | "serve" -> (
@@ -1734,6 +1905,7 @@ let () =
       run_cache ~jobs cfg;
       run_obs ~jobs cfg;
       run_parallel ~jobs cfg;
+      run_fork_bench ~jobs cfg;
       run_flat ~jobs cfg;
       run_profile ~jobs cfg;
       run_serve ~jobs cfg;

@@ -5,7 +5,7 @@ open Cmdliner
 module Suites = Tessera_workloads.Suites
 module Harness = Tessera_harness
 
-let run benchmarks out_dir quick jobs =
+let run benchmarks out_dir quick fork jobs =
   let cfg =
     if quick then Harness.Expconfig.quick else Harness.Expconfig.default
   in
@@ -22,10 +22,16 @@ let run benchmarks out_dir quick jobs =
           names
   in
   (* collection runs on the pool; the archives come back in input order
-     and are written (and reported) from this domain only *)
+     and are written (and reported) from this domain only.  In fork mode
+     the pool instead parallelizes each collection's branch fan-out, so
+     benchmarks run one after another. *)
   let outcomes =
-    Tessera_util.Pool.run_list ~jobs
-      (Harness.Collection.collect_bench ~cfg) benches
+    if fork then
+      List.map (Harness.Collection.collect_bench ~cfg ~fork ~fork_jobs:jobs)
+        benches
+    else
+      Tessera_util.Pool.run_list ~jobs
+        (Harness.Collection.collect_bench ~cfg) benches
   in
   List.iter2
     (fun bench o ->
@@ -54,6 +60,15 @@ let out_dir =
 let quick =
   Arg.(value & flag & info [ "quick" ] ~doc:"Down-scaled collection for smoke runs.")
 
+let fork =
+  Arg.(value & flag
+       & info [ "fork" ]
+           ~doc:"Use the compilation-forking collector: one warm trunk run \
+                 per search, with every candidate modifier measured from a \
+                 snapshot at each compile decision.  $(b,-j) then \
+                 parallelizes the branch fan-out instead of the benchmark \
+                 list.")
+
 let jobs =
   Arg.(value & opt int (Tessera_util.Pool.default_jobs ())
        & info [ "j"; "jobs" ] ~docv:"N"
@@ -65,6 +80,6 @@ let cmd =
   Cmd.v
     (Cmd.info "tessera_collect"
        ~doc:"Run compilation-plan data collection on synthetic benchmarks")
-    Term.(const run $ benchmarks $ out_dir $ quick $ jobs)
+    Term.(const run $ benchmarks $ out_dir $ quick $ fork $ jobs)
 
 let () = exit (Cmd.eval' cmd)

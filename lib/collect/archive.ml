@@ -84,3 +84,12 @@ let merge archives =
     dictionary;
     records = List.rev !records;
   }
+
+let equal a b =
+  (* merge re-interns sig ids in record order, erasing any difference in
+     dictionary construction history between otherwise-equal archives *)
+  let a = merge [ a ] and b = merge [ b ] in
+  String.equal a.benchmark b.benchmark
+  && Dictionary.equal a.dictionary b.dictionary
+  && List.length a.records = List.length b.records
+  && List.for_all2 Record.equal a.records b.records

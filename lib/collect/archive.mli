@@ -33,3 +33,10 @@ val load : string -> t
 val merge : t list -> t
 (** Concatenate archives (re-interning dictionaries); the merged
     benchmark name joins the inputs with ["+"]. *)
+
+val equal : t -> t -> bool
+(** Record-for-record equality up to dictionary construction history:
+    both sides are normalized by re-interning signatures in record
+    order, then compared with {!Record.equal}.  The differential oracle
+    of the forking collector (snapshot vs re-executed branches must
+    produce equal archives). *)

@@ -7,10 +7,23 @@ module Queue_ctrl = Tessera_modifiers.Queue_ctrl
 module Engine = Tessera_jit.Engine
 module Compiler = Tessera_jit.Compiler
 module Prng = Tessera_util.Prng
+module Pool = Tessera_util.Pool
+module Trace = Tessera_obs.Trace
+module Metrics = Tessera_obs.Metrics
+
+type fork_params = {
+  strategy : Queue_ctrl.strategy;
+  fanout : int;
+  jobs : int;
+  reexec : bool;
+}
 
 type search =
   | Queue of Queue_ctrl.strategy
   | Guided of Tessera_modifiers.Guided.params
+  | Fork of fork_params
+
+let fork_defaults strategy = { strategy; fanout = 0; jobs = 1; reexec = false }
 
 type config = {
   levels : Plan.level list;
@@ -22,6 +35,7 @@ type config = {
   max_threshold : int;
   max_entry_invocations : int;
   target : Tessera_vm.Target.t;
+  fuel_per_invocation : int;
 }
 
 let default_config =
@@ -39,6 +53,7 @@ let default_config =
     max_threshold = 2_000;
     max_entry_invocations = 400;
     target = Tessera_vm.Target.zircon;
+    fuel_per_invocation = Engine.default_config.Engine.fuel_per_invocation;
   }
 
 type stats = {
@@ -46,6 +61,10 @@ type stats = {
   records : int;
   discarded_samples : int;
   compilations : int;
+  forks : int;
+  branches : int;
+  branch_invocations : int;
+  skipped_decisions : int;
 }
 
 type meth_collect = {
@@ -55,7 +74,12 @@ type meth_collect = {
   mutable first_samples : int64 list;  (** first 8 valid sample cycles *)
 }
 
-let run ?(config = default_config) ~program ~benchmark ~entry_args () =
+(* ------------------------------------------------------------------ *)
+(* Sweep collection (Queue / Guided): the trunk run carries the whole   *)
+(* exploration, one modifier per recompilation.                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_sweep ~config ~program ~benchmark ~entry_args () =
   let dictionary = Dictionary.create () in
   let store = ref [] in
   let discarded = ref 0 in
@@ -72,7 +96,8 @@ let run ?(config = default_config) ~program ~benchmark ~entry_args () =
                 (Queue_ctrl.create ~uses_per_modifier:config.uses_per_modifier
                    ~seed strategy) )
         | Guided params ->
-            (level, `Guided (Tessera_modifiers.Guided.create ~params ~seed ())))
+            (level, `Guided (Tessera_modifiers.Guided.create ~params ~seed ()))
+        | Fork _ -> assert false (* dispatched to run_fork *))
       config.levels
   in
   let per_meth =
@@ -165,6 +190,7 @@ let run ?(config = default_config) ~program ~benchmark ~entry_args () =
              explored too, not just hot *)
           trigger_scale = 8.0;
           target = config.target;
+          fuel_per_invocation = config.fuel_per_invocation;
           clock_seed = Prng.next_int64 rng;
         }
       ~callbacks:
@@ -201,4 +227,241 @@ let run ?(config = default_config) ~program ~benchmark ~entry_args () =
       records = List.length records;
       discarded_samples = !discarded;
       compilations = Engine.compile_count engine;
+      forks = 0;
+      branches = 0;
+      branch_invocations = 0;
+      skipped_decisions = 0;
     } )
+
+(* ------------------------------------------------------------------ *)
+(* Compilation forking: one warm trunk run decides when/where to        *)
+(* compile; at each decision the collector forks one branch per         *)
+(* candidate modifier and measures every candidate from the same        *)
+(* snapshot state (DESIGN.md §15).                                      *)
+(* ------------------------------------------------------------------ *)
+
+type decision = { d_meth : int; d_level : Plan.level }
+
+let run_fork ~config ~(params : fork_params) ~program ~benchmark ~entry_args ()
+    =
+  let dictionary = Dictionary.create () in
+  let store = ref [] in
+  let discarded = ref 0 in
+  let rng = Prng.create config.seed in
+  (* Per-level candidate sets: the null plan first (the baseline
+     observation every sweep also makes), then the queue's own modifier
+     sequence for this seed — the same modifiers a [Queue] collector with
+     this seed would dole out one per recompilation — truncated to
+     [fanout] modifiers when positive.  Seeds are drawn exactly like the
+     sweep's per-level explorer seeds. *)
+  let candidates =
+    List.map
+      (fun level ->
+        let seed = Prng.next_int64 rng in
+        let mods = Array.to_list (Queue_ctrl.generate ~seed params.strategy) in
+        let mods =
+          if params.fanout > 0 then
+            List.filteri (fun i _ -> i < params.fanout) mods
+          else mods
+        in
+        (level, Modifier.null :: mods))
+      config.levels
+  in
+  let engine_config =
+    {
+      Engine.default_config with
+      Engine.instrument = true;
+      trigger_scale = 8.0;
+      target = config.target;
+      fuel_per_invocation = config.fuel_per_invocation;
+      clock_seed = Prng.next_int64 rng;
+    }
+  in
+  (* Decision queue: the trunk's own adaptive compilations (null
+     modifier) mark the fork points, once per (method, collected level). *)
+  let decisions = Queue.create () in
+  let seen = Hashtbl.create 64 in
+  let trunk_on_compiled _e ~meth_id (comp : Compiler.compilation) =
+    let level = comp.Compiler.level in
+    if
+      List.mem_assoc level candidates
+      && not (Hashtbl.mem seen (meth_id, level))
+    then begin
+      Hashtbl.add seen (meth_id, level) ();
+      Queue.push { d_meth = meth_id; d_level = level } decisions
+    end
+  in
+  let trunk =
+    Engine.create ~config:engine_config
+      ~callbacks:
+        { Engine.no_callbacks with Engine.on_compiled = Some trunk_on_compiled }
+      program
+  in
+  let m = Engine.metrics trunk in
+  let m_forks =
+    Metrics.counter m ~help:"Fork points expanded into branch fan-outs"
+      "collect_fork_decisions_total"
+  in
+  let m_branches =
+    Metrics.counter m ~help:"Forked branches run (one per candidate modifier)"
+      "collect_fork_branches_total"
+  in
+  let m_branch_invs =
+    Metrics.counter m ~help:"Entry invocations executed inside branches"
+      "collect_fork_branch_invocations_total"
+  in
+  let m_skipped =
+    Metrics.counter m
+      ~help:"Fork decisions dropped (install still pending at end of run)"
+      "collect_fork_skipped_total"
+  in
+  let forks = ref 0 in
+  let branches = ref 0 in
+  let branch_invs = ref 0 in
+  let skipped = ref 0 in
+  (* One branch: measure [candidate] for decision [d] from the trunk
+     state at entry boundary [start_inv].  The record opens when the
+     requested compilation installs and closes early if the method is
+     recompiled again inside the branch (the version under measurement is
+     gone). *)
+  let run_branch ~sig_id ~(d : decision) ~start_inv candidate =
+    let record = ref None in
+    let closed = ref false in
+    let active = ref false in
+    let disc = ref 0 in
+    let invs = ref 0 in
+    let on_compiled _e ~meth_id (comp : Compiler.compilation) =
+      if !active && meth_id = d.d_meth then
+        match !record with
+        | None ->
+            record :=
+              Some
+                (Record.make ~sig_id ~features:comp.Compiler.features
+                   ~level:comp.Compiler.level ~modifier:comp.Compiler.modifier
+                   ~compile_cycles:comp.Compiler.compile_cycles)
+        | Some _ -> closed := true
+    in
+    let on_sample _e ~meth_id ~cycles ~valid =
+      if !active && meth_id = d.d_meth && not !closed then
+        match !record with
+        | Some r ->
+            record := Some (Record.add_sample r ~cycles ~valid);
+            if not valid then incr disc
+        | None -> () (* pre-install samples belong to the old version *)
+    in
+    let callbacks =
+      {
+        Engine.no_callbacks with
+        Engine.on_compiled = Some on_compiled;
+        on_sample = Some on_sample;
+      }
+    in
+    let branch =
+      if params.reexec then begin
+        (* The differential oracle's branch: rebuild the fork point by
+           replaying a fresh engine to the same entry boundary.  The
+           callbacks are inert ([active] is false) during the prefix, so
+           determinism makes the replica's state — and therefore every
+           measurement below — identical to the snapshot branch's. *)
+        let e = Engine.create ~config:engine_config ~callbacks program in
+        for i = 0 to start_inv - 1 do
+          ignore (Engine.invoke_entry e (entry_args i))
+        done;
+        e
+      end
+      else Engine.fork ~callbacks trunk
+    in
+    active := true;
+    Engine.request_compile branch ~meth_id:d.d_meth ~level:d.d_level
+      ~modifier:candidate ();
+    let i = ref start_inv in
+    while !invs < config.uses_per_modifier && not !closed do
+      ignore (Engine.invoke_entry branch (entry_args !i));
+      incr i;
+      incr invs
+    done;
+    (!record, !invs, !disc)
+  in
+  let process_decision ~start_inv (d : decision) =
+    let st = Engine.state trunk d.d_meth in
+    (* fork only from a settled state: a pending install would race the
+       branch's own compilation request *)
+    if st.Engine.pending <> None then `Retry
+    else begin
+      let name = (Program.meth program d.d_meth).Meth.name in
+      let sig_id = Dictionary.intern dictionary name in
+      let cands = List.assoc d.d_level candidates in
+      incr forks;
+      Metrics.inc m_forks;
+      if !Trace.enabled then
+        Trace.span_begin
+          ~cycles:(Engine.clock_now trunk)
+          ~cat:"collect"
+          ~args:
+            [
+              ("meth", Trace.Str name);
+              ("level", Trace.Str (Plan.level_name d.d_level));
+              ("branches", Trace.Int (Int64.of_int (List.length cands)));
+            ]
+          "fork";
+      let results =
+        Pool.run_list ~jobs:params.jobs
+          (run_branch ~sig_id ~d ~start_inv)
+          cands
+      in
+      (* branches may have stamped this domain's trace source with their
+         own clocks: the trunk takes it back *)
+      Engine.claim_trace_source trunk;
+      List.iter
+        (fun (record, invs, disc) ->
+          incr branches;
+          Metrics.inc m_branches;
+          branch_invs := !branch_invs + invs;
+          Metrics.add m_branch_invs invs;
+          discarded := !discarded + disc;
+          match record with Some r -> store := r :: !store | None -> ())
+        results;
+      if !Trace.enabled then
+        Trace.span_end ~cycles:(Engine.clock_now trunk) ~cat:"collect" "fork";
+      `Done
+    end
+  in
+  let invocations = ref 0 in
+  while !invocations < config.max_entry_invocations do
+    ignore (Engine.invoke_entry trunk (entry_args !invocations));
+    incr invocations;
+    (* Entry boundaries are the fork points: replaying [start_inv] whole
+       invocations is well-defined, mid-invocation states are not.  Each
+       queued decision is tried once per boundary and re-queued while its
+       trunk install is still pending. *)
+    let ready = Queue.length decisions in
+    for _ = 1 to ready do
+      let d = Queue.pop decisions in
+      match process_decision ~start_inv:!invocations d with
+      | `Done -> ()
+      | `Retry -> Queue.push d decisions
+    done
+  done;
+  (* decisions still blocked on a pending install when the budget ran out *)
+  skipped := Queue.length decisions;
+  Metrics.add m_skipped !skipped;
+  let records = List.rev !store in
+  let records =
+    List.filter (fun (r : Record.t) -> r.Record.invocations > 0) records
+  in
+  ( { Archive.benchmark; dictionary; records },
+    {
+      entry_invocations = !invocations;
+      records = List.length records;
+      discarded_samples = !discarded;
+      compilations = Engine.compile_count trunk;
+      forks = !forks;
+      branches = !branches;
+      branch_invocations = !branch_invs;
+      skipped_decisions = !skipped;
+    } )
+
+let run ?(config = default_config) ~program ~benchmark ~entry_args () =
+  match config.search with
+  | Fork params -> run_fork ~config ~params ~program ~benchmark ~entry_args ()
+  | Queue _ | Guided _ -> run_sweep ~config ~program ~benchmark ~entry_args ()

@@ -19,6 +19,37 @@ module Plan = Tessera_opt.Plan
 module Values = Tessera_vm.Values
 module Program = Tessera_il.Program
 
+(** Parameters of the compilation-forking collector ({!search} [Fork]).
+
+    The trunk run is a plain adaptive execution (null modifiers); every
+    first compilation of a method at a collected level marks a {e fork
+    point}.  At the next entry-invocation boundary the collector
+    snapshots the engine ({!Tessera_jit.Engine.snapshot}) and runs one
+    {e branch} per candidate modifier: each branch recompiles the method
+    with its candidate and executes [uses_per_modifier] entry
+    invocations on its private clock, producing one record — so a single
+    warm run yields the full (method × modifier) training matrix instead
+    of one modifier per recompilation. *)
+type fork_params = {
+  strategy : Tessera_modifiers.Queue_ctrl.strategy;
+      (** generates the candidate set per level
+          ({!Tessera_modifiers.Queue_ctrl.generate}); the null modifier
+          is always prepended *)
+  fanout : int;
+      (** candidates (beyond null) measured per fork point; [0] means
+          the strategy's full sequence *)
+  jobs : int;  (** branch fan-out domains (branches are independent) *)
+  reexec : bool;
+      (** measure branches from a {e re-executed} fork point (a fresh
+          engine replayed to the same entry boundary) instead of a
+          snapshot.  Slower but snapshot-free: by engine determinism the
+          resulting archive must be record-for-record identical, which
+          is the differential oracle validating snapshot/restore *)
+}
+
+val fork_defaults : Tessera_modifiers.Queue_ctrl.strategy -> fork_params
+(** [{ strategy; fanout = 0; jobs = 1; reexec = false }] *)
+
 (** How the modifier space is explored. *)
 type search =
   | Queue of Tessera_modifiers.Queue_ctrl.strategy
@@ -26,6 +57,9 @@ type search =
   | Guided of Tessera_modifiers.Guided.params
       (** the paper's future work: per-method hill climbing on the Eq.-2
           ranking value observed during collection *)
+  | Fork of fork_params
+      (** compilation forking: every candidate measured from a snapshot
+          of one warm run (DESIGN.md §15) *)
 
 type config = {
   levels : Plan.level list;  (** levels explored (paper: cold, warm, hot) *)
@@ -37,15 +71,24 @@ type config = {
   max_threshold : int;
   max_entry_invocations : int;  (** run budget *)
   target : Tessera_vm.Target.t;  (** back end the data is collected on *)
+  fuel_per_invocation : int;
+      (** per-invocation fuel budget of every engine the collector
+          creates (trunk, branches, replays) *)
 }
 
 val default_config : config
 
 type stats = {
-  entry_invocations : int;
+  entry_invocations : int;  (** trunk invocations only *)
   records : int;
   discarded_samples : int;
-  compilations : int;
+  compilations : int;  (** trunk compilations only *)
+  forks : int;  (** fork points expanded (0 for sweep searches) *)
+  branches : int;  (** branches run across all fork points *)
+  branch_invocations : int;  (** entry invocations executed in branches *)
+  skipped_decisions : int;
+      (** fork points never expanded because the trunk install was still
+          pending when the invocation budget ran out *)
 }
 
 val run :

@@ -1,8 +1,25 @@
 module Codec = Tessera_util.Codec
 
-type t = { by_name : (string, int) Hashtbl.t; mutable names : string list; mutable n : int }
+(* Signatures are stored in a growable array indexed by id, so [find] is
+   a bounds check plus one array read.  (The previous representation
+   consed ids onto a list newest-first, making [find] — which archive
+   merging calls once per record — walk O(n) links per lookup.)  The
+   encoded form is unchanged: ids in order, byte for byte. *)
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  mutable names : string array;  (** entries [0 .. n-1] are live *)
+  mutable n : int;
+}
 
-let create () = { by_name = Hashtbl.create 64; names = []; n = 0 }
+let create () = { by_name = Hashtbl.create 64; names = [||]; n = 0 }
+
+let grow t =
+  let cap = Array.length t.names in
+  if t.n >= cap then begin
+    let names = Array.make (max 16 (2 * cap)) "" in
+    Array.blit t.names 0 names 0 t.n;
+    t.names <- names
+  end
 
 let intern t name =
   match Hashtbl.find_opt t.by_name name with
@@ -10,19 +27,22 @@ let intern t name =
   | None ->
       let id = t.n in
       Hashtbl.add t.by_name name id;
-      t.names <- name :: t.names;
+      grow t;
+      t.names.(id) <- name;
       t.n <- id + 1;
       id
 
 let find t id =
   if id < 0 || id >= t.n then raise Not_found;
-  List.nth t.names (t.n - 1 - id)
+  t.names.(id)
 
 let size t = t.n
 
 let encode t buf =
   Codec.write_varint buf t.n;
-  List.iter (fun name -> Codec.write_string buf name) (List.rev t.names)
+  for id = 0 to t.n - 1 do
+    Codec.write_string buf t.names.(id)
+  done
 
 let decode r =
   let n = Codec.read_varint ~what:"dictionary size" r in
@@ -32,4 +52,8 @@ let decode r =
   done;
   t
 
-let equal a b = a.n = b.n && a.names = b.names
+let equal a b =
+  a.n = b.n
+  &&
+  let rec go i = i >= a.n || (String.equal a.names.(i) b.names.(i) && go (i + 1)) in
+  go 0

@@ -14,7 +14,8 @@ val intern : t -> string -> int
     starting at 0, in interning order. *)
 
 val find : t -> int -> string
-(** Raises [Not_found] for unknown ids. *)
+(** O(1) (ids index a backing array).  Raises [Not_found] for unknown
+    ids. *)
 
 val size : t -> int
 

@@ -18,12 +18,15 @@ type outcome = {
 val collect_bench :
   ?cfg:Expconfig.t ->
   ?target:Tessera_vm.Target.t ->
+  ?fork:bool ->
+  ?fork_jobs:int ->
   Tessera_workloads.Suites.bench ->
   outcome
 
 val collect_training_set :
   ?cfg:Expconfig.t ->
   ?target:Tessera_vm.Target.t ->
+  ?fork:bool ->
   ?jobs:int ->
   unit ->
   outcome list
@@ -31,4 +34,7 @@ val collect_training_set :
     non-default back-end target).  [jobs] (default 1) collects the
     benchmarks on a {!Tessera_util.Pool} of that many domains; every
     search is independently seeded, so the outcome list is identical for
-    every [jobs] value. *)
+    every [jobs] value.  [fork] (default false) switches both searches
+    to the compilation-forking collector ([Collector.Fork] with the
+    configuration's [fork_fanout]); [jobs] then parallelizes the branch
+    fan-out inside each collection instead of the benchmark list. *)

@@ -60,15 +60,29 @@ type cell = {
   throughput_compile : Stats.summary;
 }
 
+(* How many of the [max trials noise_draws] total noise draws trial [i]
+   contributes: the remainder of the division spreads over the leading
+   trials, one extra draw each, so the total is exact.  (The old
+   [noise_draws / trials] per trial silently dropped the remainder — 30
+   draws over 4 trials measured 28 — and over-drew when [trials >
+   noise_draws].) *)
+let draws_for_trial ~trials ~noise_draws i =
+  let total = max trials noise_draws in
+  let base = total / trials in
+  let rem = total mod trials in
+  base + if i < rem then 1 else 0
+
 (* expand per-trial cycle measurements into noisy relative samples *)
 let relative_samples ~cfg ~rng ~invert base variant =
   let trials = Array.length base in
-  let draws_per_trial = max 1 (cfg.Expconfig.noise_draws / trials) in
   let samples = ref [] in
   Array.iteri
     (fun i b ->
       let v = variant.(i) in
-      for _ = 1 to draws_per_trial do
+      let draws =
+        draws_for_trial ~trials ~noise_draws:cfg.Expconfig.noise_draws i
+      in
+      for _ = 1 to draws do
         let noise () = 1.0 +. Prng.gaussian rng ~mu:0.0 ~sigma:cfg.Expconfig.noise_sd in
         let b = Int64.to_float b *. noise () in
         let v = Int64.to_float v *. noise () in
@@ -91,12 +105,26 @@ let evaluate_variant ~cfg ~bench ?model () =
   (startup, throughput)
 
 (* one cell from the already-measured baseline and variant runs; the
-   noise rng is created per cell and the four summaries consume it in a
-   fixed order, so the numbers are independent of when (or on which
-   domain) the underlying simulations ran *)
+   noise rng is seeded per cell — a stable hash of (benchmark, model)
+   mixed with the configured seed — and the four summaries consume it in
+   a fixed order, so the numbers are independent of when (or on which
+   domain) the underlying simulations ran, and no two cells share a
+   noise stream.  (A constant per-cell seed would correlate the "OS
+   jitter" across every cell of the matrix.) *)
+let cell_seed ~cfg ~bench_name ~model_name =
+  let module Hash64 = Tessera_util.Hash64 in
+  let h = Hash64.string Hash64.init bench_name in
+  let h = Hash64.string h model_name in
+  Hash64.int64 h cfg.Expconfig.seed
+
 let cell_of ~cfg ~bench (ms : Modelset.t) (base_startup, base_throughput) (s, t)
     =
-  let rng = Prng.create (Int64.add cfg.Expconfig.seed 0xA11CEL) in
+  let rng =
+    Prng.create
+      (cell_seed ~cfg
+         ~bench_name:bench.Suites.profile.Tessera_workloads.Profile.name
+         ~model_name:ms.Modelset.name)
+  in
   let app r = Array.map (fun m -> m.app_cycles) r in
   let comp r =
     Array.map (fun m -> Int64.add 1L m.compile_cycles) r

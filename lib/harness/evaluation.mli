@@ -31,6 +31,14 @@ val run_once :
 (** One fresh simulated JVM invocation executing [iterations] benchmark
     iterations. *)
 
+val draws_for_trial : trials:int -> noise_draws:int -> int -> int
+(** Noise draws contributed by trial [i] of [trials]: the
+    [max trials noise_draws] total draws divide as evenly as possible,
+    remainder spread one-per-trial from the front — so the total is
+    exactly [max trials noise_draws] for every (trials, noise_draws)
+    pair, divisible or not, and every trial contributes at least one
+    draw. *)
+
 (** Relative-to-baseline summaries for one benchmark under one model. *)
 type cell = {
   bench : string;

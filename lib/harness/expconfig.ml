@@ -11,6 +11,7 @@ type t = {
   throughput_iterations : int;
   bench_scale : float;
   seed : int64;
+  fork_fanout : int;
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     throughput_iterations = 10;
     bench_scale = 1.0;
     seed = 0x7E557E55L;
+    fork_fanout = 16;
   }
 
 let full = { default with trials = 3 }
@@ -39,6 +41,7 @@ let quick =
     uses_per_modifier = 4;
     collect_invocations = 60;
     trials = 1;
+    fork_fanout = 6;
   }
 
 let paper_scale =

@@ -20,6 +20,9 @@ type t = {
   throughput_iterations : int;  (** paper: 10 *)
   bench_scale : float;  (** workload volume factor for benchmarks *)
   seed : int64;
+  fork_fanout : int;
+      (** candidate modifiers measured per fork point in forking
+          collection (beyond the always-included null modifier) *)
 }
 
 val default : t

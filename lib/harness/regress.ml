@@ -105,6 +105,11 @@ let specs =
       ] );
     ( "BENCH_parallel.json",
       [ Invariant_true [ "digests_identical" ] ] );
+    ( "BENCH_fork.json",
+      [
+        Min_ratio ([ "records_per_invocation_gain" ], 0.3);
+        Invariant_true [ "oracle_ok" ];
+      ] );
     ( "BENCH_serve.json",
       [
         Same_mode [ "mode" ];

@@ -189,6 +189,69 @@ let state t i = t.states.(i)
 let clock_now t = Clock.now t.clock
 let metrics t = t.metrics
 
+let claim_trace_source t = Trace.set_cycle_source (fun () -> Clock.now t.clock)
+
+(* ------------------------------------------------------------------ *)
+(* Compilation forking: snapshot / restore of the deterministic state   *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything the simulation's future depends on: the virtual clock
+   (cycles, core, migration schedule, RNG), every method's state
+   (implementation, pending install, trigger counters), the compilation
+   thread, the fuel/self-time accumulators, and the flat-form memo
+   (flattening points are per-engine so same-seed engines stay
+   byte-identical).  Metrics and trace state are observables, not
+   inputs, and are deliberately NOT part of a snapshot: restoring never
+   rolls a monotonic counter backwards. *)
+type snapshot = {
+  snap_clock : Clock.t;
+  snap_states : method_state array;
+  snap_compile_thread_free : int64;
+  snap_pending_count : int;
+  snap_fuel : int;
+  snap_callee_acc : int64;
+  snap_flat_forms : Tessera_flat.Prog.t option array;
+}
+
+(* method_state fields hold immutable values (compilations, levels), so
+   a record copy is a deep copy of the deterministic state *)
+let copy_method_state (st : method_state) = { st with impl = st.impl }
+
+let snapshot t =
+  {
+    snap_clock = Clock.copy t.clock;
+    snap_states = Array.map copy_method_state t.states;
+    snap_compile_thread_free = t.compile_thread_free;
+    snap_pending_count = t.pending_count;
+    snap_fuel = !(t.fuel);
+    snap_callee_acc = !(t.callee_acc);
+    snap_flat_forms = Array.copy t.flat_forms;
+  }
+
+(* restore copies out of the snapshot again, so one snapshot can seed
+   any number of forked branches *)
+let restore t snap =
+  if Array.length t.states <> Array.length snap.snap_states then
+    invalid_arg "Engine.restore: snapshot from a different program";
+  Clock.restore t.clock snap.snap_clock;
+  Array.iteri
+    (fun i st -> t.states.(i) <- copy_method_state st)
+    snap.snap_states;
+  t.compile_thread_free <- snap.snap_compile_thread_free;
+  t.pending_count <- snap.snap_pending_count;
+  Metrics.set_gauge t.m_queue_depth (float_of_int t.pending_count);
+  t.fuel := snap.snap_fuel;
+  t.callee_acc <- ref snap.snap_callee_acc;
+  Array.blit snap.snap_flat_forms 0 t.flat_forms 0 (Array.length t.flat_forms)
+
+let fork ?callbacks t =
+  let callbacks =
+    match callbacks with Some c -> c | None -> t.callbacks
+  in
+  let t' = create ~config:t.config ~callbacks t.program in
+  restore t' (snapshot t);
+  t'
+
 let meth_name t meth_id = (Program.meth t.program meth_id).Meth.name
 
 let impl_level_name = function

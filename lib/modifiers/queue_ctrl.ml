@@ -15,15 +15,16 @@ type t = {
   mutable issued : int;
 }
 
-let create ?(uses_per_modifier = 50) ~seed strategy =
+let generate ~seed strategy =
   let rng = Prng.create seed in
-  let mods =
-    match strategy with
-    | Randomized { count; density } ->
-        Array.init count (fun _ -> Modifier.random rng ~density)
-    | Progressive { l } ->
-        Array.init l (fun i -> Modifier.progressive rng ~i:(i + 1) ~l)
-  in
+  match strategy with
+  | Randomized { count; density } ->
+      Array.init count (fun _ -> Modifier.random rng ~density)
+  | Progressive { l } ->
+      Array.init l (fun i -> Modifier.progressive rng ~i:(i + 1) ~l)
+
+let create ?(uses_per_modifier = 50) ~seed strategy =
+  let mods = generate ~seed strategy in
   {
     mods;
     uses = Array.make (Array.length mods) 0;

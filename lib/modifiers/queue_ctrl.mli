@@ -19,6 +19,13 @@ type t
 val create : ?uses_per_modifier:int -> seed:int64 -> strategy -> t
 (** [uses_per_modifier] defaults to 50. *)
 
+val generate : seed:int64 -> strategy -> Modifier.t array
+(** The pre-computed modifier sequence a queue with this seed would dole
+    out, in order.  This is the {e candidate set} of a compilation-forking
+    collector: the same (seed, strategy) pair names the same modifiers
+    whether they are explored one-per-recompilation through a queue or
+    all-at-once through forked branches. *)
+
 val next : t -> method_key:int -> Modifier.t option
 (** The modifier to use for this compilation of the method identified by
     [method_key].  Returns [None] when the queue is exhausted for this

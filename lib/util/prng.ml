@@ -5,6 +5,8 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 let create seed = { state = seed }
 
 let copy g = { state = g.state }
+let state g = g.state
+let set_state g s = g.state <- s
 
 (* SplitMix64 finalizer (Steele, Lea & Flood 2014). *)
 let mix z =

@@ -17,6 +17,13 @@ val copy : t -> t
 (** [copy g] duplicates the current state; the copy evolves
     independently. *)
 
+val state : t -> int64
+(** The raw generator state, for snapshot/restore of deterministic
+    simulations (compilation forking).  Restoring with {!set_state}
+    resumes the exact stream. *)
+
+val set_state : t -> int64 -> unit
+
 val split : t -> t
 (** [split g] advances [g] and returns a new generator whose stream is
     statistically independent of the remainder of [g]'s stream. *)

@@ -39,6 +39,16 @@ let advance t n =
     t.next_migration <- Int64.add t.next_migration (draw_interval t.rng)
   done
 
+let copy t = { t with rng = Prng.copy t.rng }
+
+let restore dst src =
+  if dst.cores <> src.cores then invalid_arg "Clock.restore: core count differs";
+  dst.cycles <- src.cycles;
+  dst.core <- src.core;
+  dst.next_migration <- src.next_migration;
+  dst.migrations <- src.migrations;
+  Prng.set_state dst.rng (Prng.state src.rng)
+
 let now t = t.cycles
 let read_tsc t = (t.cycles, t.core)
 let core t = t.core

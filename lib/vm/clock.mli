@@ -17,6 +17,16 @@ val create : ?cores:int -> ?seed:int64 -> unit -> t
 val advance : t -> int -> unit
 (** Charge [n >= 0] cycles. *)
 
+val copy : t -> t
+(** An independent deep copy (private migration-RNG state): advancing the
+    copy never perturbs the original's cycle or core stream. *)
+
+val restore : t -> t -> unit
+(** [restore dst src] overwrites [dst]'s cycle count, core, migration
+    schedule, and RNG state with [src]'s.  Both clocks must have the same
+    core count (they come from the same engine lineage — compilation
+    forking restores a snapshot taken from the same clock). *)
+
 val now : t -> int64
 (** Current cycle count. *)
 

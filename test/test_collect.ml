@@ -177,6 +177,132 @@ let test_collector_integration () =
     true
     (Hashtbl.length distinct > 1)
 
+(* regression: merging archives that came through load (whose
+   dictionaries were built by decode) must round-trip byte-identically —
+   [merge] leans on [Dictionary.find] for every record *)
+let test_merged_loaded_archives_roundtrip () =
+  let rng = Prng.create 4242L in
+  let mk benchmark names =
+    let dictionary = Dictionary.create () in
+    List.iter (fun n -> ignore (Dictionary.intern dictionary n)) names;
+    let records =
+      List.init 20 (fun _ -> random_record ~max_sig:(List.length names) rng)
+    in
+    { Archive.benchmark; dictionary; records }
+  in
+  let a = mk "alpha" [ "A.a()V"; "B.b()I"; "C.c()J" ] in
+  let b = mk "beta" [ "B.b()I"; "D.d()V"; "A.a()V" ] in
+  (* simulate the collect-then-merge pipeline: archives cross the codec
+     before merging *)
+  let a' = Archive.of_string (Archive.to_string a) in
+  let b' = Archive.of_string (Archive.to_string b) in
+  let merged = Archive.merge [ a'; b' ] in
+  let reloaded = Archive.of_string (Archive.to_string merged) in
+  Alcotest.(check string) "merged benchmark name" "alpha+beta"
+    reloaded.Archive.benchmark;
+  Alcotest.(check bool) "merged archive round-trips unchanged" true
+    (Archive.equal merged reloaded);
+  Alcotest.(check string) "byte-identical re-encode"
+    (Archive.to_string merged)
+    (Archive.to_string reloaded);
+  (* every merged record still resolves to the signature it had in its
+     source archive *)
+  let source_names =
+    List.map (fun (r : Record.t) -> Dictionary.find a'.Archive.dictionary r.Record.sig_id) a'.Archive.records
+    @ List.map (fun (r : Record.t) -> Dictionary.find b'.Archive.dictionary r.Record.sig_id) b'.Archive.records
+  in
+  List.iter2
+    (fun name (m : Record.t) ->
+      Alcotest.(check string) "signature preserved through merge" name
+        (Dictionary.find merged.Archive.dictionary m.Record.sig_id))
+    source_names merged.Archive.records
+
+(* ---------------- compilation forking ---------------- *)
+
+let fork_program =
+  lazy
+    (let profile =
+       {
+         Tessera_workloads.Profile.default with
+         Tessera_workloads.Profile.name = "fork-test";
+         seed = 13L;
+         methods = 5;
+       }
+     in
+     Tessera_workloads.Generate.program profile)
+
+let run_fork_config ?(seed = 0xF02CL) ?(fanout = 4) ?(uses = 4) ?(invocations = 40)
+    ?(jobs = 1) ?(reexec = false) () =
+  let program = Lazy.force fork_program in
+  Collector.run
+    ~config:
+      {
+        Collector.default_config with
+        Collector.search =
+          Collector.Fork
+            {
+              (Collector.fork_defaults
+                 (Tessera_modifiers.Queue_ctrl.Progressive { l = 30 }))
+              with
+              Collector.fanout;
+              jobs;
+              reexec;
+            };
+        uses_per_modifier = uses;
+        seed;
+        max_entry_invocations = invocations;
+      }
+    ~program ~benchmark:"fork-test"
+    ~entry_args:(fun k -> [| Tessera_vm.Values.Int_v (Int64.of_int k) |])
+    ()
+
+let test_fork_collector () =
+  let archive, stats = run_fork_config () in
+  Alcotest.(check bool) "has records" true (archive.Archive.records <> []);
+  Alcotest.(check bool) "forked" true (stats.Collector.forks > 0);
+  Alcotest.(check bool) "ran branches" true (stats.Collector.branches > 0);
+  Alcotest.(check bool)
+    "branch invocations counted" true
+    (stats.Collector.branch_invocations > 0);
+  (* every fork point measures the whole candidate set: records per trunk
+     invocation dominate the one-modifier-per-recompilation sweep *)
+  Alcotest.(check bool)
+    "branches cover candidate sets" true
+    (stats.Collector.branches >= stats.Collector.forks * 2);
+  List.iter
+    (fun (r : Record.t) ->
+      Alcotest.(check bool) "records have invocations" true
+        (r.Record.invocations > 0);
+      ignore (Dictionary.find archive.Archive.dictionary r.Record.sig_id))
+    archive.Archive.records;
+  Alcotest.(check bool) "null modifier present" true
+    (List.exists
+       (fun (r : Record.t) -> Modifier.is_null r.Record.modifier)
+       archive.Archive.records)
+
+let test_fork_jobs_invariant () =
+  let a1, s1 = run_fork_config ~jobs:1 () in
+  let a2, s2 = run_fork_config ~jobs:3 () in
+  Alcotest.(check bool) "archives equal at any -j" true (Archive.equal a1 a2);
+  Alcotest.(check int) "same branches" s1.Collector.branches s2.Collector.branches
+
+let test_fork_oracle () =
+  QCheck.Test.make ~count:6 ~name:"fork snapshot = re-execution (oracle)"
+    QCheck.(triple (int_bound 1_000_000) (int_range 1 5) (int_range 2 6))
+    (fun (seed, fanout, uses) ->
+      let seed = Int64.of_int seed in
+      let fast, fstats =
+        run_fork_config ~seed ~fanout ~uses ~invocations:25 ()
+      in
+      let slow, sstats =
+        run_fork_config ~seed ~fanout ~uses ~invocations:25 ~reexec:true ()
+      in
+      Archive.equal fast slow
+      && fstats.Collector.branches = sstats.Collector.branches
+      && fstats.Collector.forks = sstats.Collector.forks
+      && fstats.Collector.branch_invocations
+         = sstats.Collector.branch_invocations)
+
 let suite =
   [
     Alcotest.test_case "dictionary" `Quick test_dictionary;
@@ -186,5 +312,10 @@ let suite =
     Alcotest.test_case "archive corruption detected" `Quick test_archive_corruption;
     Alcotest.test_case "archive file io" `Quick test_archive_file_io;
     Alcotest.test_case "archive merge" `Quick test_archive_merge;
+    Alcotest.test_case "merged loaded archives round-trip" `Quick
+      test_merged_loaded_archives_roundtrip;
     Alcotest.test_case "collector integration" `Slow test_collector_integration;
+    Alcotest.test_case "fork collector" `Slow test_fork_collector;
+    Alcotest.test_case "fork jobs invariance" `Slow test_fork_jobs_invariant;
+    QCheck_alcotest.to_alcotest (test_fork_oracle ());
   ]

@@ -39,6 +39,37 @@ let test_collection () =
         (List.length o.Harness.Collection.merged.Tessera_collect.Archive.records))
     outcomes
 
+let test_draws_for_trial () =
+  let check ~trials ~noise_draws =
+    let total = ref 0 in
+    for i = 0 to trials - 1 do
+      let d = Harness.Evaluation.draws_for_trial ~trials ~noise_draws i in
+      Alcotest.(check bool) "every trial draws" true (d >= 1);
+      total := !total + d
+    done;
+    Alcotest.(check int)
+      (Printf.sprintf "exact total for trials=%d draws=%d" trials noise_draws)
+      (max trials noise_draws) !total
+  in
+  (* non-divisible, divisible, and trials > noise_draws configurations *)
+  check ~trials:4 ~noise_draws:30;
+  check ~trials:3 ~noise_draws:30;
+  check ~trials:7 ~noise_draws:30;
+  check ~trials:1 ~noise_draws:30;
+  check ~trials:30 ~noise_draws:30;
+  check ~trials:45 ~noise_draws:30
+
+let test_fork_collection () =
+  let cfg = { tiny_cfg with Harness.Expconfig.fork_fanout = 3 } in
+  let bench = List.hd Suites.training_set in
+  let o = Harness.Collection.collect_bench ~cfg ~fork:true ~fork_jobs:2 bench in
+  Alcotest.(check bool) "fork collection has records" true
+    (o.Harness.Collection.merged.Tessera_collect.Archive.records <> []);
+  List.iter
+    (fun (s : Tessera_collect.Collector.stats) ->
+      Alcotest.(check bool) "forked" true (s.Tessera_collect.Collector.forks > 0))
+    o.Harness.Collection.stats
+
 let test_modelset_training () =
   let outcomes = Lazy.force outcomes in
   let ms = Harness.Training.train_on_all ~name:"tiny" outcomes in
@@ -154,6 +185,9 @@ let test_report_printers () =
 let suite =
   [
     Alcotest.test_case "collection" `Slow test_collection;
+    Alcotest.test_case "noise draws distribute exactly" `Quick
+      test_draws_for_trial;
+    Alcotest.test_case "fork collection" `Slow test_fork_collection;
     Alcotest.test_case "model-set training" `Slow test_modelset_training;
     Alcotest.test_case "model-set save/load" `Slow test_modelset_save_load;
     Alcotest.test_case "leave-one-out structure" `Slow test_loo_structure;

@@ -216,6 +216,66 @@ let test_contention_charges_app () =
   Alcotest.(check bool) "contention charges the app clock" true
     (Int64.compare (run 0.5) (run 0.0) > 0)
 
+let test_snapshot_restore () =
+  let p = gen_program 563L in
+  let config = { Engine.default_config with Engine.instrument = true } in
+  let engine = Engine.create ~config p in
+  for k = 0 to 9 do
+    ignore (Engine.invoke_entry engine (entry_args k))
+  done;
+  let snap = Engine.snapshot engine in
+  let at_snap = Engine.clock_now engine in
+  (* diverge: more invocations plus a forced compilation *)
+  for k = 10 to 19 do
+    ignore (Engine.invoke_entry engine (entry_args k))
+  done;
+  Engine.request_compile engine ~meth_id:1 ~level:Plan.Scorching ();
+  let diverged = Engine.clock_now engine in
+  Alcotest.(check bool) "diverged" true (Int64.compare diverged at_snap > 0);
+  Engine.restore engine snap;
+  Alcotest.(check int64) "clock rewound" at_snap (Engine.clock_now engine);
+  (* the restored engine replays the exact same future as an engine that
+     never diverged *)
+  let control = Engine.create ~config p in
+  for k = 0 to 9 do
+    ignore (Engine.invoke_entry control (entry_args k))
+  done;
+  for k = 10 to 29 do
+    let a = Engine.invoke_entry engine (entry_args k) in
+    let b = Engine.invoke_entry control (entry_args k) in
+    Alcotest.(check bool) "same results" true (a = b);
+    Alcotest.(check int64)
+      (Printf.sprintf "same clock after invocation %d" k)
+      (Engine.clock_now control) (Engine.clock_now engine)
+  done
+
+let test_fork_isolation () =
+  let p = gen_program 564L in
+  let config = { Engine.default_config with Engine.instrument = true } in
+  (* control: a run that never forks *)
+  let control = Engine.create ~config p in
+  let trunk = Engine.create ~config p in
+  for k = 0 to 29 do
+    ignore (Engine.invoke_entry control (entry_args k));
+    ignore (Engine.invoke_entry trunk (entry_args k));
+    if k mod 5 = 0 then begin
+      (* fork a branch, perturb it hard, throw it away *)
+      let branch = Engine.fork trunk in
+      Engine.request_compile branch ~meth_id:1 ~level:Plan.Scorching ();
+      for j = 0 to 4 do
+        ignore (Engine.invoke_entry branch (entry_args (k + j)))
+      done;
+      Engine.claim_trace_source trunk;
+      Alcotest.(check bool) "branch clock advanced independently" true
+        (Int64.compare (Engine.clock_now branch) (Engine.clock_now trunk) > 0)
+    end;
+    Alcotest.(check int64)
+      (Printf.sprintf "trunk cycle stream untouched at %d" k)
+      (Engine.clock_now control) (Engine.clock_now trunk)
+  done;
+  Alcotest.(check int) "same compilations" (Engine.compile_count control)
+    (Engine.compile_count trunk)
+
 let suite =
   [
     Alcotest.test_case "modifier affects compilation" `Quick
@@ -230,4 +290,8 @@ let suite =
     Alcotest.test_case "instrumented samples" `Quick test_instrumented_samples;
     Alcotest.test_case "exclusive timing" `Quick test_exclusive_timing;
     Alcotest.test_case "compile contention" `Quick test_contention_charges_app;
+    Alcotest.test_case "snapshot/restore rewinds exactly" `Quick
+      test_snapshot_restore;
+    Alcotest.test_case "fork never perturbs the trunk" `Quick
+      test_fork_isolation;
   ]
